@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures: artifact directory for reproduced figures."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it for the bench log."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[artifact: {path}]\n{text}")

@@ -1,0 +1,64 @@
+"""Energy bench: training efficiency (samples/joule) per scheme.
+
+Extension experiment: iteration *time* is a critical-path quantity; energy
+is array-wide and additive, and network bytes cost ~10x HBM bytes per the
+technology model — so communication-avoiding partition plans save energy
+even where links are fast enough to hide the time.
+"""
+
+import pytest
+
+from repro.baselines import SCHEME_ORDER
+from repro.experiments.harness import run_scheme
+from repro.experiments.reporting import format_table
+from repro.hardware import heterogeneous_array
+
+from conftest import save_artifact
+
+MODELS = ["alexnet", "vgg19", "resnet50"]
+
+
+@pytest.mark.benchmark(group="energy")
+def test_energy_per_scheme(benchmark, results_dir):
+    array = heterogeneous_array()
+
+    def run_all():
+        return {
+            (model, scheme): run_scheme(model, scheme, array).report
+            for model in MODELS
+            for scheme in SCHEME_ORDER
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+
+    rows = []
+    for model in MODELS:
+        for scheme in SCHEME_ORDER:
+            r = reports[(model, scheme)]
+            e = r.energy
+            rows.append(
+                [
+                    model,
+                    scheme,
+                    f"{e.total_j:.2f} J",
+                    f"{e.network_j:.2f} J",
+                    f"{r.samples_per_joule:.1f}",
+                ]
+            )
+    text = format_table(
+        ["model", "scheme", "energy/iter", "network share", "samples/J"],
+        rows,
+        title="Energy per training iteration (heterogeneous array, batch 512)",
+    )
+    save_artifact(results_dir, "energy_per_scheme.txt", text)
+
+    for model in MODELS:
+        # compute energy is invariant; network energy must shrink DP -> AccPar
+        dp = reports[(model, "dp")]
+        accpar = reports[(model, "accpar")]
+        assert accpar.energy.compute_j == pytest.approx(
+            dp.energy.compute_j, rel=0.02
+        )
+        assert accpar.energy.network_j < dp.energy.network_j
+        assert accpar.samples_per_joule > dp.samples_per_joule

@@ -1,0 +1,44 @@
+"""Figure 5: speedups on the heterogeneous 128x TPU-v2 + 128x TPU-v3 array.
+
+Paper reference numbers (geomean over the nine DNNs, normalized to DP):
+OWT 2.98x, HyPar 3.78x, AccPar 6.30x; Vgg AccPar up to 16.14x; ResNet AccPar
+1.92-2.20x.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_heterogeneous
+from repro.experiments.reporting import format_grouped_bars, format_speedup_table
+from repro.models import PAPER_MODELS, RESNET_MODELS, VGG_MODELS
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_heterogeneous_array(benchmark, results_dir):
+    table = benchmark.pedantic(
+        figure5_heterogeneous, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    text = format_speedup_table(
+        table, "Figure 5: heterogeneous array (128x TPU-v2 + 128x TPU-v3)"
+    )
+    text += "\n\n" + format_grouped_bars(table)
+    save_artifact(results_dir, "fig5_heterogeneous.txt", text)
+
+    from repro.experiments.svg import grouped_bar_svg
+
+    (results_dir / "fig5_heterogeneous.svg").write_text(
+        grouped_bar_svg(table, "Figure 5: speedup over DP (heterogeneous array)")
+    )
+
+    # shape assertions from Section 6.2
+    assert table.geomean("accpar") > table.geomean("hypar") > table.geomean("dp")
+    assert table.geomean("owt") > table.geomean("dp")
+    for model in PAPER_MODELS:
+        best = max(table.speedup(model, s) for s in table.schemes)
+        assert table.speedup(model, "accpar") == pytest.approx(best)
+    # Vgg series speedups dominate ResNet series speedups
+    worst_vgg = min(table.speedup(m, "accpar") for m in VGG_MODELS)
+    best_resnet = max(table.speedup(m, "accpar") for m in RESNET_MODELS)
+    assert worst_vgg > best_resnet

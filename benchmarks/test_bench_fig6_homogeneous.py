@@ -1,0 +1,56 @@
+"""Figure 6: speedups on the homogeneous 128x TPU-v3 array.
+
+Paper reference numbers (geomean): OWT 2.94x, HyPar 3.51x, AccPar 3.86x —
+the AccPar/HyPar gap shrinks without heterogeneity to exploit.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_heterogeneous, figure6_homogeneous
+from repro.experiments.reporting import format_grouped_bars, format_speedup_table
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_homogeneous_array(benchmark, results_dir):
+    table = benchmark.pedantic(
+        figure6_homogeneous, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    text = format_speedup_table(table, "Figure 6: homogeneous array (128x TPU-v3)")
+    text += "\n\n" + format_grouped_bars(table)
+    save_artifact(results_dir, "fig6_homogeneous.txt", text)
+
+    from repro.experiments.svg import grouped_bar_svg
+
+    (results_dir / "fig6_homogeneous.svg").write_text(
+        grouped_bar_svg(table, "Figure 6: speedup over DP (homogeneous array)")
+    )
+
+    assert table.geomean("accpar") >= table.geomean("hypar") - 1e-9
+    assert table.geomean("hypar") > table.geomean("dp")
+
+
+@pytest.mark.benchmark(group="figures")
+def test_heterogeneity_gap(benchmark, results_dir):
+    """Section 6.2 vs 6.3: AccPar's edge over HyPar is much larger on the
+    heterogeneous array (paper: 6.30/3.78 = 1.67 vs 3.86/3.51 = 1.10)."""
+
+    def both():
+        models = ["alexnet", "vgg11", "vgg19", "resnet18"]
+        hetero = figure5_heterogeneous(models=models)
+        homo = figure6_homogeneous(models=models)
+        return hetero, homo
+
+    hetero, homo = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    gap_hetero = hetero.geomean("accpar") / hetero.geomean("hypar")
+    gap_homo = homo.geomean("accpar") / homo.geomean("hypar")
+    save_artifact(
+        results_dir,
+        "heterogeneity_gap.txt",
+        "AccPar/HyPar geomean gap\n"
+        f"  heterogeneous: {gap_hetero:.2f}x   (paper: 1.67x)\n"
+        f"  homogeneous:   {gap_homo:.2f}x   (paper: 1.10x)",
+    )
+    assert gap_hetero > gap_homo

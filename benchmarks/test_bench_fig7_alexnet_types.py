@@ -1,0 +1,43 @@
+"""Figure 7: AccPar's selected partition types per AlexNet layer.
+
+Paper setup: 7 hierarchy levels, batch 128.  Expected shape: fc1-fc3 use
+Type-II/III (model partitioning); cv1-cv5 are mostly but not solely Type-I;
+deeper levels shift more layers toward Type-II/III.
+"""
+
+import pytest
+
+from repro.core.types import PartitionType
+from repro.experiments.figures import figure7_alexnet_types
+
+from conftest import save_artifact
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_alexnet_partition_types(benchmark, results_dir):
+    result = benchmark.pedantic(
+        figure7_alexnet_types, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_artifact(results_dir, "fig7_alexnet_types.txt", result.rendered())
+
+    assert len(result.per_level) == 7
+
+    # FC layers use model partitioning at every level
+    for level in result.per_level:
+        assert level["fc1"] in (II, III)
+        assert level["fc2"] in (II, III)
+
+    # CONV layers are mostly Type-I at the top level
+    top = result.per_level[0]
+    conv_types = [top[f"cv{i}"] for i in range(1, 6)]
+    assert conv_types.count(I) >= 3
+
+    # deeper hierarchy levels use at least as many model-partitioned layers
+    def model_partitioned(level):
+        return sum(1 for t in level.values() if t in (II, III))
+
+    assert model_partitioned(result.per_level[-1]) >= model_partitioned(
+        result.per_level[0]
+    )

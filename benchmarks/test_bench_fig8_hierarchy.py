@@ -1,0 +1,53 @@
+"""Figure 8: scalability with hierarchy level h = 2..9 on Vgg19.
+
+Paper shape: OWT and HyPar speedups saturate as h grows, AccPar keeps
+climbing — the value of the complete space and flexible ratios compounds
+with finer-grained hierarchies.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure8_hierarchy_sweep
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_hierarchy_scalability(benchmark, results_dir):
+    result = benchmark.pedantic(
+        figure8_hierarchy_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_artifact(results_dir, "fig8_hierarchy.txt", result.rendered())
+
+    from repro.experiments.svg import line_chart_svg
+
+    (results_dir / "fig8_hierarchy.svg").write_text(
+        line_chart_svg(
+            [float(h) for h in result.levels],
+            result.speedups,
+            "Figure 8: speedup vs hierarchy level (Vgg19)",
+            x_label="hierarchy level h",
+        )
+    )
+
+    assert result.levels == list(range(2, 10))
+
+    acc = result.speedups["accpar"]
+    owt = result.speedups["owt"]
+    hypar = result.speedups["hypar"]
+
+    # AccPar dominates at every hierarchy level
+    for idx in range(len(result.levels)):
+        assert acc[idx] >= hypar[idx] - 1e-9
+        assert acc[idx] >= owt[idx] - 1e-9
+
+    # AccPar keeps improving from shallow to deep hierarchies
+    assert acc[-1] > acc[0]
+
+    # the baselines' relative growth saturates: their tail gain is smaller
+    # than AccPar's
+    acc_tail_gain = acc[-1] / acc[4]
+    owt_tail_gain = owt[-1] / owt[4]
+    hypar_tail_gain = hypar[-1] / hypar[4]
+    assert acc_tail_gain >= owt_tail_gain - 1e-9
+    assert acc_tail_gain >= hypar_tail_gain - 1e-9

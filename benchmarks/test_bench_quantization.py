@@ -1,0 +1,101 @@
+"""Deployment-fidelity benches: ratio quantization and data-format width.
+
+Two practical questions a deployment must answer on top of the paper:
+
+* do the real-valued Eq. 10 ratios survive rounding to integer tensor
+  splits?  (they must — fractional batches do not exist);
+* how much of the speedup depends on bfloat16 (Section 6.1's format)
+  versus fp32?
+"""
+
+import pytest
+
+from repro.core.planner import AccParPlanner, Planner
+from repro.baselines import get_scheme
+from repro.core.quantize import quantize_plan
+from repro.experiments.reporting import format_table
+from repro.hardware import heterogeneous_array
+from repro.models import build_model
+from repro.sim.engine import EngineConfig
+from repro.sim.executor import evaluate
+
+from conftest import save_artifact
+
+MODELS = ["alexnet", "vgg19", "resnet18"]
+
+
+@pytest.mark.benchmark(group="deployment")
+def test_ratio_quantization_drift(benchmark, results_dir):
+    array = heterogeneous_array()
+
+    def quantize_all():
+        out = {}
+        for model in MODELS:
+            planned = AccParPlanner(array).plan(build_model(model), 512)
+            quantized, report = quantize_plan(planned)
+            out[model] = (
+                evaluate(planned).total_time,
+                evaluate(quantized).total_time,
+                report.max_ratio_shift,
+            )
+        return out
+
+    results = benchmark.pedantic(quantize_all, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+
+    rows = []
+    for model, (t_real, t_quant, shift) in results.items():
+        drift = (t_quant - t_real) / t_real * 100
+        rows.append([model, f"{t_real * 1e3:.3f} ms", f"{t_quant * 1e3:.3f} ms",
+                     f"{drift:+.2f}%", f"{shift:.4f}"])
+        assert abs(drift) < 5.0, model  # rounding must not change the story
+
+    text = format_table(
+        ["model", "real ratios", "integer splits", "time drift", "max α shift"],
+        rows,
+        title="Ratio quantization: Eq. 10 ratios -> integer tensor splits",
+    )
+    save_artifact(results_dir, "deployment_quantization.txt", text)
+
+
+@pytest.mark.benchmark(group="deployment")
+def test_dtype_width_ablation(benchmark, results_dir):
+    """bfloat16 (paper) vs fp32: communication bytes double, so DP suffers
+    twice as much and AccPar's relative advantage grows."""
+    array = heterogeneous_array()
+
+    def run_both_widths():
+        out = {}
+        for dtype_bytes in (2, 4):
+            accpar = Planner(array, get_scheme("accpar"),
+                             dtype_bytes=dtype_bytes).plan(
+                build_model("vgg19"), 512
+            )
+            dp = Planner(array, get_scheme("dp"), dtype_bytes=dtype_bytes).plan(
+                build_model("vgg19"), 512
+            )
+            config = EngineConfig(dtype_bytes=dtype_bytes)
+            out[dtype_bytes] = (
+                evaluate(dp, config).total_time,
+                evaluate(accpar, config).total_time,
+            )
+        return out
+
+    results = benchmark.pedantic(run_both_widths, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+
+    rows = []
+    for dtype_bytes, (t_dp, t_acc) in sorted(results.items()):
+        label = "bfloat16" if dtype_bytes == 2 else "float32"
+        rows.append([label, f"{t_dp * 1e3:.2f} ms", f"{t_acc * 1e3:.2f} ms",
+                     f"{t_dp / t_acc:.2f}x"])
+    text = format_table(
+        ["format", "DP", "AccPar", "speedup"],
+        rows,
+        title="Data-format ablation (vgg19, heterogeneous array)",
+    )
+    save_artifact(results_dir, "deployment_dtype.txt", text)
+
+    # wider data slows everything; both formats keep AccPar ahead
+    assert results[4][0] > results[2][0]
+    assert results[4][1] > results[2][1]

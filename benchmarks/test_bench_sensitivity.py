@@ -1,0 +1,100 @@
+"""Sensitivity benches: batch size, link bandwidth and optimizer choice.
+
+Extensions beyond the paper's figures that probe the mechanisms its
+Section 6 analysis describes (model-vs-data partitioning trade-off, the
+communication bottleneck, and optimizer locality).
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.sensitivity import (
+    batch_sweep,
+    bandwidth_sweep,
+    optimizer_sweep,
+)
+from repro.hardware import heterogeneous_array
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_batch_size_sensitivity(benchmark, results_dir):
+    array = heterogeneous_array(16, 16)
+
+    series = benchmark.pedantic(
+        lambda: batch_sweep("alexnet", array, batches=(64, 128, 256, 512, 1024)),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    rows = []
+    for idx, batch in enumerate(series.x_values):
+        rows.append(
+            [f"{int(batch)}"]
+            + [f"{series.speedups[s][idx]:.2f}x" for s in series.speedups]
+        )
+    text = format_table(
+        ["batch"] + list(series.speedups),
+        rows,
+        title="Speedup over DP vs global mini-batch (alexnet, heterogeneous)",
+    )
+    save_artifact(results_dir, "sensitivity_batch.txt", text)
+
+    # AccPar dominates at every batch size
+    for idx in range(len(series.x_values)):
+        best = max(series.speedups[s][idx] for s in series.speedups)
+        assert series.speedups["accpar"][idx] == pytest.approx(best)
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_bandwidth_sensitivity(benchmark, results_dir):
+    array = heterogeneous_array(8, 8)
+
+    series = benchmark.pedantic(
+        lambda: bandwidth_sweep("vgg11", array,
+                                factors=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+                                batch=256),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    rows = []
+    for idx, factor in enumerate(series.x_values):
+        rows.append(
+            [f"{factor:g}x"]
+            + [f"{series.speedups[s][idx]:.2f}x" for s in series.speedups]
+        )
+    text = format_table(
+        ["link speed"] + list(series.speedups),
+        rows,
+        title="Speedup over DP vs link bandwidth (vgg11, heterogeneous)",
+    )
+    save_artifact(results_dir, "sensitivity_bandwidth.txt", text)
+
+    # as links speed up, communication-avoiding planning buys less
+    acc = series.speedups["accpar"]
+    assert acc[-1] < acc[0]
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_optimizer_sensitivity(benchmark, results_dir):
+    array = heterogeneous_array(8, 8)
+
+    impacts = benchmark.pedantic(
+        lambda: optimizer_sweep("vgg19", array, batch=512),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    rows = [
+        [i.optimizer, f"{i.total_time * 1e3:.3f} ms",
+         f"{i.comm_time * 1e3:.3f} ms", f"{i.memory_bytes / 2**30:.3f} GiB"]
+        for i in impacts
+    ]
+    text = format_table(
+        ["optimizer", "iteration", "comm", "worst-leaf memory"],
+        rows,
+        title="Optimizer impact under the same AccPar plan (vgg19)",
+    )
+    save_artifact(results_dir, "sensitivity_optimizer.txt", text)
+
+    comm_times = {round(i.comm_time, 12) for i in impacts}
+    assert len(comm_times) == 1  # updates are local: comm never changes

@@ -1,0 +1,59 @@
+"""Failure-injection bench: straggler recovery by re-planning.
+
+Extension experiment: throttle one board of a homogeneous array to 25%
+compute and measure what each scheme recovers by re-planning on the
+unchanged topology.  AccPar's heterogeneity-aware ratios are the only
+mechanism that can respond; the equal-ratio schemes re-derive the same
+plan and eat the slowdown.
+"""
+
+import pytest
+
+from repro.experiments.faults import straggler_experiment
+from repro.experiments.reporting import format_table
+from repro.hardware import homogeneous_array
+
+from conftest import save_artifact
+
+SCHEMES = ["dp", "owt", "hypar", "accpar"]
+
+
+@pytest.mark.benchmark(group="faults")
+def test_straggler_recovery(benchmark, results_dir):
+    array = homogeneous_array(16)
+
+    def run_all():
+        return {
+            scheme: straggler_experiment(
+                "vgg19", array, scheme=scheme, n_degraded=1,
+                compute_factor=0.25, batch=512,
+            )
+            for scheme in SCHEMES
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    rows = []
+    for scheme, o in outcomes.items():
+        rows.append(
+            [
+                scheme,
+                f"{o.healthy_time * 1e3:.2f} ms",
+                f"{o.stale_plan_time * 1e3:.2f} ms",
+                f"{o.replanned_time * 1e3:.2f} ms",
+                f"{o.recovery_gain:.3f}x",
+            ]
+        )
+    text = format_table(
+        ["scheme", "healthy", "stale plan", "re-planned", "recovery"],
+        rows,
+        title="Straggler injection: one board at 25% compute (vgg19, 16x TPU-v3)",
+    )
+    save_artifact(results_dir, "straggler_recovery.txt", text)
+
+    # equal-ratio schemes cannot adapt; AccPar must recover the most
+    assert outcomes["dp"].recovery_gain == pytest.approx(1.0, abs=1e-6)
+    assert outcomes["hypar"].recovery_gain == pytest.approx(1.0, abs=1e-6)
+    best = max(o.recovery_gain for o in outcomes.values())
+    assert outcomes["accpar"].recovery_gain == pytest.approx(best)

@@ -1,0 +1,84 @@
+"""Table 3: rotational symmetry of the three training multiplications.
+
+For each phase's mat-mul the table records the partitioned dimension and the
+partial-sum (psum) tensor shape; each basic type "owns" exactly one phase.
+This bench verifies the algebra over a sweep of layer geometries and times
+the partition-algebra hot path (it runs inside every DP step).
+"""
+
+import random
+
+import pytest
+
+from repro.core.types import (
+    ALL_TYPES,
+    PARTITIONED_DIM,
+    PSUM_PHASE,
+    PartitionType,
+    Phase,
+    ShardedWorkload,
+)
+from repro.experiments.reporting import format_table
+from repro.graph.layers import LayerWorkload
+
+from conftest import save_artifact
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+def random_workloads(n=200, seed=7):
+    rng = random.Random(seed)
+    out = []
+    for idx in range(n):
+        conv = rng.random() < 0.5
+        k = rng.choice([1, 3, 5, 7]) if conv else 1
+        hw = (rng.randint(1, 64), rng.randint(1, 64)) if conv else (1, 1)
+        out.append(
+            LayerWorkload(
+                f"l{idx}",
+                rng.randint(1, 512),
+                rng.randint(1, 1024),
+                rng.randint(1, 1024),
+                hw,
+                hw,
+                (k, k),
+                conv,
+            )
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_rotational_symmetry(benchmark, results_dir):
+    workloads = random_workloads()
+
+    def verify_all():
+        checked = 0
+        for base in workloads:
+            sw = ShardedWorkload(base)
+            # psum shapes per type: ΔW / F_{l+1} / E_l (Table 3's Psum column)
+            assert sw.a_psum(I) == sw.a_weight()
+            assert sw.a_psum(II) == sw.a_output_fm()
+            assert sw.a_psum(III) == sw.a_input_fm()
+            # each phase is owned by exactly one type
+            owned = {PSUM_PHASE[t] for t in ALL_TYPES}
+            assert owned == set(Phase)
+            # partitioned dims are the three distinct tensor dimensions
+            assert set(PARTITIONED_DIM.values()) == {"B", "D_i", "D_o"}
+            checked += 1
+        return checked
+
+    checked = benchmark(verify_all)
+    assert checked == len(workloads)
+
+    rows = [
+        ["F_{l+1} = F_l x W_l", "D_i", "(B, D_o)", "Type-II"],
+        ["E_l = E_{l+1} x W^T", "D_o", "(B, D_i)", "Type-III"],
+        ["dW = F^T x E_{l+1}", "B", "(D_i, D_o)", "Type-I"],
+    ]
+    text = format_table(
+        ["multiplication", "partition dim", "psum shape", "basic type"],
+        rows,
+        title=f"Table 3: rotational symmetry (verified on {checked} random layers)",
+    )
+    save_artifact(results_dir, "table3_symmetry.txt", text)

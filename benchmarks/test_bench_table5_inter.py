@@ -1,0 +1,77 @@
+"""Table 5: inter-layer communication cost for all nine type transitions.
+
+Prints the 3x3 grid in the paper's layout and verifies each entry's closed
+form: 0 on the free transitions, α·β·(A(F)+A(E)) on I→II / III→I, and
+β·A(tensor) on the remaining four.
+"""
+
+import pytest
+
+from repro.core.cost_model import inter_layer_elements
+from repro.core.types import ALL_TYPES, PartitionType
+from repro.experiments.reporting import format_table
+
+from conftest import save_artifact
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+A_FM = 512 * 4096.0  # boundary tensor elements
+ALPHA = 0.7
+BETA = 1.0 - ALPHA
+
+CLOSED_FORMS = {
+    (I, I): 0.0,
+    (II, III): 0.0,
+    (III, II): 0.0,
+    (I, II): ALPHA * BETA * 2 * A_FM,
+    (III, I): ALPHA * BETA * 2 * A_FM,
+    (I, III): BETA * A_FM,
+    (III, III): BETA * A_FM,
+    (II, I): BETA * A_FM,
+    (II, II): BETA * A_FM,
+}
+
+LABELS = {
+    (I, I): "0",
+    (II, III): "0",
+    (III, II): "0",
+    (I, II): "ab(A(F)+A(E))/b_i",
+    (III, I): "ab(A(F)+A(E))/b_i",
+    (I, III): "bA(F_{l+1})/b_i",
+    (III, III): "bA(F_{l+1})/b_i",
+    (II, I): "bA(E_{l+1})/b_i",
+    (II, II): "bA(E_{l+1})/b_i",
+}
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table5_inter_layer_costs(benchmark, results_dir):
+    def compute_grid():
+        return {
+            (tt, t): inter_layer_elements(A_FM, tt, t, ALPHA)
+            for tt in ALL_TYPES
+            for t in ALL_TYPES
+        }
+
+    grid = benchmark(compute_grid)
+
+    for key, expected in CLOSED_FORMS.items():
+        amount_i, _ = grid[key]
+        assert amount_i == pytest.approx(expected), key
+
+    rows = []
+    for tt in ALL_TYPES:
+        row = [str(tt)]
+        for t in ALL_TYPES:
+            amount_i, _ = grid[(tt, t)]
+            row.append(f"{amount_i / 1e6:.3f}M ({LABELS[(tt, t)]})")
+        rows.append(row)
+    text = format_table(
+        ["layer l \\ l+1"] + [str(t) for t in ALL_TYPES],
+        rows,
+        title=(
+            "Table 5: inter-layer elements accessed by party i "
+            f"(A(F)=A(E)={A_FM / 1e6:.3f}M, a={ALPHA}, b={BETA:.1f})"
+        ),
+    )
+    save_artifact(results_dir, "table5_inter.txt", text)

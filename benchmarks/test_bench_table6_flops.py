@@ -1,0 +1,69 @@
+"""Table 6: FLOP counts of the three training multiplications.
+
+Checks the FC closed forms — A(F_{l+1})(2D_i - 1), A(E_l)(2D_o - 1),
+A(W)(2B - 1) — and the CONV extension of Section 4.3 where the reduction
+length additionally carries the kernel window (forward/backward) or the
+output feature map (gradient).
+"""
+
+import pytest
+
+from repro.core.types import Phase, ShardedWorkload
+from repro.experiments.reporting import format_table
+from repro.graph.layers import LayerWorkload
+
+from conftest import save_artifact
+
+B, DI, DO = 512, 4096, 1024
+FC = ShardedWorkload(LayerWorkload("fc", B, DI, DO, (1, 1), (1, 1), (1, 1), False))
+CONV = ShardedWorkload(
+    LayerWorkload("cv", 32, 64, 128, (28, 28), (28, 28), (3, 3), True)
+)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table6_flop_counts(benchmark, results_dir):
+    def compute_all():
+        return {
+            (sw.name, phase): sw.flops_phase(phase)
+            for sw in (FC, CONV)
+            for phase in Phase
+        }
+
+    flops = benchmark(compute_all)
+
+    # FC closed forms, exactly Table 6
+    assert flops[("fc", Phase.FORWARD)] == (B * DO) * (2 * DI - 1)
+    assert flops[("fc", Phase.BACKWARD)] == (B * DI) * (2 * DO - 1)
+    assert flops[("fc", Phase.GRADIENT)] == (DI * DO) * (2 * B - 1)
+
+    # CONV extension: reduction lengths gain the kernel / output-map factors
+    k = 9  # 3x3
+    out_map = 28 * 28
+    assert flops[("cv", Phase.FORWARD)] == pytest.approx(
+        CONV.a_output_fm() * (2 * 64 * k - 1)
+    )
+    assert flops[("cv", Phase.BACKWARD)] == pytest.approx(
+        CONV.a_input_fm() * (2 * 128 * k - 1)
+    )
+    assert flops[("cv", Phase.GRADIENT)] == pytest.approx(
+        CONV.a_weight() * (2 * 32 * out_map - 1)
+    )
+
+    rows = [
+        ["F_{l+1} = F_l x W_l", "A(F_{l+1})(2 D_i K - 1)",
+         f"{flops[('fc', Phase.FORWARD)] / 1e9:.2f} G",
+         f"{flops[('cv', Phase.FORWARD)] / 1e9:.2f} G"],
+        ["E_l = E_{l+1} x W^T", "A(E_l)(2 D_o K - 1)",
+         f"{flops[('fc', Phase.BACKWARD)] / 1e9:.2f} G",
+         f"{flops[('cv', Phase.BACKWARD)] / 1e9:.2f} G"],
+        ["dW = F^T x E_{l+1}", "A(W)(2 B HoWo - 1)",
+         f"{flops[('fc', Phase.GRADIENT)] / 1e9:.2f} G",
+         f"{flops[('cv', Phase.GRADIENT)] / 1e9:.2f} G"],
+    ]
+    text = format_table(
+        ["multiplication", "# FLOP", "FC example", "CONV example"],
+        rows,
+        title="Table 6: floating point operations of the three multiplications",
+    )
+    save_artifact(results_dir, "table6_flops.txt", text)

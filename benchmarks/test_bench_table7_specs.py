@@ -1,0 +1,50 @@
+"""Table 7: the TPU-v2 / TPU-v3 accelerator specifications.
+
+A configuration table rather than an experiment; the bench verifies the
+presets drive the simulator consistently (a v3 board must beat a v2 board on
+the same leaf workload).
+"""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.experiments.reporting import format_table
+from repro.hardware import TPU_V2, TPU_V3, make_group
+from repro.models import build_model
+from repro.sim.executor import evaluate
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table7_accelerator_specs(benchmark, results_dir):
+    def single_board_times():
+        out = {}
+        for spec in (TPU_V2, TPU_V3):
+            planner = Planner(make_group(spec, 1), get_scheme("dp"))
+            planned = planner.plan(build_model("alexnet"), batch=64)
+            out[spec.name] = evaluate(planned).total_time
+        return out
+
+    times = benchmark(single_board_times)
+    assert times["tpu-v3"] < times["tpu-v2"]
+
+    rows = []
+    for spec in (TPU_V2, TPU_V3):
+        rows.append(
+            [
+                spec.name,
+                f"{spec.flops / 1e12:.0f} T",
+                f"{spec.memory_bytes / 2**30:.0f} GB",
+                f"{spec.memory_bandwidth / 1e9:.0f} GB/s",
+                f"{spec.network_bandwidth * 8 / 1e9:.0f} Gb/s",
+                f"{times[spec.name] * 1e3:.3f} ms",
+            ]
+        )
+    text = format_table(
+        ["accelerator", "FLOPS", "HBM", "mem BW", "net rate", "alexnet b64 iter"],
+        rows,
+        title="Table 7: accelerator specifications (plus single-board sim check)",
+    )
+    save_artifact(results_dir, "table7_specs.txt", text)

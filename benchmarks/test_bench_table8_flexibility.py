@@ -1,0 +1,40 @@
+"""Table 8: the flexibility ordering DP ≺ OWT ≺ HyPar ≺ AccPar.
+
+The paper presents this as a qualitative comparison; we quantify it as the
+geomean speedup over a mixed model set on the heterogeneous array and assert
+the monotone ordering (static → dynamic, incomplete → complete).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure5_heterogeneous
+from repro.experiments.reporting import format_table
+
+from conftest import save_artifact
+
+MODELS = ["alexnet", "vgg11", "vgg19", "resnet18", "resnet50"]
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table8_flexibility_ordering(benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: figure5_heterogeneous(models=MODELS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    geo = {s: table.geomean(s) for s in table.schemes}
+    assert geo["dp"] <= geo["owt"] <= geo["hypar"] <= geo["accpar"]
+
+    rows = [
+        ["DP", "static", "data only", "equal", f"{geo['dp']:.2f}x"],
+        ["OWT", "static", "data+model", "equal", f"{geo['owt']:.2f}x"],
+        ["HyPar", "dynamic", "data+model", "equal", f"{geo['hypar']:.2f}x"],
+        ["AccPar", "dynamic", "complete (I/II/III)", "flexible",
+         f"{geo['accpar']:.2f}x"],
+    ]
+    text = format_table(
+        ["scheme", "configuration", "partition space", "ratio", "geomean speedup"],
+        rows,
+        title="Table 8: flexibility comparison (low -> high)",
+    )
+    save_artifact(results_dir, "table8_flexibility.txt", text)

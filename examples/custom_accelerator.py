@@ -1,0 +1,88 @@
+"""Bring your own accelerator and your own model.
+
+Shows the extension points a downstream user needs: defining an
+AcceleratorSpec, registering a custom network in the model zoo, validating
+it, and checking that the plan fits the accelerator's memory.
+
+Run:
+    python examples/custom_accelerator.py
+"""
+
+from repro import (
+    AcceleratorSpec,
+    AccParPlanner,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    Network,
+    Pool2d,
+    ReLU,
+    build_model,
+    evaluate,
+    make_group,
+    register_model,
+    validate_network,
+)
+
+
+def build_edge_cnn() -> Network:
+    """A small VGG-style CNN for 64x64 inputs."""
+    net = Network("edge-cnn", Input("input", channels=3, height=64, width=64))
+    channels = [32, 64, 128]
+    in_ch = 3
+    for idx, out_ch in enumerate(channels, start=1):
+        net.add(Conv2d(f"cv{idx}a", in_ch, out_ch, kernel=3, padding=1))
+        net.add(BatchNorm(f"bn{idx}a"))
+        net.add(ReLU(f"relu{idx}a"))
+        net.add(Conv2d(f"cv{idx}b", out_ch, out_ch, kernel=3, padding=1))
+        net.add(BatchNorm(f"bn{idx}b"))
+        net.add(ReLU(f"relu{idx}b"))
+        net.add(Pool2d(f"pool{idx}", kernel=2, stride=2))
+        in_ch = out_ch
+    net.add(Flatten("flatten"))
+    net.add(Linear("fc1", 128 * 8 * 8, 512))
+    net.add(ReLU("relu_fc"))
+    net.add(Linear("fc2", 512, 100))
+    return net
+
+
+def main() -> None:
+    # an inference-grade edge accelerator pressed into training duty:
+    # modest compute, tiny memory, slow links
+    edge_tpu = AcceleratorSpec(
+        name="edge-npu",
+        flops=8e12,
+        memory_bytes=4 * 2**30,
+        memory_bandwidth=100e9,
+        network_bandwidth=0.125e9,  # 1 Gb/s
+    )
+    array = make_group(edge_tpu, 16)
+
+    register_model("edge-cnn", build_edge_cnn, overwrite=True)
+    network = build_model("edge-cnn")
+
+    warnings = validate_network(network)
+    print(f"validated {network.name}: "
+          f"{'ok' if not warnings else warnings}")
+    print(network.describe(batch=4))
+
+    planned = AccParPlanner(array).plan(network, batch=128)
+    report = evaluate(planned)
+
+    print(f"\n{array}: {report.total_time * 1e3:.2f} ms/iteration "
+          f"({report.throughput:.0f} samples/s)")
+    mem = report.memory_worst
+    print(f"worst leaf memory: {mem.total_bytes / 2**20:.1f} MiB of "
+          f"{mem.capacity_bytes / 2**30:.0f} GiB "
+          f"({mem.utilization * 100:.2f}%) -> fits: {mem.fits}")
+
+    print("\nper-level communication:")
+    for lv in report.levels:
+        print(f"  level {lv.level}: {lv.comm_time * 1e6:.1f} us "
+              f"({lv.net_bytes_left / 1e6:.2f} MB per side)")
+
+
+if __name__ == "__main__":
+    main()

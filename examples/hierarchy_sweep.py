@@ -1,0 +1,38 @@
+"""Hierarchy-level scalability study (the Figure 8 experiment, interactive).
+
+Sweeps the pairing-tree depth h: an h-level hierarchy shards tensors into
+2^h pieces across a 2^h-board array (half TPU-v2, half TPU-v3) and shows
+where each scheme saturates.
+
+Run:
+    python examples/hierarchy_sweep.py [model]
+"""
+
+import sys
+
+from repro import SCHEME_ORDER
+from repro.experiments import figure8_hierarchy_sweep, format_bar_chart
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "vgg19"
+    levels = range(2, 9)
+
+    print(f"hierarchy sweep on {model} (heterogeneous v2+v3 arrays)\n")
+    result = figure8_hierarchy_sweep(model=model, levels=tuple(levels))
+    print(result.rendered())
+
+    print("\nfinal-level comparison:")
+    final = {s: result.speedups[s][-1] for s in SCHEME_ORDER}
+    print(format_bar_chart(final, width=40))
+
+    acc = result.speedups["accpar"]
+    hypar = result.speedups["hypar"]
+    print(
+        f"\nAccPar grows {acc[-1] / acc[0]:.2f}x from h={levels[0]} to "
+        f"h={levels[-1]}; HyPar grows {hypar[-1] / hypar[0]:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: plan VGG-19 training on a heterogeneous TPU array with AccPar.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AccParPlanner,
+    build_model,
+    evaluate,
+    get_scheme,
+    heterogeneous_array,
+    Planner,
+)
+
+
+def main() -> None:
+    # the paper's Section 6.2 array: 128 TPU-v2 boards + 128 TPU-v3 boards
+    array = heterogeneous_array()
+    network = build_model("vgg19")
+    batch = 512
+
+    # 1. plan with AccPar: complete partition space, compute+comm cost model,
+    #    Eq. 10 flexible ratios, recursive hierarchical bisection
+    planner = AccParPlanner(array)
+    planned = planner.plan(network, batch)
+
+    print(f"planned {network.name} over {array} "
+          f"({planned.hierarchy_levels()} hierarchy levels)\n")
+
+    # 2. inspect the root-level decisions (the v2|v3 split)
+    print("root level (TPU-v3 group vs TPU-v2 group):")
+    for name, lp in planned.root_level_plan.layer_assignments().items():
+        print(f"  {name:<6} {lp.ptype!s:<9} alpha={lp.ratio:.3f}")
+
+    # 3. simulate one training iteration and compare against data parallelism
+    report = evaluate(planned)
+    dp_planned = Planner(array, get_scheme("dp")).plan(network, batch)
+    dp_report = evaluate(dp_planned)
+
+    print(f"\nsimulated iteration time: {report.total_time * 1e3:.2f} ms "
+          f"({report.throughput:.0f} samples/s)")
+    print(f"data parallelism:         {dp_report.total_time * 1e3:.2f} ms")
+    print(f"speedup over DP:          "
+          f"{dp_report.total_time / report.total_time:.2f}x")
+    print(f"fits HBM: {report.fits_memory} "
+          f"(worst leaf utilization "
+          f"{report.memory_worst.utilization * 100:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Multi-path partitioning on ResNet-50 (Section 5.2).
+
+ResNet's residual blocks are fork/join regions: the main path carries the
+convolutions, the skip path is an identity (or a 1x1 projection at stage
+transitions).  AccPar plans each path between the enclosing partition
+states; this example prints the chosen type per block and the simulated
+gain over HyPar, which must linearize the graph.
+
+Run:
+    python examples/resnet_multipath.py
+"""
+
+from collections import Counter
+
+from repro import (
+    AccParPlanner,
+    Planner,
+    build_model,
+    evaluate,
+    get_scheme,
+    heterogeneous_array,
+)
+from repro.core.types import JOIN_PREFIX
+
+
+def main() -> None:
+    array = heterogeneous_array(32, 32)
+    network = build_model("resnet50")
+    batch = 256
+
+    planned = AccParPlanner(array).plan(network, batch)
+    root = planned.root_level_plan
+
+    print(f"{network.name} on {array}: root-level plan\n")
+
+    # group the per-layer choices by residual block (prefix s<stage>b<block>)
+    blocks = Counter()
+    for name, lp in root.layer_assignments().items():
+        prefix = name.split("_")[0] if "_" in name else name
+        blocks[(prefix, lp.ptype)] += 1
+
+    current = None
+    for (prefix, ptype), count in sorted(blocks.items(),
+                                         key=lambda kv: kv[0][0]):
+        if prefix != current:
+            print(f"  {prefix}:", end="")
+            current = prefix
+        print(f"  {count}x {ptype}", end="")
+        print()
+
+    # join alignments chosen for the fork/join boundary tensors
+    joins = [
+        (name[len(JOIN_PREFIX):], lp.ptype)
+        for name, lp in root.assignments.items()
+        if name.startswith(JOIN_PREFIX)
+    ]
+    print(f"\n{len(joins)} fork/join boundaries aligned "
+          f"({Counter(t for _, t in joins)})")
+
+    # compare against HyPar's linearized planning
+    accpar_time = evaluate(planned).total_time
+    hypar_time = evaluate(
+        Planner(array, get_scheme("hypar")).plan(network, batch)
+    ).total_time
+    print(f"\nsimulated iteration: AccPar {accpar_time * 1e3:.2f} ms, "
+          f"HyPar {hypar_time * 1e3:.2f} ms "
+          f"-> {hypar_time / accpar_time:.2f}x from multi-path-aware, "
+          "heterogeneity-aware planning")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setuptools shim: the offline environment lacks the `wheel` module
+PEP 660 editable installs require, so `pip install -e .` falls back to
+`setup.py develop` through this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

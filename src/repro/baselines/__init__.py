@@ -1,0 +1,36 @@
+"""Baseline schemes: DP, OWT and HyPar, plus a scheme registry."""
+
+from typing import Dict, List
+
+from ..core.hierarchy import PartitionScheme
+from ..core.planner import AccParScheme
+from .data_parallel import DataParallelScheme, FixedTypeScheme
+from .hypar import HyParScheme
+from .owt import OwtScheme
+
+
+def get_scheme(name: str) -> PartitionScheme:
+    """Build a scheme by its paper name: dp / owt / hypar / accpar."""
+    key = name.lower()
+    if key == "dp":
+        return DataParallelScheme()
+    if key == "owt":
+        return OwtScheme()
+    if key == "hypar":
+        return HyParScheme()
+    if key == "accpar":
+        return AccParScheme()
+    raise KeyError(f"unknown scheme {name!r}; expected dp/owt/hypar/accpar")
+
+
+#: the order every figure of the paper uses
+SCHEME_ORDER: List[str] = ["dp", "owt", "hypar", "accpar"]
+
+__all__ = [
+    "DataParallelScheme",
+    "FixedTypeScheme",
+    "HyParScheme",
+    "OwtScheme",
+    "SCHEME_ORDER",
+    "get_scheme",
+]

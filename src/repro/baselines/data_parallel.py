@@ -1,0 +1,55 @@
+"""Data parallelism (DP) — the paper's normalization baseline (Section 6.1).
+
+Every accelerator keeps a full model replica and processes a slice of the
+mini-batch: all layers are Type-I with equal ratios at every hierarchy
+level.  The only communication is the per-layer gradient partial-sum
+exchange (Table 4, Type-I) — the classic all-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.cost_model import PairCostModel
+from ..core.dp_search import search_stages
+from ..core.stages import ShardedStage
+from ..core.types import ALL_TYPES, LevelPlan, PartitionType, ShardedWorkload
+from ..hardware.accelerator import AcceleratorGroup
+
+
+class FixedTypeScheme:
+    """A static per-layer-kind policy with equal (1/2) partitioning ratios.
+
+    ``type_fn`` maps a workload to its pinned partition type; the DP then
+    only chooses join-alignment states in multi-path regions.  Equal ratios
+    mean heterogeneous pairs are gated by the slower party — the idle time
+    Section 6.2 attributes to OWT/HyPar/DP.
+    """
+
+    def __init__(self, name: str, type_fn: Callable[[ShardedWorkload], PartitionType]):
+        self.name = name
+        self._type_fn = type_fn
+
+    def level_plan(
+        self,
+        stages: Sequence[ShardedStage],
+        party_i: AcceleratorGroup,
+        party_j: AcceleratorGroup,
+        dtype_bytes: int,
+    ) -> LevelPlan:
+        model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="equal")
+        result = search_stages(
+            list(stages),
+            model,
+            ALL_TYPES,
+            space_fn=lambda w: (self._type_fn(w),),
+        )
+        return LevelPlan(assignments=result.assignments, cost=result.cost,
+                         scheme=self.name)
+
+
+class DataParallelScheme(FixedTypeScheme):
+    """All layers Type-I (batch partitioning), ratio 1/2."""
+
+    def __init__(self) -> None:
+        super().__init__("dp", lambda w: PartitionType.TYPE_I)

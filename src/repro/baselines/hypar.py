@@ -1,0 +1,43 @@
+"""HyPar (Song et al., HPCA 2019) — the principled-but-incomplete baseline.
+
+Re-implemented from its description in the AccPar paper (Sections 1, 3.5):
+
+* searches only the two OWT parallelisms — data (Type-I) and model
+  (Type-II); Type-III and five of the nine inter-layer patterns are missed;
+* optimizes *communication amount* as a proxy for performance (no
+  computation term, no bandwidth heterogeneity);
+* always partitions tensors equally (ratio 1/2), so it cannot exploit
+  heterogeneous compute densities;
+* handles only linear structures — multi-path networks are linearized in
+  topological order before the search (and the resulting plan is then
+  evaluated on the true graph by the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.cost_model import PairCostModel
+from ..core.dp_search import search_stages
+from ..core.stages import ShardedStage, flatten_to_chain
+from ..core.types import HYPAR_TYPES, LevelPlan
+from ..hardware.accelerator import AcceleratorGroup
+
+
+class HyParScheme:
+    """Layer-wise DP over {Type-I, Type-II} minimizing communication volume."""
+
+    name = "hypar"
+
+    def level_plan(
+        self,
+        stages: Sequence[ShardedStage],
+        party_i: AcceleratorGroup,
+        party_j: AcceleratorGroup,
+        dtype_bytes: int,
+    ) -> LevelPlan:
+        chain = flatten_to_chain(list(stages))
+        model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="comm-volume")
+        result = search_stages(chain, model, HYPAR_TYPES)
+        return LevelPlan(assignments=result.assignments, cost=result.cost,
+                         scheme=self.name)

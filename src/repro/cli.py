@@ -1,0 +1,299 @@
+"""Command-line interface: plan, simulate, sweep and reproduce figures.
+
+Examples::
+
+    python -m repro models
+    python -m repro describe --model alexnet --batch 64
+    python -m repro plan --model vgg19 --array hetero --out plan.json
+    python -m repro simulate --plan plan.json
+    python -m repro simulate --model resnet50 --scheme hypar --array tpu-v3:16
+    python -m repro sweep --models alexnet,vgg11 --array hetero
+    python -m repro figure --which fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import SCHEME_ORDER, get_scheme
+from .core.planner import Planner
+from .core.serialize import load_plan, save_plan
+from .core.verify import verify_planned
+from .experiments.analysis import (
+    render_breakdown,
+    render_level_summary,
+    root_level_breakdown,
+)
+from .experiments.figures import (
+    figure5_heterogeneous,
+    figure6_homogeneous,
+    figure7_alexnet_types,
+    figure8_hierarchy_sweep,
+)
+from .experiments.harness import sweep
+from .experiments.reporting import format_speedup_table
+from .hardware.accelerator import AcceleratorGroup, AcceleratorSpec, make_group
+from .hardware.cluster import describe_tree
+from .hardware.presets import TPU_V2, TPU_V3, heterogeneous_array, homogeneous_array
+from .models.registry import available_models, build_model
+from .sim.executor import evaluate
+
+_KNOWN_SPECS = {"tpu-v2": TPU_V2, "tpu-v3": TPU_V3}
+
+
+def parse_array(text: str) -> AcceleratorGroup:
+    """Parse an array spec: 'hetero', 'homo', or 'name:count,name:count'."""
+    key = text.strip().lower()
+    if key in ("hetero", "heterogeneous"):
+        return heterogeneous_array()
+    if key in ("homo", "homogeneous"):
+        return homogeneous_array()
+    members: List[AcceleratorSpec] = []
+    for part in key.split(","):
+        if ":" not in part:
+            raise argparse.ArgumentTypeError(
+                f"bad array component {part!r}; expected name:count"
+            )
+        name, count_text = part.split(":", 1)
+        if name not in _KNOWN_SPECS:
+            raise argparse.ArgumentTypeError(
+                f"unknown accelerator {name!r}; known: {sorted(_KNOWN_SPECS)}"
+            )
+        try:
+            count = int(count_text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(f"bad count in {part!r}") from exc
+        members.extend(make_group(_KNOWN_SPECS[name], count).members)
+    if not members:
+        raise argparse.ArgumentTypeError(f"empty array spec {text!r}")
+    return AcceleratorGroup(tuple(members))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AccPar (HPCA 2020) planner, simulator and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    p = sub.add_parser("describe", help="print a model's layers and shapes")
+    p.add_argument("--model", required=True)
+    p.add_argument("--batch", type=int, default=32)
+
+    p = sub.add_parser("plan", help="plan a model on an array")
+    p.add_argument("--model", required=True)
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+    p.add_argument("--out", default=None, help="write the plan as JSON")
+    p.add_argument("--breakdown", action="store_true",
+                   help="print the root-level cost breakdown")
+
+    p = sub.add_parser("simulate", help="simulate a plan or plan+simulate")
+    p.add_argument("--plan", default=None, help="JSON plan from 'plan --out'")
+    p.add_argument("--model", default=None)
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+
+    p = sub.add_parser("sweep", help="speedup table over models and schemes")
+    p.add_argument("--models", required=True,
+                   help="comma-separated model names")
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+
+    p = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    p.add_argument("--which", required=True,
+                   choices=["fig5", "fig6", "fig7", "fig8"])
+
+    p = sub.add_parser("validate", help="verify a plan JSON file")
+    p.add_argument("--plan", required=True)
+    p.add_argument("--optimizer", choices=["sgd", "momentum", "adam"],
+                   default="sgd")
+
+    p = sub.add_parser("report", help="write a full markdown report")
+    p.add_argument("--model", required=True)
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+    p.add_argument("--out", default=None, help="output .md path (default stdout)")
+    p.add_argument("--what-if", action="store_true",
+                   help="include the per-layer type-sensitivity table")
+
+    return parser
+
+
+def _cmd_models() -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    network = build_model(args.model)
+    print(network.describe(args.batch))
+    workloads = network.workloads(args.batch)
+    params = sum(w.weight.size for w in workloads)
+    print(f"\n{len(workloads)} weighted layers, {params / 1e6:.2f}M kernel weights")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    network = build_model(args.model)
+    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+    planned = planner.plan(network, args.batch)
+    issues = verify_planned(planned)
+
+    print(f"planned {args.model} with {args.scheme} over {args.array}")
+    print(describe_tree(planned.tree, max_depth=1))
+    print(f"hierarchy levels: {planned.hierarchy_levels()}")
+    for name, lp in planned.root_level_plan.layer_assignments().items():
+        print(f"  {name:<14} {lp.ptype!s:<9} alpha={lp.ratio:.3f}")
+    if args.breakdown:
+        print()
+        print(render_breakdown(root_level_breakdown(planned)))
+    if issues:
+        print("\nverification issues:")
+        for issue in issues:
+            print(f"  - {issue}")
+        return 1
+    if args.out:
+        save_plan(planned, args.out)
+        print(f"\nplan written to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.plan:
+        planned = load_plan(args.plan)
+    elif args.model:
+        planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+        planned = planner.plan(build_model(args.model), args.batch)
+    else:
+        print("simulate needs --plan or --model", file=sys.stderr)
+        return 2
+    report = evaluate(planned)
+    print(f"{planned.network_name} / {planned.scheme} / batch {planned.batch}")
+    print(render_level_summary(report))
+    print(f"\nthroughput: {report.throughput:.1f} samples/s")
+    mem = report.memory_worst
+    if mem is not None:
+        print(f"worst leaf memory: {mem.total_bytes / 2**30:.3f} GiB "
+              f"({mem.utilization * 100:.2f}%) fits={mem.fits}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    table = sweep(models, args.array, batch=args.batch, levels=args.levels)
+    print(format_speedup_table(table, f"speedups on {args.array}"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.which == "fig5":
+        print(format_speedup_table(figure5_heterogeneous(),
+                                   "Figure 5 (heterogeneous)"))
+    elif args.which == "fig6":
+        print(format_speedup_table(figure6_homogeneous(),
+                                   "Figure 6 (homogeneous)"))
+    elif args.which == "fig7":
+        print(figure7_alexnet_types().rendered())
+    else:
+        print(figure8_hierarchy_sweep().rendered())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .training.optimizers import get_optimizer
+
+    planned = load_plan(args.plan)
+    issues = verify_planned(planned, optimizer=get_optimizer(args.optimizer))
+    if not issues:
+        print(f"{args.plan}: OK "
+              f"({planned.network_name}, {planned.scheme}, "
+              f"{planned.hierarchy_levels()} levels)")
+        return 0
+    print(f"{args.plan}: {len(issues)} issue(s)")
+    for issue in issues:
+        print(f"  - {issue}")
+    return 1
+
+
+def _cmd_report(args) -> int:
+    from .experiments.analysis import type_histogram
+
+    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+    planned = planner.plan(build_model(args.model), args.batch)
+    report = evaluate(planned)
+
+    lines = [
+        f"# {planned.network_name} on {args.array}",
+        "",
+        f"- scheme: **{planned.scheme}**, batch {planned.batch}, "
+        f"{planned.hierarchy_levels()} hierarchy levels",
+        f"- simulated iteration: **{report.total_time * 1e3:.3f} ms** "
+        f"({report.throughput:.1f} samples/s)",
+    ]
+    mem = report.memory_worst
+    if mem is not None:
+        lines.append(
+            f"- worst leaf memory: {mem.total_bytes / 2**30:.3f} GiB "
+            f"({mem.utilization * 100:.2f}% of capacity, fits={mem.fits})"
+        )
+    histogram = type_histogram(planned)
+    lines.append(
+        "- partition types across levels: "
+        + ", ".join(f"{t.value}: {n}" for t, n in histogram.items())
+    )
+    lines += ["", "## Root-level plan", "", "```"]
+    lines.append(render_breakdown(root_level_breakdown(planned)))
+    lines += ["```", "", "## Per-level communication", "", "```"]
+    lines.append(render_level_summary(report))
+    lines += ["```", ""]
+    if args.what_if:
+        from .experiments.analysis import layer_type_sensitivity, render_what_if
+
+        lines += ["## Layer-type sensitivity", "", "```"]
+        lines.append(render_what_if(layer_type_sensitivity(planned)))
+        lines += ["```", ""]
+
+    document = "\n".join(lines)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(document)
+        print(f"report written to {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": lambda: _cmd_models(),
+        "describe": lambda: _cmd_describe(args),
+        "plan": lambda: _cmd_plan(args),
+        "simulate": lambda: _cmd_simulate(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "figure": lambda: _cmd_figure(args),
+        "validate": lambda: _cmd_validate(args),
+        "report": lambda: _cmd_report(args),
+    }
+    try:
+        return handlers[args.command]()
+    except BrokenPipeError:  # e.g. `repro models | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""AccPar core: partition algebra, cost model, search and planners."""
+
+from .brute_force import brute_force_chain
+from .greedy import greedy_chain
+from .cost_model import PairCostModel, StepDecision, inter_layer_elements
+from .dp_search import SearchResult, search_stages
+from .hierarchy import PartitionScheme, collect_level_plans, plan_tree, stages_key
+from .planner import AccParPlanner, AccParScheme, PlannedExecution, Planner
+from .ratio import compute_proportional_ratio, solve_balanced_ratio
+from .quantize import (
+    QuantizationError,
+    QuantizationReport,
+    quantize_plan,
+    quantize_ratio,
+)
+from .serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from .verify import PlanVerificationError, verify_planned
+from .stages import (
+    ShardedLayerStage,
+    ShardedParallelStage,
+    ShardedStage,
+    first_workload,
+    flatten_to_chain,
+    iter_sharded_workloads,
+    last_workload,
+    shard_stages,
+    to_sharded_stages,
+)
+from .types import (
+    ALL_TYPES,
+    HYPAR_TYPES,
+    HierarchicalPlan,
+    LayerPartition,
+    LevelPlan,
+    PartitionType,
+    Phase,
+    PSUM_PHASE,
+    REPLICATED_TENSOR,
+    PARTITIONED_DIM,
+    ShardedWorkload,
+)
+
+__all__ = [
+    "QuantizationError",
+    "QuantizationReport",
+    "quantize_plan",
+    "quantize_ratio",
+    "PlanVerificationError",
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_plan",
+    "verify_planned",
+    "ALL_TYPES",
+    "AccParPlanner",
+    "AccParScheme",
+    "HYPAR_TYPES",
+    "HierarchicalPlan",
+    "LayerPartition",
+    "LevelPlan",
+    "PARTITIONED_DIM",
+    "PSUM_PHASE",
+    "PairCostModel",
+    "PartitionScheme",
+    "PartitionType",
+    "Phase",
+    "PlannedExecution",
+    "Planner",
+    "REPLICATED_TENSOR",
+    "SearchResult",
+    "ShardedLayerStage",
+    "ShardedParallelStage",
+    "ShardedStage",
+    "ShardedWorkload",
+    "StepDecision",
+    "brute_force_chain",
+    "greedy_chain",
+    "collect_level_plans",
+    "compute_proportional_ratio",
+    "first_workload",
+    "flatten_to_chain",
+    "inter_layer_elements",
+    "iter_sharded_workloads",
+    "last_workload",
+    "plan_tree",
+    "search_stages",
+    "shard_stages",
+    "solve_balanced_ratio",
+    "stages_key",
+    "to_sharded_stages",
+]

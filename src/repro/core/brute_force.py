@@ -1,0 +1,66 @@
+"""Exhaustive O(|T|^N) enumeration — the optimality oracle for the DP.
+
+Section 5.1 motivates the dynamic program by the impracticality of brute
+force; we implement brute force anyway (for linear chains) so tests and the
+search benchmark can certify that the DP returns exactly the optimum on
+small networks, and quantify the asymptotic win.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence
+
+from .cost_model import PairCostModel
+from .dp_search import SearchResult
+from .stages import ShardedLayerStage, ShardedStage
+from .types import ALL_TYPES, LayerPartition, PartitionType
+
+
+def brute_force_chain(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    space: Sequence[PartitionType] = ALL_TYPES,
+) -> SearchResult:
+    """Enumerate every type sequence on a *linear* chain of weighted layers.
+
+    Costs are accumulated with the same :meth:`PairCostModel.step` the DP
+    uses, but with no shared structure — an independent check of Eq. 9's
+    optimal-substructure argument rather than of the arithmetic alone.
+    """
+    for stage in stages:
+        if not isinstance(stage, ShardedLayerStage):
+            raise TypeError("brute_force_chain handles linear chains only")
+    chain = [stage for stage in stages if isinstance(stage, ShardedLayerStage)]
+    if not chain:
+        return SearchResult(assignments={}, cost=0.0, exit_state=None)
+
+    best_cost = float("inf")
+    best_combo = None
+    best_alphas: Sequence[float] = ()
+    for combo in itertools.product(space, repeat=len(chain)):
+        total = 0.0
+        prev: Optional[PartitionType] = None
+        alphas = []
+        for stage, ptype in zip(chain, combo):
+            decision = model.step(stage.workload, prev, ptype)
+            total += decision.cost
+            alphas.append(decision.alpha)
+            prev = ptype
+            if total >= best_cost:
+                break
+        else:
+            best_cost = total
+            best_combo = combo
+            best_alphas = tuple(alphas)
+
+    assert best_combo is not None
+    assignments: Dict[str, LayerPartition] = {
+        stage.name: LayerPartition(ptype, alpha)
+        for stage, ptype, alpha in zip(chain, best_combo, best_alphas)
+    }
+    return SearchResult(
+        assignments=assignments,
+        cost=best_cost,
+        exit_state=best_combo[-1],
+    )

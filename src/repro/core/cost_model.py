@@ -1,0 +1,292 @@
+"""The AccPar cost model (Section 4): computation + communication, per party.
+
+All costs are *seconds*.  Communication converts tensor elements to bytes
+(bfloat16 by default) and divides by the accessing party's network bandwidth
+``b_i`` (Eq. 7); computation divides effective FLOPs by the party's compute
+density ``c_i`` (Eq. 8).
+
+Three cost families are implemented exactly as the paper's tables:
+
+* **intra-layer communication** (Table 4) — the partial-sum tensor of the
+  one phase that cannot complete locally; independent of the ratio α because
+  partial results are accumulated locally before the exchange;
+* **inter-layer communication** (Table 5) — the re-alignment of the boundary
+  tensors F_{l+1} / E_{l+1} between two adjacent layers' partition types,
+  for all nine type transitions;
+* **computation** (Table 6, CONV-extended per Section 4.3) — the three
+  training mat-muls, scaled by the party's share α, plus the element-wise
+  additions that combine the received partial sums.
+
+The model is written for one *pair* of parties because the hierarchical
+scheme (Section 5.1) always splits two ways; a party may itself be an
+aggregated accelerator group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..hardware.accelerator import AcceleratorGroup
+from .ratio import solve_balanced_ratio
+from .types import PartitionType, ShardedWorkload
+
+#: transitions with zero inter-layer cost: the boundary tensors already agree
+ZERO_TRANSITIONS = frozenset(
+    {
+        (PartitionType.TYPE_I, PartitionType.TYPE_I),
+        (PartitionType.TYPE_II, PartitionType.TYPE_III),
+        (PartitionType.TYPE_III, PartitionType.TYPE_II),
+    }
+)
+
+#: transitions whose cost is α·β·(A(F)+A(E)) for *both* parties
+CROSS_TRANSITIONS = frozenset(
+    {
+        (PartitionType.TYPE_I, PartitionType.TYPE_II),
+        (PartitionType.TYPE_III, PartitionType.TYPE_I),
+    }
+)
+
+#: transitions moving the feature-map tensor: party i fetches β·A(F_{l+1})
+F_TRANSITIONS = frozenset(
+    {
+        (PartitionType.TYPE_I, PartitionType.TYPE_III),
+        (PartitionType.TYPE_III, PartitionType.TYPE_III),
+    }
+)
+
+#: transitions moving the error tensor: party i fetches β·A(E_{l+1})
+E_TRANSITIONS = frozenset(
+    {
+        (PartitionType.TYPE_II, PartitionType.TYPE_I),
+        (PartitionType.TYPE_II, PartitionType.TYPE_II),
+    }
+)
+
+
+def inter_layer_elements(
+    boundary_fm_elements: float,
+    prev_type: PartitionType,
+    cur_type: PartitionType,
+    alpha: float,
+) -> Tuple[float, float]:
+    """Remotely-accessed element counts (party i, party j) for one transition.
+
+    ``boundary_fm_elements`` is A(F_{l+1}) (= A(E_{l+1})) of the boundary
+    between the two layers, already sharded by enclosing hierarchy levels.
+    Party i holds share α, party j holds β = 1 - α.  This is Table 5 with
+    the division by ``b_i`` deferred to the caller.
+    """
+    key = (prev_type, cur_type)
+    beta = 1.0 - alpha
+    if key in ZERO_TRANSITIONS:
+        return 0.0, 0.0
+    if key in CROSS_TRANSITIONS:
+        amount = alpha * beta * 2.0 * boundary_fm_elements  # A(F)+A(E)
+        return amount, amount
+    if key in F_TRANSITIONS or key in E_TRANSITIONS:
+        return beta * boundary_fm_elements, alpha * boundary_fm_elements
+    raise ValueError(f"unknown transition {key!r}")
+
+
+@dataclass(frozen=True)
+class StepDecision:
+    """Outcome of costing one layer under one (prev_type, type) transition."""
+
+    ptype: PartitionType
+    alpha: float
+    cost: float        # the pair-combined cost the DP accumulates
+    cost_i: float
+    cost_j: float
+    compute_i: float = 0.0
+    compute_j: float = 0.0
+    comm_i: float = 0.0
+    comm_j: float = 0.0
+
+
+class PairCostModel:
+    """Cost model for one pairing-tree split: party *i* (left) vs *j* (right).
+
+    ``ratio_mode`` selects how the pair of per-party costs becomes the single
+    number the DP accumulates:
+
+    * ``"balanced"`` — AccPar: solve Eq. 10 for α per layer and transition,
+      cost = the (equal) value;
+    * ``"proportional"`` — the global-ratio ablation: one fixed
+      α = c_i/(c_i+c_j) for every layer (compute-proportional), cost = the
+      slower party.  Isolates how much of the balanced mode's win comes
+      from *per-layer* adaptation vs a single heterogeneity-aware ratio;
+    * ``"equal"``    — baselines: α = 1/2, cost = the slower party
+      (heterogeneous idle time shows up here, Section 6.2);
+    * ``"comm-volume"`` — HyPar's objective: α = 1/2 and the cost is the raw
+      communication *amount* in bytes (no computation, no bandwidth), since
+      HyPar uses communication as the proxy for performance.
+    """
+
+    def __init__(
+        self,
+        party_i: AcceleratorGroup,
+        party_j: AcceleratorGroup,
+        dtype_bytes: int = 2,
+        ratio_mode: str = "balanced",
+    ):
+        if ratio_mode not in ("balanced", "proportional", "equal", "comm-volume"):
+            raise ValueError(f"unknown ratio_mode {ratio_mode!r}")
+        if dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        self.party_i = party_i
+        self.party_j = party_j
+        self.c_i = party_i.flops
+        self.c_j = party_j.flops
+        self.b_i = party_i.network_bandwidth
+        self.b_j = party_j.network_bandwidth
+        self.dtype_bytes = dtype_bytes
+        self.ratio_mode = ratio_mode
+
+    def nominal_alpha(self) -> float:
+        """Default share for boundary-only transfers (no computation to balance)."""
+        if self.ratio_mode in ("balanced", "proportional"):
+            return self.c_i / (self.c_i + self.c_j)
+        return 0.5
+
+    # ------------------------------------------------------------------
+    # component costs
+    # ------------------------------------------------------------------
+    def compute_costs(self, sw: ShardedWorkload, ptype: PartitionType,
+                      alpha: float) -> Tuple[float, float]:
+        """Eq. 8 per party: α-share of the three mat-muls plus psum adds."""
+        total = sw.flops_total()
+        psum_adds = sw.a_psum(ptype)  # each party adds the full partial-sum tensor
+        cost_i = (alpha * total + psum_adds) / self.c_i
+        cost_j = ((1.0 - alpha) * total + psum_adds) / self.c_j
+        return cost_i, cost_j
+
+    def intra_costs(self, sw: ShardedWorkload, ptype: PartitionType) -> Tuple[float, float]:
+        """Table 4 per party; independent of α by construction."""
+        amount = sw.a_psum(ptype) * self.dtype_bytes
+        return amount / self.b_i, amount / self.b_j
+
+    def inter_costs(
+        self,
+        boundary_fm_elements: float,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        alpha: float,
+    ) -> Tuple[float, float]:
+        """Table 5 per party; zero for the first layer (no predecessor)."""
+        if prev_type is None:
+            return 0.0, 0.0
+        amount_i, amount_j = inter_layer_elements(
+            boundary_fm_elements, prev_type, cur_type, alpha
+        )
+        return (
+            amount_i * self.dtype_bytes / self.b_i,
+            amount_j * self.dtype_bytes / self.b_j,
+        )
+
+    def step_pair_costs(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        alpha: float,
+    ) -> Tuple[float, float, Tuple[float, float], Tuple[float, float]]:
+        """Full per-party costs of one DP step (Eq. 9's E_cp + E_cm)."""
+        cp_i, cp_j = self.compute_costs(sw, cur_type, alpha)
+        intra_i, intra_j = self.intra_costs(sw, cur_type)
+        inter_i, inter_j = self.inter_costs(
+            sw.a_input_fm(), prev_type, cur_type, alpha
+        )
+        cm_i = intra_i + inter_i
+        cm_j = intra_j + inter_j
+        return cp_i + cm_i, cp_j + cm_j, (cp_i, cp_j), (cm_i, cm_j)
+
+    # ------------------------------------------------------------------
+    # DP step costing under the configured ratio policy
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+    ) -> StepDecision:
+        if self.ratio_mode == "balanced":
+            alpha = solve_balanced_ratio(
+                lambda a: self.step_pair_costs(sw, prev_type, cur_type, a)[:2]
+            )
+            combine = max  # equal at the solution up to solver tolerance
+        elif self.ratio_mode == "proportional":
+            alpha = self.c_i / (self.c_i + self.c_j)
+            combine = max
+        elif self.ratio_mode == "equal":
+            alpha = 0.5
+            combine = max
+        else:  # comm-volume: HyPar's communication-amount proxy
+            alpha = 0.5
+            volume = self._comm_volume(sw, prev_type, cur_type, alpha)
+            return StepDecision(
+                ptype=cur_type, alpha=alpha, cost=volume,
+                cost_i=volume, cost_j=volume,
+            )
+
+        ci, cj, (cp_i, cp_j), (cm_i, cm_j) = self.step_pair_costs(
+            sw, prev_type, cur_type, alpha
+        )
+        return StepDecision(
+            ptype=cur_type,
+            alpha=alpha,
+            cost=combine(ci, cj),
+            cost_i=ci,
+            cost_j=cj,
+            compute_i=cp_i,
+            compute_j=cp_j,
+            comm_i=cm_i,
+            comm_j=cm_j,
+        )
+
+    def boundary_step(
+        self,
+        boundary_fm_elements: float,
+        prev_type: PartitionType,
+        cur_type: PartitionType,
+        alpha: Optional[float] = None,
+    ) -> StepDecision:
+        """Cost of re-aligning a boundary tensor with no layer attached.
+
+        Used for identity skip paths in multi-path regions (Section 5.2):
+        the skip tensor produced under ``prev_type`` must be consumed under
+        ``cur_type``.  With no computation to balance, the nominal ratio is
+        the compute-proportional one (or 1/2 for equal-ratio schemes).
+        """
+        if alpha is None:
+            alpha = self.nominal_alpha()
+        if self.ratio_mode == "comm-volume":
+            amount_i, amount_j = inter_layer_elements(
+                boundary_fm_elements, prev_type, cur_type, alpha
+            )
+            volume = (amount_i + amount_j) * self.dtype_bytes
+            return StepDecision(ptype=cur_type, alpha=alpha, cost=volume,
+                                cost_i=volume, cost_j=volume)
+        ci, cj = self.inter_costs(boundary_fm_elements, prev_type, cur_type, alpha)
+        return StepDecision(
+            ptype=cur_type, alpha=alpha, cost=max(ci, cj),
+            cost_i=ci, cost_j=cj, comm_i=ci, comm_j=cj,
+        )
+
+    # ------------------------------------------------------------------
+    def _comm_volume(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        alpha: float,
+    ) -> float:
+        """Total bytes moved (both parties): HyPar's optimization objective."""
+        intra = 2.0 * sw.a_psum(cur_type) * self.dtype_bytes
+        if prev_type is None:
+            return intra
+        amount_i, amount_j = inter_layer_elements(
+            sw.a_input_fm(), prev_type, cur_type, alpha
+        )
+        return intra + (amount_i + amount_j) * self.dtype_bytes

@@ -1,0 +1,151 @@
+"""Layer-wise dynamic-programming search (Section 5.1, Eq. 9).
+
+The DP runs over the sharded series-parallel stage list of
+:mod:`repro.core.stages`.  The DP state is the partition type governing the
+boundary tensor after a stage; Eq. 9's step cost is delegated to
+:class:`~repro.core.cost_model.PairCostModel`, so the same search skeleton
+serves AccPar (balanced ratios, full space), HyPar (communication volume,
+{Type-I, Type-II}) and restricted ablations.
+
+Multi-path stages (Figure 4) are folded into single macro-transitions by
+:mod:`repro.core.multipath`; the chain DP composes them transparently, which
+also makes back-to-back residual blocks (ResNet) work without special cases.
+
+Complexity is O(N · |T|²) for N weighted layers — the paper's reduction from
+the O(3^N) brute force (validated against :mod:`repro.core.brute_force`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .cost_model import PairCostModel
+from .stages import ShardedLayerStage, ShardedParallelStage, ShardedStage
+from .types import ALL_TYPES, LayerPartition, PartitionType, ShardedWorkload
+
+#: optional per-layer restriction of the searchable types (used by the fixed
+#: baselines: data parallelism pins Type-I everywhere, OWT pins by layer kind)
+SpaceFn = Callable[[ShardedWorkload], Sequence[PartitionType]]
+
+#: DP states: a partition type, or None for the free entry boundary
+State = Optional[PartitionType]
+
+
+@dataclass(frozen=True)
+class TransitionInfo:
+    """Cost and layer decisions of crossing one stage between two states."""
+
+    cost: float
+    assignments: Tuple[Tuple[str, LayerPartition], ...] = ()
+
+    def merged_with(self, other: "TransitionInfo") -> "TransitionInfo":
+        return TransitionInfo(
+            cost=self.cost + other.cost,
+            assignments=self.assignments + other.assignments,
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one level's search."""
+
+    assignments: Dict[str, LayerPartition]
+    cost: float
+    exit_state: Optional[PartitionType]
+
+    def types(self) -> Dict[str, PartitionType]:
+        return {name: lp.ptype for name, lp in self.assignments.items()}
+
+
+def layer_stage_transitions(
+    stage: ShardedLayerStage,
+    model: PairCostModel,
+    space: Sequence[PartitionType],
+    in_states: Sequence[State],
+    space_fn: Optional[SpaceFn] = None,
+) -> Dict[Tuple[State, PartitionType], TransitionInfo]:
+    """Eq. 9 step costs for one weighted layer, all (tt, t) combinations."""
+    layer_space = space_fn(stage.workload) if space_fn is not None else space
+    transitions: Dict[Tuple[State, PartitionType], TransitionInfo] = {}
+    for tt in in_states:
+        for t in layer_space:
+            decision = model.step(stage.workload, tt, t)
+            transitions[(tt, t)] = TransitionInfo(
+                cost=decision.cost,
+                assignments=((stage.name, LayerPartition(t, decision.alpha)),),
+            )
+    return transitions
+
+
+def dp_over_stages(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    space: Sequence[PartitionType],
+    entry: Dict[State, float],
+    space_fn: Optional[SpaceFn] = None,
+) -> Dict[State, Tuple[float, TransitionInfo]]:
+    """Min-plus DP across a stage list.
+
+    ``entry`` maps boundary states before the first stage to their initial
+    costs (``None`` = free boundary, used for the network input).  Returns,
+    per reachable exit state, the minimal total cost and the accumulated
+    layer assignments along the optimal path.
+    """
+    from .multipath import parallel_stage_transitions  # local import: cycle-free
+
+    if not entry:
+        raise ValueError("entry state set must be non-empty")
+
+    frontier: Dict[State, Tuple[float, TransitionInfo]] = {
+        s: (c, TransitionInfo(0.0)) for s, c in entry.items()
+    }
+
+    for stage in stages:
+        in_states = list(frontier)
+        if isinstance(stage, ShardedLayerStage):
+            transitions = layer_stage_transitions(stage, model, space, in_states, space_fn)
+        elif isinstance(stage, ShardedParallelStage):
+            transitions = parallel_stage_transitions(stage, model, space, in_states, space_fn)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage kind {type(stage).__name__}")
+
+        new_frontier: Dict[State, Tuple[float, TransitionInfo]] = {}
+        for (tt, t), info in transitions.items():
+            base_cost, base_info = frontier[tt]
+            total = base_cost + info.cost
+            if t not in new_frontier or total < new_frontier[t][0]:
+                new_frontier[t] = (total, base_info.merged_with(info))
+        frontier = new_frontier
+
+    return frontier
+
+
+def search_stages(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    space: Sequence[PartitionType] = ALL_TYPES,
+    entry: Optional[Dict[State, float]] = None,
+    space_fn: Optional[SpaceFn] = None,
+) -> SearchResult:
+    """Find the minimum-cost per-layer assignment for one hierarchy level.
+
+    The entry boundary defaults to free (``c(L_0, t) = 0``, Section 5.1: the
+    input tensor may start in whichever partitioning the first layer
+    prefers).
+    """
+    if not space:
+        raise ValueError("partition-type space must be non-empty")
+    if entry is None:
+        entry = {None: 0.0}
+    if not stages:
+        return SearchResult(assignments={}, cost=0.0, exit_state=None)
+
+    exits = dp_over_stages(stages, model, space, entry, space_fn)
+    best_state = min(exits, key=lambda s: exits[s][0])
+    best_cost, info = exits[best_state]
+    return SearchResult(
+        assignments=dict(info.assignments),
+        cost=best_cost,
+        exit_state=best_state,
+    )

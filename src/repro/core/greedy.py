@@ -1,0 +1,51 @@
+"""Greedy layer-by-layer search: the strawman Eq. 9 improves on.
+
+A natural first idea is to pick each layer's type myopically — cheapest
+step given only the previous layer's state.  It is O(N·|T|) and often
+good, but it has no way to accept a locally-worse type that unlocks free
+transitions later (the optimal-substructure argument behind the paper's
+DP).  We implement it as a comparison point so the search benchmark can
+quantify the DP's advantage, not just assert it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .cost_model import PairCostModel
+from .dp_search import SearchResult
+from .stages import ShardedLayerStage, ShardedStage
+from .types import ALL_TYPES, LayerPartition, PartitionType
+
+
+def greedy_chain(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    space: Sequence[PartitionType] = ALL_TYPES,
+) -> SearchResult:
+    """Myopic per-layer choice on a linear chain.
+
+    Uses the same step costs as the DP, so any gap between the two is pure
+    search quality.
+    """
+    for stage in stages:
+        if not isinstance(stage, ShardedLayerStage):
+            raise TypeError("greedy_chain handles linear chains only")
+    if not space:
+        raise ValueError("partition-type space must be non-empty")
+
+    assignments: Dict[str, LayerPartition] = {}
+    total = 0.0
+    prev: Optional[PartitionType] = None
+    for stage in stages:
+        best = None
+        for t in space:
+            decision = model.step(stage.workload, prev, t)
+            if best is None or decision.cost < best.cost:
+                best = decision
+        assert best is not None
+        assignments[stage.name] = LayerPartition(best.ptype, best.alpha)
+        total += best.cost
+        prev = best.ptype
+
+    return SearchResult(assignments=assignments, cost=total, exit_state=prev)

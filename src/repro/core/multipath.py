@@ -1,0 +1,108 @@
+"""Multi-path partitioning (Section 5.2, Figure 4).
+
+A fork/join region is collapsed into macro-transitions for the outer chain
+DP.  Following the paper: for each partition state ``tt`` of the layer
+feeding the fork and each state ``s`` governing the tensor entering the
+layer after the join, run the individual layer-wise DP on *each* path
+between the two states, pick each path's cheapest internal configuration,
+and sum the paths (the two groups execute all paths, so their costs add).
+
+Conventions:
+
+* a path's first layer pays the normal Table 5 transition from ``tt``;
+* a path's last layer pays a re-alignment of its output tensor to state
+  ``s`` (zero when it already exits in ``s``);
+* an empty path (identity skip) pays only the re-alignment of the skip
+  tensor from ``tt`` to ``s``;
+* after the stage the boundary tensor behaves like the output of a weighted
+  layer in state ``s``, so the next stage's Eq. 9 step applies unchanged —
+  which is what lets consecutive residual blocks chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .cost_model import PairCostModel
+from .stages import ShardedParallelStage, first_workload, last_workload
+from .types import LayerPartition, PartitionType, join_key
+
+
+def alignment_cost(
+    model: PairCostModel,
+    boundary_fm_elements: float,
+    from_state: "PartitionType | None",
+    to_state: PartitionType,
+) -> float:
+    """Cost of re-aligning a boundary tensor between two partition states.
+
+    Zero when the states already agree or the source state is free (network
+    entry); otherwise the Table 5 transfer for the tensor.
+    """
+    if from_state is None or from_state is to_state:
+        return 0.0
+    return model.boundary_step(boundary_fm_elements, from_state, to_state).cost
+
+
+def parallel_stage_transitions(
+    stage: ShardedParallelStage,
+    model: PairCostModel,
+    space: Sequence[PartitionType],
+    in_states: Sequence["PartitionType | None"],
+    space_fn=None,
+) -> Dict[Tuple["PartitionType | None", PartitionType], "TransitionInfo"]:
+    """Macro-transition table for one fork/join region.
+
+    For every ``(tt, s)`` the cost is the sum over paths of that path's
+    cheapest DP cost from entry state ``tt`` to exit alignment ``s``.
+    """
+    from .dp_search import TransitionInfo, dp_over_stages  # cycle-free at runtime
+
+    # the fork tensor: input feature map of the first weighted layer in any
+    # non-empty path (all paths consume the same tensor)
+    fork_elements = None
+    for path in stage.paths:
+        if path:
+            fork_elements = first_workload(path).a_input_fm()
+            break
+    if fork_elements is None:
+        raise ValueError(f"parallel stage {stage.name!r} has no weighted layers")
+
+    transitions: Dict[Tuple["PartitionType | None", PartitionType], TransitionInfo] = {}
+    for tt in in_states:
+        # run each non-empty path's DP once per entry state; reuse across s
+        path_exits = []
+        for path in stage.paths:
+            if path:
+                path_exits.append(
+                    (path, dp_over_stages(path, model, space, entry={tt: 0.0},
+                                          space_fn=space_fn))
+                )
+            else:
+                path_exits.append((path, None))
+
+        for s in space:
+            total = 0.0
+            assignments: Tuple[Tuple[str, object], ...] = ()
+            for path, exits in path_exits:
+                if exits is None:
+                    # identity skip: re-align the fork tensor itself
+                    total += alignment_cost(model, fork_elements, tt, s)
+                    continue
+                out_elements = last_workload(path).a_output_fm()
+                best_cost = None
+                best_info = None
+                for exit_state, (cost, info) in exits.items():
+                    aligned = cost + alignment_cost(model, out_elements, exit_state, s)
+                    if best_cost is None or aligned < best_cost:
+                        best_cost = aligned
+                        best_info = info
+                assert best_cost is not None and best_info is not None
+                total += best_cost
+                assignments += best_info.assignments
+            # record the chosen join alignment so the simulator can replay it
+            assignments += (
+                (join_key(stage.name), LayerPartition(s, model.nominal_alpha())),
+            )
+            transitions[(tt, s)] = TransitionInfo(cost=total, assignments=assignments)
+    return transitions

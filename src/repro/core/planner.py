@@ -1,0 +1,148 @@
+"""Public planning API: AccPar and scheme-parameterized planners.
+
+Typical use::
+
+    from repro import AccParPlanner, heterogeneous_array, build_model
+
+    planner = AccParPlanner(heterogeneous_array())
+    planned = planner.plan(build_model("vgg19"), batch=512)
+
+``planned`` bundles the pairing tree, the sharded stages and the
+per-level plans; feed it to :func:`repro.sim.evaluate` for the simulated
+iteration time, or inspect ``planned.root_level_plan`` for the per-layer
+decisions (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.network import Network
+from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
+from .cost_model import PairCostModel
+from .dp_search import search_stages
+from .hierarchy import PartitionScheme, collect_level_plans, plan_tree
+from .stages import ShardedStage, to_sharded_stages
+from .types import ALL_TYPES, HierarchicalPlan, LevelPlan, PartitionType
+
+
+class AccParScheme:
+    """The paper's scheme: complete space, joint compute+comm cost, Eq. 10 ratios.
+
+    ``space`` and ``ratio_mode`` are exposed for the ablation studies
+    (restricting to {Type-I, Type-II} isolates the value of Type-III;
+    ``ratio_mode="equal"`` isolates the value of flexible ratios).
+    """
+
+    def __init__(
+        self,
+        space: Sequence[PartitionType] = ALL_TYPES,
+        ratio_mode: str = "balanced",
+        name: str = "accpar",
+    ):
+        self.space = tuple(space)
+        self.ratio_mode = ratio_mode
+        self.name = name
+
+    def level_plan(
+        self,
+        stages: Sequence[ShardedStage],
+        party_i: AcceleratorGroup,
+        party_j: AcceleratorGroup,
+        dtype_bytes: int,
+    ) -> LevelPlan:
+        model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
+        result = search_stages(list(stages), model, self.space)
+        return LevelPlan(assignments=result.assignments, cost=result.cost,
+                         scheme=self.name)
+
+
+@dataclass
+class PlannedExecution:
+    """Everything needed to evaluate or inspect a hierarchical plan."""
+
+    network_name: str
+    batch: int
+    scheme: str
+    tree: GroupNode
+    stages: List[ShardedStage]
+    plan: HierarchicalPlan
+    dtype_bytes: int
+
+    @property
+    def root_level_plan(self) -> LevelPlan:
+        """The level-1 plan (the split the paper's Figure 7 reports per level)."""
+        if self.plan.level_plan is None:
+            raise ValueError("plan has no levels (single-accelerator array?)")
+        return self.plan.level_plan
+
+    def level_plans(self) -> List[LevelPlan]:
+        return collect_level_plans(self.plan)
+
+    def hierarchy_levels(self) -> int:
+        return self.plan.depth()
+
+    def layer_types_by_level(self) -> List[Dict[str, PartitionType]]:
+        """Per level (following the leftmost spine), the layer→type map.
+
+        Matches Figure 7's presentation: one row per hierarchy level.  The
+        leftmost spine is representative because sibling subtrees are
+        symmetric for homogeneous splits.
+        """
+        result: List[Dict[str, PartitionType]] = []
+        node = self.plan
+        while node is not None and node.level_plan is not None:
+            result.append(
+                {name: lp.ptype for name, lp in node.level_plan.assignments.items()}
+            )
+            node = node.left
+        return result
+
+
+class Planner:
+    """Scheme-parameterized hierarchical planner over an accelerator array."""
+
+    def __init__(
+        self,
+        array: AcceleratorGroup,
+        scheme: PartitionScheme,
+        dtype_bytes: int = 2,
+        levels: Optional[int] = None,
+        split_policy: str = "type-separated",
+    ):
+        self.array = array
+        self.scheme = scheme
+        self.dtype_bytes = dtype_bytes
+        self.levels = levels
+        self.split_policy = split_policy
+
+    def plan(self, network: Network, batch: int) -> PlannedExecution:
+        levels = self.levels
+        if levels is None:
+            levels = max_hierarchy_levels(self.array)
+        tree = bisection_tree(self.array, levels, self.split_policy)
+        stages = to_sharded_stages(network.stages(batch))
+        plan = plan_tree(tree, stages, self.scheme, self.dtype_bytes)
+        return PlannedExecution(
+            network_name=network.name,
+            batch=batch,
+            scheme=self.scheme.name,
+            tree=tree,
+            stages=stages,
+            plan=plan,
+            dtype_bytes=self.dtype_bytes,
+        )
+
+
+class AccParPlanner(Planner):
+    """The paper's planner: :class:`AccParScheme` over the given array."""
+
+    def __init__(
+        self,
+        array: AcceleratorGroup,
+        dtype_bytes: int = 2,
+        levels: Optional[int] = None,
+    ):
+        super().__init__(array, AccParScheme(), dtype_bytes, levels)

@@ -1,0 +1,151 @@
+"""Ratio quantization: snap Eq. 10's real-valued ratios to integer splits.
+
+The cost model and search work with real α for exact composition across
+hierarchy levels, but a deployed plan must slice actual tensors: a batch of
+512 cannot take α = 0.70003.  This module rounds every ratio in a plan to
+the nearest feasible integer split of the dimension its type partitions —
+accounting for the shrinking dimensions down the pairing tree — and reports
+the cost drift the rounding introduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .planner import PlannedExecution
+from .stages import ShardedStage, iter_sharded_workloads, shard_stages
+from .types import (
+    HierarchicalPlan,
+    JOIN_PREFIX,
+    LayerPartition,
+    LevelPlan,
+    PartitionType,
+    ShardedWorkload,
+)
+
+
+class QuantizationError(ValueError):
+    """Raised when a dimension is too small to honor the plan's splits."""
+
+
+def partitioned_extent(sw: ShardedWorkload, ptype: PartitionType) -> float:
+    """Effective length of the dimension ``ptype`` partitions."""
+    if ptype is PartitionType.TYPE_I:
+        return sw.batch
+    if ptype is PartitionType.TYPE_II:
+        return sw.d_in
+    return sw.d_out
+
+
+def quantize_ratio(ratio: float, extent: float) -> float:
+    """The realizable ratio closest to ``ratio`` on an ``extent``-long axis.
+
+    The axis is split at an integer index in [1, floor(extent) - 1]; both
+    sides must be non-empty.
+    """
+    whole = int(math.floor(extent + 1e-9))
+    if whole < 2:
+        raise QuantizationError(
+            f"axis of effective length {extent:.3f} cannot be split two ways"
+        )
+    split = int(round(ratio * whole))
+    split = min(max(split, 1), whole - 1)
+    return split / whole
+
+
+@dataclass
+class QuantizationReport:
+    """Outcome of quantizing one plan.
+
+    ``unrealizable`` counts (level, layer) decisions whose partitioned axis
+    had shrunk below two effective elements — a real deployment must assign
+    such a shard wholly to one device (or cap the hierarchy depth for that
+    layer); their real-valued ratios are kept so the rest of the plan still
+    quantizes.
+    """
+
+    max_ratio_shift: float
+    n_ratios: int
+    levels_quantized: int
+    unrealizable: int = 0
+
+
+def quantize_plan(
+    planned: PlannedExecution,
+    strict: bool = False,
+) -> Tuple[PlannedExecution, QuantizationReport]:
+    """A copy of ``planned`` with every ratio snapped to an integer split.
+
+    Walks the plan tree top-down with the *quantized* shards, so each
+    level's rounding sees the true (integer) dimensions its ancestors left
+    behind.  Join-alignment entries keep their nominal ratios (they describe
+    transfers, not tensor splits).  With ``strict=True`` an unsplittable
+    axis raises :class:`QuantizationError`; otherwise it is counted in the
+    report and the ratio passes through unchanged.
+    """
+    max_shift = 0.0
+    n_ratios = 0
+    levels = 0
+    unrealizable = 0
+
+    def workload_index(stages: List[ShardedStage]) -> Dict[str, ShardedWorkload]:
+        return {sw.name: sw for sw in iter_sharded_workloads(stages)}
+
+    def visit(plan: HierarchicalPlan,
+              stages: List[ShardedStage]) -> HierarchicalPlan:
+        nonlocal max_shift, n_ratios, levels, unrealizable
+        if plan.level_plan is None:
+            return HierarchicalPlan(level_plan=None, scheme=plan.scheme)
+        levels += 1
+        by_name = workload_index(stages)
+
+        new_assignments: Dict[str, LayerPartition] = {}
+        for name, lp in plan.level_plan.assignments.items():
+            if name.startswith(JOIN_PREFIX):
+                new_assignments[name] = lp
+                continue
+            extent = partitioned_extent(by_name[name], lp.ptype)
+            try:
+                snapped = quantize_ratio(lp.ratio, extent)
+            except QuantizationError:
+                if strict:
+                    raise
+                unrealizable += 1
+                new_assignments[name] = lp
+                continue
+            max_shift = max(max_shift, abs(snapped - lp.ratio))
+            n_ratios += 1
+            new_assignments[name] = LayerPartition(lp.ptype, snapped)
+
+        level = LevelPlan(assignments=new_assignments,
+                          cost=plan.level_plan.cost,
+                          scheme=plan.level_plan.scheme)
+        left_stages = shard_stages(stages, new_assignments, "left")
+        right_stages = shard_stages(stages, new_assignments, "right")
+        assert plan.left is not None and plan.right is not None
+        return HierarchicalPlan(
+            level_plan=level,
+            left=visit(plan.left, left_stages),
+            right=visit(plan.right, right_stages),
+            scheme=plan.scheme,
+        )
+
+    quantized_plan = visit(planned.plan, planned.stages)
+    quantized = PlannedExecution(
+        network_name=planned.network_name,
+        batch=planned.batch,
+        scheme=planned.scheme,
+        tree=planned.tree,
+        stages=planned.stages,
+        plan=quantized_plan,
+        dtype_bytes=planned.dtype_bytes,
+    )
+    report = QuantizationReport(
+        max_ratio_shift=max_shift,
+        n_ratios=n_ratios,
+        levels_quantized=levels,
+        unrealizable=unrealizable,
+    )
+    return quantized, report

@@ -1,0 +1,96 @@
+"""Partitioning-ratio solver (Section 5.3, Eq. 10).
+
+AccPar balances the sum of computation and communication cost between the
+two parties of a split: find α with
+
+    cost_i(α) = cost_j(1 - α).
+
+Most transitions yield costs affine in α, but the Type-I→Type-II and
+Type-III→Type-I inter-layer terms are proportional to α·β = α(1-α)
+(Table 5), so instead of a closed form we use a robust bracketed bisection on
+``g(α) = cost_i(α) - cost_j(1-α)`` with a scan fallback minimizing the pair
+maximum when ``g`` does not change sign on the bracket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+#: ratios are kept strictly inside (0, 1); a zero share would be a degenerate
+#: "partition" the basic types do not model
+RATIO_LO = 1e-3
+RATIO_HI = 1.0 - 1e-3
+
+PairCostFn = Callable[[float], Tuple[float, float]]
+
+
+def solve_balanced_ratio(
+    pair_cost: PairCostFn,
+    lo: float = RATIO_LO,
+    hi: float = RATIO_HI,
+    tol: float = 1e-10,
+    max_iter: int = 80,
+) -> float:
+    """Solve ``cost_i(α) == cost_j(1-α)`` for α in ``[lo, hi]``.
+
+    ``pair_cost(α)`` returns ``(cost_i, cost_j)`` already evaluated at shares
+    ``(α, 1-α)``.  Falls back to minimizing ``max(cost_i, cost_j)`` by golden
+    -section-style scan if the balance residual never changes sign (which can
+    happen when one party dominates at every admissible ratio).
+    """
+    if not lo < hi:
+        raise ValueError(f"invalid bracket [{lo}, {hi}]")
+
+    def residual(alpha: float) -> float:
+        ci, cj = pair_cost(alpha)
+        return ci - cj
+
+    g_lo = residual(lo)
+    g_hi = residual(hi)
+    if g_lo == 0.0:
+        return lo
+    if g_hi == 0.0:
+        return hi
+    if g_lo * g_hi > 0.0:
+        return _minimize_pair_max(pair_cost, lo, hi)
+
+    a, b = lo, hi
+    ga = g_lo
+    for _ in range(max_iter):
+        mid = 0.5 * (a + b)
+        gm = residual(mid)
+        if abs(gm) <= tol or (b - a) <= tol:
+            return mid
+        if ga * gm <= 0.0:
+            b = mid
+        else:
+            a, ga = mid, gm
+    return 0.5 * (a + b)
+
+
+def _minimize_pair_max(pair_cost: PairCostFn, lo: float, hi: float,
+                       samples: int = 64) -> float:
+    """Scan fallback: the α minimizing the slower party's cost."""
+    best_alpha = lo
+    best_value = float("inf")
+    for k in range(samples + 1):
+        alpha = lo + (hi - lo) * k / samples
+        ci, cj = pair_cost(alpha)
+        value = max(ci, cj)
+        if value < best_value:
+            best_value = value
+            best_alpha = alpha
+    return best_alpha
+
+
+def compute_proportional_ratio(flops_i: float, flops_j: float) -> float:
+    """The ratio matching raw compute densities: α = c_i / (c_i + c_j).
+
+    Used as the nominal ratio for boundary-only transfers (skip paths) where
+    there is no per-layer computation to balance, and as the initial guess in
+    diagnostics.
+    """
+    if flops_i <= 0 or flops_j <= 0:
+        raise ValueError("compute densities must be positive")
+    alpha = flops_i / (flops_i + flops_j)
+    return min(max(alpha, RATIO_LO), RATIO_HI)

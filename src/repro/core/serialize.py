@@ -1,0 +1,134 @@
+"""Plan serialization: persist and reload hierarchical partition plans.
+
+A planning run is cheap for one model but a production deployment would
+plan once and ship the decision to the runtime, so plans round-trip through
+a plain-JSON document: the accelerator array, the model name and batch, and
+the per-level assignments.  Loading re-derives the pairing tree and sharded
+stages deterministically and re-attaches the stored decisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..graph.network import Network
+from ..hardware.accelerator import AcceleratorGroup, AcceleratorSpec
+from ..hardware.cluster import bisection_tree
+from ..models.registry import build_model
+from .planner import PlannedExecution
+from .stages import to_sharded_stages
+from .types import HierarchicalPlan, LayerPartition, LevelPlan, PartitionType
+
+FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: AcceleratorSpec) -> Dict:
+    return {
+        "name": spec.name,
+        "flops": spec.flops,
+        "memory_bytes": spec.memory_bytes,
+        "memory_bandwidth": spec.memory_bandwidth,
+        "network_bandwidth": spec.network_bandwidth,
+    }
+
+
+def _spec_from_dict(data: Dict) -> AcceleratorSpec:
+    return AcceleratorSpec(**data)
+
+
+def _plan_node_to_dict(plan: HierarchicalPlan) -> Optional[Dict]:
+    if plan.level_plan is None:
+        return None
+    return {
+        "cost": plan.level_plan.cost,
+        "scheme": plan.level_plan.scheme,
+        "assignments": {
+            name: {"type": lp.ptype.value, "ratio": lp.ratio}
+            for name, lp in plan.level_plan.assignments.items()
+        },
+        "left": _plan_node_to_dict(plan.left) if plan.left else None,
+        "right": _plan_node_to_dict(plan.right) if plan.right else None,
+    }
+
+
+def _plan_node_from_dict(data: Optional[Dict], scheme: str) -> HierarchicalPlan:
+    if data is None:
+        return HierarchicalPlan(level_plan=None, scheme=scheme)
+    assignments = {
+        name: LayerPartition(PartitionType(entry["type"]), entry["ratio"])
+        for name, entry in data["assignments"].items()
+    }
+    return HierarchicalPlan(
+        level_plan=LevelPlan(assignments=assignments, cost=data["cost"],
+                             scheme=data["scheme"]),
+        left=_plan_node_from_dict(data.get("left"), scheme),
+        right=_plan_node_from_dict(data.get("right"), scheme),
+        scheme=scheme,
+    )
+
+
+def plan_to_dict(planned: PlannedExecution) -> Dict:
+    """Serialize a planned execution to a JSON-compatible document."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "network": planned.network_name,
+        "batch": planned.batch,
+        "scheme": planned.scheme,
+        "dtype_bytes": planned.dtype_bytes,
+        "levels": planned.hierarchy_levels(),
+        "array": [_spec_to_dict(m) for m in planned.tree.group.members],
+        "plan": _plan_node_to_dict(planned.plan),
+    }
+
+
+def plan_from_dict(
+    data: Dict,
+    network_builder: Optional[Callable[[str], Network]] = None,
+) -> PlannedExecution:
+    """Reconstruct a planned execution from :func:`plan_to_dict` output.
+
+    ``network_builder`` resolves the stored model name; it defaults to the
+    model-zoo registry, so custom models must be registered (or passed via
+    a custom builder) before loading.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    builder = network_builder or build_model
+    network = builder(data["network"])
+
+    array = AcceleratorGroup(tuple(_spec_from_dict(s) for s in data["array"]))
+    tree = bisection_tree(array, data["levels"])
+    stages = to_sharded_stages(network.stages(data["batch"]))
+    plan = _plan_node_from_dict(data["plan"], data["scheme"])
+
+    if plan.depth() != tree.depth():
+        raise ValueError(
+            f"stored plan depth {plan.depth()} does not match the rebuilt "
+            f"pairing tree depth {tree.depth()}"
+        )
+
+    return PlannedExecution(
+        network_name=data["network"],
+        batch=data["batch"],
+        scheme=data["scheme"],
+        tree=tree,
+        stages=stages,
+        plan=plan,
+        dtype_bytes=data["dtype_bytes"],
+    )
+
+
+def save_plan(planned: PlannedExecution, path) -> None:
+    """Write a plan to a JSON file."""
+    Path(path).write_text(json.dumps(plan_to_dict(planned), indent=2))
+
+
+def load_plan(path, network_builder=None) -> PlannedExecution:
+    """Read a plan from a JSON file."""
+    data = json.loads(Path(path).read_text())
+    return plan_from_dict(data, network_builder)

@@ -1,0 +1,134 @@
+"""Sharded stage structures: the planner-side view of a network.
+
+The graph IR produces stages over :class:`~repro.graph.layers.LayerWorkload`;
+the hierarchical planner needs the same series-parallel skeleton but over
+:class:`~repro.core.types.ShardedWorkload`, because each pairing-tree level
+sees the tensors already cut down by its ancestors' decisions.  This module
+converts between the two and applies a level's assignments to produce each
+child's sub-problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..graph.network import LayerStage, ParallelStage, Stage
+from .types import LayerPartition, ShardedWorkload
+
+
+@dataclass(frozen=True)
+class ShardedLayerStage:
+    """One weighted layer with its level-local sharded workload."""
+
+    workload: ShardedWorkload
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+@dataclass(frozen=True)
+class ShardedParallelStage:
+    """A fork/join region over sharded stages; empty path = identity skip."""
+
+    paths: Tuple[Tuple["ShardedStage", ...], ...]
+    name: str = "parallel"
+
+    def __post_init__(self) -> None:
+        if len(self.paths) < 2:
+            raise ValueError("a ShardedParallelStage needs at least two paths")
+
+
+ShardedStage = Union[ShardedLayerStage, ShardedParallelStage]
+
+
+def to_sharded_stages(stages: Sequence[Stage]) -> List[ShardedStage]:
+    """Wrap graph stages into unsharded (fraction-1) planner stages."""
+    out: List[ShardedStage] = []
+    for stage in stages:
+        if isinstance(stage, LayerStage):
+            out.append(ShardedLayerStage(ShardedWorkload(stage.workload)))
+        elif isinstance(stage, ParallelStage):
+            out.append(
+                ShardedParallelStage(
+                    paths=tuple(tuple(to_sharded_stages(p)) for p in stage.paths),
+                    name=stage.name,
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage kind {type(stage).__name__}")
+    return out
+
+
+def iter_sharded_workloads(stages: Sequence[ShardedStage]) -> Iterable[ShardedWorkload]:
+    """All sharded workloads in topological order."""
+    for stage in stages:
+        if isinstance(stage, ShardedLayerStage):
+            yield stage.workload
+        else:
+            for path in stage.paths:
+                yield from iter_sharded_workloads(path)
+
+
+def first_workload(stages: Sequence[ShardedStage]) -> ShardedWorkload:
+    """The first weighted workload in a stage list (for fork-tensor sizing)."""
+    for workload in iter_sharded_workloads(stages):
+        return workload
+    raise ValueError("stage list has no weighted layers")
+
+
+def last_workload(stages: Sequence[ShardedStage]) -> ShardedWorkload:
+    result = None
+    for workload in iter_sharded_workloads(stages):
+        result = workload
+    if result is None:
+        raise ValueError("stage list has no weighted layers")
+    return result
+
+
+def shard_stages(
+    stages: Sequence[ShardedStage],
+    assignments: Dict[str, LayerPartition],
+    side: str,
+) -> List[ShardedStage]:
+    """The sub-problem one party sees below a level's plan.
+
+    ``side`` is ``"left"`` (share α) or ``"right"`` (share β = 1-α).  Every
+    weighted layer must have an assignment.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+    def fraction_of(lp: LayerPartition) -> float:
+        return lp.ratio if side == "left" else 1.0 - lp.ratio
+
+    out: List[ShardedStage] = []
+    for stage in stages:
+        if isinstance(stage, ShardedLayerStage):
+            lp = assignments.get(stage.name)
+            if lp is None:
+                raise KeyError(f"no assignment for layer {stage.name!r}")
+            out.append(
+                ShardedLayerStage(stage.workload.shard(lp.ptype, fraction_of(lp)))
+            )
+        else:
+            out.append(
+                ShardedParallelStage(
+                    paths=tuple(
+                        tuple(shard_stages(p, assignments, side)) for p in stage.paths
+                    ),
+                    name=stage.name,
+                )
+            )
+    return out
+
+
+def flatten_to_chain(stages: Sequence[ShardedStage]) -> List[ShardedLayerStage]:
+    """Linearize a series-parallel stage list into a plain chain.
+
+    This is how the HyPar baseline sees multi-path networks (it "can only
+    handle DNN architectures with linear structure", Section 1): layers are
+    visited in topological order and fork/join structure is discarded.
+    """
+    return [ShardedLayerStage(w) for w in iter_sharded_workloads(stages)]

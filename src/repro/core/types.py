@@ -1,0 +1,296 @@
+"""Partition algebra: the three basic tensor-partitioning types of Section 3.
+
+For each type, exactly one of the three dimensions ``B`` / ``D_i`` / ``D_o``
+is partitioned between the two parties; the table below (the paper's Table 3,
+"rotational symmetry") records which tensor is replicated and which phase
+produces partial sums that must be exchanged:
+
+========  =============  ===================  =====================  ==========
+type      partitioned    replicated tensor    partial-sum tensor     psum phase
+========  =============  ===================  =====================  ==========
+Type-I    ``B``          ``W_l``              ``ΔW_l`` (= A(W_l))    gradient
+Type-II   ``D_i``        ``E_{l+1}``          ``F_{l+1}``            forward
+Type-III  ``D_o``        ``F_l``              ``E_l``                backward
+========  =============  ===================  =====================  ==========
+
+:class:`ShardedWorkload` carries a layer workload together with the
+*fractions* of each logical dimension a party (or group) holds after the
+partitions applied at enclosing hierarchy levels.  Fractions are real-valued
+so that the flexible ratios of Section 5.3 compose exactly across levels;
+all tensor sizes and FLOP counts derived from them are therefore also
+real-valued ("effective" amounts, in the paper's words).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..graph.layers import LayerWorkload
+
+
+class PartitionType(enum.Enum):
+    """The three basic tensor-partitioning types (Figure 1)."""
+
+    TYPE_I = "I"     # partition the batch dimension B     (data parallelism)
+    TYPE_II = "II"   # partition the input dimension D_i   (model parallelism)
+    TYPE_III = "III"  # partition the output dimension D_o (the type OWT/HyPar miss)
+
+    def __str__(self) -> str:
+        return f"Type-{self.value}"
+
+
+#: the full search space T of Section 5.1
+ALL_TYPES: Tuple[PartitionType, ...] = (
+    PartitionType.TYPE_I,
+    PartitionType.TYPE_II,
+    PartitionType.TYPE_III,
+)
+
+#: the incomplete space used by OWT / HyPar (data + model parallelism)
+HYPAR_TYPES: Tuple[PartitionType, ...] = (PartitionType.TYPE_I, PartitionType.TYPE_II)
+
+
+class Phase(enum.Enum):
+    """The three tensor computing phases of DNN training (Section 2.1)."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    GRADIENT = "gradient"
+
+
+#: which dimension each type partitions
+PARTITIONED_DIM: Dict[PartitionType, str] = {
+    PartitionType.TYPE_I: "B",
+    PartitionType.TYPE_II: "D_i",
+    PartitionType.TYPE_III: "D_o",
+}
+
+#: which tensor must be fully replicated on both parties (Section 3.2)
+REPLICATED_TENSOR: Dict[PartitionType, str] = {
+    PartitionType.TYPE_I: "W",
+    PartitionType.TYPE_II: "E_out",   # E_{l+1}
+    PartitionType.TYPE_III: "F_in",   # F_l
+}
+
+#: which phase requires the partial-sum exchange (Table 3 / Table 4)
+PSUM_PHASE: Dict[PartitionType, Phase] = {
+    PartitionType.TYPE_I: Phase.GRADIENT,
+    PartitionType.TYPE_II: Phase.FORWARD,
+    PartitionType.TYPE_III: Phase.BACKWARD,
+}
+
+
+def _reduction_flops(reduction: float) -> float:
+    """FLOPs per output element of a length-``reduction`` dot product.
+
+    Integer reductions of length K cost 2K-1 (K multiplies, K-1 adds,
+    Table 6).  Deep hierarchies can shard a dimension below one effective
+    element; the cost then degrades to the multiplies alone, never negative.
+    """
+    return 2.0 * reduction - 1.0 if reduction >= 1.0 else reduction
+
+
+@dataclass(frozen=True)
+class ShardedWorkload:
+    """A layer workload scaled by the dimension fractions a party holds.
+
+    ``batch_frac`` / ``din_frac`` / ``dout_frac`` are the shares of ``B`` /
+    ``D_i`` / ``D_o`` retained after all enclosing hierarchy levels.  A fresh
+    (unsharded) layer has all fractions equal to 1.
+    """
+
+    base: LayerWorkload
+    batch_frac: float = 1.0
+    din_frac: float = 1.0
+    dout_frac: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("batch_frac", "din_frac", "dout_frac"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+    # -- effective dimensions ------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    @property
+    def batch(self) -> float:
+        return self.base.batch * self.batch_frac
+
+    @property
+    def d_in(self) -> float:
+        return self.base.d_in * self.din_frac
+
+    @property
+    def d_out(self) -> float:
+        return self.base.d_out * self.dout_frac
+
+    # -- effective tensor sizes (the paper's A(.)) ----------------------
+    def a_input_fm(self) -> float:
+        """A(F_l) = A(E_l)."""
+        return self.batch * self.d_in * self.base.in_spatial
+
+    def a_output_fm(self) -> float:
+        """A(F_{l+1}) = A(E_{l+1})."""
+        return self.batch * self.d_out * self.base.out_spatial
+
+    def a_weight(self) -> float:
+        """A(W_l) = A(ΔW_l)."""
+        return self.d_in * self.d_out * self.base.kernel_spatial
+
+    def a_psum(self, ptype: PartitionType) -> float:
+        """Size of the partial-sum tensor exchanged intra-layer (Table 4)."""
+        if ptype is PartitionType.TYPE_I:
+            return self.a_weight()
+        if ptype is PartitionType.TYPE_II:
+            return self.a_output_fm()
+        return self.a_input_fm()
+
+    def a_replicated(self, ptype: PartitionType) -> float:
+        """Size of the tensor replicated on both parties under ``ptype``."""
+        if ptype is PartitionType.TYPE_I:
+            return self.a_weight()
+        if ptype is PartitionType.TYPE_II:
+            return self.a_output_fm()  # E_{l+1} has the output fm shape
+        return self.a_input_fm()       # F_l
+
+    # -- FLOP counts (Table 6, CONV-extended per Section 4.3) ----------
+    def flops_forward(self) -> float:
+        """A(F_{l+1}) * (2 * D_i * K_h * K_w - 1)."""
+        reduction = self.d_in * self.base.kernel_spatial
+        return self.a_output_fm() * _reduction_flops(reduction)
+
+    def flops_backward(self) -> float:
+        """A(E_l) * (2 * D_o * K_h * K_w - 1)."""
+        reduction = self.d_out * self.base.kernel_spatial
+        return self.a_input_fm() * _reduction_flops(reduction)
+
+    def flops_gradient(self) -> float:
+        """A(W_l) * (2 * B * H_o * W_o - 1)."""
+        reduction = self.batch * self.base.out_spatial
+        return self.a_weight() * _reduction_flops(reduction)
+
+    def flops_total(self) -> float:
+        return self.flops_forward() + self.flops_backward() + self.flops_gradient()
+
+    def flops_phase(self, phase: Phase) -> float:
+        if phase is Phase.FORWARD:
+            return self.flops_forward()
+        if phase is Phase.BACKWARD:
+            return self.flops_backward()
+        return self.flops_gradient()
+
+    # -- sharding -------------------------------------------------------
+    def shard(self, ptype: PartitionType, fraction: float) -> "ShardedWorkload":
+        """The sub-workload a party holds after partitioning by ``ptype``."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if ptype is PartitionType.TYPE_I:
+            return replace(self, batch_frac=self.batch_frac * fraction)
+        if ptype is PartitionType.TYPE_II:
+            return replace(self, din_frac=self.din_frac * fraction)
+        return replace(self, dout_frac=self.dout_frac * fraction)
+
+    def key(self) -> Tuple:
+        """Hashable identity for memoization across symmetric subtrees."""
+        return (
+            self.base.name,
+            self.base.batch,
+            self.base.d_in,
+            self.base.d_out,
+            self.base.in_hw,
+            self.base.out_hw,
+            self.base.kernel_hw,
+            round(self.batch_frac, 12),
+            round(self.din_frac, 12),
+            round(self.dout_frac, 12),
+        )
+
+
+@dataclass(frozen=True)
+class LayerPartition:
+    """The decision for one layer at one hierarchy level.
+
+    ``ratio`` is the share α of the *first* party (left child of the pairing
+    tree node); the second party gets β = 1 - α.
+    """
+
+    ptype: PartitionType
+    ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio < 1.0:
+            raise ValueError(f"ratio must be in (0, 1), got {self.ratio}")
+
+    def __str__(self) -> str:
+        return f"{self.ptype} (α={self.ratio:.3f})"
+
+
+#: key prefix for the synthetic join-alignment decisions recorded by the
+#: multi-path search (they are not real layers and are filtered from reports)
+JOIN_PREFIX = "@join:"
+
+
+def join_key(stage_name: str) -> str:
+    return JOIN_PREFIX + stage_name
+
+
+@dataclass
+class LevelPlan:
+    """Per-layer assignments for one hierarchy level (one pairing-tree node).
+
+    ``assignments`` may also contain synthetic ``@join:`` entries recording
+    the partition state chosen for each fork/join boundary tensor; these are
+    consumed by the simulator and excluded from layer-facing views.
+    """
+
+    assignments: Dict[str, LayerPartition]
+    cost: float = 0.0
+    scheme: str = ""
+
+    def partition(self, layer_name: str) -> LayerPartition:
+        return self.assignments[layer_name]
+
+    def layer_assignments(self) -> Dict[str, LayerPartition]:
+        """Real-layer assignments only (synthetic join entries dropped)."""
+        return {
+            name: lp
+            for name, lp in self.assignments.items()
+            if not name.startswith(JOIN_PREFIX)
+        }
+
+    def type_counts(self) -> Dict[PartitionType, int]:
+        counts = {t: 0 for t in ALL_TYPES}
+        for lp in self.layer_assignments().values():
+            counts[lp.ptype] += 1
+        return counts
+
+
+@dataclass
+class HierarchicalPlan:
+    """A plan for the whole pairing tree: one LevelPlan per internal node.
+
+    The tree structure mirrors :class:`~repro.hardware.cluster.GroupNode`:
+    ``level_plan`` applies at this node's split; ``left``/``right`` are the
+    children's plans (``None`` for leaves).
+    """
+
+    level_plan: Optional[LevelPlan]
+    left: Optional["HierarchicalPlan"] = None
+    right: Optional["HierarchicalPlan"] = None
+    scheme: str = ""
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level_plan is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        left_d = self.left.depth() if self.left else 0
+        right_d = self.right.depth() if self.right else 0
+        return 1 + max(left_d, right_d)

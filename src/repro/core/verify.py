@@ -1,0 +1,95 @@
+"""Plan verification: structural and feasibility checks on a planned run.
+
+A plan produced by this library is correct by construction, but plans also
+arrive from JSON (:mod:`repro.core.serialize`) or hand edits, so the
+runtime-facing API re-checks everything before execution:
+
+* every weighted layer has an assignment at every level, with a valid type
+  and an interior ratio;
+* the plan tree mirrors the pairing tree;
+* the fully-sharded leaf workloads fit each leaf group's HBM (Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.cluster import GroupNode
+from ..sim.memory import leaf_memory_report
+from ..training.optimizers import SGD, OptimizerSpec
+from .planner import PlannedExecution
+from .stages import ShardedStage, iter_sharded_workloads, shard_stages
+from .types import ALL_TYPES, HierarchicalPlan, JOIN_PREFIX
+
+
+class PlanVerificationError(ValueError):
+    """Raised by :func:`verify_planned` in strict mode."""
+
+
+def verify_planned(
+    planned: PlannedExecution,
+    optimizer: OptimizerSpec = SGD,
+    strict: bool = False,
+) -> List[str]:
+    """Check a planned execution; returns a list of issues (empty = ok).
+
+    With ``strict=True`` the first batch of issues raises
+    :class:`PlanVerificationError` instead.
+    """
+    issues: List[str] = []
+    layer_names = {sw.name for sw in iter_sharded_workloads(planned.stages)}
+
+    def visit(node: GroupNode, plan: HierarchicalPlan,
+              stages: List[ShardedStage], path: str) -> None:
+        if plan.level_plan is None or node.is_leaf:
+            if node.is_leaf != plan.is_leaf and layer_names:
+                issues.append(
+                    f"{path}: plan and pairing tree disagree about being a leaf"
+                )
+            report = leaf_memory_report(stages, node.group,
+                                        planned.dtype_bytes, optimizer)
+            if not report.fits:
+                issues.append(
+                    f"{path}: leaf workload needs "
+                    f"{report.total_bytes / 2**30:.2f} GiB but {node.group} "
+                    f"has {report.capacity_bytes / 2**30:.2f} GiB"
+                )
+            return
+
+        assignments = plan.level_plan.assignments
+        missing = layer_names - set(assignments)
+        if missing:
+            issues.append(f"{path}: layers without assignment: {sorted(missing)}")
+        for name, lp in assignments.items():
+            if lp.ptype not in ALL_TYPES:
+                issues.append(f"{path}: layer {name!r} has invalid type {lp.ptype!r}")
+            if not 0.0 < lp.ratio < 1.0:
+                issues.append(
+                    f"{path}: layer {name!r} ratio {lp.ratio} outside (0, 1)"
+                )
+        extraneous = {
+            n for n in assignments
+            if n not in layer_names and not n.startswith(JOIN_PREFIX)
+        }
+        if extraneous:
+            issues.append(f"{path}: assignments for unknown layers {sorted(extraneous)}")
+
+        if plan.left is None or plan.right is None:
+            issues.append(f"{path}: internal plan node missing children")
+            return
+        if node.left is None or node.right is None:
+            issues.append(f"{path}: plan has levels below a pairing-tree leaf")
+            return
+
+        if missing:
+            return  # cannot shard further without full assignments
+        left_stages = shard_stages(stages, assignments, "left")
+        right_stages = shard_stages(stages, assignments, "right")
+        visit(node.left, plan.left, left_stages, path + "L")
+        visit(node.right, plan.right, right_stages, path + "R")
+
+    visit(planned.tree, planned.plan, planned.stages, "root")
+
+    if strict and issues:
+        raise PlanVerificationError("; ".join(issues))
+    return issues

@@ -1,0 +1,99 @@
+"""Experiment harness: scheme × model × array sweeps and speedup tables.
+
+Reproduces the methodology of Section 6.1: every scheme plans the same
+model on the same accelerator array, all plans are scored by the same
+trace-driven simulator, and performance is reported as throughput speedup
+normalized to the data-parallelism (DP) baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import SCHEME_ORDER, get_scheme
+from ..core.planner import PlannedExecution, Planner
+from ..graph.network import Network
+from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.presets import PAPER_BATCH
+from ..models.registry import build_model
+from ..sim.engine import EngineConfig
+from ..sim.executor import SimReport, evaluate
+
+
+@dataclass
+class RunResult:
+    """One (model, scheme) simulation outcome."""
+
+    model: str
+    scheme: str
+    report: SimReport
+    planned: PlannedExecution
+
+    @property
+    def time(self) -> float:
+        return self.report.total_time
+
+
+@dataclass
+class SpeedupTable:
+    """Speedups normalized to the DP baseline, per model per scheme."""
+
+    models: List[str]
+    schemes: List[str]
+    times: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def speedup(self, model: str, scheme: str) -> float:
+        return self.times[model]["dp"] / self.times[model][scheme]
+
+    def speedups_for(self, scheme: str) -> List[float]:
+        return [self.speedup(m, scheme) for m in self.models]
+
+    def geomean(self, scheme: str) -> float:
+        return geometric_mean(self.speedups_for(scheme))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_scheme(
+    model: "Network | str",
+    scheme_name: str,
+    array: AcceleratorGroup,
+    batch: int = PAPER_BATCH,
+    levels: Optional[int] = None,
+    dtype_bytes: int = 2,
+    config: Optional[EngineConfig] = None,
+) -> RunResult:
+    """Plan one model with one scheme and simulate a training iteration."""
+    network = build_model(model) if isinstance(model, str) else model
+    planner = Planner(array, get_scheme(scheme_name), dtype_bytes, levels)
+    planned = planner.plan(network, batch)
+    report = evaluate(planned, config)
+    return RunResult(model=network.name, scheme=scheme_name, report=report,
+                     planned=planned)
+
+
+def sweep(
+    models: Sequence[str],
+    array: AcceleratorGroup,
+    schemes: Optional[Sequence[str]] = None,
+    batch: int = PAPER_BATCH,
+    levels: Optional[int] = None,
+    dtype_bytes: int = 2,
+) -> SpeedupTable:
+    """Simulate every scheme on every model; DP must be among the schemes."""
+    scheme_list = list(schemes) if schemes is not None else list(SCHEME_ORDER)
+    if "dp" not in scheme_list:
+        raise ValueError("the sweep needs the 'dp' baseline for normalization")
+    table = SpeedupTable(models=list(models), schemes=scheme_list)
+    for model in models:
+        table.times[model] = {}
+        for scheme in scheme_list:
+            result = run_scheme(model, scheme, array, batch, levels, dtype_bytes)
+            table.times[model][scheme] = result.time
+    return table

@@ -1,0 +1,102 @@
+"""Cost-landscape analysis: where do plans fall in the full design space?
+
+For small networks the entire 3^N assignment space is enumerable, which
+lets us place every scheme's plan inside the *distribution* of all possible
+plans — a stronger statement than "AccPar beats three baselines": it shows
+how much of the space the baselines leave on the table and that the DP's
+optimum really is the global one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cost_model import PairCostModel
+from ..core.dp_search import search_stages
+from ..core.stages import ShardedLayerStage, ShardedStage
+from ..core.types import ALL_TYPES, PartitionType
+
+
+@dataclass
+class CostLandscape:
+    """Every assignment's cost for one chain, plus reference points."""
+
+    layer_names: List[str]
+    costs: List[Tuple[Tuple[PartitionType, ...], float]]  # sorted ascending
+    dp_cost: float
+
+    @property
+    def optimum(self) -> float:
+        return self.costs[0][1]
+
+    @property
+    def worst(self) -> float:
+        return self.costs[-1][1]
+
+    @property
+    def spread(self) -> float:
+        """Worst-to-best cost ratio: how much planning can matter at all."""
+        return self.worst / self.optimum
+
+    def percentile_of(self, cost: float) -> float:
+        """Fraction of the space at least as expensive as ``cost``.
+
+        1.0 means ``cost`` is the global optimum; 0.0 means the worst plan.
+        """
+        worse = sum(1 for _, c in self.costs if c >= cost - 1e-15)
+        return worse / len(self.costs)
+
+    def cost_of(self, assignment: Sequence[PartitionType]) -> float:
+        key = tuple(assignment)
+        for combo, cost in self.costs:
+            if combo == key:
+                return cost
+        raise KeyError(f"assignment {key!r} not in the landscape")
+
+
+def enumerate_landscape(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    max_layers: int = 10,
+) -> CostLandscape:
+    """Exhaustively cost every type assignment of a *linear* chain."""
+    chain = [s for s in stages if isinstance(s, ShardedLayerStage)]
+    if len(chain) != len(stages):
+        raise ValueError("landscape enumeration handles linear chains only")
+    if len(chain) > max_layers:
+        raise ValueError(
+            f"{len(chain)} layers would enumerate 3^{len(chain)} plans; "
+            f"raise max_layers explicitly if you mean it"
+        )
+
+    costs: List[Tuple[Tuple[PartitionType, ...], float]] = []
+    for combo in itertools.product(ALL_TYPES, repeat=len(chain)):
+        total = 0.0
+        prev: Optional[PartitionType] = None
+        for stage, ptype in zip(chain, combo):
+            total += model.step(stage.workload, prev, ptype).cost
+            prev = ptype
+        costs.append((combo, total))
+    costs.sort(key=lambda entry: entry[1])
+
+    dp = search_stages(list(stages), model)
+    return CostLandscape(
+        layer_names=[s.name for s in chain],
+        costs=costs,
+        dp_cost=dp.cost,
+    )
+
+
+def baseline_assignments(
+    stages: Sequence[ShardedStage],
+) -> Dict[str, Tuple[PartitionType, ...]]:
+    """The static baselines' assignments for a chain (DP and OWT)."""
+    chain = [s for s in stages if isinstance(s, ShardedLayerStage)]
+    dp = tuple(PartitionType.TYPE_I for _ in chain)
+    owt = tuple(
+        PartitionType.TYPE_I if s.workload.base.is_conv else PartitionType.TYPE_II
+        for s in chain
+    )
+    return {"dp": dp, "owt": owt}

@@ -1,0 +1,94 @@
+"""ASCII rendering of the paper's tables and bar figures.
+
+The benchmarks print these so the reproduced numbers can be read directly
+from the pytest output and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from .harness import SpeedupTable
+
+_SCHEME_LABELS = {"dp": "DP", "owt": "OWT", "hypar": "HyPar", "accpar": "AccPar"}
+
+
+def scheme_label(scheme: str) -> str:
+    return _SCHEME_LABELS.get(scheme, scheme)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Plain fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_speedup_table(table: SpeedupTable, title: str = "") -> str:
+    """Model × scheme speedup grid with a geometric-mean footer row."""
+    headers = ["model"] + [scheme_label(s) for s in table.schemes]
+    rows = []
+    for model in table.models:
+        rows.append(
+            [model] + [f"{table.speedup(model, s):.2f}x" for s in table.schemes]
+        )
+    rows.append(
+        ["geomean"] + [f"{table.geomean(s):.2f}x" for s in table.schemes]
+    )
+    return format_table(headers, rows, title)
+
+
+def format_bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "x",
+) -> str:
+    """Horizontal ASCII bars, scaled to the maximum value."""
+    if not series:
+        raise ValueError("no data to chart")
+    peak = max(series.values())
+    label_width = max(len(k) for k in series)
+    lines: List[str] = [title] if title else []
+    for name, value in series.items():
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{name.rjust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    table: SpeedupTable,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Figure 5/6-style grouped bars: per model, one bar per scheme."""
+    peak = max(
+        table.speedup(m, s) for m in table.models for s in table.schemes
+    )
+    label_width = max(len(scheme_label(s)) for s in table.schemes)
+    lines: List[str] = [title] if title else []
+    for model in table.models:
+        lines.append(f"{model}:")
+        for scheme in table.schemes:
+            value = table.speedup(model, scheme)
+            bar = "#" * max(1, round(width * value / peak))
+            lines.append(
+                f"  {scheme_label(scheme).rjust(label_width)} | {bar} {value:.2f}x"
+            )
+    return "\n".join(lines)

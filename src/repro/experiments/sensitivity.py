@@ -1,0 +1,165 @@
+"""Sensitivity studies beyond the paper's headline figures.
+
+Three sweeps that probe the *why* behind the Section 6 results:
+
+* **batch sweep** — Type-I partitions batch, Type-II/III partition the
+  model; growing the mini-batch grows the activations relative to the
+  weights and shifts the optimum (the paper's Vgg-vs-ResNet discussion);
+* **bandwidth sweep** — the accelerator-wall motivation: as links get
+  faster, communication-avoiding planning matters less and every scheme
+  converges toward DP;
+* **optimizer sweep** — Section 2.1's claim that the training algorithm
+  only adds local update work and state memory, never communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.planner import Planner
+from ..baselines import get_scheme
+from ..hardware.accelerator import AcceleratorGroup, AcceleratorSpec
+from ..models.registry import build_model
+from ..sim.engine import EngineConfig
+from ..sim.executor import evaluate
+from ..training.optimizers import OPTIMIZERS, OptimizerSpec
+
+
+@dataclass
+class SweepSeries:
+    """One sweep: x values and per-scheme speedups over DP at the same x."""
+
+    parameter: str
+    x_values: List[float]
+    speedups: Dict[str, List[float]]
+
+
+def _speedup_at(model: str, array: AcceleratorGroup, batch: int,
+                schemes: Sequence[str]) -> Dict[str, float]:
+    times = {}
+    network_times = {}
+    for scheme in ["dp"] + [s for s in schemes if s != "dp"]:
+        planned = Planner(array, get_scheme(scheme)).plan(
+            build_model(model), batch
+        )
+        network_times[scheme] = evaluate(planned).total_time
+    for scheme in schemes:
+        times[scheme] = network_times["dp"] / network_times[scheme]
+    return times
+
+
+def batch_sweep(
+    model: str,
+    array: AcceleratorGroup,
+    batches: Sequence[int] = (64, 128, 256, 512, 1024),
+    schemes: Sequence[str] = ("dp", "owt", "hypar", "accpar"),
+) -> SweepSeries:
+    """Speedup over DP as the global mini-batch grows."""
+    speedups: Dict[str, List[float]] = {s: [] for s in schemes}
+    for batch in batches:
+        at = _speedup_at(model, array, batch, schemes)
+        for s in schemes:
+            speedups[s].append(at[s])
+    return SweepSeries("batch", [float(b) for b in batches], speedups)
+
+
+def scale_network_bandwidth(array: AcceleratorGroup,
+                            factor: float) -> AcceleratorGroup:
+    """The same array with every link's bandwidth scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError("bandwidth factor must be positive")
+    members = tuple(
+        AcceleratorSpec(
+            name=f"{m.name}@{factor:g}x",
+            flops=m.flops,
+            memory_bytes=m.memory_bytes,
+            memory_bandwidth=m.memory_bandwidth,
+            network_bandwidth=m.network_bandwidth * factor,
+        )
+        for m in array.members
+    )
+    return AcceleratorGroup(members)
+
+
+def bandwidth_sweep(
+    model: str,
+    array: AcceleratorGroup,
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+    batch: int = 512,
+    schemes: Sequence[str] = ("dp", "hypar", "accpar"),
+) -> SweepSeries:
+    """Speedup over DP as every link's bandwidth scales by a factor."""
+    speedups: Dict[str, List[float]] = {s: [] for s in schemes}
+    for factor in factors:
+        scaled = scale_network_bandwidth(array, factor)
+        at = _speedup_at(model, scaled, batch, schemes)
+        for s in schemes:
+            speedups[s].append(at[s])
+    return SweepSeries("net-bandwidth-factor", list(factors), speedups)
+
+
+def latency_sweep(
+    model: str,
+    array: AcceleratorGroup,
+    latencies_s: Sequence[float] = (0.0, 1e-6, 1e-5, 1e-4),
+    batch: int = 512,
+    schemes: Sequence[str] = ("dp", "hypar", "accpar"),
+) -> SweepSeries:
+    """Speedup over DP as a fixed per-transfer latency is added.
+
+    The paper's Eq. 7 is pure bandwidth; a latency term (the α of an α-β
+    model) taxes schemes that make *more* transfers.  All schemes make the
+    same O(levels × layers) transfer count here, so the orderings should be
+    latency-robust — which this sweep verifies.
+    """
+    speedups: Dict[str, List[float]] = {s: [] for s in schemes}
+    planned = {
+        s: Planner(array, get_scheme(s)).plan(build_model(model), batch)
+        for s in set(schemes) | {"dp"}
+    }
+    for latency in latencies_s:
+        config = EngineConfig(link_latency_s=latency)
+        times = {s: evaluate(p, config).total_time for s, p in planned.items()}
+        for s in schemes:
+            speedups[s].append(times["dp"] / times[s])
+    return SweepSeries("link-latency-s", list(latencies_s), speedups)
+
+
+@dataclass
+class OptimizerImpact:
+    """Iteration time and worst-leaf memory per optimizer."""
+
+    optimizer: str
+    total_time: float
+    comm_time: float
+    memory_bytes: float
+
+
+def optimizer_sweep(
+    model: str,
+    array: AcceleratorGroup,
+    batch: int = 512,
+    scheme: str = "accpar",
+    optimizers: Sequence[str] = ("sgd", "momentum", "adam"),
+) -> List[OptimizerImpact]:
+    """Simulate the same plan under different update rules.
+
+    The plan is computed once (the optimizer does not influence the
+    partitioning decision — its work is local), then re-simulated per rule.
+    """
+    planned = Planner(array, get_scheme(scheme)).plan(build_model(model), batch)
+    out = []
+    for name in optimizers:
+        spec: OptimizerSpec = OPTIMIZERS[name]
+        report = evaluate(planned, EngineConfig(optimizer=spec))
+        mem = report.memory_worst
+        out.append(
+            OptimizerImpact(
+                optimizer=name,
+                total_time=report.total_time,
+                comm_time=report.comm_time,
+                memory_bytes=mem.total_bytes if mem else 0.0,
+            )
+        )
+    return out

@@ -1,0 +1,209 @@
+"""Dependency-free SVG charts for the reproduced figures.
+
+The evaluation environment has no plotting stack, so the figure benches
+emit self-contained SVG files (grouped bars for Figures 5/6, lines for
+Figure 8) alongside the ASCII artifacts.  The generator covers exactly what
+those figures need — not a general charting library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from .harness import SpeedupTable
+
+#: categorical palette (colorblind-safe Okabe-Ito subset)
+PALETTE = ["#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00"]
+
+_FONT = 'font-family="Helvetica, Arial, sans-serif"'
+
+
+def _svg_header(width: int, height: int) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round up to 1/2/5 x 10^k for a tidy axis."""
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** len(str(int(value))) / 10
+    for factor in (1, 2, 5, 10):
+        if value <= factor * magnitude:
+            return factor * magnitude
+    return 10 * magnitude
+
+
+def grouped_bar_svg(
+    table: SpeedupTable,
+    title: str,
+    width: int = 900,
+    height: int = 420,
+) -> str:
+    """Figure 5/6-style grouped bars: models on the x-axis, one bar per
+    scheme, y = speedup over DP."""
+    margin_left, margin_right, margin_top, margin_bottom = 56, 20, 48, 64
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    values = {
+        (m, s): table.speedup(m, s) for m in table.models for s in table.schemes
+    }
+    y_max = _nice_ceiling(max(values.values()))
+
+    parts = _svg_header(width, height)
+    parts.append(
+        f'<text x="{width / 2}" y="24" text-anchor="middle" {_FONT} '
+        f'font-size="16" font-weight="bold">{escape(title)}</text>'
+    )
+
+    # y axis + gridlines
+    n_ticks = 5
+    for i in range(n_ticks + 1):
+        frac = i / n_ticks
+        y = margin_top + plot_h * (1 - frac)
+        value = y_max * frac
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{value:g}x</text>'
+        )
+
+    # bars
+    group_w = plot_w / len(table.models)
+    bar_w = group_w * 0.8 / len(table.schemes)
+    for m_idx, model in enumerate(table.models):
+        group_x = margin_left + m_idx * group_w + group_w * 0.1
+        for s_idx, scheme in enumerate(table.schemes):
+            value = values[(model, scheme)]
+            bar_h = plot_h * min(value / y_max, 1.0)
+            x = group_x + s_idx * bar_w
+            y = margin_top + plot_h - bar_h
+            color = PALETTE[s_idx % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w * 0.92:.1f}" '
+                f'height="{bar_h:.1f}" fill="{color}">'
+                f'<title>{escape(model)} / {escape(scheme)}: {value:.2f}x</title>'
+                f'</rect>'
+            )
+        parts.append(
+            f'<text x="{group_x + group_w * 0.4:.1f}" '
+            f'y="{margin_top + plot_h + 16}" text-anchor="middle" {_FONT} '
+            f'font-size="12">{escape(model)}</text>'
+        )
+
+    # legend
+    legend_x = margin_left
+    legend_y = height - 18
+    for s_idx, scheme in enumerate(table.schemes):
+        color = PALETTE[s_idx % len(PALETTE)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 10}" width="12" height="12" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 16}" y="{legend_y}" {_FONT} '
+            f'font-size="12">{escape(scheme)}</text>'
+        )
+        legend_x += 18 + 8 * len(scheme) + 24
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def line_chart_svg(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    x_label: str = "",
+    y_suffix: str = "x",
+    width: int = 720,
+    height: int = 420,
+) -> str:
+    """Figure 8-style line chart: one polyline per scheme."""
+    if not series:
+        raise ValueError("no series to chart")
+    margin_left, margin_right, margin_top, margin_bottom = 56, 20, 48, 64
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    y_max = _nice_ceiling(max(max(v) for v in series.values()))
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    def sx(x: float) -> float:
+        return margin_left + plot_w * (x - x_min) / x_span
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h * (1 - min(y / y_max, 1.0))
+
+    parts = _svg_header(width, height)
+    parts.append(
+        f'<text x="{width / 2}" y="24" text-anchor="middle" {_FONT} '
+        f'font-size="16" font-weight="bold">{escape(title)}</text>'
+    )
+
+    n_ticks = 5
+    for i in range(n_ticks + 1):
+        frac = i / n_ticks
+        y = margin_top + plot_h * (1 - frac)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{y_max * frac:g}{y_suffix}</text>'
+        )
+    for x in x_values:
+        parts.append(
+            f'<text x="{sx(x):.1f}" y="{margin_top + plot_h + 16}" '
+            f'text-anchor="middle" {_FONT} font-size="12">{x:g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{width / 2}" y="{height - 28}" text-anchor="middle" '
+            f'{_FONT} font-size="12">{escape(x_label)}</text>'
+        )
+
+    for s_idx, (name, values) in enumerate(series.items()):
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+        color = PALETTE[s_idx % len(PALETTE)]
+        points = " ".join(
+            f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(x_values, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2.5"/>'
+        )
+        for x, y in zip(x_values, values):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.5" '
+                f'fill="{color}"><title>{escape(name)} @ {x:g}: {y:.2f}'
+                f'{y_suffix}</title></circle>'
+            )
+
+    legend_x = margin_left
+    legend_y = height - 8
+    for s_idx, name in enumerate(series):
+        color = PALETTE[s_idx % len(PALETTE)]
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y - 4}" x2="{legend_x + 18}" '
+            f'y2="{legend_y - 4}" stroke="{color}" stroke-width="3"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 22}" y="{legend_y}" {_FONT} '
+            f'font-size="12">{escape(name)}</text>'
+        )
+        legend_x += 26 + 8 * len(name) + 18
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,56 @@
+"""Graph IR: layers, shapes, and the network DAG."""
+
+from .layers import (
+    Add,
+    BatchNorm,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Layer,
+    LayerWorkload,
+    Linear,
+    LocalResponseNorm,
+    Pool2d,
+    ReLU,
+)
+from .network import (
+    GraphError,
+    LayerStage,
+    Network,
+    ParallelStage,
+    Stage,
+    count_stage_layers,
+    iter_stage_workloads,
+)
+from .shapes import FeatureMap, TensorShape, conv_output_hw, pool_output_hw
+from .validate import validate_network
+
+__all__ = [
+    "Add",
+    "BatchNorm",
+    "Conv2d",
+    "Dropout",
+    "FeatureMap",
+    "Flatten",
+    "GlobalAvgPool",
+    "GraphError",
+    "Input",
+    "Layer",
+    "LayerStage",
+    "LayerWorkload",
+    "Linear",
+    "LocalResponseNorm",
+    "Network",
+    "ParallelStage",
+    "Pool2d",
+    "ReLU",
+    "Stage",
+    "TensorShape",
+    "conv_output_hw",
+    "count_stage_layers",
+    "iter_stage_workloads",
+    "pool_output_hw",
+    "validate_network",
+]

@@ -1,0 +1,149 @@
+"""Tensor shape primitives shared across the graph IR, cost model and simulator.
+
+The paper works with three logical dimensions per layer (Table 1):
+
+* ``B`` — mini-batch size,
+* ``D_i`` — input data size (channel count for CONV, fan-in for FC),
+* ``D_o`` — output data size (channel count for CONV, fan-out for FC),
+
+plus, for convolutional layers, "meta" spatial dimensions (Section 3.3): the
+feature-map height/width and the kernel window height/width.  Everything the
+cost model needs reduces to sizes of four tensors per layer:
+
+* ``F_l``   — input feature map, shape ``(B, D_i, [H_i, W_i])``
+* ``F_l+1`` — output feature map, shape ``(B, D_o, [H_o, W_o])``
+* ``E_l``   — input error (same shape as ``F_l``)
+* ``W_l``   — kernel, shape ``(D_i, D_o, [K_h, K_w])``
+
+This module provides a small immutable :class:`TensorShape` plus the
+feature-map geometry helpers used for shape inference in
+:mod:`repro.graph.layers`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Immutable n-dimensional tensor shape.
+
+    ``size`` follows the paper's :math:`\\mathbb{A}(\\cdot)` — the product of
+    the lengths of all dimensions (Section 4.1).
+    """
+
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("TensorShape requires at least one dimension")
+        for d in self.dims:
+            if not isinstance(d, int) or d <= 0:
+                raise ValueError(f"dimensions must be positive integers, got {self.dims!r}")
+
+    @property
+    def size(self) -> int:
+        """Number of elements — the paper's A(T)."""
+        return math.prod(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __getitem__(self, idx: int) -> int:
+        return self.dims[idx]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(d) for d in self.dims) + ")"
+
+    def bytes(self, dtype_bytes: int = 2) -> int:
+        """Size in bytes for the given element width (default bfloat16)."""
+        if dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        return self.size * dtype_bytes
+
+
+@dataclass(frozen=True)
+class FeatureMap:
+    """Logical shape of an activation tensor: (batch, channels, height, width).
+
+    For fully-connected activations the spatial extent is 1x1, which makes the
+    FC case a degenerate CONV case — exactly the reduction Section 3.3 uses.
+    """
+
+    batch: int
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("batch", "channels", "height", "width"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+    @property
+    def shape(self) -> TensorShape:
+        return TensorShape((self.batch, self.channels, self.height, self.width))
+
+    @property
+    def size(self) -> int:
+        return self.shape.size
+
+    @property
+    def spatial_size(self) -> int:
+        """The 2D feature-map size (Section 4.3's "meta dimension" product)."""
+        return self.height * self.width
+
+    def with_batch(self, batch: int) -> "FeatureMap":
+        return FeatureMap(batch, self.channels, self.height, self.width)
+
+
+def conv_output_hw(
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Standard convolution output geometry (floor convention)."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution geometry produces non-positive output: "
+            f"in=({height},{width}) kernel={kernel} stride={stride} padding={padding}"
+        )
+    return out_h, out_w
+
+
+def pool_output_hw(
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int] = (0, 0),
+    ceil_mode: bool = False,
+) -> Tuple[int, int]:
+    """Pooling output geometry; ``ceil_mode`` matches classic Caffe layers."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    rounding = math.ceil if ceil_mode else math.floor
+    out_h = int(rounding((height + 2 * ph - kh) / sh)) + 1
+    out_w = int(rounding((width + 2 * pw - kw) / sw)) + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pooling geometry produces non-positive output: "
+            f"in=({height},{width}) kernel={kernel} stride={stride} padding={padding}"
+        )
+    return out_h, out_w

@@ -1,0 +1,67 @@
+"""Structural validation for :class:`~repro.graph.network.Network` graphs.
+
+The planner assumes a well-formed two-terminal series-parallel DAG; these
+checks catch malformed model definitions early with actionable messages
+instead of failing deep inside the search.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layers import Add, Input
+from .network import GraphError, Network
+
+
+def validate_network(net: Network, batch: int = 2) -> List[str]:
+    """Run all structural checks; returns warnings, raises on hard errors.
+
+    Hard errors (raised as :class:`GraphError`):
+
+    * cycles, unreachable layers, multiple sinks;
+    * shape-inference failures at the given probe batch size;
+    * join layers that are not :class:`Add`, or :class:`Add` with one input.
+
+    Soft issues are returned as human-readable warning strings.
+    """
+    warnings: List[str] = []
+
+    order = net.topological_order()  # raises on cycles
+    reachable = _reachable_from_input(net)
+    unreachable = [n for n in order if n not in reachable]
+    if unreachable:
+        raise GraphError(f"layers unreachable from the input: {unreachable}")
+
+    net.output_name  # raises if not a single sink
+
+    for name in order:
+        layer = net.layer(name)
+        preds = net.predecessors(name)
+        if len(preds) > 1 and not isinstance(layer, Add):
+            raise GraphError(
+                f"layer {name!r} joins {len(preds)} inputs but is {type(layer).__name__}; "
+                "only Add may join paths"
+            )
+        if isinstance(layer, Add) and len(preds) < 2:
+            warnings.append(f"Add layer {name!r} has a single input; it is a no-op")
+        if isinstance(layer, Input) and name != net.input_name:
+            raise GraphError(f"extra Input layer {name!r}")
+
+    net.infer_shapes(batch)  # raises on shape mismatches
+
+    if not net.workloads(batch):
+        warnings.append(f"network {net.name!r} has no weighted layers; nothing to partition")
+
+    return warnings
+
+
+def _reachable_from_input(net: Network) -> set:
+    seen = {net.input_name}
+    frontier = [net.input_name]
+    while frontier:
+        node = frontier.pop()
+        for succ in net.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen

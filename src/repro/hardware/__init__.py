@@ -1,0 +1,29 @@
+"""Hardware model: accelerator specs, groups, presets and the pairing tree."""
+
+from .accelerator import AcceleratorGroup, AcceleratorSpec, make_group, merge_groups
+from .cluster import GroupNode, bisection_tree, describe_tree, max_hierarchy_levels
+from .presets import (
+    BFLOAT16_BYTES,
+    PAPER_BATCH,
+    TPU_V2,
+    TPU_V3,
+    heterogeneous_array,
+    homogeneous_array,
+)
+
+__all__ = [
+    "AcceleratorGroup",
+    "AcceleratorSpec",
+    "BFLOAT16_BYTES",
+    "GroupNode",
+    "PAPER_BATCH",
+    "TPU_V2",
+    "TPU_V3",
+    "bisection_tree",
+    "describe_tree",
+    "heterogeneous_array",
+    "homogeneous_array",
+    "make_group",
+    "max_hierarchy_levels",
+    "merge_groups",
+]

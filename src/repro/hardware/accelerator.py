@@ -1,0 +1,105 @@
+"""Accelerator and accelerator-group hardware models.
+
+The cost model (Section 4) needs two numbers per party: a compute density
+``c_i`` (FLOP/s) and a network bandwidth ``b_i`` (bytes/s).  The simulator
+additionally uses HBM capacity and memory bandwidth.  A *group* of
+accelerators acts as a super-accelerator whose densities and bandwidths are
+the sums of its members' — this is what makes the hierarchical (recursive)
+partitioning of Section 5.1 compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator board (Table 7 row).
+
+    All rates are in base SI units: FLOP/s and bytes/s.
+    """
+
+    name: str
+    flops: float               # c_i, peak FLOP/s
+    memory_bytes: float        # HBM capacity
+    memory_bandwidth: float    # HBM bytes/s
+    network_bandwidth: float   # b_i, link bytes/s
+
+    def __post_init__(self) -> None:
+        for field_name in ("flops", "memory_bytes", "memory_bandwidth", "network_bandwidth"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive for {self.name!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.flops / 1e12:.0f} TFLOPS, "
+            f"{self.memory_bytes / 2**30:.0f} GiB HBM @ {self.memory_bandwidth / 1e9:.0f} GB/s, "
+            f"net {self.network_bandwidth / 1e9:.2f} GB/s"
+        )
+
+
+@dataclass(frozen=True)
+class AcceleratorGroup:
+    """An ordered collection of accelerators acting as one party.
+
+    Aggregation rule: a group's compute density and bandwidths are the sums
+    over members.  This matches the paper's recursive treatment, where an
+    "accelerator" in the two-party derivation may itself be a group.
+    """
+
+    members: Tuple[AcceleratorSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("an AcceleratorGroup needs at least one member")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def flops(self) -> float:
+        return sum(m.flops for m in self.members)
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(m.memory_bytes for m in self.members)
+
+    @property
+    def memory_bandwidth(self) -> float:
+        return sum(m.memory_bandwidth for m in self.members)
+
+    @property
+    def network_bandwidth(self) -> float:
+        return sum(m.network_bandwidth for m in self.members)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len({m.name for m in self.members}) == 1
+
+    def signature(self) -> Tuple[Tuple[str, int], ...]:
+        """Hashable multiset of member types; used for plan/sim memoization."""
+        counts: dict = {}
+        for m in self.members:
+            counts[m.name] = counts.get(m.name, 0) + 1
+        return tuple(sorted(counts.items()))
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{n}x{c}" for n, c in self.signature())
+        return f"Group[{parts}]"
+
+
+def make_group(spec: AcceleratorSpec, count: int) -> AcceleratorGroup:
+    """Convenience: a homogeneous group of ``count`` copies of ``spec``."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return AcceleratorGroup(tuple([spec] * count))
+
+
+def merge_groups(*groups: AcceleratorGroup) -> AcceleratorGroup:
+    members: list = []
+    for g in groups:
+        members.extend(g.members)
+    return AcceleratorGroup(tuple(members))

@@ -1,0 +1,51 @@
+"""Hardware presets: the TPU-v2 / TPU-v3 boards of Table 7.
+
+Values follow Section 6.1 exactly:
+
+* TPU-v2: 180 TFLOPS, 64 GB HBM, 2400 GB/s memory bandwidth;
+* TPU-v3: 420 TFLOPS, 128 GB HBM, 4800 GB/s memory bandwidth (assumed);
+* network data rate 8 Gb/s for TPU-v2 and 16 Gb/s for TPU-v3
+  (the paper scales the 2 Gb/s-per-core VPC quota by core count).
+
+Gb/s are converted to bytes/s here so the rest of the library never touches
+bit units.
+"""
+
+from __future__ import annotations
+
+from .accelerator import AcceleratorSpec, AcceleratorGroup, make_group, merge_groups
+
+GB = 1e9
+GIB = 2**30
+
+TPU_V2 = AcceleratorSpec(
+    name="tpu-v2",
+    flops=180e12,
+    memory_bytes=64 * GIB,
+    memory_bandwidth=2400 * GB,
+    network_bandwidth=8e9 / 8,   # 8 Gb/s -> 1 GB/s
+)
+
+TPU_V3 = AcceleratorSpec(
+    name="tpu-v3",
+    flops=420e12,
+    memory_bytes=128 * GIB,
+    memory_bandwidth=4800 * GB,
+    network_bandwidth=16e9 / 8,  # 16 Gb/s -> 2 GB/s
+)
+
+#: bfloat16, "Google's 16-bit floating point data format for training"
+BFLOAT16_BYTES = 2
+
+#: mini-batch size used throughout Section 6 (except Figure 7, which uses 128)
+PAPER_BATCH = 512
+
+
+def heterogeneous_array(n_v2: int = 128, n_v3: int = 128) -> AcceleratorGroup:
+    """The Section 6.2 array: 128 TPU-v2 + 128 TPU-v3 boards."""
+    return merge_groups(make_group(TPU_V2, n_v2), make_group(TPU_V3, n_v3))
+
+
+def homogeneous_array(n: int = 128) -> AcceleratorGroup:
+    """The Section 6.3 array: 128 TPU-v3 boards."""
+    return make_group(TPU_V3, n)

@@ -1,0 +1,40 @@
+"""Model zoo: the nine DNNs of the paper's evaluation plus a registry."""
+
+from .alexnet import alexnet
+from .lenet import lenet
+from .multibranch import trident, trident_block
+from .registry import (
+    PAPER_MODELS,
+    RESNET_MODELS,
+    VGG_MODELS,
+    available_models,
+    build_model,
+    register_model,
+)
+from .resnet import resnet, resnet18, resnet34, resnet50, resnet101, resnet152
+from .vgg import VGG_CONFIGS, vgg, vgg11, vgg13, vgg16, vgg19
+
+__all__ = [
+    "PAPER_MODELS",
+    "RESNET_MODELS",
+    "VGG_CONFIGS",
+    "VGG_MODELS",
+    "alexnet",
+    "available_models",
+    "build_model",
+    "lenet",
+    "register_model",
+    "resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "trident",
+    "trident_block",
+    "vgg",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]

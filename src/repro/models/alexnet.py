@@ -1,0 +1,47 @@
+"""AlexNet (Krizhevsky et al., 2012), single-tower variant, ImageNet input.
+
+Layer names (``cv1``..``cv5``, ``fc1``..``fc3``) follow Figure 7 of the
+AccPar paper so the per-layer partition-type experiment reads identically.
+"""
+
+from __future__ import annotations
+
+from ..graph import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Input,
+    Linear,
+    LocalResponseNorm,
+    Network,
+    Pool2d,
+    ReLU,
+)
+
+
+def alexnet() -> Network:
+    net = Network("alexnet", Input("input", channels=3, height=224, width=224))
+    net.add(Conv2d("cv1", 3, 96, kernel=11, stride=4, padding=2))
+    net.add(ReLU("relu1"))
+    net.add(LocalResponseNorm("lrn1"))
+    net.add(Pool2d("pool1", kernel=3, stride=2))
+    net.add(Conv2d("cv2", 96, 256, kernel=5, stride=1, padding=2))
+    net.add(ReLU("relu2"))
+    net.add(LocalResponseNorm("lrn2"))
+    net.add(Pool2d("pool2", kernel=3, stride=2))
+    net.add(Conv2d("cv3", 256, 384, kernel=3, stride=1, padding=1))
+    net.add(ReLU("relu3"))
+    net.add(Conv2d("cv4", 384, 384, kernel=3, stride=1, padding=1))
+    net.add(ReLU("relu4"))
+    net.add(Conv2d("cv5", 384, 256, kernel=3, stride=1, padding=1))
+    net.add(ReLU("relu5"))
+    net.add(Pool2d("pool5", kernel=3, stride=2))
+    net.add(Flatten("flatten"))
+    net.add(Linear("fc1", 256 * 6 * 6, 4096))
+    net.add(ReLU("relu6"))
+    net.add(Dropout("drop1", 0.5))
+    net.add(Linear("fc2", 4096, 4096))
+    net.add(ReLU("relu7"))
+    net.add(Dropout("drop2", 0.5))
+    net.add(Linear("fc3", 4096, 1000))
+    return net

@@ -1,0 +1,23 @@
+"""LeNet-5 (LeCun et al., 1998) on MNIST — the paper's smallest workload."""
+
+from __future__ import annotations
+
+from ..graph import Conv2d, Flatten, Input, Linear, Network, Pool2d, ReLU
+
+
+def lenet() -> Network:
+    """Classic LeNet-5: two CONV/pool stages and three FC layers, 1x28x28 input."""
+    net = Network("lenet", Input("input", channels=1, height=28, width=28))
+    net.add(Conv2d("cv1", 1, 6, kernel=5, stride=1, padding=2))
+    net.add(ReLU("relu1"))
+    net.add(Pool2d("pool1", kernel=2, stride=2))
+    net.add(Conv2d("cv2", 6, 16, kernel=5, stride=1, padding=0))
+    net.add(ReLU("relu2"))
+    net.add(Pool2d("pool2", kernel=2, stride=2))
+    net.add(Flatten("flatten"))
+    net.add(Linear("fc1", 16 * 5 * 5, 120))
+    net.add(ReLU("relu3"))
+    net.add(Linear("fc2", 120, 84))
+    net.add(ReLU("relu4"))
+    net.add(Linear("fc3", 84, 10))
+    return net

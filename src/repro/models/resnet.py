@@ -1,0 +1,134 @@
+"""ResNet series (He et al., 2016): the multi-path workloads of Section 5.2.
+
+Every residual block is an explicit fork/join in the graph IR: the main path
+carries the weighted convolutions and the skip path is either an identity
+(empty path) or a 1x1 projection convolution at stage transitions — exactly
+the P1/P2 topology of Figure 4 in the paper.
+"""
+
+from __future__ import annotations
+
+from ..graph import (
+    Add,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Linear,
+    Network,
+    Pool2d,
+    ReLU,
+)
+
+#: blocks per stage for each depth; 101/152 extend beyond the paper's set
+RESNET_CONFIGS = {
+    "resnet18": ("basic", (2, 2, 2, 2)),
+    "resnet34": ("basic", (3, 4, 6, 3)),
+    "resnet50": ("bottleneck", (3, 4, 6, 3)),
+    "resnet101": ("bottleneck", (3, 4, 23, 3)),
+    "resnet152": ("bottleneck", (3, 8, 36, 3)),
+}
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+_BOTTLENECK_EXPANSION = 4
+
+
+def _basic_block(net: Network, prefix: str, entry: str, in_ch: int, out_ch: int,
+                 stride: int) -> tuple:
+    """3x3 + 3x3 block; returns (exit layer name, output channels)."""
+    a = net.add(Conv2d(f"{prefix}_cv1", in_ch, out_ch, kernel=3, stride=stride, padding=1),
+                inputs=[entry])
+    a = net.add(BatchNorm(f"{prefix}_bn1"), inputs=[a])
+    a = net.add(ReLU(f"{prefix}_relu1"), inputs=[a])
+    a = net.add(Conv2d(f"{prefix}_cv2", out_ch, out_ch, kernel=3, stride=1, padding=1),
+                inputs=[a])
+    a = net.add(BatchNorm(f"{prefix}_bn2"), inputs=[a])
+
+    skip = entry
+    if stride != 1 or in_ch != out_ch:
+        skip = net.add(Conv2d(f"{prefix}_down", in_ch, out_ch, kernel=1, stride=stride,
+                              padding=0), inputs=[entry])
+        skip = net.add(BatchNorm(f"{prefix}_bn_down"), inputs=[skip])
+
+    join = net.add(Add(f"{prefix}_add"), inputs=[a, skip])
+    out = net.add(ReLU(f"{prefix}_relu_out"), inputs=[join])
+    return out, out_ch
+
+
+def _bottleneck_block(net: Network, prefix: str, entry: str, in_ch: int, mid_ch: int,
+                      stride: int) -> tuple:
+    """1x1 reduce, 3x3, 1x1 expand (x4) block."""
+    out_ch = mid_ch * _BOTTLENECK_EXPANSION
+    a = net.add(Conv2d(f"{prefix}_cv1", in_ch, mid_ch, kernel=1, stride=1, padding=0),
+                inputs=[entry])
+    a = net.add(BatchNorm(f"{prefix}_bn1"), inputs=[a])
+    a = net.add(ReLU(f"{prefix}_relu1"), inputs=[a])
+    a = net.add(Conv2d(f"{prefix}_cv2", mid_ch, mid_ch, kernel=3, stride=stride, padding=1),
+                inputs=[a])
+    a = net.add(BatchNorm(f"{prefix}_bn2"), inputs=[a])
+    a = net.add(ReLU(f"{prefix}_relu2"), inputs=[a])
+    a = net.add(Conv2d(f"{prefix}_cv3", mid_ch, out_ch, kernel=1, stride=1, padding=0),
+                inputs=[a])
+    a = net.add(BatchNorm(f"{prefix}_bn3"), inputs=[a])
+
+    skip = entry
+    if stride != 1 or in_ch != out_ch:
+        skip = net.add(Conv2d(f"{prefix}_down", in_ch, out_ch, kernel=1, stride=stride,
+                              padding=0), inputs=[entry])
+        skip = net.add(BatchNorm(f"{prefix}_bn_down"), inputs=[skip])
+
+    join = net.add(Add(f"{prefix}_add"), inputs=[a, skip])
+    out = net.add(ReLU(f"{prefix}_relu_out"), inputs=[join])
+    return out, out_ch
+
+
+def resnet(config: str) -> Network:
+    """Build one of resnet18/resnet34/resnet50."""
+    if config not in RESNET_CONFIGS:
+        raise ValueError(
+            f"unknown ResNet config {config!r}; expected one of {sorted(RESNET_CONFIGS)}"
+        )
+    block_kind, blocks_per_stage = RESNET_CONFIGS[config]
+
+    net = Network(config, Input("input", channels=3, height=224, width=224))
+    cur = net.add(Conv2d("cv1", 3, 64, kernel=7, stride=2, padding=3))
+    cur = net.add(BatchNorm("bn1"), inputs=[cur])
+    cur = net.add(ReLU("relu1"), inputs=[cur])
+    cur = net.add(Pool2d("pool1", kernel=3, stride=2, padding=1), inputs=[cur])
+
+    in_ch = 64
+    for stage_idx, (stage_ch, n_blocks) in enumerate(zip(_STAGE_CHANNELS, blocks_per_stage),
+                                                     start=1):
+        for block_idx in range(1, n_blocks + 1):
+            stride = 2 if (stage_idx > 1 and block_idx == 1) else 1
+            prefix = f"s{stage_idx}b{block_idx}"
+            if block_kind == "basic":
+                cur, in_ch = _basic_block(net, prefix, cur, in_ch, stage_ch, stride)
+            else:
+                cur, in_ch = _bottleneck_block(net, prefix, cur, in_ch, stage_ch, stride)
+
+    cur = net.add(GlobalAvgPool("gap"), inputs=[cur])
+    cur = net.add(Flatten("flatten"), inputs=[cur])
+    net.add(Linear("fc", in_ch, 1000), inputs=[cur])
+    return net
+
+
+def resnet18() -> Network:
+    return resnet("resnet18")
+
+
+def resnet34() -> Network:
+    return resnet("resnet34")
+
+
+def resnet50() -> Network:
+    return resnet("resnet50")
+
+
+def resnet101() -> Network:
+    return resnet("resnet101")
+
+
+def resnet152() -> Network:
+    return resnet("resnet152")

@@ -1,0 +1,68 @@
+"""VGG series (Simonyan & Zisserman, 2014): configurations A/B/D/E.
+
+All convolutions are 3x3 pad 1; a 2x2/stride-2 max pool follows each channel
+group; the classifier is the canonical 25088-4096-4096-1000 FC stack.  The
+huge FC weights are what makes VGG the best case for Type-II/III (model)
+partitioning in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..graph import Conv2d, Dropout, Flatten, Input, Linear, Network, Pool2d, ReLU
+
+#: channel plan per VGG configuration; each inner list is one pre-pool group
+VGG_CONFIGS: Dict[str, Sequence[Sequence[int]]] = {
+    "vgg11": ([64], [128], [256, 256], [512, 512], [512, 512]),
+    "vgg13": ([64, 64], [128, 128], [256, 256], [512, 512], [512, 512]),
+    "vgg16": ([64, 64], [128, 128], [256, 256, 256], [512, 512, 512], [512, 512, 512]),
+    "vgg19": (
+        [64, 64],
+        [128, 128],
+        [256, 256, 256, 256],
+        [512, 512, 512, 512],
+        [512, 512, 512, 512],
+    ),
+}
+
+
+def vgg(config: str) -> Network:
+    """Build one of vgg11/vgg13/vgg16/vgg19."""
+    if config not in VGG_CONFIGS:
+        raise ValueError(f"unknown VGG config {config!r}; expected one of {sorted(VGG_CONFIGS)}")
+    net = Network(config, Input("input", channels=3, height=224, width=224))
+    in_ch = 3
+    conv_idx = 0
+    for group_idx, group in enumerate(VGG_CONFIGS[config], start=1):
+        for out_ch in group:
+            conv_idx += 1
+            net.add(Conv2d(f"cv{conv_idx}", in_ch, out_ch, kernel=3, stride=1, padding=1))
+            net.add(ReLU(f"relu{conv_idx}"))
+            in_ch = out_ch
+        net.add(Pool2d(f"pool{group_idx}", kernel=2, stride=2))
+    net.add(Flatten("flatten"))
+    net.add(Linear("fc1", 512 * 7 * 7, 4096))
+    net.add(ReLU("relu_fc1"))
+    net.add(Dropout("drop1", 0.5))
+    net.add(Linear("fc2", 4096, 4096))
+    net.add(ReLU("relu_fc2"))
+    net.add(Dropout("drop2", 0.5))
+    net.add(Linear("fc3", 4096, 1000))
+    return net
+
+
+def vgg11() -> Network:
+    return vgg("vgg11")
+
+
+def vgg13() -> Network:
+    return vgg("vgg13")
+
+
+def vgg16() -> Network:
+    return vgg("vgg16")
+
+
+def vgg19() -> Network:
+    return vgg("vgg19")

@@ -1,0 +1,100 @@
+"""Numeric validation substrate: execute the partition algebra for real.
+
+Everything else in the library *models* the three partitioning types; this
+package runs them with numpy on two simulated devices and checks the
+results (and the communication element counts) against a single-device
+reference — the executable proof of Section 3's algebra.
+"""
+
+from .conv_partitioned import ConvLayerPlan, ConvTwoDeviceExecutor
+from .conv_reference import (
+    CnnSpec,
+    ConvLayerSpec,
+    ConvTrace,
+    col2im,
+    conv_forward,
+    conv_input_grad,
+    conv_reference_step,
+    conv_weight_grad,
+    im2col,
+)
+from .hierarchical import HierarchicalMlpExecutor, HierCommLog, HierTrace
+from .hierarchical_conv import HierarchicalCnnExecutor
+from .plan_executor import PlanTreeMlpExecutor, mlp_network
+from .reference import (
+    MlpSpec,
+    TrainingTrace,
+    numerical_gradients,
+    reference_step,
+    relu,
+    relu_grad,
+)
+from .sharding import AxisShard, reassemble, split_point, take
+from .two_device import (
+    CommLog,
+    LayerPlanNumeric,
+    Layout,
+    PartitionedTrace,
+    TwoDeviceExecutor,
+    error_consumer_layout,
+    error_producer_layout,
+    input_layout,
+    output_layout,
+    overlap_elements,
+)
+from .validate import (
+    ValidationReport,
+    expected_conv_inter_elements,
+    expected_conv_intra_elements,
+    validate_conv_partitioned_training,
+    expected_inter_elements,
+    expected_intra_elements,
+    validate_partitioned_training,
+)
+
+__all__ = [
+    "HierCommLog",
+    "HierTrace",
+    "HierarchicalCnnExecutor",
+    "HierarchicalMlpExecutor",
+    "PlanTreeMlpExecutor",
+    "mlp_network",
+    "CnnSpec",
+    "ConvLayerPlan",
+    "ConvLayerSpec",
+    "ConvTrace",
+    "ConvTwoDeviceExecutor",
+    "col2im",
+    "conv_forward",
+    "conv_input_grad",
+    "conv_reference_step",
+    "conv_weight_grad",
+    "expected_conv_inter_elements",
+    "expected_conv_intra_elements",
+    "im2col",
+    "validate_conv_partitioned_training",
+    "AxisShard",
+    "CommLog",
+    "LayerPlanNumeric",
+    "Layout",
+    "MlpSpec",
+    "PartitionedTrace",
+    "TrainingTrace",
+    "TwoDeviceExecutor",
+    "ValidationReport",
+    "error_consumer_layout",
+    "error_producer_layout",
+    "expected_inter_elements",
+    "expected_intra_elements",
+    "input_layout",
+    "numerical_gradients",
+    "output_layout",
+    "overlap_elements",
+    "reassemble",
+    "reference_step",
+    "relu",
+    "relu_grad",
+    "split_point",
+    "take",
+    "validate_partitioned_training",
+]

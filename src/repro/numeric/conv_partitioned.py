@@ -1,0 +1,229 @@
+"""Two-device partitioned CNN training: Section 3.3 executed.
+
+The FC executor of :mod:`repro.numeric.two_device` demonstrates the three
+partitioning types on matrices; this module does the same for convolutional
+layers, where the partitionable dimensions are the batch and the
+input/output *channel* axes and the spatial extents ride along as the
+paper's "meta dimensions".  Layouts and communication counting reuse the FC
+machinery on the (batch, channel) grid, scaled by the spatial size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import PartitionType
+from .conv_reference import (
+    CnnSpec,
+    ConvTrace,
+    conv_forward,
+    conv_input_grad,
+    conv_weight_grad,
+)
+from .reference import relu, relu_grad
+from .sharding import AxisShard, reassemble, split_point, take
+from .two_device import CommLog, Layout, overlap_elements
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+@dataclass(frozen=True)
+class ConvLayerPlan:
+    """One CONV layer's partition: type + ratio (integer split derived)."""
+
+    ptype: PartitionType
+    ratio: float
+
+    def shard_for(self, batch: int, c_in: int, c_out: int) -> AxisShard:
+        if self.ptype is I:
+            return AxisShard(batch, split_point(batch, self.ratio))
+        if self.ptype is II:
+            return AxisShard(c_in, split_point(c_in, self.ratio))
+        return AxisShard(c_out, split_point(c_out, self.ratio))
+
+    def effective_alpha(self, batch: int, c_in: int, c_out: int) -> float:
+        shard = self.shard_for(batch, c_in, c_out)
+        return shard.split / shard.size
+
+
+def _conv_input_layout(plan: ConvLayerPlan, batch, c_in, c_out) -> Layout:
+    shard = plan.shard_for(batch, c_in, c_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("col", shard)
+    return Layout("full")
+
+
+def _conv_output_layout(plan: ConvLayerPlan, batch, c_in, c_out) -> Layout:
+    shard = plan.shard_for(batch, c_in, c_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("full")
+    return Layout("col", shard)
+
+
+def _error_consumer_layout(plan: ConvLayerPlan, batch, c_in, c_out) -> Layout:
+    return _conv_output_layout(plan, batch, c_in, c_out)
+
+
+def _error_producer_layout(plan: ConvLayerPlan, batch, c_in, c_out) -> Layout:
+    shard = plan.shard_for(batch, c_in, c_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("col", shard)
+    return Layout("full")
+
+
+def _device_part4d(full: np.ndarray, layout: Layout, device: int) -> np.ndarray:
+    """Slice a (B, C, H, W) tensor per a (batch, channel) layout."""
+    if layout.kind == "full":
+        return full
+    assert layout.shard is not None
+    axis = 0 if layout.kind == "row" else 1
+    return take(full, layout.shard, device, axis)
+
+
+class ConvTwoDeviceExecutor:
+    """Execute one CNN training step partitioned over two devices."""
+
+    def __init__(
+        self,
+        spec: CnnSpec,
+        weights: Sequence[np.ndarray],
+        plan: Sequence[ConvLayerPlan],
+        batch: int,
+    ):
+        if len(plan) != spec.n_layers:
+            raise ValueError(
+                f"plan has {len(plan)} entries for {spec.n_layers} layers"
+            )
+        self.spec = spec
+        self.plan = list(plan)
+        self.batch = batch
+        self.weights = [w.astype(np.float64) for w in weights]
+        geoms = spec.geometries()
+        #: (batch, c_in, c_out) per layer plus input/output spatial sizes
+        self._dims = [
+            (batch, spec.layers[k].in_channels, spec.layers[k].out_channels)
+            for k in range(spec.n_layers)
+        ]
+        self._spatial_in = [g[1] * g[2] for g in geoms[:-1]]
+        self._spatial_out = [g[1] * g[2] for g in geoms[1:]]
+
+    def _weight_parts(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        plan = self.plan[k]
+        w = self.weights[k]
+        if plan.ptype is I:
+            return w, w
+        shard = plan.shard_for(*self._dims[k])
+        axis = 0 if plan.ptype is II else 1
+        return take(w, shard, 0, axis), take(w, shard, 1, axis)
+
+    def _reshard4d(
+        self,
+        full: np.ndarray,
+        src: Layout,
+        dst: Layout,
+        log_table: Dict[str, Tuple[int, int]],
+        log: CommLog,
+        key: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-layout a (B, C, H, W) tensor, counting fetched elements."""
+        b, c = full.shape[0], full.shape[1]
+        spatial = full.shape[2] * full.shape[3]
+        fetches = []
+        for device in (0, 1):
+            rows, cols = dst.owned_extent(device, (b, c))
+            needed = rows * cols
+            owned = overlap_elements(src, dst, device, (b, c))
+            fetches.append((needed - owned) * spatial)
+        log.record(log_table, key, fetches[0], fetches[1])
+        return _device_part4d(full, dst, 0), _device_part4d(full, dst, 1)
+
+    def step(self, x: np.ndarray,
+             target: np.ndarray) -> Tuple[ConvTrace, CommLog]:
+        n = self.spec.n_layers
+        log = CommLog()
+
+        full_acts: List[np.ndarray] = [x.astype(np.float64)]
+        consumed: List[Tuple[np.ndarray, np.ndarray]] = []
+        pre_acts: List[np.ndarray] = []
+        producer = Layout("full")
+
+        for k in range(n):
+            plan = self.plan[k]
+            layer = self.spec.layers[k]
+            in_layout = _conv_input_layout(plan, *self._dims[k])
+            a0, a1 = self._reshard4d(full_acts[-1], producer, in_layout,
+                                     log.inter_forward, log, f"boundary{k}")
+            consumed.append((a0, a1))
+            w0, w1 = self._weight_parts(k)
+
+            z0 = conv_forward(a0, w0, layer.stride, layer.padding)
+            z1 = conv_forward(a1, w1, layer.stride, layer.padding)
+            if plan.ptype is II:
+                log.record(log.intra, f"layer{k}", z1.size, z0.size)
+                z_full = z0 + z1
+            else:
+                axis = 0 if plan.ptype is I else 1
+                z_full = reassemble(z0, z1, axis)
+
+            pre_acts.append(z_full)
+            full_acts.append(relu(z_full) if k < n - 1 else z_full)
+            producer = _conv_output_layout(plan, *self._dims[k])
+
+        output = full_acts[-1]
+        loss = 0.5 * float(np.sum((output - target) ** 2))
+
+        gradients: List[Optional[np.ndarray]] = [None] * n
+        err_full = output - target
+        err_layout = Layout("full")
+
+        for k in range(n - 1, -1, -1):
+            plan = self.plan[k]
+            layer = self.spec.layers[k]
+            need = _error_consumer_layout(plan, *self._dims[k])
+            e0, e1 = self._reshard4d(err_full, err_layout, need,
+                                     log.inter_backward, log, f"boundary{k + 1}")
+            a0, a1 = consumed[k]
+            w0, w1 = self._weight_parts(k)
+
+            g0 = conv_weight_grad(a0, e0, w0.shape, layer.stride, layer.padding)
+            g1 = conv_weight_grad(a1, e1, w1.shape, layer.stride, layer.padding)
+            if plan.ptype is I:
+                log.record(log.intra, f"layer{k}", g1.size, g0.size)
+                gradients[k] = g0 + g1
+            elif plan.ptype is II:
+                gradients[k] = reassemble(g0, g1, axis=0)
+            else:
+                gradients[k] = reassemble(g0, g1, axis=1)
+
+            if k == 0:
+                break
+
+            p0 = conv_input_grad(e0, w0, a0.shape, layer.stride, layer.padding)
+            p1 = conv_input_grad(e1, w1, a1.shape, layer.stride, layer.padding)
+            if plan.ptype is III:
+                log.record(log.intra, f"layer{k}", p1.size, p0.size)
+                p_full = p0 + p1
+            elif plan.ptype is II:
+                p_full = reassemble(p0, p1, axis=1)
+            else:
+                p_full = reassemble(p0, p1, axis=0)
+
+            err_full = p_full * relu_grad(pre_acts[k - 1])
+            err_layout = _error_producer_layout(plan, *self._dims[k])
+
+        return ConvTrace(
+            activations=full_acts,
+            pre_activations=pre_acts,
+            errors=[],
+            gradients=[g for g in gradients if g is not None],
+            loss=loss,
+        ), log

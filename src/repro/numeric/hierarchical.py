@@ -1,0 +1,219 @@
+"""Hierarchical (multi-level) numeric execution of MLP training.
+
+The two-device executor validates one split; this module validates the
+*recursive* scheme of Section 5.1: a pairing tree of depth ``h`` (2^h leaf
+devices) where every level assigns each layer a partition type and ratio.
+Each phase of each layer is computed by structural recursion over the
+levels:
+
+* **Type-I** level — the batch rows split; subtrees compute disjoint row
+  blocks (concat to combine);
+* **Type-II** level — the reduction dimension splits (A's columns, W's
+  rows); subtrees produce full-shape partial sums that are exchanged and
+  added — the level's intra-layer communication;
+* **Type-III** level — W's columns split; subtrees produce disjoint column
+  blocks (concat).
+
+Backward and gradient recurse with the roles rotated exactly as Table 3
+prescribes.  The executor counts the partial-sum elements exchanged at each
+level, which certifies the per-level accounting of the performance
+simulator — e.g. that pure data parallelism really pays the *full* A(W_l)
+exchange at every one of its h levels.
+
+Inter-layer re-sharding across nested layouts is performed exactly but not
+metered per level (the two-device executor already certifies Table 5); the
+levels' psum traffic is the quantity of interest here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import PartitionType
+from .reference import MlpSpec, relu, relu_grad
+from .sharding import split_point
+from .two_device import LayerPlanNumeric
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+@dataclass
+class HierCommLog:
+    """Partial-sum elements exchanged per (level, layer)."""
+
+    psum_elements: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    def record(self, level: int, layer: str, elements: int) -> None:
+        key = (level, layer)
+        self.psum_elements[key] = self.psum_elements.get(key, 0) + elements
+
+    def per_level_totals(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for (level, _), elements in self.psum_elements.items():
+            out[level] = out.get(level, 0) + elements
+        return out
+
+
+@dataclass
+class HierTrace:
+    activations: List[np.ndarray]
+    gradients: List[np.ndarray]
+    loss: float
+    comm: HierCommLog
+    n_leaf_devices: int
+
+
+def _split_rows(m: np.ndarray, ratio: float) -> Tuple[np.ndarray, np.ndarray]:
+    cut = split_point(m.shape[0], ratio)
+    return m[:cut], m[cut:]
+
+
+def _split_cols(m: np.ndarray, ratio: float) -> Tuple[np.ndarray, np.ndarray]:
+    cut = split_point(m.shape[1], ratio)
+    return m[:, :cut], m[:, cut:]
+
+
+class HierarchicalMlpExecutor:
+    """Execute one MLP training step over a symmetric pairing tree.
+
+    ``level_plans[l][k]`` is the (type, ratio) of layer ``k`` at hierarchy
+    level ``l`` (level 0 = root split).  The same level plan applies across
+    all sibling nodes of a level — the symmetric-subtree situation the
+    planner's memoization exploits.
+    """
+
+    def __init__(
+        self,
+        spec: MlpSpec,
+        weights: Sequence[np.ndarray],
+        level_plans: Sequence[Sequence[LayerPlanNumeric]],
+        batch: int,
+    ):
+        for l, plans in enumerate(level_plans):
+            if len(plans) != spec.n_layers:
+                raise ValueError(
+                    f"level {l} has {len(plans)} assignments for "
+                    f"{spec.n_layers} layers"
+                )
+        self.spec = spec
+        self.weights = [w.astype(np.float64) for w in weights]
+        self.level_plans = [list(p) for p in level_plans]
+        self.batch = batch
+        self.n_levels = len(level_plans)
+
+    @property
+    def n_leaf_devices(self) -> int:
+        return 2 ** self.n_levels
+
+    # -- recursive phase kernels ----------------------------------------
+    def _forward(self, level: int, k: int, a: np.ndarray, w: np.ndarray,
+                 log: HierCommLog) -> np.ndarray:
+        """Z = A @ W via the level's partitioning (recursive)."""
+        if level == self.n_levels:
+            return a @ w
+        plan = self.level_plans[level][k]
+        name = f"fc{k}"
+        if plan.ptype is I:
+            a0, a1 = _split_rows(a, plan.ratio)
+            z0 = self._forward(level + 1, k, a0, w, log)
+            z1 = self._forward(level + 1, k, a1, w, log)
+            return np.concatenate([z0, z1], axis=0)
+        if plan.ptype is II:
+            a0, a1 = _split_cols(a, plan.ratio)
+            w0, w1 = _split_rows(w, plan.ratio)
+            z0 = self._forward(level + 1, k, a0, w0, log)
+            z1 = self._forward(level + 1, k, a1, w1, log)
+            # both sides fetch the peer's full partial sum (Table 4, Type-II)
+            log.record(level, name, z0.size + z1.size)
+            return z0 + z1
+        w0, w1 = _split_cols(w, plan.ratio)
+        z0 = self._forward(level + 1, k, a, w0, log)
+        z1 = self._forward(level + 1, k, a, w1, log)
+        return np.concatenate([z0, z1], axis=1)
+
+    def _backward(self, level: int, k: int, e: np.ndarray, w: np.ndarray,
+                  log: HierCommLog) -> np.ndarray:
+        """P = E @ W^T via the level's partitioning (recursive)."""
+        if level == self.n_levels:
+            return e @ w.T
+        plan = self.level_plans[level][k]
+        name = f"fc{k}"
+        if plan.ptype is I:
+            e0, e1 = _split_rows(e, plan.ratio)
+            p0 = self._backward(level + 1, k, e0, w, log)
+            p1 = self._backward(level + 1, k, e1, w, log)
+            return np.concatenate([p0, p1], axis=0)
+        if plan.ptype is II:
+            w0, w1 = _split_rows(w, plan.ratio)
+            p0 = self._backward(level + 1, k, e, w0, log)
+            p1 = self._backward(level + 1, k, e, w1, log)
+            return np.concatenate([p0, p1], axis=1)
+        e0, e1 = _split_cols(e, plan.ratio)
+        w0, w1 = _split_cols(w, plan.ratio)
+        p0 = self._backward(level + 1, k, e0, w0, log)
+        p1 = self._backward(level + 1, k, e1, w1, log)
+        # Type-III backward produces full-shape partial sums (Table 4)
+        log.record(level, name, p0.size + p1.size)
+        return p0 + p1
+
+    def _gradient(self, level: int, k: int, a: np.ndarray, e: np.ndarray,
+                  log: HierCommLog) -> np.ndarray:
+        """G = A^T @ E via the level's partitioning (recursive)."""
+        if level == self.n_levels:
+            return a.T @ e
+        plan = self.level_plans[level][k]
+        name = f"fc{k}"
+        if plan.ptype is I:
+            a0, a1 = _split_rows(a, plan.ratio)
+            e0, e1 = _split_rows(e, plan.ratio)
+            g0 = self._gradient(level + 1, k, a0, e0, log)
+            g1 = self._gradient(level + 1, k, a1, e1, log)
+            # Type-I gradient: the classic full-ΔW exchange at this level
+            log.record(level, name, g0.size + g1.size)
+            return g0 + g1
+        if plan.ptype is II:
+            a0, a1 = _split_cols(a, plan.ratio)
+            g0 = self._gradient(level + 1, k, a0, e, log)
+            g1 = self._gradient(level + 1, k, a1, e, log)
+            return np.concatenate([g0, g1], axis=0)
+        e0, e1 = _split_cols(e, plan.ratio)
+        g0 = self._gradient(level + 1, k, a, e0, log)
+        g1 = self._gradient(level + 1, k, a, e1, log)
+        return np.concatenate([g0, g1], axis=1)
+
+    # -- one training step ------------------------------------------------
+    def step(self, x: np.ndarray, target: np.ndarray) -> HierTrace:
+        n = self.spec.n_layers
+        log = HierCommLog()
+
+        activations = [x.astype(np.float64)]
+        pre_acts: List[np.ndarray] = []
+        for k in range(n):
+            z = self._forward(0, k, activations[-1], self.weights[k], log)
+            pre_acts.append(z)
+            activations.append(relu(z) if k < n - 1 else z)
+
+        output = activations[-1]
+        loss = 0.5 * float(np.sum((output - target) ** 2))
+
+        errors: List[Optional[np.ndarray]] = [None] * n
+        errors[n - 1] = output - target
+        for k in range(n - 2, -1, -1):
+            propagated = self._backward(0, k + 1, errors[k + 1],
+                                        self.weights[k + 1], log)
+            errors[k] = propagated * relu_grad(pre_acts[k])
+
+        gradients = [
+            self._gradient(0, k, activations[k], errors[k], log)
+            for k in range(n)
+        ]
+        return HierTrace(
+            activations=activations,
+            gradients=gradients,
+            loss=loss,
+            comm=log,
+            n_leaf_devices=self.n_leaf_devices,
+        )

@@ -1,0 +1,190 @@
+"""Hierarchical (multi-level) numeric execution of CNN training.
+
+The CONV counterpart of :mod:`repro.numeric.hierarchical`: nested partition
+types over a symmetric pairing tree, with convolution kernels in place of
+mat-muls.  The recursion is structurally identical — Type-I splits the
+batch axis, Type-II the input-channel axis (of both F and W), Type-III the
+output-channel axis of W — which is itself the point: Section 3.3's claim
+that CONV changes the arithmetic but not the partition structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import PartitionType
+from .conv_partitioned import ConvLayerPlan
+from .conv_reference import (
+    CnnSpec,
+    ConvTrace,
+    conv_forward,
+    conv_input_grad,
+    conv_weight_grad,
+)
+from .hierarchical import HierCommLog
+from .reference import relu, relu_grad
+from .sharding import split_point
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+def _split_axis(t: np.ndarray, axis: int, ratio: float):
+    cut = split_point(t.shape[axis], ratio)
+    index_lo = [slice(None)] * t.ndim
+    index_hi = [slice(None)] * t.ndim
+    index_lo[axis] = slice(0, cut)
+    index_hi[axis] = slice(cut, t.shape[axis])
+    return t[tuple(index_lo)], t[tuple(index_hi)]
+
+
+class HierarchicalCnnExecutor:
+    """Execute one CNN training step over a symmetric pairing tree.
+
+    ``level_plans[l][k]`` assigns layer ``k`` a (type, ratio) at level
+    ``l``; the same plan applies across a level's sibling nodes.
+    """
+
+    def __init__(
+        self,
+        spec: CnnSpec,
+        weights: Sequence[np.ndarray],
+        level_plans: Sequence[Sequence[ConvLayerPlan]],
+        batch: int,
+    ):
+        for l, plans in enumerate(level_plans):
+            if len(plans) != spec.n_layers:
+                raise ValueError(
+                    f"level {l} has {len(plans)} assignments for "
+                    f"{spec.n_layers} layers"
+                )
+        self.spec = spec
+        self.weights = [w.astype(np.float64) for w in weights]
+        self.level_plans = [list(p) for p in level_plans]
+        self.batch = batch
+        self.n_levels = len(level_plans)
+
+    @property
+    def n_leaf_devices(self) -> int:
+        return 2 ** self.n_levels
+
+    # -- recursive kernels ------------------------------------------------
+    def _forward(self, level: int, k: int, a: np.ndarray, w: np.ndarray,
+                 log: HierCommLog) -> np.ndarray:
+        layer = self.spec.layers[k]
+        if level == self.n_levels:
+            return conv_forward(a, w, layer.stride, layer.padding)
+        plan = self.level_plans[level][k]
+        name = f"cv{k}"
+        if plan.ptype is I:
+            a0, a1 = _split_axis(a, 0, plan.ratio)
+            z0 = self._forward(level + 1, k, a0, w, log)
+            z1 = self._forward(level + 1, k, a1, w, log)
+            return np.concatenate([z0, z1], axis=0)
+        if plan.ptype is II:
+            a0, a1 = _split_axis(a, 1, plan.ratio)
+            w0, w1 = _split_axis(w, 0, plan.ratio)
+            z0 = self._forward(level + 1, k, a0, w0, log)
+            z1 = self._forward(level + 1, k, a1, w1, log)
+            log.record(level, name, z0.size + z1.size)
+            return z0 + z1
+        w0, w1 = _split_axis(w, 1, plan.ratio)
+        z0 = self._forward(level + 1, k, a, w0, log)
+        z1 = self._forward(level + 1, k, a, w1, log)
+        return np.concatenate([z0, z1], axis=1)
+
+    def _backward(self, level: int, k: int, e: np.ndarray, w: np.ndarray,
+                  x_shape: Tuple[int, int, int, int],
+                  log: HierCommLog) -> np.ndarray:
+        layer = self.spec.layers[k]
+        if level == self.n_levels:
+            return conv_input_grad(e, w, x_shape, layer.stride, layer.padding)
+        plan = self.level_plans[level][k]
+        name = f"cv{k}"
+        b, c, h, wd = x_shape
+        if plan.ptype is I:
+            e0, e1 = _split_axis(e, 0, plan.ratio)
+            cut = split_point(b, plan.ratio)
+            p0 = self._backward(level + 1, k, e0, w, (cut, c, h, wd), log)
+            p1 = self._backward(level + 1, k, e1, w, (b - cut, c, h, wd), log)
+            return np.concatenate([p0, p1], axis=0)
+        if plan.ptype is II:
+            w0, w1 = _split_axis(w, 0, plan.ratio)
+            cut = split_point(c, plan.ratio)
+            p0 = self._backward(level + 1, k, e, w0, (b, cut, h, wd), log)
+            p1 = self._backward(level + 1, k, e, w1, (b, c - cut, h, wd), log)
+            return np.concatenate([p0, p1], axis=1)
+        e0, e1 = _split_axis(e, 1, plan.ratio)
+        w0, w1 = _split_axis(w, 1, plan.ratio)
+        p0 = self._backward(level + 1, k, e0, w0, x_shape, log)
+        p1 = self._backward(level + 1, k, e1, w1, x_shape, log)
+        log.record(level, name, p0.size + p1.size)
+        return p0 + p1
+
+    def _gradient(self, level: int, k: int, a: np.ndarray, e: np.ndarray,
+                  w_shape, log: HierCommLog) -> np.ndarray:
+        layer = self.spec.layers[k]
+        if level == self.n_levels:
+            return conv_weight_grad(a, e, w_shape, layer.stride, layer.padding)
+        plan = self.level_plans[level][k]
+        name = f"cv{k}"
+        c_in, c_out, kh, kw = w_shape
+        if plan.ptype is I:
+            a0, a1 = _split_axis(a, 0, plan.ratio)
+            e0, e1 = _split_axis(e, 0, plan.ratio)
+            g0 = self._gradient(level + 1, k, a0, e0, w_shape, log)
+            g1 = self._gradient(level + 1, k, a1, e1, w_shape, log)
+            log.record(level, name, g0.size + g1.size)
+            return g0 + g1
+        if plan.ptype is II:
+            a0, a1 = _split_axis(a, 1, plan.ratio)
+            cut = split_point(c_in, plan.ratio)
+            g0 = self._gradient(level + 1, k, a0, e, (cut, c_out, kh, kw), log)
+            g1 = self._gradient(level + 1, k, a1, e,
+                                (c_in - cut, c_out, kh, kw), log)
+            return np.concatenate([g0, g1], axis=0)
+        e0, e1 = _split_axis(e, 1, plan.ratio)
+        cut = split_point(c_out, plan.ratio)
+        g0 = self._gradient(level + 1, k, a, e0, (c_in, cut, kh, kw), log)
+        g1 = self._gradient(level + 1, k, a, e1,
+                            (c_in, c_out - cut, kh, kw), log)
+        return np.concatenate([g0, g1], axis=1)
+
+    # -- one training step --------------------------------------------------
+    def step(self, x: np.ndarray, target: np.ndarray):
+        n = self.spec.n_layers
+        log = HierCommLog()
+
+        activations = [x.astype(np.float64)]
+        pre_acts: List[np.ndarray] = []
+        for k in range(n):
+            z = self._forward(0, k, activations[-1], self.weights[k], log)
+            pre_acts.append(z)
+            activations.append(relu(z) if k < n - 1 else z)
+
+        output = activations[-1]
+        loss = 0.5 * float(np.sum((output - target) ** 2))
+
+        errors: List[Optional[np.ndarray]] = [None] * n
+        errors[n - 1] = output - target
+        for k in range(n - 2, -1, -1):
+            propagated = self._backward(
+                0, k + 1, errors[k + 1], self.weights[k + 1],
+                activations[k + 1].shape, log,
+            )
+            errors[k] = propagated * relu_grad(pre_acts[k])
+
+        gradients = [
+            self._gradient(0, k, activations[k], errors[k],
+                           self.weights[k].shape, log)
+            for k in range(n)
+        ]
+        trace = ConvTrace(
+            activations=activations,
+            pre_activations=pre_acts,
+            errors=[e for e in errors if e is not None],
+            gradients=gradients,
+            loss=loss,
+        )
+        return trace, log

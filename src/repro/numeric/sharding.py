@@ -1,0 +1,61 @@
+"""Tensor sharding helpers for the numeric two-device executor.
+
+The analytic library works with fractional shares; the numeric validator
+executes real matrices, so shares become integer split points.  These
+helpers slice and reassemble numpy arrays along one axis and keep the
+bookkeeping (which rows/columns a device owns) in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AxisShard:
+    """A contiguous shard of one axis: device 0 gets [0, split), device 1
+    gets [split, size)."""
+
+    size: int
+    split: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.split < self.size:
+            raise ValueError(
+                f"split must be strictly inside (0, {self.size}), got {self.split}"
+            )
+
+    @property
+    def sizes(self) -> Tuple[int, int]:
+        return self.split, self.size - self.split
+
+    def slice_of(self, device: int) -> slice:
+        if device == 0:
+            return slice(0, self.split)
+        if device == 1:
+            return slice(self.split, self.size)
+        raise ValueError(f"device must be 0 or 1, got {device}")
+
+
+def split_point(size: int, ratio: float) -> int:
+    """Integer split of ``size`` closest to ``ratio``, keeping both parts
+    non-empty."""
+    if size < 2:
+        raise ValueError(f"cannot split an axis of size {size} two ways")
+    point = int(round(size * ratio))
+    return min(max(point, 1), size - 1)
+
+
+def take(tensor: np.ndarray, shard: AxisShard, device: int, axis: int) -> np.ndarray:
+    """The shard of ``tensor`` owned by ``device`` along ``axis``."""
+    index = [slice(None)] * tensor.ndim
+    index[axis] = shard.slice_of(device)
+    return tensor[tuple(index)]
+
+
+def reassemble(part0: np.ndarray, part1: np.ndarray, axis: int) -> np.ndarray:
+    """Concatenate the two devices' shards back into the full tensor."""
+    return np.concatenate([part0, part1], axis=axis)

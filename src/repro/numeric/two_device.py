@@ -1,0 +1,354 @@
+"""Two-device partitioned MLP training: a numeric execution of Section 3.
+
+This module *executes* the three basic tensor-partitioning types with real
+numpy matrices on two simulated devices, including every exchange the paper
+derives:
+
+* the per-type tensor layouts (which device holds which rows/columns of
+  F, W, E — Figure 1);
+* the intra-layer partial-sum exchanges of Table 4 (gradient psums under
+  Type-I, forward psums under Type-II, backward psums under Type-III);
+* the inter-layer re-sharding of the boundary tensors between two adjacent
+  layers' types, whose transferred element counts realize Table 5.
+
+The executor counts every remotely fetched element, so the tests can check
+the analytic communication model against an actual execution, and compare
+the computed activations/gradients bit-for-bit (float64) against the
+single-device reference of :mod:`repro.numeric.reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import PartitionType
+from .reference import MlpSpec, relu, relu_grad
+from .sharding import AxisShard, reassemble, split_point, take
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+# ----------------------------------------------------------------------
+# layouts: how a boundary tensor of shape (B, D) is distributed
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Layout:
+    """Distribution of a (B, D) matrix over the two devices.
+
+    ``kind`` is ``"full"`` (replicated), ``"row"`` (batch-sharded) or
+    ``"col"`` (feature-sharded); ``shard`` carries the split for the
+    sharded kinds.
+    """
+
+    kind: str
+    shard: Optional[AxisShard] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("full", "row", "col"):
+            raise ValueError(f"unknown layout kind {self.kind!r}")
+        if (self.kind == "full") != (self.shard is None):
+            raise ValueError("full layouts carry no shard; sharded layouts must")
+
+    def owned_extent(self, device: int, shape: Tuple[int, int]) -> Tuple[int, int]:
+        """(rows, cols) of the region this device owns."""
+        rows, cols = shape
+        if self.kind == "full":
+            return rows, cols
+        assert self.shard is not None
+        size = self.shard.sizes[device]
+        return (size, cols) if self.kind == "row" else (rows, size)
+
+    def device_part(self, full: np.ndarray, device: int) -> np.ndarray:
+        if self.kind == "full":
+            return full
+        assert self.shard is not None
+        axis = 0 if self.kind == "row" else 1
+        return take(full, self.shard, device, axis)
+
+
+def overlap_elements(a: Layout, b: Layout, device: int,
+                     shape: Tuple[int, int]) -> int:
+    """Elements of ``shape`` a device owns under BOTH layouts.
+
+    Used to count re-sharding traffic: what a device needs under the new
+    layout minus what it already holds under the old one.
+    """
+    rows, cols = shape
+
+    def ranges(layout: Layout) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        if layout.kind == "full":
+            return (0, rows), (0, cols)
+        assert layout.shard is not None
+        sl = layout.shard.slice_of(device)
+        if layout.kind == "row":
+            return (sl.start, sl.stop), (0, cols)
+        return (0, rows), (sl.start, sl.stop)
+
+    (r0a, r1a), (c0a, c1a) = ranges(a)
+    (r0b, r1b), (c0b, c1b) = ranges(b)
+    row_overlap = max(0, min(r1a, r1b) - max(r0a, r0b))
+    col_overlap = max(0, min(c1a, c1b) - max(c0a, c0b))
+    return row_overlap * col_overlap
+
+
+@dataclass
+class CommLog:
+    """Remotely fetched element counts, per category and device."""
+
+    intra: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    inter_forward: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    inter_backward: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, table: Dict[str, Tuple[int, int]], key: str,
+               d0: int, d1: int) -> None:
+        prev = table.get(key, (0, 0))
+        table[key] = (prev[0] + d0, prev[1] + d1)
+
+    def total_elements(self) -> int:
+        return sum(
+            a + b
+            for table in (self.intra, self.inter_forward, self.inter_backward)
+            for a, b in table.values()
+        )
+
+
+# ----------------------------------------------------------------------
+# per-layer partition state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerPlanNumeric:
+    """One layer's numeric partition: type + the integer split it induces."""
+
+    ptype: PartitionType
+    ratio: float
+
+    def shard_for(self, batch: int, d_in: int, d_out: int) -> AxisShard:
+        if self.ptype is I:
+            return AxisShard(batch, split_point(batch, self.ratio))
+        if self.ptype is II:
+            return AxisShard(d_in, split_point(d_in, self.ratio))
+        return AxisShard(d_out, split_point(d_out, self.ratio))
+
+    def effective_alpha(self, batch: int, d_in: int, d_out: int) -> float:
+        shard = self.shard_for(batch, d_in, d_out)
+        return shard.split / shard.size
+
+
+def input_layout(plan: LayerPlanNumeric, batch: int, d_in: int,
+                 d_out: int) -> Layout:
+    """Layout in which a layer consumes its input F_l (and holds A_l)."""
+    shard = plan.shard_for(batch, d_in, d_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("col", shard)
+    return Layout("full")
+
+
+def output_layout(plan: LayerPlanNumeric, batch: int, d_in: int,
+                  d_out: int) -> Layout:
+    """Layout in which a layer's output F_{l+1} materializes after forward
+    (post psum-exchange for Type-II)."""
+    shard = plan.shard_for(batch, d_in, d_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("full")
+    return Layout("col", shard)
+
+
+def error_consumer_layout(plan: LayerPlanNumeric, batch: int, d_in: int,
+                          d_out: int) -> Layout:
+    """Layout in which a layer needs its output error E_{l+1}."""
+    shard = plan.shard_for(batch, d_in, d_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("full")
+    return Layout("col", shard)
+
+
+def error_producer_layout(plan: LayerPlanNumeric, batch: int, d_in: int,
+                          d_out: int) -> Layout:
+    """Layout of the propagated error P = E_{l+1} W^T after a layer's
+    backward phase (post psum-exchange for Type-III)."""
+    shard = plan.shard_for(batch, d_in, d_out)
+    if plan.ptype is I:
+        return Layout("row", shard)
+    if plan.ptype is II:
+        return Layout("col", shard)
+    return Layout("full")
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+@dataclass
+class PartitionedTrace:
+    """Results of one partitioned training step, reassembled."""
+
+    activations: List[np.ndarray]
+    gradients: List[np.ndarray]
+    loss: float
+    comm: CommLog
+
+
+class TwoDeviceExecutor:
+    """Execute one training step of an MLP partitioned over two devices."""
+
+    def __init__(
+        self,
+        spec: MlpSpec,
+        weights: Sequence[np.ndarray],
+        plan: Sequence[LayerPlanNumeric],
+        batch: int,
+    ):
+        if len(plan) != spec.n_layers:
+            raise ValueError(
+                f"plan has {len(plan)} entries for {spec.n_layers} layers"
+            )
+        self.spec = spec
+        self.plan = list(plan)
+        self.batch = batch
+        self.weights = [w.astype(np.float64) for w in weights]
+        self._dims = [
+            (batch, spec.widths[k], spec.widths[k + 1])
+            for k in range(spec.n_layers)
+        ]
+
+    # -- helpers --------------------------------------------------------
+    def _weight_parts(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Each device's shard of W_k per the layer's type (Figure 1)."""
+        plan = self.plan[k]
+        w = self.weights[k]
+        if plan.ptype is I:
+            return w, w  # replicated
+        shard = plan.shard_for(*self._dims[k])
+        axis = 0 if plan.ptype is II else 1
+        return take(w, shard, 0, axis), take(w, shard, 1, axis)
+
+    def _reshard(
+        self,
+        full: np.ndarray,
+        src: Layout,
+        dst: Layout,
+        log_table: Dict[str, Tuple[int, int]],
+        log: CommLog,
+        key: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Convert a boundary tensor between layouts, counting fetches."""
+        shape = (full.shape[0], full.shape[1])
+        fetches = []
+        for device in (0, 1):
+            needed_rows, needed_cols = dst.owned_extent(device, shape)
+            needed = needed_rows * needed_cols
+            fetches.append(needed - overlap_elements(src, dst, device, shape))
+        log.record(log_table, key, fetches[0], fetches[1])
+        return dst.device_part(full, 0), dst.device_part(full, 1)
+
+    # -- the step -------------------------------------------------------
+    def step(self, x: np.ndarray, target: np.ndarray) -> PartitionedTrace:
+        n = self.spec.n_layers
+        log = CommLog()
+
+        # forward ------------------------------------------------------
+        full_acts: List[np.ndarray] = [x.astype(np.float64)]
+        consumed_parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        pre_acts_full: List[np.ndarray] = []
+        producer_layout = Layout("full")  # network input is replicated
+
+        for k in range(n):
+            plan = self.plan[k]
+            dims = self._dims[k]
+            in_layout = input_layout(plan, *dims)
+            a0, a1 = self._reshard(
+                full_acts[-1], producer_layout, in_layout,
+                log.inter_forward, log, f"boundary{k}",
+            )
+            consumed_parts.append((a0, a1))
+            w0, w1 = self._weight_parts(k)
+
+            if plan.ptype is II:
+                # partial products over the split reduction dimension
+                z0 = a0 @ w0
+                z1 = a1 @ w1
+                # intra-layer exchange: each device fetches the peer's psum
+                log.record(log.intra, f"layer{k}", z1.size, z0.size)
+                z_full = z0 + z1
+            else:
+                z0 = a0 @ w0
+                z1 = a1 @ w1
+                axis = 0 if plan.ptype is I else 1
+                z_full = reassemble(z0, z1, axis)
+
+            pre_acts_full.append(z_full)
+            activated = relu(z_full) if k < n - 1 else z_full
+            full_acts.append(activated)
+            producer_layout = output_layout(plan, *dims)
+
+        output = full_acts[-1]
+        loss = 0.5 * float(np.sum((output - target) ** 2))
+
+        # backward + gradient -------------------------------------------
+        gradients: List[Optional[np.ndarray]] = [None] * n
+        err_full = output - target  # dL/dZ_{n-1}
+        err_layout = Layout("full")  # the loss produces it replicated
+
+        for k in range(n - 1, -1, -1):
+            plan = self.plan[k]
+            dims = self._dims[k]
+            need_layout = error_consumer_layout(plan, *dims)
+            e0, e1 = self._reshard(
+                err_full, err_layout, need_layout,
+                log.inter_backward, log, f"boundary{k + 1}",
+            )
+            a0, a1 = consumed_parts[k]
+            w0, w1 = self._weight_parts(k)
+
+            # gradient phase: ΔW = F^T E
+            if plan.ptype is I:
+                g0 = a0.T @ e0
+                g1 = a1.T @ e1
+                # Table 4 Type-I: both devices fetch the peer's ΔW psum
+                log.record(log.intra, f"layer{k}", g1.size, g0.size)
+                gradients[k] = g0 + g1
+            elif plan.ptype is II:
+                g0 = a0.T @ e0
+                g1 = a1.T @ e1
+                gradients[k] = reassemble(g0, g1, axis=0)
+            else:
+                g0 = a0.T @ e0
+                g1 = a1.T @ e1
+                gradients[k] = reassemble(g0, g1, axis=1)
+
+            if k == 0:
+                break
+
+            # backward phase: P = E W^T, then the ReLU mask of layer k-1
+            if plan.ptype is III:
+                p0 = e0 @ w0.T
+                p1 = e1 @ w1.T
+                # Table 4 Type-III: exchange the E_l partial sums
+                log.record(log.intra, f"layer{k}", p1.size, p0.size)
+                p_full = p0 + p1
+            elif plan.ptype is II:
+                p0 = e0 @ w0.T
+                p1 = e1 @ w1.T
+                p_full = reassemble(p0, p1, axis=1)
+            else:
+                p0 = e0 @ w0.T
+                p1 = e1 @ w1.T
+                p_full = reassemble(p0, p1, axis=0)
+
+            err_full = p_full * relu_grad(pre_acts_full[k - 1])
+            err_layout = error_producer_layout(plan, *dims)
+
+        return PartitionedTrace(
+            activations=full_acts,
+            gradients=[g for g in gradients if g is not None],
+            loss=loss,
+            comm=log,
+        )

@@ -1,0 +1,45 @@
+"""Trace-driven performance simulator for hierarchical partition plans."""
+
+from .energy import (
+    DEFAULT_ENERGY,
+    EnergyBreakdown,
+    EnergySpec,
+    events_energy,
+)
+from .engine import EngineConfig, TimeBreakdown, TimingEngine
+from .timeline import critical_path_timeline, save_chrome_trace
+from .executor import LevelRecord, SimReport, evaluate
+from .memory import MemoryReport, leaf_memory_report
+from .trace import (
+    EventKind,
+    TraceEvent,
+    granule_of,
+    layer_events,
+    layer_phase_events,
+    psum_exchange_events,
+    total_amount,
+)
+
+__all__ = [
+    "DEFAULT_ENERGY",
+    "EnergyBreakdown",
+    "EnergySpec",
+    "critical_path_timeline",
+    "events_energy",
+    "save_chrome_trace",
+    "EngineConfig",
+    "EventKind",
+    "LevelRecord",
+    "MemoryReport",
+    "SimReport",
+    "TimeBreakdown",
+    "TimingEngine",
+    "TraceEvent",
+    "evaluate",
+    "granule_of",
+    "layer_events",
+    "layer_phase_events",
+    "leaf_memory_report",
+    "psum_exchange_events",
+    "total_amount",
+]

@@ -1,0 +1,94 @@
+"""Energy accounting for simulated training iterations.
+
+Time tells half the story of a partitioning decision; the energy cost of
+data movement tells the other half.  This model charges every trace event a
+technology-scaled energy price:
+
+* compute — picojoules per FLOP (bfloat16 MAC on a 2019-era 16 nm-class
+  accelerator, amortized over the systolic array);
+* HBM traffic — picojoules per byte (HBM2 access energy);
+* network traffic — picojoules per byte (SerDes + switch traversal; an
+  order of magnitude above HBM, which is exactly why partition planning
+  matters).
+
+Defaults are order-of-magnitude figures from the architecture literature;
+they are configuration, not measurement — swap in your own technology
+numbers.  Unlike iteration *time* (a critical-path quantity), energy is
+additive over every board in the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .trace import EventKind, TraceEvent
+
+PICO = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Per-operation energy prices (picojoules)."""
+
+    pj_per_flop: float = 0.5
+    pj_per_hbm_byte: float = 7.0
+    pj_per_network_byte: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("pj_per_flop", "pj_per_hbm_byte", "pj_per_network_byte"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: nominal 16 nm-class defaults used throughout the benches
+DEFAULT_ENERGY = EnergySpec()
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per resource for one batch of events."""
+
+    compute_j: float
+    hbm_j: float
+    network_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.hbm_j + self.network_j
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j + other.compute_j,
+            hbm_j=self.hbm_j + other.hbm_j,
+            network_j=self.network_j + other.network_j,
+        )
+
+
+ZERO_ENERGY = EnergyBreakdown(0.0, 0.0, 0.0)
+
+
+def events_energy(
+    events: Iterable[TraceEvent],
+    dtype_bytes: int,
+    spec: EnergySpec = DEFAULT_ENERGY,
+) -> EnergyBreakdown:
+    """Energy of one party's aggregated trace events."""
+    flops = 0.0
+    hbm_bytes = 0.0
+    net_bytes = 0.0
+    for event in events:
+        amount = event.quantized_amount()
+        if event.kind in (EventKind.MULT, EventKind.ADD):
+            flops += amount
+        elif event.kind in (EventKind.LOAD, EventKind.STORE):
+            hbm_bytes += amount * dtype_bytes
+        elif event.kind is EventKind.NET_READ:
+            net_bytes += amount * dtype_bytes
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event kind {event.kind!r}")
+    return EnergyBreakdown(
+        compute_j=flops * spec.pj_per_flop * PICO,
+        hbm_j=hbm_bytes * spec.pj_per_hbm_byte * PICO,
+        network_j=net_bytes * spec.pj_per_network_byte * PICO,
+    )

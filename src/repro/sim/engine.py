@@ -1,0 +1,99 @@
+"""Timing engine: converts aggregated trace events into seconds.
+
+For each accelerator group the engine applies three rates: compute density
+(FLOP/s, for MULT/ADD events), HBM bandwidth (bytes/s, for LOAD/STORE) and
+network bandwidth (bytes/s, for NET_READ).  Compute and memory streams are
+overlapped (double buffering: the phase takes the slower of the two), while
+network transfers serialize with them — the conservative model matching the
+paper's separate "computation and data accessing" accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..hardware.accelerator import AcceleratorGroup
+from ..training.optimizers import SGD, OptimizerSpec
+from .energy import DEFAULT_ENERGY, EnergySpec
+from .trace import EventKind, TraceEvent
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Simulator knobs.
+
+    ``dtype_bytes`` — element width (bfloat16 by default, Section 6.1);
+    ``overlap_compute_memory`` — double-buffered execution (phase time is
+    ``max(compute, memory)``); set ``False`` for a fully serialized model;
+    ``optimizer`` — the update rule simulated at the leaves (Section 2.1:
+    the choice only adds local element-wise work and state memory).
+    """
+
+    dtype_bytes: int = 2
+    overlap_compute_memory: bool = True
+    optimizer: OptimizerSpec = field(default=SGD)
+    #: fixed per-transfer network latency (the alpha of an alpha-beta model);
+    #: 0 reproduces the paper's pure-bandwidth communication cost (Eq. 7)
+    link_latency_s: float = 0.0
+    #: per-operation energy prices used for the array-wide energy report
+    energy: EnergySpec = field(default=DEFAULT_ENERGY)
+
+    def __post_init__(self) -> None:
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        if self.link_latency_s < 0:
+            raise ValueError("link_latency_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Seconds spent per resource for one batch of events."""
+
+    compute: float
+    memory: float
+    network: float
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.memory + self.network
+
+
+class TimingEngine:
+    """Cost aggregated trace events on a given accelerator group."""
+
+    def __init__(self, config: EngineConfig = EngineConfig()):
+        self.config = config
+
+    def breakdown(self, events: Iterable[TraceEvent],
+                  group: AcceleratorGroup) -> TimeBreakdown:
+        flops = 0.0
+        mem_elements = 0.0
+        net_elements = 0.0
+        net_transfers = 0
+        for event in events:
+            amount = event.quantized_amount()
+            if event.kind in (EventKind.MULT, EventKind.ADD):
+                flops += amount
+            elif event.kind in (EventKind.LOAD, EventKind.STORE):
+                mem_elements += amount
+            elif event.kind is EventKind.NET_READ:
+                net_elements += amount
+                net_transfers += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown event kind {event.kind!r}")
+        return TimeBreakdown(
+            compute=flops / group.flops,
+            memory=mem_elements * self.config.dtype_bytes / group.memory_bandwidth,
+            network=(
+                net_elements * self.config.dtype_bytes / group.network_bandwidth
+                + net_transfers * self.config.link_latency_s
+            ),
+        )
+
+    def elapsed(self, events: Sequence[TraceEvent], group: AcceleratorGroup) -> float:
+        """Wall time for the events under the configured overlap model."""
+        b = self.breakdown(events, group)
+        if self.config.overlap_compute_memory:
+            return max(b.compute, b.memory) + b.network
+        return b.busy

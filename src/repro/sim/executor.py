@@ -1,0 +1,264 @@
+"""Plan evaluation: simulate one training iteration of a hierarchical plan.
+
+The executor walks the pairing tree together with the plan tree:
+
+* at a **leaf**, the group executes its fully-sharded slice of every layer's
+  three phases; the trace events are costed against the leaf's compute
+  density and HBM bandwidth (overlapped);
+* at an **internal node**, the two child groups exchange the level's
+  intra-layer partial sums (Table 4) and inter-layer boundary tensors
+  (Table 5); the level's time is the slower party's network time plus its
+  partial-sum additions, and the node's total is that plus the slower
+  child subtree — children execute concurrently.
+
+This evaluator is deliberately independent of the planner's Eq. 9 objective:
+schemes are *scored* here on identical terms, which is what makes the
+speedup comparisons of Section 6 meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cost_model import inter_layer_elements
+from ..core.planner import PlannedExecution
+from ..core.stages import (
+    ShardedLayerStage,
+    ShardedParallelStage,
+    ShardedStage,
+    first_workload,
+    iter_sharded_workloads,
+    last_workload,
+    shard_stages,
+)
+from ..core.hierarchy import stages_key
+from ..core.types import (
+    HierarchicalPlan,
+    LayerPartition,
+    PSUM_PHASE,
+    PartitionType,
+    Phase,
+    join_key,
+)
+from ..hardware.cluster import GroupNode
+from .energy import EnergyBreakdown, ZERO_ENERGY, events_energy
+from .engine import EngineConfig, TimingEngine
+from .memory import MemoryReport, leaf_memory_report
+from .trace import (
+    EventKind,
+    TraceEvent,
+    granule_of,
+    layer_events,
+    optimizer_update_events,
+)
+
+
+@dataclass(frozen=True)
+class LevelRecord:
+    """Communication accounting of one pairing-tree level on the critical path."""
+
+    level: int
+    comm_time: float
+    net_bytes_left: float
+    net_bytes_right: float
+
+
+@dataclass
+class SimReport:
+    """Result of simulating one training iteration."""
+
+    total_time: float
+    leaf_time: float
+    comm_time: float
+    levels: List[LevelRecord]
+    memory_worst: Optional[MemoryReport]
+    batch: int
+    energy: EnergyBreakdown = ZERO_ENERGY
+
+    @property
+    def throughput(self) -> float:
+        """Training samples per second."""
+        return self.batch / self.total_time
+
+    @property
+    def samples_per_joule(self) -> float:
+        """Training efficiency: samples processed per joule (array-wide)."""
+        if self.energy.total_j == 0.0:
+            return float("inf")
+        return self.batch / self.energy.total_j
+
+    @property
+    def fits_memory(self) -> bool:
+        return self.memory_worst is None or self.memory_worst.fits
+
+
+@dataclass
+class _NodeResult:
+    time: float
+    levels: Tuple[LevelRecord, ...]
+    leaf_time: float
+    memory_worst: Optional[MemoryReport]
+    energy: EnergyBreakdown = ZERO_ENERGY
+
+
+def _level_net_events(
+    stages: Sequence[ShardedStage],
+    assignments: Dict[str, LayerPartition],
+    entry_state: Optional[PartitionType],
+) -> Tuple[List[TraceEvent], List[TraceEvent], Optional[PartitionType]]:
+    """Per-party network/psum-add events for one level; returns exit state."""
+    events_i: List[TraceEvent] = []
+    events_j: List[TraceEvent] = []
+
+    def emit_pair(amount_i: float, amount_j: float, name: str, phase: Phase,
+                  granule: int) -> None:
+        if amount_i > 0:
+            events_i.append(TraceEvent(EventKind.NET_READ, name, phase, amount_i, granule))
+        if amount_j > 0:
+            events_j.append(TraceEvent(EventKind.NET_READ, name, phase, amount_j, granule))
+
+    def walk(sub: Sequence[ShardedStage],
+             prev: Optional[PartitionType]) -> Optional[PartitionType]:
+        for stage in sub:
+            if isinstance(stage, ShardedLayerStage):
+                sw = stage.workload
+                lp = assignments[sw.name]
+                g = granule_of(sw)
+                phase = PSUM_PHASE[lp.ptype]
+                # intra-layer: both parties fetch the peer's partial sums and add
+                psum = sw.a_psum(lp.ptype)
+                emit_pair(psum, psum, sw.name, phase, g)
+                events_i.append(TraceEvent(EventKind.ADD, sw.name, phase, psum, g))
+                events_j.append(TraceEvent(EventKind.ADD, sw.name, phase, psum, g))
+                # inter-layer: re-align the boundary tensor from prev's state
+                if prev is not None:
+                    amount_i, amount_j = inter_layer_elements(
+                        sw.a_input_fm(), prev, lp.ptype, lp.ratio
+                    )
+                    emit_pair(amount_i, amount_j, sw.name, Phase.FORWARD, g)
+                prev = lp.ptype
+            elif isinstance(stage, ShardedParallelStage):
+                jkey = join_key(stage.name)
+                join_lp = assignments.get(jkey)
+                fork = first_workload([stage])
+                for path in stage.paths:
+                    if path:
+                        exit_state = walk(path, prev)
+                        boundary = last_workload(path).a_output_fm()
+                    else:
+                        exit_state = prev
+                        boundary = fork.a_input_fm()  # the skip tensor itself
+                    # re-align each path's output to the join state
+                    if join_lp is not None and exit_state is not None \
+                            and exit_state is not join_lp.ptype:
+                        amount_i, amount_j = inter_layer_elements(
+                            boundary, exit_state, join_lp.ptype, join_lp.ratio
+                        )
+                        emit_pair(amount_i, amount_j, stage.name, Phase.FORWARD,
+                                  granule_of(fork))
+                if join_lp is not None:
+                    prev = join_lp.ptype
+                # else: linearized schemes (HyPar) recorded no join state; the
+                # boundary keeps the fork state, which never over-charges them
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown stage kind {type(stage).__name__}")
+        return prev
+
+    exit_state = walk(stages, entry_state)
+    return events_i, events_j, exit_state
+
+
+def evaluate(planned: PlannedExecution,
+             config: Optional[EngineConfig] = None) -> SimReport:
+    """Simulate one training iteration of a planned execution."""
+    if config is None:
+        config = EngineConfig(dtype_bytes=planned.dtype_bytes)
+    engine = TimingEngine(config)
+    memo: Dict[Tuple, _NodeResult] = {}
+
+    def visit(node: GroupNode, plan: HierarchicalPlan,
+              stages: List[ShardedStage]) -> _NodeResult:
+        key = (node.group.signature(), node.depth(), stages_key(stages))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        if plan.level_plan is None or node.is_leaf:
+            events: List[TraceEvent] = []
+            for sw in iter_sharded_workloads(stages):
+                events.extend(layer_events(sw))
+                events.extend(optimizer_update_events(sw, config.optimizer))
+            leaf_time = engine.elapsed(events, node.group)
+            mem = leaf_memory_report(stages, node.group, config.dtype_bytes,
+                                     config.optimizer)
+            result = _NodeResult(time=leaf_time, levels=(), leaf_time=leaf_time,
+                                 memory_worst=mem,
+                                 energy=events_energy(events, config.dtype_bytes,
+                                                      config.energy))
+            memo[key] = result
+            return result
+
+        assert node.left is not None and node.right is not None
+        assert plan.left is not None and plan.right is not None
+        assignments = plan.level_plan.assignments
+
+        ev_i, ev_j, _ = _level_net_events(stages, assignments, entry_state=None)
+        time_i = engine.elapsed(ev_i, node.left.group)
+        time_j = engine.elapsed(ev_j, node.right.group)
+        comm_time = max(time_i, time_j)
+
+        bytes_i = sum(e.quantized_amount() for e in ev_i
+                      if e.kind is EventKind.NET_READ) * config.dtype_bytes
+        bytes_j = sum(e.quantized_amount() for e in ev_j
+                      if e.kind is EventKind.NET_READ) * config.dtype_bytes
+
+        left_stages = shard_stages(stages, assignments, "left")
+        right_stages = shard_stages(stages, assignments, "right")
+        left = visit(node.left, plan.left, left_stages)
+        right = visit(node.right, plan.right, right_stages)
+        slower = left if left.time >= right.time else right
+
+        record = LevelRecord(
+            level=node.level + 1,
+            comm_time=comm_time,
+            net_bytes_left=bytes_i,
+            net_bytes_right=bytes_j,
+        )
+        worst_mem = _worse_memory(left.memory_worst, right.memory_worst)
+        # energy is additive over the whole array: both children plus both
+        # parties' exchanges at this level (time, by contrast, is a
+        # critical-path quantity)
+        level_energy = (
+            events_energy(ev_i, config.dtype_bytes, config.energy)
+            + events_energy(ev_j, config.dtype_bytes, config.energy)
+        )
+        result = _NodeResult(
+            time=comm_time + slower.time,
+            levels=(record,) + slower.levels,
+            leaf_time=slower.leaf_time,
+            memory_worst=worst_mem,
+            energy=level_energy + left.energy + right.energy,
+        )
+        memo[key] = result
+        return result
+
+    root = visit(planned.tree, planned.plan, planned.stages)
+    return SimReport(
+        total_time=root.time,
+        leaf_time=root.leaf_time,
+        comm_time=root.time - root.leaf_time,
+        levels=list(root.levels),
+        memory_worst=root.memory_worst,
+        batch=planned.batch,
+        energy=root.energy,
+    )
+
+
+def _worse_memory(a: Optional[MemoryReport],
+                  b: Optional[MemoryReport]) -> Optional[MemoryReport]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.utilization >= b.utilization else b

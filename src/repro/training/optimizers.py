@@ -1,0 +1,157 @@
+"""Optimizer models: the parameter-update rules of Section 2.1.
+
+The paper notes its three tensor computing phases capture SGD, Momentum and
+Adam alike — the *update* differs only in local element-wise work and
+optimizer state.  Two views are provided:
+
+* :class:`OptimizerSpec` — the cost-model view: per-weight FLOPs of the
+  update and the number of persistent state tensors (for the simulator's
+  update phase and the memory check).  The update is always local: every
+  device applies it to its own weight shard, so no partitioning decision
+  changes and no communication is added — exactly why the paper can ignore
+  the optimizer in the search.
+* the numpy update rules — the numeric view, used by the multi-step
+  training validation in :mod:`repro.training.loop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Cost-model description of an update rule.
+
+    ``flops_per_weight`` counts the element-wise operations of one update;
+    ``state_per_weight`` counts persistent state tensors of the weight's
+    shape (0 for SGD, 1 velocity for Momentum, 2 moments for Adam).
+    """
+
+    name: str
+    state_per_weight: int
+    flops_per_weight: float
+
+    def __post_init__(self) -> None:
+        if self.state_per_weight < 0 or self.flops_per_weight < 0:
+            raise ValueError("optimizer cost parameters must be non-negative")
+
+    def update_load_tensors(self) -> int:
+        """Tensors read per update: weight + gradient + state."""
+        return 2 + self.state_per_weight
+
+    def update_store_tensors(self) -> int:
+        """Tensors written per update: weight + state."""
+        return 1 + self.state_per_weight
+
+
+#: w -= eta * g : one multiply + one subtract per weight
+SGD = OptimizerSpec("sgd", state_per_weight=0, flops_per_weight=2.0)
+
+#: v = gamma*v + eta*g ; w -= v : three multiplies/adds + one subtract
+MOMENTUM = OptimizerSpec("momentum", state_per_weight=1, flops_per_weight=4.0)
+
+#: m, v moment updates + bias correction + scaled step (Kingma & Ba, 2014)
+ADAM = OptimizerSpec("adam", state_per_weight=2, flops_per_weight=12.0)
+
+OPTIMIZERS: Dict[str, OptimizerSpec] = {o.name: o for o in (SGD, MOMENTUM, ADAM)}
+
+
+def get_optimizer(name: str) -> OptimizerSpec:
+    key = name.lower()
+    if key not in OPTIMIZERS:
+        raise KeyError(f"unknown optimizer {name!r}; available: {sorted(OPTIMIZERS)}")
+    return OPTIMIZERS[key]
+
+
+# ----------------------------------------------------------------------
+# numpy update rules (the numeric view)
+# ----------------------------------------------------------------------
+class UpdateRule:
+    """Stateful numpy update rule applied to a list of weight tensors."""
+
+    name: str = "base"
+
+    def apply(self, weights: List[np.ndarray],
+              gradients: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SgdRule(UpdateRule):
+    name = "sgd"
+
+    def __init__(self, lr: float = 0.01):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def apply(self, weights, gradients):
+        for w, g in zip(weights, gradients):
+            w -= self.lr * g
+
+
+class MomentumRule(UpdateRule):
+    """v_t = gamma * v_{t-1} + eta * grad ; w -= v_t (Section 2.1)."""
+
+    name = "momentum"
+
+    def __init__(self, lr: float = 0.01, gamma: float = 0.9):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= gamma < 1.0:
+            raise ValueError("momentum gamma must be in [0, 1)")
+        self.lr = lr
+        self.gamma = gamma
+        self._velocity: List[np.ndarray] = []
+
+    def apply(self, weights, gradients):
+        if not self._velocity:
+            self._velocity = [np.zeros_like(w) for w in weights]
+        for w, g, v in zip(weights, gradients, self._velocity):
+            v *= self.gamma
+            v += self.lr * g
+            w -= v
+
+
+class AdamRule(UpdateRule):
+    """Adaptive moment estimation with bias correction."""
+
+    name = "adam"
+
+    def __init__(self, lr: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def apply(self, weights, gradients):
+        if not self._m:
+            self._m = [np.zeros_like(w) for w in weights]
+            self._v = [np.zeros_like(w) for w in weights]
+        self._t += 1
+        b1t = 1.0 - self.beta1 ** self._t
+        b2t = 1.0 - self.beta2 ** self._t
+        for w, g, m, v in zip(weights, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            w -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.epsilon)
+
+
+def make_rule(name: str, **kwargs) -> UpdateRule:
+    """Build a numpy update rule by optimizer name."""
+    rules = {"sgd": SgdRule, "momentum": MomentumRule, "adam": AdamRule}
+    key = name.lower()
+    if key not in rules:
+        raise KeyError(f"unknown optimizer {name!r}; available: {sorted(rules)}")
+    return rules[key](**kwargs)

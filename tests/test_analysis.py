@@ -1,0 +1,84 @@
+"""Unit tests for the plan diagnostics module."""
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.core.types import PartitionType
+from repro.experiments.analysis import (
+    dominant_layers,
+    render_breakdown,
+    render_level_summary,
+    root_level_breakdown,
+    type_histogram,
+)
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.models import build_model
+from repro.sim.executor import evaluate
+
+
+@pytest.fixture(scope="module")
+def planned():
+    return AccParPlanner(heterogeneous_array(4, 4)).plan(
+        build_model("alexnet"), batch=128
+    )
+
+
+class TestBreakdown:
+    def test_one_row_per_weighted_layer(self, planned):
+        rows = root_level_breakdown(planned)
+        assert [r.name for r in rows] == [
+            "cv1", "cv2", "cv3", "cv4", "cv5", "fc1", "fc2", "fc3"
+        ]
+
+    def test_components_nonnegative(self, planned):
+        for row in root_level_breakdown(planned):
+            assert row.compute >= 0
+            assert row.intra >= 0
+            assert row.inter >= 0
+            assert row.total == pytest.approx(row.compute + row.intra + row.inter)
+
+    def test_first_layer_has_no_inter(self, planned):
+        rows = root_level_breakdown(planned)
+        assert rows[0].inter == 0.0
+
+    def test_rows_reflect_plan_types(self, planned):
+        assignments = planned.root_level_plan.layer_assignments()
+        for row in root_level_breakdown(planned):
+            assert row.ptype is assignments[row.name].ptype
+
+    def test_leafless_plan_raises(self):
+        planned = AccParPlanner(homogeneous_array(1)).plan(
+            build_model("lenet"), batch=8
+        )
+        with pytest.raises(ValueError):
+            root_level_breakdown(planned)
+
+    def test_render(self, planned):
+        text = render_breakdown(root_level_breakdown(planned))
+        assert "cv1" in text and "TOTAL" in text
+
+
+class TestDominantLayers:
+    def test_sorted_descending(self, planned):
+        top = dominant_layers(root_level_breakdown(planned), top=3)
+        assert len(top) == 3
+        assert top[0].total >= top[1].total >= top[2].total
+
+
+class TestLevelSummary:
+    def test_render(self, planned):
+        report = evaluate(planned)
+        text = render_level_summary(report)
+        assert "level" in text and "total" in text
+
+
+class TestTypeHistogram:
+    def test_counts_cover_all_levels(self, planned):
+        histogram = type_histogram(planned)
+        per_level = len(planned.root_level_plan.layer_assignments())
+        n_levels = len(planned.level_plans())
+        assert sum(histogram.values()) == per_level * n_levels
+
+    def test_alexnet_uses_model_partitioning(self, planned):
+        histogram = type_histogram(planned)
+        assert histogram[PartitionType.TYPE_II] + histogram[PartitionType.TYPE_III] > 0

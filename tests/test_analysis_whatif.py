@@ -1,0 +1,61 @@
+"""Unit tests for the what-if (layer-type sensitivity) diagnostics."""
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.core.types import ALL_TYPES
+from repro.experiments.analysis import (
+    WhatIfRow,
+    layer_type_sensitivity,
+    render_what_if,
+)
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def planned():
+    return AccParPlanner(heterogeneous_array(2, 2)).plan(
+        build_model("alexnet"), batch=128
+    )
+
+
+class TestLayerTypeSensitivity:
+    def test_one_row_per_layer(self, planned):
+        rows = layer_type_sensitivity(planned)
+        assert {r.name for r in rows} == set(
+            planned.root_level_plan.layer_assignments()
+        )
+
+    def test_three_costs_per_row(self, planned):
+        for row in layer_type_sensitivity(planned):
+            assert set(row.costs) == set(ALL_TYPES)
+            assert all(c > 0 for c in row.costs.values())
+
+    def test_chosen_type_is_optimal_per_layer(self, planned):
+        """Pinning a layer to its chosen type must reproduce the optimum;
+        pinning to any other type can only cost more."""
+        optimum = min(
+            min(row.costs.values()) for row in layer_type_sensitivity(planned)
+        )
+        for row in layer_type_sensitivity(planned):
+            assert row.costs[row.chosen] == pytest.approx(optimum, rel=1e-9)
+            for t, cost in row.costs.items():
+                assert cost >= row.costs[row.chosen] - 1e-12
+
+    def test_fc1_is_a_sensitive_layer(self, planned):
+        """AlexNet's fc1 carries 60% of the weights; forcing it to Type-I
+        must hurt clearly."""
+        rows = {r.name: r for r in layer_type_sensitivity(planned)}
+        assert rows["fc1"].regret_of_worst_choice > 1.05
+
+    def test_leafless_plan_raises(self):
+        planned = AccParPlanner(homogeneous_array(1)).plan(
+            build_model("lenet"), batch=8
+        )
+        with pytest.raises(ValueError):
+            layer_type_sensitivity(planned)
+
+    def test_render(self, planned):
+        text = render_what_if(layer_type_sensitivity(planned))
+        assert "pin I" in text and "fc1" in text and "*" in text

@@ -1,0 +1,115 @@
+"""Unit tests for the DP / OWT / HyPar baseline schemes."""
+
+import pytest
+
+from repro.baselines import (
+    DataParallelScheme,
+    HyParScheme,
+    OwtScheme,
+    SCHEME_ORDER,
+    get_scheme,
+)
+from repro.core.planner import AccParScheme
+from repro.core.stages import iter_sharded_workloads, to_sharded_stages
+from repro.core.types import HYPAR_TYPES, PartitionType
+from repro.hardware import TPU_V2, TPU_V3, make_group
+from repro.models import build_model
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+@pytest.fixture
+def parties():
+    return make_group(TPU_V3, 2), make_group(TPU_V2, 2)
+
+
+@pytest.fixture
+def alexnet_stages():
+    return to_sharded_stages(build_model("alexnet").stages(batch=64))
+
+
+@pytest.fixture
+def resnet_stages():
+    return to_sharded_stages(build_model("resnet18").stages(batch=64))
+
+
+class TestRegistry:
+    def test_scheme_order(self):
+        assert SCHEME_ORDER == ["dp", "owt", "hypar", "accpar"]
+
+    @pytest.mark.parametrize("name", SCHEME_ORDER)
+    def test_get_scheme(self, name):
+        assert get_scheme(name).name == name
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            get_scheme("zero")
+
+
+class TestDataParallel:
+    def test_all_type_i_equal_ratio(self, parties, alexnet_stages):
+        plan = DataParallelScheme().level_plan(alexnet_stages, *parties, 2)
+        for lp in plan.layer_assignments().values():
+            assert lp.ptype is I
+            assert lp.ratio == 0.5
+
+    def test_works_on_multipath(self, parties, resnet_stages):
+        plan = DataParallelScheme().level_plan(resnet_stages, *parties, 2)
+        assert len(plan.layer_assignments()) == 21
+
+
+class TestOwt:
+    def test_conv_data_fc_model(self, parties, alexnet_stages):
+        plan = OwtScheme().level_plan(alexnet_stages, *parties, 2)
+        by_layer = plan.layer_assignments()
+        for sw in iter_sharded_workloads(alexnet_stages):
+            expected = I if sw.base.is_conv else II
+            assert by_layer[sw.name].ptype is expected
+
+    def test_equal_ratios(self, parties, alexnet_stages):
+        plan = OwtScheme().level_plan(alexnet_stages, *parties, 2)
+        assert all(lp.ratio == 0.5 for lp in plan.layer_assignments().values())
+
+
+class TestHyPar:
+    def test_space_restricted_to_two_types(self, parties, alexnet_stages):
+        plan = HyParScheme().level_plan(alexnet_stages, *parties, 2)
+        for lp in plan.layer_assignments().values():
+            assert lp.ptype in HYPAR_TYPES
+
+    def test_equal_ratios(self, parties, alexnet_stages):
+        plan = HyParScheme().level_plan(alexnet_stages, *parties, 2)
+        assert all(lp.ratio == 0.5 for lp in plan.layer_assignments().values())
+
+    def test_linearizes_multipath(self, parties, resnet_stages):
+        plan = HyParScheme().level_plan(resnet_stages, *parties, 2)
+        # all 21 weighted layers get assignments, no join pseudo-entries
+        assert len(plan.layer_assignments()) == 21
+        assert len(plan.assignments) == 21
+
+    def test_prefers_model_parallel_for_fc_heavy_nets(self, parties, alexnet_stages):
+        """AlexNet's FC weights dwarf its activations; a comm-volume
+        minimizer must not keep them data-parallel."""
+        plan = HyParScheme().level_plan(alexnet_stages, *parties, 2)
+        by_layer = plan.layer_assignments()
+        assert by_layer["fc1"].ptype is II
+        assert by_layer["fc2"].ptype is II
+
+    def test_comm_volume_objective_not_time(self, parties, alexnet_stages):
+        """HyPar's cost is bytes, so it is bandwidth-independent."""
+        slow = make_group(TPU_V2, 1)
+        plan_fast = HyParScheme().level_plan(alexnet_stages, *parties, 2)
+        plan_slow = HyParScheme().level_plan(alexnet_stages, slow, slow, 2)
+        types_fast = {n: lp.ptype for n, lp in plan_fast.layer_assignments().items()}
+        types_slow = {n: lp.ptype for n, lp in plan_slow.layer_assignments().items()}
+        assert types_fast == types_slow
+
+
+class TestSchemeOptimality:
+    def test_accpar_cost_beats_fixed_schemes(self, parties, alexnet_stages):
+        """On its own objective, the full search dominates the pinned ones."""
+        accpar = AccParScheme(ratio_mode="equal", name="accpar-eq")
+        best = accpar.level_plan(alexnet_stages, *parties, 2)
+        for scheme in (DataParallelScheme(), OwtScheme()):
+            fixed = scheme.level_plan(alexnet_stages, *parties, 2)
+            assert best.cost <= fixed.cost + 1e-12

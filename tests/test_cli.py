@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_array
+
+
+class TestParseArray:
+    def test_presets(self):
+        assert parse_array("hetero").size == 256
+        assert parse_array("homo").size == 128
+
+    def test_explicit_spec(self):
+        array = parse_array("tpu-v2:3,tpu-v3:5")
+        assert dict(array.signature()) == {"tpu-v2": 3, "tpu-v3": 5}
+
+    def test_unknown_accelerator(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_array("gpu:4")
+
+    def test_bad_count(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_array("tpu-v2:lots")
+
+    def test_missing_colon(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_array("tpu-v2")
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet" in out and "resnet50" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--model", "lenet", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cv1" in out and "weighted layers" in out
+
+    def test_plan_prints_assignments(self, capsys):
+        code = main(["plan", "--model", "lenet",
+                     "--array", "tpu-v2:2,tpu-v3:2", "--batch", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha=" in out
+        assert "hierarchy levels: 2" in out
+
+    def test_plan_with_breakdown_and_out(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.json"
+        code = main(["plan", "--model", "lenet",
+                     "--array", "tpu-v3:4", "--batch", "32",
+                     "--breakdown", "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost breakdown" in out.lower()
+        document = json.loads(out_file.read_text())
+        assert document["network"] == "lenet"
+
+    def test_simulate_from_plan_file(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.json"
+        main(["plan", "--model", "lenet", "--array", "tpu-v3:4",
+              "--batch", "32", "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(["simulate", "--plan", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_simulate_inline(self, capsys):
+        code = main(["simulate", "--model", "lenet", "--scheme", "dp",
+                     "--array", "tpu-v2:2", "--batch", "32"])
+        assert code == 0
+        assert "lenet / dp" in capsys.readouterr().out
+
+    def test_simulate_without_inputs_fails(self, capsys):
+        assert main(["simulate"]) == 2
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--models", "lenet",
+                     "--array", "tpu-v2:2,tpu-v3:2", "--batch", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AccPar" in out and "geomean" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])
+
+    def test_scheme_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "lenet", "--scheme", "magic"])
+
+
+class TestValidateCommand:
+    def test_valid_plan_passes(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.json"
+        main(["plan", "--model", "lenet", "--array", "tpu-v3:4",
+              "--batch", "32", "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(["validate", "--plan", str(out_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupted_plan_fails(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "plan.json"
+        main(["plan", "--model", "lenet", "--array", "tpu-v3:4",
+              "--batch", "32", "--out", str(out_file)])
+        document = json.loads(out_file.read_text())
+        del document["plan"]["assignments"]["cv1"]
+        out_file.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["validate", "--plan", str(out_file)]) == 1
+        assert "cv1" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--model", "lenet",
+                     "--array", "tpu-v2:2,tpu-v3:2", "--batch", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# lenet" in out
+        assert "Root-level plan" in out
+        assert "Per-level communication" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        code = main(["report", "--model", "lenet", "--array", "tpu-v3:4",
+                     "--batch", "32", "--out", str(out_file)])
+        assert code == 0
+        assert "simulated iteration" in out_file.read_text()
+
+    def test_report_with_what_if(self, capsys):
+        code = main(["report", "--model", "lenet", "--array", "tpu-v3:4",
+                     "--batch", "32", "--what-if"])
+        assert code == 0
+        assert "Layer-type sensitivity" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("which", ["fig5", "fig6", "fig7", "fig8"])
+    def test_figure_dispatch(self, which, capsys, monkeypatch):
+        """The figure subcommand routes to the right generator (full-size
+        generators are monkeypatched to keep the test fast)."""
+        import repro.cli as cli
+        from repro.experiments.harness import SpeedupTable
+
+        table = SpeedupTable(models=["m"], schemes=["dp", "accpar"])
+        table.times = {"m": {"dp": 2.0, "accpar": 1.0}}
+
+        class FakeRendered:
+            def rendered(self):
+                return f"rendered-{which}"
+
+        monkeypatch.setattr(cli, "figure5_heterogeneous", lambda: table)
+        monkeypatch.setattr(cli, "figure6_homogeneous", lambda: table)
+        monkeypatch.setattr(cli, "figure7_alexnet_types", lambda: FakeRendered())
+        monkeypatch.setattr(cli, "figure8_hierarchy_sweep", lambda: FakeRendered())
+
+        assert main(["figure", "--which", which]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()

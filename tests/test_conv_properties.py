@@ -1,0 +1,102 @@
+"""Property-based tests for the convolution primitives (im2col engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numeric.conv_reference import (
+    col2im,
+    conv_forward,
+    conv_input_grad,
+    conv_weight_grad,
+    im2col,
+)
+
+geometry = st.tuples(
+    st.integers(min_value=1, max_value=3),   # batch
+    st.integers(min_value=1, max_value=4),   # channels
+    st.integers(min_value=3, max_value=8),   # height
+    st.integers(min_value=3, max_value=8),   # width
+    st.sampled_from([1, 2, 3]),              # kernel
+    st.sampled_from([1, 2]),                 # stride
+    st.sampled_from([0, 1]),                 # padding
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(geometry, st.integers(min_value=0, max_value=1000))
+def test_im2col_col2im_adjoint(geom, seed):
+    """<im2col(x), y> == <x, col2im(y)> for every geometry: the exactness of
+    the backward pass reduces to this adjoint identity."""
+    b, c, h, w, k, stride, pad = geom
+    if h + 2 * pad < k or w + 2 * pad < k:
+        return  # geometry collapses; nothing to convolve
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((b, c, h, w))
+    cols = im2col(x, k, stride, pad)
+    y = rng.standard_normal(cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * col2im(y, x.shape, k, stride, pad)))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@settings(deadline=None, max_examples=25)
+@given(geometry, st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=1000))
+def test_conv_linearity_in_input(geom, c_out, seed):
+    """conv(a*x1 + x2) == a*conv(x1) + conv(x2)."""
+    b, c, h, w, k, stride, pad = geom
+    if h + 2 * pad < k or w + 2 * pad < k:
+        return
+    rng = np.random.default_rng(seed)
+    wgt = rng.standard_normal((c, c_out, k, k))
+    x1 = rng.standard_normal((b, c, h, w))
+    x2 = rng.standard_normal((b, c, h, w))
+    a = 2.5
+    lhs = conv_forward(a * x1 + x2, wgt, stride, pad)
+    rhs = a * conv_forward(x1, wgt, stride, pad) + conv_forward(
+        x2, wgt, stride, pad
+    )
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=25)
+@given(geometry, st.integers(min_value=2, max_value=3),
+       st.integers(min_value=0, max_value=1000))
+def test_channel_partition_additivity(geom, c_out, seed):
+    """Splitting the input channels and summing partial convolutions equals
+    the full convolution — the algebra behind Type-II's forward psum."""
+    b, c, h, w, k, stride, pad = geom
+    if c < 2 or h + 2 * pad < k or w + 2 * pad < k:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((b, c, h, w))
+    wgt = rng.standard_normal((c, c_out, k, k))
+    cut = c // 2
+    partial = conv_forward(x[:, :cut], wgt[:cut], stride, pad) + conv_forward(
+        x[:, cut:], wgt[cut:], stride, pad
+    )
+    np.testing.assert_allclose(
+        partial, conv_forward(x, wgt, stride, pad), rtol=1e-9, atol=1e-9
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(geometry, st.integers(min_value=2, max_value=3),
+       st.integers(min_value=0, max_value=1000))
+def test_gradient_transpose_identity(geom, c_out, seed):
+    """<conv(x, W), dz> == <x, conv_input_grad(dz, W)>
+                        == <W, conv_weight_grad(x, dz)>."""
+    b, c, h, w, k, stride, pad = geom
+    if h + 2 * pad < k or w + 2 * pad < k:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((b, c, h, w))
+    wgt = rng.standard_normal((c, c_out, k, k))
+    z = conv_forward(x, wgt, stride, pad)
+    dz = rng.standard_normal(z.shape)
+    inner = float(np.sum(z * dz))
+    via_x = float(np.sum(x * conv_input_grad(dz, wgt, x.shape, stride, pad)))
+    via_w = float(np.sum(wgt * conv_weight_grad(x, dz, wgt.shape, stride, pad)))
+    assert inner == pytest.approx(via_x, rel=1e-9, abs=1e-8)
+    assert inner == pytest.approx(via_w, rel=1e-9, abs=1e-8)

@@ -1,0 +1,119 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.core.types import Phase
+from repro.hardware import heterogeneous_array, homogeneous_array, make_group, TPU_V3
+from repro.models import build_model
+from repro.sim.energy import (
+    DEFAULT_ENERGY,
+    EnergyBreakdown,
+    EnergySpec,
+    ZERO_ENERGY,
+    events_energy,
+)
+from repro.sim.engine import EngineConfig
+from repro.sim.executor import evaluate
+from repro.sim.trace import EventKind, TraceEvent
+
+
+def ev(kind, amount):
+    return TraceEvent(kind, "l", Phase.FORWARD, amount, 1)
+
+
+class TestEnergySpec:
+    def test_defaults_ordered(self):
+        # moving a byte across the network costs far more than HBM access,
+        # which costs more than a FLOP — the premise of partition planning
+        assert (DEFAULT_ENERGY.pj_per_network_byte
+                > DEFAULT_ENERGY.pj_per_hbm_byte
+                > DEFAULT_ENERGY.pj_per_flop)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySpec(pj_per_flop=-1.0)
+
+
+class TestEventsEnergy:
+    def test_compute_energy(self):
+        e = events_energy([ev(EventKind.MULT, 1e12)], dtype_bytes=2,
+                          spec=EnergySpec(1.0, 0.0, 0.0))
+        assert e.compute_j == pytest.approx(1.0)
+        assert e.hbm_j == 0.0 and e.network_j == 0.0
+
+    def test_hbm_energy_uses_dtype(self):
+        e = events_energy([ev(EventKind.LOAD, 1e12)], dtype_bytes=2,
+                          spec=EnergySpec(0.0, 1.0, 0.0))
+        assert e.hbm_j == pytest.approx(2.0)
+
+    def test_network_energy(self):
+        e = events_energy([ev(EventKind.NET_READ, 5e11)], dtype_bytes=2,
+                          spec=EnergySpec(0.0, 0.0, 1.0))
+        assert e.network_j == pytest.approx(1.0)
+
+    def test_total_and_addition(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0)
+        b = EnergyBreakdown(0.5, 0.5, 0.5)
+        assert (a + b).total_j == pytest.approx(7.5)
+        assert (a + ZERO_ENERGY).total_j == a.total_j
+
+
+class TestSimulatedEnergy:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        array = heterogeneous_array(4, 4)
+        out = {}
+        for scheme in ("dp", "accpar"):
+            planned = Planner(array, get_scheme(scheme)).plan(
+                build_model("vgg11"), 256
+            )
+            out[scheme] = evaluate(planned)
+        return out
+
+    def test_energy_positive_components(self, reports):
+        for report in reports.values():
+            assert report.energy.compute_j > 0
+            assert report.energy.hbm_j > 0
+            assert report.energy.network_j > 0
+
+    def test_compute_energy_is_scheme_invariant(self, reports):
+        """All schemes execute the same FLOPs; only movement differs."""
+        assert reports["dp"].energy.compute_j == pytest.approx(
+            reports["accpar"].energy.compute_j, rel=0.02
+        )
+
+    def test_accpar_moves_less_energy(self, reports):
+        assert (reports["accpar"].energy.network_j
+                < reports["dp"].energy.network_j)
+        assert (reports["accpar"].samples_per_joule
+                > reports["dp"].samples_per_joule)
+
+    def test_energy_scales_with_batch(self):
+        array = homogeneous_array(4)
+        small = evaluate(
+            Planner(array, get_scheme("dp")).plan(build_model("alexnet"), 64)
+        )
+        large = evaluate(
+            Planner(array, get_scheme("dp")).plan(build_model("alexnet"), 256)
+        )
+        assert large.energy.compute_j > 3.5 * small.energy.compute_j
+
+    def test_custom_energy_spec_threads_through(self):
+        array = make_group(TPU_V3, 2)
+        planned = Planner(array, get_scheme("dp")).plan(build_model("lenet"), 32)
+        base = evaluate(planned, EngineConfig())
+        pricey = evaluate(
+            planned,
+            EngineConfig(energy=EnergySpec(pj_per_flop=5000.0)),
+        )
+        assert pricey.energy.compute_j > base.energy.compute_j * 100
+
+    def test_single_board_has_no_network_energy(self):
+        planned = Planner(make_group(TPU_V3, 1), get_scheme("dp")).plan(
+            build_model("lenet"), 32
+        )
+        report = evaluate(planned)
+        assert report.energy.network_j == 0.0
+        assert report.energy.compute_j > 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for the timing engine."""
+
+import pytest
+
+from repro.core.types import Phase
+from repro.hardware import AcceleratorSpec, make_group
+from repro.sim.engine import EngineConfig, TimingEngine
+from repro.sim.trace import EventKind, TraceEvent
+
+
+def spec(flops=100.0, mem_bw=50.0, net_bw=10.0):
+    return AcceleratorSpec("test", flops=flops, memory_bytes=1e9,
+                           memory_bandwidth=mem_bw, network_bandwidth=net_bw)
+
+
+def ev(kind, amount, granule=1):
+    return TraceEvent(kind, "l", Phase.FORWARD, amount, granule)
+
+
+class TestBreakdown:
+    def test_compute_time(self):
+        engine = TimingEngine()
+        b = engine.breakdown([ev(EventKind.MULT, 50), ev(EventKind.ADD, 50)],
+                             make_group(spec(), 1))
+        assert b.compute == pytest.approx(1.0)
+        assert b.memory == 0.0
+        assert b.network == 0.0
+
+    def test_memory_time_uses_dtype(self):
+        engine = TimingEngine(EngineConfig(dtype_bytes=2))
+        b = engine.breakdown([ev(EventKind.LOAD, 25)], make_group(spec(), 1))
+        assert b.memory == pytest.approx(25 * 2 / 50.0)
+
+    def test_network_time(self):
+        engine = TimingEngine(EngineConfig(dtype_bytes=2))
+        b = engine.breakdown([ev(EventKind.NET_READ, 5)], make_group(spec(), 1))
+        assert b.network == pytest.approx(1.0)
+
+    def test_group_aggregation_speeds_up(self):
+        engine = TimingEngine()
+        events = [ev(EventKind.MULT, 100)]
+        t1 = engine.breakdown(events, make_group(spec(), 1)).compute
+        t4 = engine.breakdown(events, make_group(spec(), 4)).compute
+        assert t4 == pytest.approx(t1 / 4)
+
+    def test_quantization_applies(self):
+        engine = TimingEngine()
+        b = engine.breakdown([ev(EventKind.MULT, 10, granule=9)],
+                             make_group(spec(), 1))
+        assert b.compute == pytest.approx(18 / 100.0)
+
+    def test_busy_is_sum(self):
+        engine = TimingEngine()
+        events = [ev(EventKind.MULT, 100), ev(EventKind.LOAD, 25),
+                  ev(EventKind.NET_READ, 5)]
+        b = engine.breakdown(events, make_group(spec(), 1))
+        assert b.busy == pytest.approx(b.compute + b.memory + b.network)
+
+
+class TestElapsed:
+    def test_overlap_takes_max_of_compute_memory(self):
+        engine = TimingEngine(EngineConfig(overlap_compute_memory=True))
+        events = [ev(EventKind.MULT, 100), ev(EventKind.LOAD, 100)]
+        t = engine.elapsed(events, make_group(spec(), 1))
+        assert t == pytest.approx(max(1.0, 100 * 2 / 50.0))
+
+    def test_serialized_sums(self):
+        engine = TimingEngine(EngineConfig(overlap_compute_memory=False))
+        events = [ev(EventKind.MULT, 100), ev(EventKind.LOAD, 100)]
+        t = engine.elapsed(events, make_group(spec(), 1))
+        assert t == pytest.approx(1.0 + 100 * 2 / 50.0)
+
+    def test_network_never_overlapped(self):
+        engine = TimingEngine(EngineConfig(overlap_compute_memory=True))
+        events = [ev(EventKind.MULT, 100), ev(EventKind.NET_READ, 5)]
+        t = engine.elapsed(events, make_group(spec(), 1))
+        assert t == pytest.approx(1.0 + 1.0)
+
+    def test_empty_events(self):
+        engine = TimingEngine()
+        assert engine.elapsed([], make_group(spec(), 1)) == 0.0
+
+
+class TestConfig:
+    def test_bad_dtype_raises(self):
+        with pytest.raises(ValueError):
+            EngineConfig(dtype_bytes=0)
+
+    def test_defaults_are_paper_settings(self):
+        config = EngineConfig()
+        assert config.dtype_bytes == 2  # bfloat16
+        assert config.overlap_compute_memory
+
+
+class TestLinkLatency:
+    def test_latency_adds_per_transfer(self):
+        fast = TimingEngine(EngineConfig(dtype_bytes=2))
+        slow = TimingEngine(EngineConfig(dtype_bytes=2, link_latency_s=0.5))
+        events = [ev(EventKind.NET_READ, 5), ev(EventKind.NET_READ, 5)]
+        group = make_group(spec(), 1)
+        assert slow.breakdown(events, group).network == pytest.approx(
+            fast.breakdown(events, group).network + 1.0
+        )
+
+    def test_zero_latency_is_paper_model(self):
+        config = EngineConfig()
+        assert config.link_latency_s == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(link_latency_s=-1.0)

@@ -1,0 +1,121 @@
+"""Simulator invariants: properties the evaluator must satisfy regardless
+of scheme, model, or array."""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.hardware import (
+    TPU_V2,
+    TPU_V3,
+    heterogeneous_array,
+    homogeneous_array,
+    make_group,
+)
+from repro.models import build_model
+from repro.sim.engine import EngineConfig
+from repro.sim.executor import evaluate
+
+
+def planned(model="alexnet", scheme="accpar", array=None, batch=64, levels=None):
+    array = array if array is not None else homogeneous_array(4)
+    return Planner(array, get_scheme(scheme), levels=levels).plan(
+        build_model(model), batch
+    )
+
+
+class TestTimeInvariants:
+    def test_total_is_leaf_plus_comm(self):
+        report = evaluate(planned())
+        assert report.total_time == pytest.approx(
+            report.leaf_time + report.comm_time
+        )
+
+    def test_level_count_equals_plan_depth(self):
+        for levels in (1, 2, 3):
+            p = planned(array=homogeneous_array(8), levels=levels)
+            report = evaluate(p)
+            assert len(report.levels) == levels
+
+    def test_time_monotone_in_batch(self):
+        times = [
+            evaluate(planned(scheme="dp", batch=b)).total_time
+            for b in (32, 64, 128)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_total_at_least_level_comm_sum(self):
+        report = evaluate(planned())
+        assert report.comm_time == pytest.approx(
+            sum(lv.comm_time for lv in report.levels)
+        )
+
+    def test_faster_hardware_is_faster(self):
+        slow = evaluate(planned(array=make_group(TPU_V2, 4))).total_time
+        fast = evaluate(planned(array=make_group(TPU_V3, 4))).total_time
+        assert fast < slow
+
+    def test_wider_dtype_is_slower(self):
+        p = planned(scheme="dp")
+        t2 = evaluate(p, EngineConfig(dtype_bytes=2)).total_time
+        t4 = evaluate(p, EngineConfig(dtype_bytes=4)).total_time
+        assert t4 > t2
+
+    def test_dp_time_invariant_to_model_scheme_mix(self):
+        """Evaluating the same planned object twice gives the same answer
+        (memoization has no cross-call state)."""
+        p = planned(model="resnet18")
+        assert evaluate(p).total_time == evaluate(p).total_time
+
+
+class TestLevelRecords:
+    def test_levels_sorted_root_first(self):
+        report = evaluate(planned(array=homogeneous_array(8)))
+        assert [lv.level for lv in report.levels] == [1, 2, 3]
+
+    def test_net_bytes_symmetric_for_equal_schemes(self):
+        report = evaluate(planned(scheme="dp", array=homogeneous_array(4)))
+        for lv in report.levels:
+            assert lv.net_bytes_left == pytest.approx(lv.net_bytes_right)
+
+    def test_dp_bytes_constant_across_levels(self):
+        """Type-I never shards the weights, so every level moves the same
+        gradient volume."""
+        report = evaluate(planned(scheme="dp", array=homogeneous_array(8)))
+        volumes = {round(lv.net_bytes_left) for lv in report.levels}
+        assert len(volumes) == 1
+
+    def test_accpar_bytes_shrink_with_depth_on_fc_nets(self):
+        """AccPar shards FC weights across levels, so deeper levels move
+        less (per the Figure-style analysis)."""
+        report = evaluate(
+            planned(model="alexnet", scheme="accpar",
+                    array=homogeneous_array(16))
+        )
+        first, last = report.levels[0], report.levels[-1]
+        assert last.net_bytes_left < first.net_bytes_left
+
+
+class TestCrossSchemeInvariants:
+    @pytest.mark.parametrize("model", ["lenet", "alexnet", "resnet18"])
+    def test_accpar_never_loses_to_dp(self, model):
+        array = heterogeneous_array(2, 2)
+        t_dp = evaluate(planned(model=model, scheme="dp", array=array)).total_time
+        t_acc = evaluate(planned(model=model, scheme="accpar",
+                                 array=array)).total_time
+        assert t_acc <= t_dp * (1 + 1e-9)
+
+    def test_all_schemes_same_compute_energy(self):
+        array = homogeneous_array(4)
+        energies = [
+            evaluate(planned(scheme=s, array=array)).energy.compute_j
+            for s in ("dp", "owt", "hypar", "accpar")
+        ]
+        for e in energies[1:]:
+            assert e == pytest.approx(energies[0], rel=0.02)
+
+    def test_memory_shrinks_with_more_boards(self):
+        small = evaluate(planned(scheme="accpar", array=homogeneous_array(2)))
+        large = evaluate(planned(scheme="accpar", array=homogeneous_array(16)))
+        assert (large.memory_worst.total_bytes
+                < small.memory_worst.total_bytes)

@@ -1,0 +1,108 @@
+"""Unit tests for failure injection and straggler recovery."""
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.experiments.faults import (
+    StragglerOutcome,
+    degrade_tree,
+    straggler_experiment,
+    throttle_spec,
+)
+from repro.hardware import TPU_V3, bisection_tree, homogeneous_array
+from repro.models import build_model
+
+
+class TestThrottleSpec:
+    def test_compute_throttled(self):
+        degraded = throttle_spec(TPU_V3, 0.5, 1.0)
+        assert degraded.flops == TPU_V3.flops * 0.5
+        assert degraded.network_bandwidth == TPU_V3.network_bandwidth
+        assert degraded.memory_bytes == TPU_V3.memory_bytes
+        assert "degraded" in degraded.name
+
+    def test_network_throttled(self):
+        degraded = throttle_spec(TPU_V3, 1.0, 0.25)
+        assert degraded.network_bandwidth == TPU_V3.network_bandwidth * 0.25
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            throttle_spec(TPU_V3, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            throttle_spec(TPU_V3, 1.0, 1.5)
+
+
+class TestDegradeTree:
+    @pytest.fixture
+    def tree(self):
+        return bisection_tree(homogeneous_array(8), levels=3)
+
+    def test_structure_preserved(self, tree):
+        degraded = degrade_tree(tree, 2, compute_factor=0.5)
+        assert degraded.depth() == tree.depth()
+        assert len(list(degraded.leaves())) == len(list(tree.leaves()))
+
+    def test_exactly_n_boards_degraded(self, tree):
+        degraded = degrade_tree(tree, 3, compute_factor=0.5)
+        throttled = [m for m in degraded.group.members if "degraded" in m.name]
+        assert len(throttled) == 3
+
+    def test_internal_groups_rebuilt(self, tree):
+        degraded = degrade_tree(tree, 1, compute_factor=0.5)
+        # the root group's flops dropped by exactly half of one board
+        assert degraded.group.flops == pytest.approx(
+            tree.group.flops - 0.5 * TPU_V3.flops
+        )
+        # and the containing subtree reflects it too
+        sides = [degraded.left.group.flops, degraded.right.group.flops]
+        assert min(sides) < max(sides)
+
+    def test_zero_degraded_identity(self, tree):
+        degraded = degrade_tree(tree, 0)
+        assert degraded.group.signature() == tree.group.signature()
+
+    def test_bad_count_rejected(self, tree):
+        with pytest.raises(ValueError):
+            degrade_tree(tree, 9)
+
+
+class TestStragglerExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return straggler_experiment("alexnet", homogeneous_array(8),
+                                    scheme="accpar", n_degraded=1,
+                                    compute_factor=0.25, batch=128)
+
+    def test_straggler_slows_stale_plan(self, outcome):
+        assert outcome.stale_plan_time >= outcome.healthy_time
+
+    def test_replanning_recovers(self, outcome):
+        assert outcome.replanned_time < outcome.stale_plan_time
+        assert outcome.recovery_gain > 1.0
+
+    def test_dp_cannot_adapt(self):
+        """Equal-ratio DP re-plans to the same 1/2 splits: no recovery."""
+        outcome = straggler_experiment("alexnet", homogeneous_array(8),
+                                       scheme="dp", n_degraded=1,
+                                       compute_factor=0.25, batch=128)
+        assert outcome.recovery_gain == pytest.approx(1.0, abs=1e-9)
+
+    def test_hypar_cannot_adapt_either(self):
+        outcome = straggler_experiment("alexnet", homogeneous_array(8),
+                                       scheme="hypar", n_degraded=1,
+                                       compute_factor=0.25, batch=128)
+        assert outcome.recovery_gain == pytest.approx(1.0, abs=1e-9)
+
+    def test_accpar_recovery_beats_dp(self, outcome):
+        dp = straggler_experiment("alexnet", homogeneous_array(8),
+                                  scheme="dp", n_degraded=1,
+                                  compute_factor=0.25, batch=128)
+        assert outcome.recovery_gain > dp.recovery_gain
+
+    def test_network_straggler(self):
+        outcome = straggler_experiment("alexnet", homogeneous_array(8),
+                                       scheme="accpar", n_degraded=1,
+                                       compute_factor=1.0,
+                                       network_factor=0.25, batch=128)
+        assert outcome.stale_plan_time > outcome.healthy_time
+        assert outcome.recovery_gain >= 1.0 - 1e-9

@@ -1,0 +1,105 @@
+"""Tests for the figure entry points at reduced (fast) scale."""
+
+import pytest
+
+from repro.core.types import PartitionType
+from repro.experiments.figures import (
+    figure5_heterogeneous,
+    figure6_homogeneous,
+    figure7_alexnet_types,
+    figure8_hierarchy_sweep,
+)
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+SMALL_MODELS = ["lenet", "alexnet", "resnet18"]
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return figure5_heterogeneous(models=SMALL_MODELS, batch=64, n_v2=4, n_v3=4)
+
+    def test_scheme_ordering_on_geomean(self, table):
+        """Table 8's flexibility ordering DP ≺ OWT ≺ HyPar ≺ AccPar must show
+        in the geomean (OWT can lose to DP on individual tiny models)."""
+        assert table.geomean("accpar") >= table.geomean("hypar")
+        assert table.geomean("accpar") > table.geomean("dp")
+
+    def test_all_models_present(self, table):
+        assert table.models == SMALL_MODELS
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return figure6_homogeneous(models=SMALL_MODELS, batch=64, n=8)
+
+    def test_accpar_wins(self, table):
+        assert table.geomean("accpar") >= table.geomean("hypar") - 1e-9
+
+    def test_renders(self, table):
+        from repro.experiments.reporting import format_speedup_table
+
+        text = format_speedup_table(table)
+        assert "AccPar" in text
+
+
+class TestHeterogeneityAdvantage:
+    def test_hetero_gap_exceeds_homo_gap(self):
+        """The paper's headline: AccPar's edge over HyPar is much larger on
+        the heterogeneous array (6.30/3.78) than the homogeneous one
+        (3.86/3.51)."""
+        models = ["alexnet", "resnet18"]
+        hetero = figure5_heterogeneous(models=models, batch=64, n_v2=4, n_v3=4)
+        homo = figure6_homogeneous(models=models, batch=64, n=8)
+        hetero_gap = hetero.geomean("accpar") / hetero.geomean("hypar")
+        homo_gap = homo.geomean("accpar") / homo.geomean("hypar")
+        assert hetero_gap > homo_gap
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7_alexnet_types(batch=128, n=16, levels=4)
+
+    def test_levels_and_layers(self, result):
+        assert len(result.per_level) == 4
+        assert result.layer_names == [
+            "cv1", "cv2", "cv3", "cv4", "cv5", "fc1", "fc2", "fc3"
+        ]
+
+    def test_fc_layers_use_model_partitioning(self, result):
+        for level in result.per_level:
+            assert level["fc1"] in (II, III)
+            assert level["fc2"] in (II, III)
+
+    def test_conv_layers_mostly_type_i(self, result):
+        level1 = result.per_level[0]
+        conv_types = [level1[f"cv{i}"] for i in range(1, 6)]
+        assert conv_types.count(I) >= 3
+
+    def test_renders(self, result):
+        text = result.rendered()
+        assert "cv1" in text and "fc3" in text
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8_hierarchy_sweep(model="vgg11", levels=(2, 3, 4), batch=64)
+
+    def test_dp_flat_at_one(self, result):
+        assert all(v == pytest.approx(1.0) for v in result.speedups["dp"])
+
+    def test_accpar_grows_with_hierarchy(self, result):
+        acc = result.speedups["accpar"]
+        assert acc[-1] > acc[0]
+
+    def test_accpar_tops_every_level(self, result):
+        for idx in range(len(result.levels)):
+            best = max(result.speedups[s][idx] for s in result.speedups)
+            assert result.speedups["accpar"][idx] == pytest.approx(best)
+
+    def test_renders(self, result):
+        assert "h" in result.rendered()

@@ -1,0 +1,135 @@
+"""Graph IR edge cases beyond the happy paths of test_network.py."""
+
+import pytest
+
+from repro.graph import (
+    Add,
+    Conv2d,
+    FeatureMap,
+    Flatten,
+    GraphError,
+    Input,
+    LayerStage,
+    Linear,
+    Network,
+    ParallelStage,
+    Pool2d,
+    ReLU,
+)
+
+
+class TestMinimalNetworks:
+    def test_single_weighted_layer(self):
+        net = Network("one", Input("in", channels=4))
+        net.add(Linear("fc", 4, 2))
+        stages = net.stages(batch=2)
+        assert len(stages) == 1
+        assert isinstance(stages[0], LayerStage)
+
+    def test_input_only_network_has_no_stages(self):
+        net = Network("none", Input("in", channels=4))
+        assert net.stages(batch=2) == []
+
+    def test_unweighted_only_network(self):
+        net = Network("relu-only", Input("in", channels=4, height=2, width=2))
+        net.add(ReLU("r"))
+        net.add(Pool2d("p", kernel=2))
+        assert net.stages(batch=2) == []
+        assert net.workloads(2) == []
+
+
+class TestForkPlacement:
+    def test_fork_directly_at_input(self):
+        """The network input itself feeds two branches."""
+        net = Network("fork-at-input", Input("in", channels=4, height=4, width=4))
+        a = net.add(Conv2d("a", 4, 4, kernel=3, padding=1), inputs=["in"])
+        b = net.add(Conv2d("b", 4, 4, kernel=3, padding=1), inputs=["in"])
+        j = net.add(Add("join"), inputs=[a, b])
+        net.add(Flatten("f"), inputs=[j])
+        net.add(Linear("fc", 64, 2))
+        stages = net.stages(batch=2)
+        assert isinstance(stages[0], ParallelStage)
+        assert len(stages[0].paths) == 2
+
+    def test_parallel_stage_as_last_stage(self):
+        """The network ends at the join — no layer after the fork/join."""
+        net = Network("fork-at-end", Input("in", channels=4, height=4, width=4))
+        c = net.add(Conv2d("c", 4, 4, kernel=3, padding=1))
+        a = net.add(Conv2d("a", 4, 4, kernel=3, padding=1), inputs=[c])
+        net.add(Add("join"), inputs=[a, c])
+        stages = net.stages(batch=2)
+        assert isinstance(stages[-1], ParallelStage)
+
+    def test_three_way_fork(self):
+        net = Network("threeway", Input("in", channels=4, height=4, width=4))
+        c = net.add(Conv2d("c", 4, 4, kernel=3, padding=1))
+        paths = [
+            net.add(Conv2d(f"p{i}", 4, 4, kernel=1), inputs=[c])
+            for i in range(3)
+        ]
+        net.add(Add("join"), inputs=paths)
+        stages = net.stages(batch=2)
+        parallel = stages[-1]
+        assert isinstance(parallel, ParallelStage)
+        assert len(parallel.paths) == 3
+
+    def test_back_to_back_forks_share_no_layers(self):
+        """Two sequential residual regions decompose independently."""
+        net = Network("seq-forks", Input("in", channels=4, height=4, width=4))
+        cursor = net.add(Conv2d("stem", 4, 4, kernel=3, padding=1))
+        for blk in ("x", "y"):
+            body = net.add(Conv2d(f"{blk}_cv", 4, 4, kernel=3, padding=1),
+                           inputs=[cursor])
+            cursor = net.add(Add(f"{blk}_add"), inputs=[body, cursor])
+        stages = net.stages(batch=2)
+        parallels = [s for s in stages if isinstance(s, ParallelStage)]
+        assert len(parallels) == 2
+
+
+class TestShapeEdgeCases:
+    def test_1x1_feature_map_conv(self):
+        net = Network("tiny", Input("in", channels=8, height=1, width=1))
+        net.add(Conv2d("c", 8, 16, kernel=1))
+        shapes = net.infer_shapes(2)
+        assert shapes["c"] == FeatureMap(2, 16, 1, 1)
+
+    def test_batch_one(self):
+        from repro.models import build_model
+
+        net = build_model("lenet")
+        shapes = net.infer_shapes(1)
+        assert shapes[net.output_name].batch == 1
+
+    def test_describe_at_batch_one(self):
+        net = Network("d", Input("in", channels=2, height=2, width=2))
+        net.add(Flatten("f"))
+        net.add(Linear("fc", 8, 2))
+        text = net.describe(1)
+        assert "(1, 2, 1, 1)" in text
+
+
+class TestDecompositionConsistency:
+    def test_stage_decomposition_is_deterministic(self):
+        from repro.models import build_model
+
+        a = build_model("resnet50").stages(8)
+        b = build_model("resnet50").stages(8)
+        from repro.graph import iter_stage_workloads
+
+        assert ([w.name for w in iter_stage_workloads(a)]
+                == [w.name for w in iter_stage_workloads(b)])
+
+    def test_batch_does_not_change_structure(self):
+        from repro.models import build_model
+        from repro.graph import count_stage_layers
+
+        net = build_model("resnet34")
+        assert count_stage_layers(net.stages(2)) == count_stage_layers(
+            net.stages(64)
+        )
+
+    def test_workload_batch_propagates(self):
+        from repro.models import build_model
+
+        for w in build_model("vgg11").workloads(96):
+            assert w.batch == 96

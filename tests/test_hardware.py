@@ -1,0 +1,179 @@
+"""Unit tests for the hardware model: specs, groups, presets, pairing tree."""
+
+import pytest
+
+from repro.hardware import (
+    AcceleratorGroup,
+    AcceleratorSpec,
+    TPU_V2,
+    TPU_V3,
+    bisection_tree,
+    describe_tree,
+    heterogeneous_array,
+    homogeneous_array,
+    make_group,
+    max_hierarchy_levels,
+    merge_groups,
+)
+
+
+class TestSpecs:
+    def test_tpu_v2_table7(self):
+        assert TPU_V2.flops == 180e12
+        assert TPU_V2.memory_bytes == 64 * 2**30
+        assert TPU_V2.memory_bandwidth == 2400e9
+        assert TPU_V2.network_bandwidth == 1e9  # 8 Gb/s
+
+    def test_tpu_v3_table7(self):
+        assert TPU_V3.flops == 420e12
+        assert TPU_V3.memory_bytes == 128 * 2**30
+        assert TPU_V3.memory_bandwidth == 4800e9
+        assert TPU_V3.network_bandwidth == 2e9  # 16 Gb/s
+
+    def test_v3_is_stronger_everywhere(self):
+        assert TPU_V3.flops > TPU_V2.flops
+        assert TPU_V3.network_bandwidth > TPU_V2.network_bandwidth
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", flops=0, memory_bytes=1, memory_bandwidth=1,
+                            network_bandwidth=1)
+
+    def test_str_mentions_name(self):
+        assert "tpu-v2" in str(TPU_V2)
+
+
+class TestGroups:
+    def test_aggregation_sums(self):
+        g = make_group(TPU_V2, 4)
+        assert g.flops == 4 * TPU_V2.flops
+        assert g.network_bandwidth == 4 * TPU_V2.network_bandwidth
+        assert g.memory_bytes == 4 * TPU_V2.memory_bytes
+        assert g.memory_bandwidth == 4 * TPU_V2.memory_bandwidth
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorGroup(())
+
+    def test_make_group_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_group(TPU_V2, 0)
+
+    def test_homogeneity(self):
+        assert make_group(TPU_V2, 3).is_homogeneous
+        assert not heterogeneous_array(2, 2).is_homogeneous
+
+    def test_signature_is_order_insensitive(self):
+        a = merge_groups(make_group(TPU_V2, 2), make_group(TPU_V3, 2))
+        b = merge_groups(make_group(TPU_V3, 2), make_group(TPU_V2, 2))
+        assert a.signature() == b.signature()
+
+    def test_merge_sizes(self):
+        g = merge_groups(make_group(TPU_V2, 3), make_group(TPU_V3, 5))
+        assert g.size == 8
+
+
+class TestPresets:
+    def test_heterogeneous_default_is_128_plus_128(self):
+        arr = heterogeneous_array()
+        assert arr.size == 256
+        assert dict(arr.signature()) == {"tpu-v2": 128, "tpu-v3": 128}
+
+    def test_homogeneous_default(self):
+        arr = homogeneous_array()
+        assert arr.size == 128
+        assert arr.is_homogeneous
+
+
+class TestBisectionTree:
+    def test_heterogeneous_first_split_separates_types(self):
+        tree = bisection_tree(heterogeneous_array(4, 4), levels=1)
+        assert tree.left is not None and tree.right is not None
+        assert tree.left.group.is_homogeneous
+        assert tree.right.group.is_homogeneous
+        names = {tree.left.group.members[0].name, tree.right.group.members[0].name}
+        assert names == {"tpu-v2", "tpu-v3"}
+
+    def test_faster_type_goes_left(self):
+        tree = bisection_tree(heterogeneous_array(4, 4), levels=1)
+        assert tree.left.group.members[0].name == "tpu-v3"
+
+    def test_full_depth(self):
+        tree = bisection_tree(heterogeneous_array(4, 4), levels=10)
+        assert tree.depth() == 3  # 8 accelerators -> 3 levels
+        assert len(list(tree.leaves())) == 8
+        assert all(leaf.group.size == 1 for leaf in tree.leaves())
+
+    def test_requested_levels_cap(self):
+        tree = bisection_tree(homogeneous_array(8), levels=2)
+        assert tree.depth() == 2
+        assert all(leaf.group.size == 2 for leaf in tree.leaves())
+
+    def test_zero_levels(self):
+        tree = bisection_tree(homogeneous_array(4), levels=0)
+        assert tree.is_leaf
+
+    def test_negative_levels_raise(self):
+        with pytest.raises(ValueError):
+            bisection_tree(homogeneous_array(4), levels=-1)
+
+    def test_odd_sizes_split_unevenly_but_fully(self):
+        tree = bisection_tree(homogeneous_array(3), levels=5)
+        assert len(list(tree.leaves())) == 3
+
+    def test_uneven_heterogeneous_split_at_type_boundary(self):
+        tree = bisection_tree(heterogeneous_array(2, 6), levels=1)
+        sizes = sorted([tree.left.group.size, tree.right.group.size])
+        assert sizes == [2, 6]
+        assert tree.left.group.is_homogeneous
+        assert tree.right.group.is_homogeneous
+
+    def test_internal_node_count(self):
+        tree = bisection_tree(homogeneous_array(8), levels=3)
+        assert len(list(tree.internal_nodes())) == 7
+
+    def test_max_hierarchy_levels(self):
+        assert max_hierarchy_levels(homogeneous_array(128)) == 7
+        assert max_hierarchy_levels(heterogeneous_array()) == 8
+
+    def test_levels_increase_down_the_tree(self):
+        tree = bisection_tree(homogeneous_array(4), levels=2)
+        assert tree.level == 0
+        assert tree.left.level == 1
+        assert tree.left.left.level == 2
+
+    def test_describe_tree_renders(self):
+        tree = bisection_tree(heterogeneous_array(2, 2), levels=2)
+        text = describe_tree(tree)
+        assert "tpu-v2" in text and "tpu-v3" in text
+
+    def test_invalid_children_pairing(self):
+        from repro.hardware.cluster import GroupNode
+
+        with pytest.raises(ValueError):
+            GroupNode(group=homogeneous_array(2), left=GroupNode(homogeneous_array(1)))
+
+
+class TestSplitPolicies:
+    def test_interleaved_split_mixes_types(self):
+        from repro.hardware.cluster import bisection_tree
+
+        tree = bisection_tree(heterogeneous_array(4, 4), levels=1,
+                              policy="interleaved")
+        assert not tree.left.group.is_homogeneous
+        assert not tree.right.group.is_homogeneous
+        assert dict(tree.left.group.signature()) == {"tpu-v2": 2, "tpu-v3": 2}
+
+    def test_unknown_policy_raises(self):
+        from repro.hardware.cluster import bisection_tree
+
+        with pytest.raises(ValueError, match="split policy"):
+            bisection_tree(homogeneous_array(4), levels=1, policy="random")
+
+    def test_interleaved_on_homogeneous_equivalent_sizes(self):
+        from repro.hardware.cluster import bisection_tree
+
+        tree = bisection_tree(homogeneous_array(8), levels=3,
+                              policy="interleaved")
+        assert tree.depth() == 3
+        assert len(list(tree.leaves())) == 8

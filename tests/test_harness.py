@@ -1,0 +1,96 @@
+"""Unit tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    RunResult,
+    SpeedupTable,
+    geometric_mean,
+    run_scheme,
+    sweep,
+)
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.models import build_model
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestRunScheme:
+    def test_accepts_model_name(self):
+        result = run_scheme("lenet", "dp", homogeneous_array(2), batch=32)
+        assert result.model == "lenet"
+        assert result.scheme == "dp"
+        assert result.time > 0.0
+
+    def test_accepts_network_object(self):
+        result = run_scheme(build_model("lenet"), "dp", homogeneous_array(2),
+                            batch=32)
+        assert result.model == "lenet"
+
+    def test_levels_forwarded(self):
+        result = run_scheme("lenet", "dp", homogeneous_array(8), batch=32,
+                            levels=1)
+        assert result.planned.hierarchy_levels() == 1
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return sweep(["lenet", "alexnet"], heterogeneous_array(2, 2), batch=64)
+
+    def test_dp_normalizes_to_one(self, table):
+        for model in table.models:
+            assert table.speedup(model, "dp") == pytest.approx(1.0)
+
+    def test_speedups_positive(self, table):
+        for model in table.models:
+            for scheme in table.schemes:
+                assert table.speedup(model, scheme) > 0.0
+
+    def test_geomean_consistent(self, table):
+        values = table.speedups_for("accpar")
+        assert table.geomean("accpar") == pytest.approx(geometric_mean(values))
+
+    def test_accpar_beats_dp(self, table):
+        assert table.geomean("accpar") > 1.0
+
+    def test_requires_dp_baseline(self):
+        with pytest.raises(ValueError, match="dp"):
+            sweep(["lenet"], homogeneous_array(2), schemes=["owt", "accpar"],
+                  batch=32)
+
+    def test_custom_scheme_subset(self):
+        table = sweep(["lenet"], homogeneous_array(2),
+                      schemes=["dp", "accpar"], batch=32)
+        assert table.schemes == ["dp", "accpar"]
+
+
+class TestEngineConfigPassthrough:
+    def test_run_scheme_accepts_custom_config(self):
+        from repro.sim.engine import EngineConfig
+        from repro.training.optimizers import ADAM
+
+        fast = run_scheme("lenet", "dp", homogeneous_array(2), batch=32)
+        heavy = run_scheme("lenet", "dp", homogeneous_array(2), batch=32,
+                           config=EngineConfig(optimizer=ADAM,
+                                               overlap_compute_memory=False))
+        assert heavy.report.total_time >= fast.report.total_time
+
+    def test_dtype_bytes_passthrough(self):
+        thin = run_scheme("lenet", "dp", homogeneous_array(2), batch=32,
+                          dtype_bytes=2)
+        wide = run_scheme("lenet", "dp", homogeneous_array(2), batch=32,
+                          dtype_bytes=4)
+        assert wide.report.total_time > thin.report.total_time

@@ -1,0 +1,193 @@
+"""Unit tests for the layer IR."""
+
+import pytest
+
+from repro.graph.layers import (
+    Add,
+    BatchNorm,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    LayerWorkload,
+    Linear,
+    LocalResponseNorm,
+    Pool2d,
+    ReLU,
+)
+from repro.graph.shapes import FeatureMap
+
+
+@pytest.fixture
+def image():
+    return FeatureMap(8, 3, 224, 224)
+
+
+class TestConv2d:
+    def test_infer_shape(self, image):
+        conv = Conv2d("c", 3, 64, kernel=7, stride=2, padding=3)
+        out = conv.infer(image)
+        assert out == FeatureMap(8, 64, 112, 112)
+
+    def test_is_weighted(self):
+        assert Conv2d("c", 3, 8, kernel=3).weighted
+
+    def test_workload_dimensions(self, image):
+        conv = Conv2d("c", 3, 64, kernel=7, stride=2, padding=3)
+        w = conv.workload(image)
+        assert w.batch == 8
+        assert w.d_in == 3
+        assert w.d_out == 64
+        assert w.in_hw == (224, 224)
+        assert w.out_hw == (112, 112)
+        assert w.kernel_hw == (7, 7)
+        assert w.is_conv
+
+    def test_workload_tensor_sizes(self, image):
+        conv = Conv2d("c", 3, 64, kernel=7, stride=2, padding=3)
+        w = conv.workload(image)
+        assert w.input_fm.size == 8 * 3 * 224 * 224
+        assert w.output_fm.size == 8 * 64 * 112 * 112
+        assert w.weight.size == 3 * 64 * 7 * 7
+
+    def test_channel_mismatch_raises(self, image):
+        conv = Conv2d("c", 16, 64, kernel=3)
+        with pytest.raises(ValueError, match="expected 16 input channels"):
+            conv.infer(image)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", 0, 64, kernel=3)
+
+    def test_int_or_pair_arguments(self):
+        a = Conv2d("a", 3, 8, kernel=3, stride=2, padding=1)
+        b = Conv2d("b", 3, 8, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        assert a.kernel == b.kernel
+        assert a.stride == b.stride
+        assert a.padding == b.padding
+
+    def test_rejects_bad_pair(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", 3, 8, kernel=(3, 3, 3))
+
+
+class TestLinear:
+    def test_infer(self):
+        fc = Linear("fc", 100, 10)
+        out = fc.infer(FeatureMap(4, 100))
+        assert out == FeatureMap(4, 10, 1, 1)
+
+    def test_accepts_spatial_input_when_flat_matches(self):
+        fc = Linear("fc", 4 * 5 * 5, 10)
+        out = fc.infer(FeatureMap(2, 4, 5, 5))
+        assert out == FeatureMap(2, 10, 1, 1)
+
+    def test_feature_mismatch_raises(self):
+        fc = Linear("fc", 64, 10)
+        with pytest.raises(ValueError, match="expected 64 input features"):
+            fc.infer(FeatureMap(2, 100))
+
+    def test_workload_is_fc(self):
+        fc = Linear("fc", 100, 10)
+        w = fc.workload(FeatureMap(4, 100))
+        assert not w.is_conv
+        assert w.kernel_hw == (1, 1)
+        assert w.weight.size == 1000
+
+    def test_rejects_bad_features(self):
+        with pytest.raises(ValueError):
+            Linear("fc", 10, 0)
+
+
+class TestPool2d:
+    def test_max_pool(self):
+        pool = Pool2d("p", kernel=2, stride=2)
+        assert pool.infer(FeatureMap(1, 8, 28, 28)) == FeatureMap(1, 8, 14, 14)
+
+    def test_stride_defaults_to_kernel(self):
+        pool = Pool2d("p", kernel=3)
+        assert pool.stride == (3, 3)
+
+    def test_avg_mode(self):
+        assert Pool2d("p", kernel=2, mode="avg").mode == "avg"
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            Pool2d("p", kernel=2, mode="median")
+
+    def test_not_weighted(self):
+        assert not Pool2d("p", kernel=2).weighted
+        assert Pool2d("p", kernel=2).workload(FeatureMap(1, 1, 4, 4)) is None
+
+
+class TestShapePreservingLayers:
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            ReLU("r"),
+            BatchNorm("bn"),
+            LocalResponseNorm("lrn"),
+            Dropout("d", 0.5),
+            Add("a"),
+        ],
+    )
+    def test_identity_shape(self, layer, image):
+        assert layer.infer(image) == image
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0)
+
+    def test_global_avg_pool(self):
+        gap = GlobalAvgPool("g")
+        assert gap.infer(FeatureMap(2, 512, 7, 7)) == FeatureMap(2, 512, 1, 1)
+
+    def test_flatten(self):
+        fl = Flatten("f")
+        assert fl.infer(FeatureMap(2, 16, 5, 5)) == FeatureMap(2, 400, 1, 1)
+
+
+class TestAdd:
+    def test_infer_many_agreement(self):
+        add = Add("a")
+        fm = FeatureMap(2, 8, 4, 4)
+        assert add.infer_many([fm, fm]) == fm
+
+    def test_infer_many_mismatch_raises(self):
+        add = Add("a")
+        with pytest.raises(ValueError, match="mismatched Add inputs"):
+            add.infer_many([FeatureMap(2, 8, 4, 4), FeatureMap(2, 8, 2, 2)])
+
+    def test_infer_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            Add("a").infer_many([])
+
+
+class TestInput:
+    def test_feature_map(self):
+        inp = Input("in", channels=3, height=32, width=32)
+        assert inp.feature_map(16) == FeatureMap(16, 3, 32, 32)
+
+
+class TestLayerWorkload:
+    def test_with_batch(self):
+        w = LayerWorkload("l", 8, 3, 16, (4, 4), (4, 4), (3, 3), True)
+        w2 = w.with_batch(32)
+        assert w2.batch == 32
+        assert w2.d_in == w.d_in
+
+    def test_with_batch_rejects_nonpositive(self):
+        w = LayerWorkload("l", 8, 3, 16, (4, 4), (4, 4), (3, 3), True)
+        with pytest.raises(ValueError):
+            w.with_batch(0)
+
+    def test_spatial_helpers(self):
+        w = LayerWorkload("l", 8, 3, 16, (6, 4), (3, 2), (3, 3), True)
+        assert w.in_spatial == 24
+        assert w.out_spatial == 6
+        assert w.kernel_spatial == 9
+
+    def test_layer_name_required(self):
+        with pytest.raises(ValueError):
+            ReLU("")

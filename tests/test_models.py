@@ -1,0 +1,185 @@
+"""Tests of the model zoo against the architectures' published structure."""
+
+import pytest
+
+from repro.graph import ParallelStage, count_stage_layers
+from repro.models import (
+    PAPER_MODELS,
+    RESNET_MODELS,
+    VGG_MODELS,
+    available_models,
+    build_model,
+    register_model,
+)
+from repro.models.registry import _BUILDERS
+
+
+def parameter_count(net, batch=1):
+    return sum(w.weight.size for w in net.workloads(batch))
+
+
+class TestRegistry:
+    def test_nine_paper_models(self):
+        assert len(PAPER_MODELS) == 9
+
+    def test_all_available(self):
+        for name in PAPER_MODELS:
+            assert name in available_models()
+
+    def test_case_insensitive(self):
+        assert build_model("LeNet").name == "lenet"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("transformer")
+
+    def test_register_and_build_custom(self):
+        from repro.graph import Input, Linear, Network
+
+        def tiny():
+            net = Network("tiny-mlp", Input("in", channels=4))
+            net.add(Linear("fc", 4, 2))
+            return net
+
+        register_model("tiny-mlp", tiny)
+        try:
+            assert build_model("tiny-mlp").name == "tiny-mlp"
+            with pytest.raises(KeyError, match="already registered"):
+                register_model("tiny-mlp", tiny)
+            register_model("tiny-mlp", tiny, overwrite=True)
+        finally:
+            _BUILDERS.pop("tiny-mlp", None)
+
+    def test_subsets(self):
+        assert set(VGG_MODELS) <= set(PAPER_MODELS)
+        assert set(RESNET_MODELS) <= set(PAPER_MODELS)
+
+
+class TestLenet:
+    def test_weighted_layer_count(self):
+        assert len(build_model("lenet").workloads(1)) == 5
+
+    def test_classifier_output(self):
+        net = build_model("lenet")
+        shapes = net.infer_shapes(1)
+        assert shapes[net.output_name].channels == 10
+
+    def test_parameter_count(self):
+        # 150 + 2400 + 48000 + 10080 + 840 = 61470 kernel weights (no biases)
+        assert parameter_count(build_model("lenet")) == 61470
+
+
+class TestAlexnet:
+    def test_layer_names_match_figure7(self):
+        names = [w.name for w in build_model("alexnet").workloads(1)]
+        assert names == ["cv1", "cv2", "cv3", "cv4", "cv5", "fc1", "fc2", "fc3"]
+
+    def test_feature_extractor_geometry(self):
+        net = build_model("alexnet")
+        shapes = net.infer_shapes(1)
+        assert (shapes["cv1"].height, shapes["cv1"].width) == (55, 55)
+        assert (shapes["pool2"].height, shapes["pool2"].width) == (13, 13)
+        assert (shapes["pool5"].height, shapes["pool5"].width) == (6, 6)
+
+    def test_parameter_count_close_to_61m(self):
+        params = parameter_count(build_model("alexnet"))
+        # ~60.9M kernel weights in the single-tower variant (biases excluded)
+        assert 58e6 < params < 63e6
+
+    def test_fc_dominates_weights(self):
+        net = build_model("alexnet")
+        fc = sum(w.weight.size for w in net.workloads(1) if not w.is_conv)
+        total = parameter_count(net)
+        assert fc / total > 0.9
+
+
+class TestVgg:
+    @pytest.mark.parametrize(
+        "name,n_conv", [("vgg11", 8), ("vgg13", 10), ("vgg16", 13), ("vgg19", 16)]
+    )
+    def test_conv_counts(self, name, n_conv):
+        net = build_model(name)
+        convs = [w for w in net.workloads(1) if w.is_conv]
+        assert len(convs) == n_conv
+        assert len(net.workloads(1)) == n_conv + 3
+
+    def test_vgg16_parameter_count(self):
+        params = parameter_count(build_model("vgg16"))
+        # canonical VGG-16: ~138M parameters; kernels only ≈ 138.3M
+        assert 130e6 < params < 140e6
+
+    def test_final_spatial_is_7x7(self):
+        net = build_model("vgg19")
+        shapes = net.infer_shapes(1)
+        assert (shapes["pool5"].height, shapes["pool5"].width) == (7, 7)
+
+    def test_unknown_config_raises(self):
+        from repro.models.vgg import vgg
+
+        with pytest.raises(ValueError):
+            vgg("vgg99")
+
+
+class TestResnet:
+    @pytest.mark.parametrize(
+        "name,n_weighted", [("resnet18", 21), ("resnet34", 37), ("resnet50", 54)]
+    )
+    def test_weighted_counts(self, name, n_weighted):
+        assert len(build_model(name).workloads(1)) == n_weighted
+
+    @pytest.mark.parametrize(
+        "name,n_blocks", [("resnet18", 8), ("resnet34", 16), ("resnet50", 16)]
+    )
+    def test_block_count_equals_parallel_stages(self, name, n_blocks):
+        stages = build_model(name).stages(1)
+        parallel = [s for s in stages if isinstance(s, ParallelStage)]
+        assert len(parallel) == n_blocks
+
+    def test_resnet50_parameter_count(self):
+        params = parameter_count(build_model("resnet50"))
+        # ~25.5M params; conv kernels only ≈ 23.5M
+        assert 20e6 < params < 26e6
+
+    def test_downsample_blocks_have_two_weighted_paths(self):
+        stages = build_model("resnet18").stages(1)
+        parallel = [s for s in stages if isinstance(s, ParallelStage)]
+        # stages 2-4 first blocks have projection skips: 3 of the 8 blocks
+        projection = [p for p in parallel if all(len(path) > 0 for path in p.paths)]
+        assert len(projection) == 3
+
+    def test_stage_layers_match_workloads(self):
+        for name in RESNET_MODELS:
+            net = build_model(name)
+            assert count_stage_layers(net.stages(1)) == len(net.workloads(1))
+
+    def test_final_classifier_input(self):
+        net = build_model("resnet50")
+        shapes = net.infer_shapes(1)
+        assert shapes["flatten"].channels == 2048
+
+    def test_spatial_pyramid(self):
+        net = build_model("resnet18")
+        shapes = net.infer_shapes(1)
+        assert (shapes["pool1"].height, shapes["pool1"].width) == (56, 56)
+        assert (shapes["s2b1_add"].height, shapes["s2b1_add"].width) == (28, 28)
+        assert (shapes["s4b2_add"].height, shapes["s4b2_add"].width) == (7, 7)
+
+    def test_unknown_config_raises(self):
+        from repro.models.resnet import resnet
+
+        with pytest.raises(ValueError):
+            resnet("resnet1001")
+
+
+class TestAllModels:
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_shape_inference_succeeds_at_paper_batch(self, name):
+        net = build_model(name)
+        shapes = net.infer_shapes(512)
+        assert shapes[net.output_name].batch == 512
+
+    @pytest.mark.parametrize("name", PAPER_MODELS)
+    def test_classifier_heads(self, name):
+        net = build_model(name)
+        out = net.infer_shapes(2)[net.output_name]
+        assert out.channels == (10 if name == "lenet" else 1000)

@@ -1,0 +1,75 @@
+"""Tests of N-way (>2 path) multi-path planning via the trident models."""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.core.verify import verify_planned
+from repro.graph import ParallelStage, validate_network
+from repro.models.multibranch import trident
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.sim.executor import evaluate
+
+
+class TestTridentModel:
+    def test_validates(self):
+        assert validate_network(trident()) == []
+
+    def test_four_paths_per_block(self):
+        stages = trident(n_blocks=1).stages(batch=8)
+        parallel = [s for s in stages if isinstance(s, ParallelStage)]
+        assert len(parallel) == 1
+        # three conv branches + one identity skip
+        assert len(parallel[0].paths) == 4
+        sizes = sorted(len(p) for p in parallel[0].paths)
+        assert sizes == [0, 1, 1, 2]
+
+    def test_weighted_layer_count(self):
+        # stem + per block (1 + 1 + 2) + fc
+        net = trident(n_blocks=2)
+        assert len(net.workloads(8)) == 1 + 2 * 4 + 1
+
+    def test_bad_block_count(self):
+        with pytest.raises(ValueError):
+            trident(n_blocks=0)
+
+
+class TestNWayPlanning:
+    @pytest.mark.parametrize("scheme", ["dp", "owt", "hypar", "accpar"])
+    def test_all_schemes_plan_and_verify(self, scheme):
+        planned = Planner(heterogeneous_array(2, 2), get_scheme(scheme)).plan(
+            trident(), batch=32
+        )
+        assert verify_planned(planned) == []
+        assert evaluate(planned).total_time > 0.0
+
+    def test_every_branch_layer_assigned(self):
+        net = trident(n_blocks=2)
+        planned = Planner(homogeneous_array(4), get_scheme("accpar")).plan(
+            net, batch=32
+        )
+        assigned = set(planned.root_level_plan.layer_assignments())
+        expected = {w.name for w in net.workloads(32)}
+        assert assigned == expected
+
+    def test_accpar_beats_dp_on_multibranch(self):
+        array = heterogeneous_array(4, 4)
+        times = {
+            scheme: evaluate(
+                Planner(array, get_scheme(scheme)).plan(trident(), batch=64)
+            ).total_time
+            for scheme in ("dp", "accpar")
+        }
+        assert times["accpar"] < times["dp"]
+
+    def test_n_way_join_state_recorded(self):
+        from repro.core.types import JOIN_PREFIX
+
+        planned = Planner(homogeneous_array(2), get_scheme("accpar")).plan(
+            trident(n_blocks=1), batch=16
+        )
+        joins = [
+            name for name in planned.root_level_plan.assignments
+            if name.startswith(JOIN_PREFIX)
+        ]
+        assert len(joins) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for multi-path (fork/join) search — Section 5.2, Figure 4."""
+
+import pytest
+
+from repro.core.cost_model import PairCostModel
+from repro.core.dp_search import search_stages
+from repro.core.multipath import alignment_cost, parallel_stage_transitions
+from repro.core.stages import (
+    ShardedLayerStage,
+    ShardedParallelStage,
+    to_sharded_stages,
+)
+from repro.core.types import (
+    ALL_TYPES,
+    PartitionType,
+    ShardedWorkload,
+    join_key,
+)
+from repro.graph.layers import LayerWorkload
+from repro.hardware import TPU_V2, TPU_V3, make_group
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+def fc_stage(name, batch=16, d_in=32, d_out=32):
+    w = LayerWorkload(name, batch, d_in, d_out, (1, 1), (1, 1), (1, 1), False)
+    return ShardedLayerStage(ShardedWorkload(w))
+
+
+def residual_region(with_skip_layer=False):
+    """A Figure 4-style region: P1 = one layer (or empty), P2 = two layers."""
+    p2 = (fc_stage("p2a"), fc_stage("p2b"))
+    p1 = (fc_stage("p1a"),) if with_skip_layer else ()
+    return ShardedParallelStage(paths=(p2, p1), name="block")
+
+
+@pytest.fixture
+def model():
+    return PairCostModel(make_group(TPU_V3, 1), make_group(TPU_V2, 1),
+                         ratio_mode="balanced")
+
+
+class TestAlignmentCost:
+    def test_same_state_is_free(self, model):
+        for t in ALL_TYPES:
+            assert alignment_cost(model, 1000.0, t, t) == 0.0
+
+    def test_free_entry_is_free(self, model):
+        assert alignment_cost(model, 1000.0, None, I) == 0.0
+
+    def test_zero_transitions_free(self, model):
+        assert alignment_cost(model, 1000.0, II, III) == 0.0
+
+    def test_costly_transition_positive(self, model):
+        assert alignment_cost(model, 1000.0, I, III) > 0.0
+
+
+class TestParallelTransitions:
+    def test_all_state_pairs_present(self, model):
+        stage = residual_region()
+        transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I, II])
+        assert set(transitions) == {(tt, s) for tt in (I, II) for s in ALL_TYPES}
+
+    def test_join_state_recorded(self, model):
+        stage = residual_region()
+        transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I])
+        for (tt, s), info in transitions.items():
+            assignments = dict(info.assignments)
+            assert assignments[join_key("block")].ptype is s
+
+    def test_path_layers_assigned(self, model):
+        stage = residual_region(with_skip_layer=True)
+        transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I])
+        for info in transitions.values():
+            names = {name for name, _ in info.assignments}
+            assert {"p1a", "p2a", "p2b"} <= names
+
+    def test_cost_sums_paths(self, model):
+        """A two-path region must cost at least each path alone."""
+        region = residual_region(with_skip_layer=True)
+        transitions = parallel_stage_transitions(region, model, ALL_TYPES, [I])
+        single = search_stages([fc_stage("p2a"), fc_stage("p2b")], model,
+                               entry={I: 0.0})
+        best_region = min(info.cost for info in transitions.values())
+        assert best_region >= single.cost - 1e-12
+
+    def test_all_empty_paths_raise(self, model):
+        stage = ShardedParallelStage(paths=((), ()), name="empty")
+        with pytest.raises(ValueError):
+            parallel_stage_transitions(stage, model, ALL_TYPES, [I])
+
+
+class TestEndToEndMultipath:
+    def test_search_through_residual_block(self, model):
+        stages = [fc_stage("pre"), residual_region(), fc_stage("post")]
+        result = search_stages(stages, model)
+        layer_names = {"pre", "p2a", "p2b", "post"}
+        assert layer_names <= set(result.assignments)
+        assert result.cost > 0.0
+
+    def test_consecutive_blocks_chain(self, model):
+        block1 = ShardedParallelStage(paths=((fc_stage("b1a"), fc_stage("b1b")), ()),
+                                      name="blk1")
+        block2 = ShardedParallelStage(paths=((fc_stage("b2a"), fc_stage("b2b")), ()),
+                                      name="blk2")
+        stages = [fc_stage("pre"), block1, block2, fc_stage("post")]
+        result = search_stages(stages, model)
+        assert {"pre", "b1a", "b1b", "b2a", "b2b", "post"} <= set(result.assignments)
+        assert join_key("blk1") in result.assignments
+        assert join_key("blk2") in result.assignments
+
+    def test_search_beats_every_uniform_plan(self):
+        """The multi-path search must be at least as good as pinning all
+        layers to any single type (uniform plans are realignment-free)."""
+        model = PairCostModel(make_group(TPU_V3, 1), make_group(TPU_V3, 1),
+                              ratio_mode="balanced")
+        stages = [fc_stage("pre"), residual_region(), fc_stage("post")]
+        best = search_stages(stages, model)
+        for t in ALL_TYPES:
+            uniform = search_stages(stages, model, space_fn=lambda w, t=t: (t,))
+            assert best.cost <= uniform.cost + 1e-12
+
+    def test_resnet18_plans_all_layers(self, model):
+        from repro.models import build_model
+
+        net = build_model("resnet18")
+        stages = to_sharded_stages(net.stages(batch=8))
+        result = search_stages(stages, model)
+        planned = {n for n in result.assignments if not n.startswith("@join:")}
+        expected = {w.name for w in net.workloads(8)}
+        assert planned == expected
+
+    def test_nested_parallel_in_path(self, model):
+        inner = ShardedParallelStage(paths=((fc_stage("i1"),), ()), name="inner")
+        outer = ShardedParallelStage(
+            paths=((fc_stage("o1"), inner, fc_stage("o2")), ()), name="outer"
+        )
+        stages = [fc_stage("pre"), outer, fc_stage("post")]
+        result = search_stages(stages, model)
+        assert {"pre", "o1", "i1", "o2", "post"} <= set(result.assignments)
+        assert join_key("inner") in result.assignments

@@ -1,0 +1,106 @@
+"""Unit tests for the reference numpy trainer (the numeric ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.reference import (
+    MlpSpec,
+    numerical_gradients,
+    reference_step,
+    relu,
+    relu_grad,
+)
+
+
+class TestMlpSpec:
+    def test_layer_count(self):
+        assert MlpSpec([4, 8, 2]).n_layers == 2
+
+    def test_rejects_single_width(self):
+        with pytest.raises(ValueError):
+            MlpSpec([4])
+
+    def test_rejects_unsplittable_width(self):
+        with pytest.raises(ValueError):
+            MlpSpec([4, 1, 4])
+
+    def test_init_weights_shapes_and_determinism(self):
+        spec = MlpSpec([4, 8, 2])
+        w1 = spec.init_weights(seed=3)
+        w2 = spec.init_weights(seed=3)
+        assert [w.shape for w in w1] == [(4, 8), (8, 2)]
+        for a, b in zip(w1, w2):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0])
+        )
+
+    def test_relu_grad(self):
+        np.testing.assert_array_equal(
+            relu_grad(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 1.0])
+        )
+
+
+class TestReferenceStep:
+    @pytest.fixture
+    def setup(self):
+        spec = MlpSpec([6, 10, 4])
+        rng = np.random.default_rng(0)
+        weights = spec.init_weights(0)
+        x = rng.standard_normal((5, 6))
+        target = rng.standard_normal((5, 4))
+        return spec, weights, x, target
+
+    def test_shapes(self, setup):
+        spec, weights, x, target = setup
+        trace = reference_step(weights, x, target)
+        assert trace.activations[0].shape == (5, 6)
+        assert trace.activations[-1].shape == (5, 4)
+        assert [g.shape for g in trace.gradients] == [(6, 10), (10, 4)]
+
+    def test_loss_definition(self, setup):
+        _, weights, x, target = setup
+        trace = reference_step(weights, x, target)
+        expected = 0.5 * np.sum((trace.activations[-1] - target) ** 2)
+        assert trace.loss == pytest.approx(expected)
+
+    def test_hidden_activations_nonnegative(self, setup):
+        _, weights, x, target = setup
+        trace = reference_step(weights, x, target)
+        assert np.all(trace.activations[1] >= 0.0)
+
+    def test_output_error_is_residual(self, setup):
+        _, weights, x, target = setup
+        trace = reference_step(weights, x, target)
+        np.testing.assert_allclose(
+            trace.errors[-1], trace.activations[-1] - target
+        )
+
+    def test_gradients_match_finite_differences(self, setup):
+        """The decisive check: analytic backward/gradient vs central
+        differences of the loss."""
+        _, weights, x, target = setup
+        trace = reference_step(weights, x, target)
+        sampled = numerical_gradients(weights, x, target)
+        for layer_idx, entries in enumerate(sampled):
+            for (i, j), fd in entries:
+                analytic = trace.gradients[layer_idx][i, j]
+                assert analytic == pytest.approx(fd, rel=1e-5, abs=1e-6)
+
+    def test_deeper_network_gradcheck(self):
+        spec = MlpSpec([5, 7, 6, 3])
+        rng = np.random.default_rng(11)
+        weights = spec.init_weights(11)
+        x = rng.standard_normal((4, 5))
+        target = rng.standard_normal((4, 3))
+        trace = reference_step(weights, x, target)
+        sampled = numerical_gradients(weights, x, target, max_entries=10)
+        for layer_idx, entries in enumerate(sampled):
+            for (i, j), fd in entries:
+                assert trace.gradients[layer_idx][i, j] == pytest.approx(
+                    fd, rel=1e-4, abs=1e-6
+                )

@@ -1,0 +1,100 @@
+"""Unit tests for the optimizer cost models and numpy update rules."""
+
+import numpy as np
+import pytest
+
+from repro.training.optimizers import (
+    ADAM,
+    AdamRule,
+    MOMENTUM,
+    MomentumRule,
+    OPTIMIZERS,
+    OptimizerSpec,
+    SGD,
+    SgdRule,
+    get_optimizer,
+    make_rule,
+)
+
+
+class TestSpecs:
+    def test_registry(self):
+        assert set(OPTIMIZERS) == {"sgd", "momentum", "adam"}
+        assert get_optimizer("Adam") is ADAM
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_optimizer("lion")
+
+    def test_state_counts(self):
+        assert SGD.state_per_weight == 0
+        assert MOMENTUM.state_per_weight == 1
+        assert ADAM.state_per_weight == 2
+
+    def test_update_tensor_counts(self):
+        assert SGD.update_load_tensors() == 2      # w, g
+        assert ADAM.update_load_tensors() == 4     # w, g, m, v
+        assert MOMENTUM.update_store_tensors() == 2  # w, v
+
+    def test_flops_increase_with_sophistication(self):
+        assert SGD.flops_per_weight < MOMENTUM.flops_per_weight < ADAM.flops_per_weight
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            OptimizerSpec("bad", state_per_weight=-1, flops_per_weight=1)
+
+
+class TestSgdRule:
+    def test_update(self):
+        w = [np.array([1.0, 2.0])]
+        SgdRule(lr=0.5).apply(w, [np.array([2.0, 4.0])])
+        np.testing.assert_allclose(w[0], [0.0, 0.0])
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SgdRule(lr=0.0)
+
+
+class TestMomentumRule:
+    def test_matches_paper_recursion(self):
+        """v_t = gamma v_{t-1} + eta grad ; theta -= v_t (Section 2.1)."""
+        rule = MomentumRule(lr=0.1, gamma=0.5)
+        w = [np.array([1.0])]
+        g = [np.array([1.0])]
+        rule.apply(w, g)   # v1 = 0.1 -> w = 0.9
+        rule.apply(w, g)   # v2 = 0.05 + 0.1 = 0.15 -> w = 0.75
+        np.testing.assert_allclose(w[0], [0.75])
+
+    def test_bad_gamma(self):
+        with pytest.raises(ValueError):
+            MomentumRule(gamma=1.0)
+
+
+class TestAdamRule:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction, Adam's first step is ~lr * sign(g)."""
+        rule = AdamRule(lr=0.01)
+        w = [np.array([1.0, -1.0])]
+        g = [np.array([5.0, -3.0])]
+        rule.apply(w, g)
+        np.testing.assert_allclose(w[0], [1.0 - 0.01, -1.0 + 0.01], rtol=1e-5)
+
+    def test_state_shapes_lazy_init(self):
+        rule = AdamRule()
+        w = [np.zeros((3, 4)), np.zeros((4, 2))]
+        g = [np.ones((3, 4)), np.ones((4, 2))]
+        rule.apply(w, g)
+        assert rule._m[0].shape == (3, 4)
+        assert rule._v[1].shape == (4, 2)
+
+
+class TestMakeRule:
+    @pytest.mark.parametrize("name,cls", [("sgd", SgdRule),
+                                          ("momentum", MomentumRule),
+                                          ("adam", AdamRule)])
+    def test_factory(self, name, cls):
+        assert isinstance(make_rule(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_rule("rmsprop")

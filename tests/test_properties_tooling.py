@@ -1,0 +1,79 @@
+"""Property-based tests for the plan tooling (serialize / quantize / verify).
+
+Every plan the planner can produce — any scheme, any model, any array —
+must survive the deployment pipeline: JSON round-trip without changing its
+simulated behavior, quantize into integer splits, and verify clean.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.core.quantize import quantize_plan, quantize_ratio
+from repro.core.serialize import plan_from_dict, plan_to_dict
+from repro.core.verify import verify_planned
+from repro.hardware import TPU_V2, TPU_V3, make_group, merge_groups
+from repro.models import build_model
+from repro.sim.executor import evaluate
+
+SCHEMES = ["dp", "owt", "hypar", "accpar"]
+MODELS = ["lenet", "alexnet"]
+
+
+def build_array(n_v2: int, n_v3: int):
+    groups = []
+    if n_v2:
+        groups.append(make_group(TPU_V2, n_v2))
+    if n_v3:
+        groups.append(make_group(TPU_V3, n_v3))
+    return merge_groups(*groups)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    scheme=st.sampled_from(SCHEMES),
+    model=st.sampled_from(MODELS),
+    n_v2=st.integers(min_value=0, max_value=3),
+    n_v3=st.integers(min_value=0, max_value=3),
+    batch=st.sampled_from([32, 64, 256]),
+)
+def test_plan_pipeline_properties(scheme, model, n_v2, n_v3, batch):
+    if n_v2 + n_v3 < 2:
+        n_v3 = 2  # need something to partition
+
+    array = build_array(n_v2, n_v3)
+    planned = Planner(array, get_scheme(scheme)).plan(build_model(model), batch)
+
+    # 1. verification is clean on fresh plans
+    assert verify_planned(planned) == []
+
+    # 2. JSON round-trip preserves the simulated time exactly
+    reloaded = plan_from_dict(plan_to_dict(planned))
+    assert evaluate(reloaded).total_time == pytest.approx(
+        evaluate(planned).total_time
+    )
+
+    # 3. quantization produces a verifiable plan with bounded drift
+    quantized, report = quantize_plan(planned)
+    assert verify_planned(quantized) == []
+    t_orig = evaluate(planned).total_time
+    t_quant = evaluate(quantized).total_time
+    assert t_quant <= t_orig * 1.5  # rounding cannot blow the plan up
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    ratio=st.floats(min_value=0.001, max_value=0.999),
+    extent=st.integers(min_value=2, max_value=100000),
+)
+def test_quantize_ratio_properties(ratio, extent):
+    snapped = quantize_ratio(ratio, float(extent))
+    # realizable: the split index is an integer in [1, extent-1]
+    split = snapped * extent
+    assert split == pytest.approx(round(split))
+    assert 1 <= round(split) <= extent - 1
+    # closest: no other integer split is nearer (up to the clamping at the
+    # boundaries)
+    if 1 / extent <= ratio <= (extent - 1) / extent:
+        assert abs(snapped - ratio) <= 0.5 / extent + 1e-12

@@ -1,0 +1,70 @@
+"""Unit tests for the Eq. 10 partitioning-ratio solver."""
+
+import pytest
+
+from repro.core.ratio import (
+    RATIO_HI,
+    RATIO_LO,
+    compute_proportional_ratio,
+    solve_balanced_ratio,
+)
+
+
+class TestSolveBalancedRatio:
+    def test_symmetric_costs_give_half(self):
+        alpha = solve_balanced_ratio(lambda a: (a, 1.0 - a))
+        assert alpha == pytest.approx(0.5, abs=1e-6)
+
+    def test_linear_heterogeneous_closed_form(self):
+        # cost_i = alpha / 3, cost_j = (1-alpha) / 1 -> alpha = 3/4
+        alpha = solve_balanced_ratio(lambda a: (a / 3.0, (1.0 - a) / 1.0))
+        assert alpha == pytest.approx(0.75, abs=1e-6)
+
+    def test_affine_offsets(self):
+        # cost_i = 2 + alpha, cost_j = 4 + (1-alpha) -> alpha = 1.5 -> clamp?
+        # solve: 2 + a = 4 + 1 - a -> a = 1.5 (out of range) -> scan fallback
+        alpha = solve_balanced_ratio(lambda a: (2.0 + a, 4.0 + (1.0 - a)))
+        assert alpha == pytest.approx(RATIO_HI, abs=1e-2)
+
+    def test_quadratic_cross_term_still_solves(self):
+        # includes the alpha*beta inter-layer term of Table 5
+        def pair(a):
+            b = 1.0 - a
+            return (a / 2.0 + a * b * 0.1, b / 1.0 + a * b * 0.1)
+
+        alpha = solve_balanced_ratio(pair)
+        ci, cj = pair(alpha)
+        assert ci == pytest.approx(cj, rel=1e-6)
+
+    def test_dominant_party_falls_back_to_minimax(self):
+        # party i is always more expensive: minimize max -> push alpha low
+        alpha = solve_balanced_ratio(lambda a: (10.0 + a, 0.1 * (1.0 - a)))
+        assert alpha == pytest.approx(RATIO_LO, abs=0.02)
+
+    def test_result_within_bounds(self):
+        alpha = solve_balanced_ratio(lambda a: (a * 1e6, (1.0 - a) * 1e-6))
+        assert RATIO_LO <= alpha <= RATIO_HI
+
+    def test_invalid_bracket_raises(self):
+        with pytest.raises(ValueError):
+            solve_balanced_ratio(lambda a: (a, 1 - a), lo=0.9, hi=0.1)
+
+    def test_exact_boundary_roots(self):
+        # residual zero exactly at lo
+        alpha = solve_balanced_ratio(lambda a: (0.0, 0.0), lo=0.25, hi=0.75)
+        assert alpha == 0.25
+
+
+class TestComputeProportionalRatio:
+    def test_tpu_ratio(self):
+        assert compute_proportional_ratio(420e12, 180e12) == pytest.approx(0.7)
+
+    def test_symmetric(self):
+        assert compute_proportional_ratio(5.0, 5.0) == 0.5
+
+    def test_clamped(self):
+        assert compute_proportional_ratio(1e30, 1.0) <= RATIO_HI
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            compute_proportional_ratio(0.0, 1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.experiments.harness import SpeedupTable
+from repro.experiments.reporting import (
+    format_bar_chart,
+    format_grouped_bars,
+    format_speedup_table,
+    format_table,
+    scheme_label,
+)
+
+
+@pytest.fixture
+def table():
+    t = SpeedupTable(models=["m1", "m2"], schemes=["dp", "accpar"])
+    t.times = {
+        "m1": {"dp": 10.0, "accpar": 2.0},
+        "m2": {"dp": 8.0, "accpar": 4.0},
+    }
+    return t
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["3", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_alignment_by_widest_cell(self):
+        text = format_table(["x"], [["longvalue"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row) == len(sep)
+
+
+class TestSpeedupRendering:
+    def test_values_present(self, table):
+        text = format_speedup_table(table, "demo")
+        assert "5.00x" in text  # m1 accpar: 10/2
+        assert "2.00x" in text  # m2 accpar: 8/4
+        assert "geomean" in text
+
+    def test_scheme_labels(self):
+        assert scheme_label("dp") == "DP"
+        assert scheme_label("accpar") == "AccPar"
+        assert scheme_label("custom") == "custom"
+
+    def test_grouped_bars(self, table):
+        text = format_grouped_bars(table, "bars")
+        assert "m1:" in text and "m2:" in text
+        assert "#" in text
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = format_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10  # peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({})

@@ -1,0 +1,103 @@
+"""Unit tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    OptimizerImpact,
+    batch_sweep,
+    bandwidth_sweep,
+    optimizer_sweep,
+    scale_network_bandwidth,
+)
+from repro.hardware import heterogeneous_array, homogeneous_array
+
+
+ARRAY = heterogeneous_array(2, 2)
+
+
+class TestScaleBandwidth:
+    def test_scaling(self):
+        scaled = scale_network_bandwidth(ARRAY, 4.0)
+        assert scaled.network_bandwidth == pytest.approx(
+            4.0 * ARRAY.network_bandwidth
+        )
+        # everything else untouched
+        assert scaled.flops == ARRAY.flops
+        assert scaled.memory_bytes == ARRAY.memory_bytes
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_network_bandwidth(ARRAY, 0.0)
+
+
+class TestBatchSweep:
+    def test_shapes(self):
+        series = batch_sweep("lenet", ARRAY, batches=(32, 64),
+                             schemes=("dp", "accpar"))
+        assert series.x_values == [32.0, 64.0]
+        assert len(series.speedups["accpar"]) == 2
+
+    def test_dp_normalized(self):
+        series = batch_sweep("lenet", ARRAY, batches=(32,),
+                             schemes=("dp", "accpar"))
+        assert series.speedups["dp"][0] == pytest.approx(1.0)
+
+
+class TestBandwidthSweep:
+    def test_accpar_advantage_shrinks_with_bandwidth(self):
+        """Faster links -> communication matters less -> speedup over DP
+        falls toward 1 (the accelerator-wall narrative in reverse)."""
+        series = bandwidth_sweep("alexnet", homogeneous_array(4),
+                                 factors=(1.0, 1e6), batch=64,
+                                 schemes=("dp", "accpar"))
+        slow, fast = series.speedups["accpar"]
+        assert fast < slow
+        assert fast == pytest.approx(1.0, abs=0.3)
+
+
+class TestOptimizerSweep:
+    @pytest.fixture(scope="class")
+    def impacts(self):
+        return optimizer_sweep("alexnet", homogeneous_array(4), batch=64)
+
+    def test_ordering(self, impacts):
+        by_name = {i.optimizer: i for i in impacts}
+        assert set(by_name) == {"sgd", "momentum", "adam"}
+        # state memory grows with optimizer sophistication
+        assert (by_name["sgd"].memory_bytes
+                < by_name["momentum"].memory_bytes
+                < by_name["adam"].memory_bytes)
+
+    def test_comm_time_is_optimizer_independent(self, impacts):
+        """Section 2.1: updates are local, so communication never changes."""
+        comms = {round(i.comm_time, 12) for i in impacts}
+        assert len(comms) == 1
+
+    def test_update_work_increases_time(self, impacts):
+        by_name = {i.optimizer: i for i in impacts}
+        assert by_name["adam"].total_time >= by_name["sgd"].total_time
+
+
+class TestLatencySweep:
+    def test_orderings_are_latency_robust(self):
+        from repro.experiments.sensitivity import latency_sweep
+
+        series = latency_sweep("alexnet", heterogeneous_array(2, 2),
+                               latencies_s=(0.0, 1e-5), batch=64)
+        for idx in range(len(series.x_values)):
+            assert series.speedups["accpar"][idx] >= series.speedups["hypar"][idx] - 1e-9
+            assert series.speedups["hypar"][idx] > series.speedups["dp"][idx]
+
+    def test_latency_slows_everything(self):
+        from repro.baselines import get_scheme
+        from repro.core.planner import Planner
+        from repro.models import build_model
+        from repro.sim.engine import EngineConfig
+        from repro.sim.executor import evaluate
+
+        planned = Planner(heterogeneous_array(2, 2), get_scheme("accpar")).plan(
+            build_model("alexnet"), 64
+        )
+        t0 = evaluate(planned, EngineConfig(link_latency_s=0.0)).total_time
+        t1 = evaluate(planned, EngineConfig(link_latency_s=1e-4)).total_time
+        assert t1 > t0

@@ -1,0 +1,128 @@
+"""Unit tests for the tensor shape primitives."""
+
+import pytest
+
+from repro.graph.shapes import (
+    FeatureMap,
+    TensorShape,
+    conv_output_hw,
+    pool_output_hw,
+)
+
+
+class TestTensorShape:
+    def test_size_is_product_of_dims(self):
+        assert TensorShape((4, 5)).size == 20
+
+    def test_paper_kernel_example(self):
+        # Section 4.1: a 16x3x3x32 kernel has size 4608
+        assert TensorShape((16, 3, 3, 32)).size == 4608
+
+    def test_rank(self):
+        assert TensorShape((2, 3, 4)).rank == 3
+
+    def test_single_dim(self):
+        assert TensorShape((7,)).size == 7
+
+    def test_iteration_and_indexing(self):
+        shape = TensorShape((2, 3, 4))
+        assert list(shape) == [2, 3, 4]
+        assert shape[1] == 3
+
+    def test_str(self):
+        assert str(TensorShape((2, 3))) == "(2, 3)"
+
+    def test_bytes_bfloat16(self):
+        assert TensorShape((10, 10)).bytes() == 200
+
+    def test_bytes_fp32(self):
+        assert TensorShape((10, 10)).bytes(dtype_bytes=4) == 400
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TensorShape(())
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            TensorShape((4, 0))
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            TensorShape((4, -1))
+
+    def test_rejects_nonpositive_dtype(self):
+        with pytest.raises(ValueError):
+            TensorShape((2,)).bytes(dtype_bytes=0)
+
+    def test_equality_and_hash(self):
+        assert TensorShape((2, 3)) == TensorShape((2, 3))
+        assert hash(TensorShape((2, 3))) == hash(TensorShape((2, 3)))
+        assert TensorShape((2, 3)) != TensorShape((3, 2))
+
+
+class TestFeatureMap:
+    def test_shape_and_size(self):
+        fm = FeatureMap(8, 3, 32, 32)
+        assert fm.shape == TensorShape((8, 3, 32, 32))
+        assert fm.size == 8 * 3 * 32 * 32
+
+    def test_fc_degenerate_spatial(self):
+        fm = FeatureMap(8, 100)
+        assert fm.height == 1 and fm.width == 1
+        assert fm.spatial_size == 1
+
+    def test_spatial_size(self):
+        assert FeatureMap(1, 1, 7, 5).spatial_size == 35
+
+    def test_with_batch(self):
+        fm = FeatureMap(8, 3, 32, 32)
+        assert fm.with_batch(16) == FeatureMap(16, 3, 32, 32)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            FeatureMap(0, 3)
+
+    def test_rejects_negative_channels(self):
+        with pytest.raises(ValueError):
+            FeatureMap(1, -3)
+
+
+class TestConvGeometry:
+    def test_basic_3x3_pad1(self):
+        assert conv_output_hw(32, 32, (3, 3), (1, 1), (1, 1)) == (32, 32)
+
+    def test_stride2_downsample(self):
+        assert conv_output_hw(224, 224, (7, 7), (2, 2), (3, 3)) == (112, 112)
+
+    def test_alexnet_first_layer(self):
+        assert conv_output_hw(224, 224, (11, 11), (4, 4), (2, 2)) == (55, 55)
+
+    def test_1x1_pointwise(self):
+        assert conv_output_hw(14, 14, (1, 1), (1, 1), (0, 0)) == (14, 14)
+
+    def test_asymmetric_input(self):
+        assert conv_output_hw(10, 20, (3, 3), (1, 1), (0, 0)) == (8, 18)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+
+class TestPoolGeometry:
+    def test_2x2_stride2(self):
+        assert pool_output_hw(224, 224, (2, 2), (2, 2)) == (112, 112)
+
+    def test_3x3_stride2_floor(self):
+        # AlexNet pooling: 55 -> 27
+        assert pool_output_hw(55, 55, (3, 3), (2, 2)) == (27, 27)
+
+    def test_resnet_pool_with_padding(self):
+        assert pool_output_hw(112, 112, (3, 3), (2, 2), (1, 1)) == (56, 56)
+
+    def test_ceil_mode(self):
+        assert pool_output_hw(5, 5, (2, 2), (2, 2), ceil_mode=True) == (3, 3)
+        assert pool_output_hw(5, 5, (2, 2), (2, 2), ceil_mode=False) == (2, 2)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            pool_output_hw(1, 1, (4, 4), (4, 4))

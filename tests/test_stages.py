@@ -1,0 +1,126 @@
+"""Unit tests for sharded stage conversion and level sharding."""
+
+import pytest
+
+from repro.core.stages import (
+    ShardedLayerStage,
+    ShardedParallelStage,
+    first_workload,
+    flatten_to_chain,
+    iter_sharded_workloads,
+    last_workload,
+    shard_stages,
+    to_sharded_stages,
+)
+from repro.core.types import LayerPartition, PartitionType
+from repro.models import build_model
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+@pytest.fixture
+def resnet_stages():
+    return to_sharded_stages(build_model("resnet18").stages(batch=32))
+
+
+@pytest.fixture
+def chain_stages():
+    return to_sharded_stages(build_model("alexnet").stages(batch=32))
+
+
+class TestConversion:
+    def test_unsharded_fractions_are_one(self, chain_stages):
+        for sw in iter_sharded_workloads(chain_stages):
+            assert sw.batch_frac == 1.0
+            assert sw.din_frac == 1.0
+            assert sw.dout_frac == 1.0
+
+    def test_structure_preserved(self, resnet_stages):
+        parallels = [s for s in resnet_stages if isinstance(s, ShardedParallelStage)]
+        assert len(parallels) == 8
+
+    def test_workload_order_matches_network(self, chain_stages):
+        names = [sw.name for sw in iter_sharded_workloads(chain_stages)]
+        expected = [w.name for w in build_model("alexnet").workloads(32)]
+        assert names == expected
+
+
+class TestFirstLastWorkload:
+    def test_chain(self, chain_stages):
+        assert first_workload(chain_stages).name == "cv1"
+        assert last_workload(chain_stages).name == "fc3"
+
+    def test_within_parallel_stage(self, resnet_stages):
+        parallel = next(
+            s for s in resnet_stages if isinstance(s, ShardedParallelStage)
+        )
+        fw = first_workload([parallel])
+        assert fw.name.endswith("_cv1")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            first_workload([])
+        with pytest.raises(ValueError):
+            last_workload([])
+
+
+class TestShardStages:
+    def test_left_right_partition_dimension(self, chain_stages):
+        assignments = {
+            sw.name: LayerPartition(I, 0.25)
+            for sw in iter_sharded_workloads(chain_stages)
+        }
+        left = shard_stages(chain_stages, assignments, "left")
+        right = shard_stages(chain_stages, assignments, "right")
+        for l, r, base in zip(
+            iter_sharded_workloads(left),
+            iter_sharded_workloads(right),
+            iter_sharded_workloads(chain_stages),
+        ):
+            assert l.batch == pytest.approx(0.25 * base.batch)
+            assert r.batch == pytest.approx(0.75 * base.batch)
+
+    def test_type_specific_dimension(self, chain_stages):
+        assignments = {
+            sw.name: LayerPartition(II, 0.5)
+            for sw in iter_sharded_workloads(chain_stages)
+        }
+        left = shard_stages(chain_stages, assignments, "left")
+        for l, base in zip(iter_sharded_workloads(left),
+                           iter_sharded_workloads(chain_stages)):
+            assert l.d_in == pytest.approx(0.5 * base.d_in)
+            assert l.batch == base.batch
+
+    def test_missing_assignment_raises(self, chain_stages):
+        with pytest.raises(KeyError):
+            shard_stages(chain_stages, {}, "left")
+
+    def test_invalid_side_raises(self, chain_stages):
+        with pytest.raises(ValueError):
+            shard_stages(chain_stages, {}, "middle")
+
+    def test_parallel_structure_sharded_recursively(self, resnet_stages):
+        assignments = {
+            sw.name: LayerPartition(I, 0.5)
+            for sw in iter_sharded_workloads(resnet_stages)
+        }
+        left = shard_stages(resnet_stages, assignments, "left")
+        parallels = [s for s in left if isinstance(s, ShardedParallelStage)]
+        assert len(parallels) == 8
+        for sw in iter_sharded_workloads(left):
+            assert sw.batch_frac == pytest.approx(0.5)
+
+
+class TestFlattenToChain:
+    def test_resnet_flattens_to_all_layers(self, resnet_stages):
+        chain = flatten_to_chain(resnet_stages)
+        assert all(isinstance(s, ShardedLayerStage) for s in chain)
+        assert len(chain) == 21
+
+    def test_chain_is_identity_for_linear(self, chain_stages):
+        chain = flatten_to_chain(chain_stages)
+        assert [s.name for s in chain] == [s.name for s in chain_stages]
+
+    def test_parallel_stage_needs_two_paths(self):
+        with pytest.raises(ValueError):
+            ShardedParallelStage(paths=((),))

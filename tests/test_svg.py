@@ -1,0 +1,77 @@
+"""Unit tests for the SVG chart generator."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.harness import SpeedupTable
+from repro.experiments.svg import _nice_ceiling, grouped_bar_svg, line_chart_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def table():
+    t = SpeedupTable(models=["m1", "m2"], schemes=["dp", "accpar"])
+    t.times = {
+        "m1": {"dp": 10.0, "accpar": 2.0},
+        "m2": {"dp": 8.0, "accpar": 4.0},
+    }
+    return t
+
+
+class TestNiceCeiling:
+    @pytest.mark.parametrize("value,expected", [
+        (0.7, 1.0), (1.0, 1.0), (3.4, 5.0), (7.2, 10.0), (16.0, 20.0),
+        (42.0, 50.0), (99.0, 100.0),
+    ])
+    def test_values(self, value, expected):
+        assert _nice_ceiling(value) == expected
+
+    def test_nonpositive(self):
+        assert _nice_ceiling(0.0) == 1.0
+
+
+class TestGroupedBars:
+    def test_valid_xml(self, table):
+        root = ET.fromstring(grouped_bar_svg(table, "demo"))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_bar_count(self, table):
+        root = ET.fromstring(grouped_bar_svg(table, "demo"))
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 4 bars + 2 legend swatches
+        assert len(rects) == 1 + 4 + 2
+
+    def test_tooltips_carry_values(self, table):
+        svg = grouped_bar_svg(table, "demo")
+        assert "m1 / accpar: 5.00x" in svg
+
+    def test_title_escaped(self, table):
+        svg = grouped_bar_svg(table, "a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart_svg([1, 2, 3], {"accpar": [1.0, 2.0, 3.0]}, "t")
+        root = ET.fromstring(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 1
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 3
+
+    def test_multiple_series(self):
+        svg = line_chart_svg(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, "t", x_label="h"
+        )
+        root = ET.fromstring(svg)
+        assert len(root.findall(f"{SVG_NS}polyline")) == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            line_chart_svg([1, 2], {"a": [1.0]}, "t")
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            line_chart_svg([1], {}, "t")

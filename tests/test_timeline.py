@@ -1,0 +1,72 @@
+"""Unit tests for the Chrome-trace timeline exporter."""
+
+import json
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.models import build_model
+from repro.sim.executor import evaluate
+from repro.sim.timeline import critical_path_timeline, save_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def planned():
+    return AccParPlanner(heterogeneous_array(2, 2)).plan(
+        build_model("alexnet"), batch=64
+    )
+
+
+class TestTimeline:
+    def test_event_structure(self, planned):
+        events = critical_path_timeline(planned)
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert event["cat"] in ("communication", "compute", "optimizer")
+
+    def test_one_comm_event_per_level(self, planned):
+        events = critical_path_timeline(planned)
+        comm = [e for e in events if e["cat"] == "communication"]
+        assert len(comm) == planned.hierarchy_levels()
+
+    def test_leaf_has_three_phases_plus_update_per_layer(self, planned):
+        events = critical_path_timeline(planned)
+        compute = [e for e in events if e["cat"] == "compute"]
+        updates = [e for e in events if e["cat"] == "optimizer"]
+        n_layers = len(planned.root_level_plan.layer_assignments())
+        assert len(compute) == 3 * n_layers
+        assert len(updates) == n_layers
+
+    def test_events_are_sequential(self, planned):
+        events = critical_path_timeline(planned)
+        cursor = 0.0
+        for event in events:
+            assert event["ts"] >= cursor - 1e-6
+            cursor = event["ts"]
+
+    def test_span_close_to_simulated_total(self, planned):
+        """The timeline's end should be near the evaluator's total (the
+        evaluator applies cross-layer overlap at the leaf, so the sequential
+        timeline is an upper bound of the same order)."""
+        events = critical_path_timeline(planned)
+        span_s = max(e["ts"] + e["dur"] for e in events) / 1e6
+        total = evaluate(planned).total_time
+        assert span_s >= total * 0.5
+        assert span_s <= total * 3.0
+
+    def test_save_chrome_trace(self, planned, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(planned, path)
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        assert document["traceEvents"]
+
+    def test_single_board_timeline_is_leaf_only(self):
+        planned = AccParPlanner(homogeneous_array(1)).plan(
+            build_model("lenet"), batch=8
+        )
+        events = critical_path_timeline(planned)
+        assert all(e["cat"] != "communication" for e in events)

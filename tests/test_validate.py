@@ -1,0 +1,60 @@
+"""Unit tests for graph validation."""
+
+import pytest
+
+from repro.graph.layers import Add, Conv2d, Flatten, Input, Linear, ReLU
+from repro.graph.network import GraphError, Network
+from repro.graph.validate import validate_network
+from repro.models import build_model
+
+
+def test_valid_linear_network_has_no_warnings():
+    net = Network("ok", Input("in", channels=3, height=8, width=8))
+    net.add(Conv2d("c1", 3, 4, kernel=3, padding=1))
+    net.add(Flatten("f"))
+    net.add(Linear("fc", 4 * 8 * 8, 10))
+    assert validate_network(net) == []
+
+
+@pytest.mark.parametrize("model", ["lenet", "alexnet", "vgg11", "resnet18"])
+def test_zoo_models_validate(model):
+    assert validate_network(build_model(model)) == []
+
+
+def test_join_on_non_add_layer_raises():
+    net = Network("bad", Input("in", channels=2, height=4, width=4))
+    a = net.add(Conv2d("a", 2, 2, kernel=1))
+    b = net.add(Conv2d("b", 2, 2, kernel=1), inputs=["in"])
+    net.add(ReLU("r"), inputs=[a, b])
+    with pytest.raises(GraphError, match="only Add may join"):
+        validate_network(net)
+
+
+def test_single_input_add_warns():
+    net = Network("warn", Input("in", channels=2, height=4, width=4))
+    a = net.add(Conv2d("a", 2, 2, kernel=1))
+    net.add(Add("add"), inputs=[a])
+    warnings = validate_network(net)
+    assert any("no-op" in w for w in warnings)
+
+
+def test_no_weighted_layers_warns():
+    net = Network("empty", Input("in", channels=2, height=4, width=4))
+    net.add(ReLU("r"))
+    warnings = validate_network(net)
+    assert any("nothing to partition" in w for w in warnings)
+
+
+def test_shape_mismatch_raises():
+    net = Network("mismatch", Input("in", channels=2, height=4, width=4))
+    net.add(Conv2d("c", 3, 4, kernel=1))  # expects 3 channels, gets 2
+    with pytest.raises(ValueError, match="input channels"):
+        validate_network(net)
+
+
+def test_multiple_sinks_raise():
+    net = Network("sinks", Input("in", channels=2, height=4, width=4))
+    net.add(Conv2d("a", 2, 2, kernel=1), inputs=["in"])
+    net.add(Conv2d("b", 2, 2, kernel=1), inputs=["in"])
+    with pytest.raises(GraphError):
+        validate_network(net)

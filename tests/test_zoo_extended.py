@@ -1,0 +1,91 @@
+"""Tests for the extended model zoo (beyond the paper's nine) and
+cross-model planning smoke coverage."""
+
+import pytest
+
+from repro.baselines import get_scheme
+from repro.core.planner import Planner
+from repro.core.verify import verify_planned
+from repro.graph import ParallelStage, validate_network
+from repro.hardware import heterogeneous_array
+from repro.models import PAPER_MODELS, available_models, build_model
+from repro.sim.executor import evaluate
+
+
+def parameter_count(net, batch=1):
+    return sum(w.weight.size for w in net.workloads(batch))
+
+
+class TestDeepResnets:
+    @pytest.mark.parametrize(
+        "name,n_weighted", [("resnet101", 105), ("resnet152", 156)]
+    )
+    def test_weighted_counts(self, name, n_weighted):
+        assert len(build_model(name).workloads(1)) == n_weighted
+
+    @pytest.mark.parametrize("name", ["resnet101", "resnet152"])
+    def test_validate(self, name):
+        assert validate_network(build_model(name)) == []
+
+    def test_resnet101_parameter_count(self):
+        # ~44.5M params; conv kernels only ≈ 42.4M
+        params = parameter_count(build_model("resnet101"))
+        assert 40e6 < params < 46e6
+
+    def test_resnet152_parameter_count(self):
+        # ~60.2M params; conv kernels only ≈ 58M
+        params = parameter_count(build_model("resnet152"))
+        assert 55e6 < params < 62e6
+
+    def test_block_counts(self):
+        stages = build_model("resnet101").stages(2)
+        blocks = [s for s in stages if isinstance(s, ParallelStage)]
+        assert len(blocks) == 3 + 4 + 23 + 3
+
+    def test_not_in_paper_models(self):
+        assert "resnet101" not in PAPER_MODELS
+        assert "resnet152" not in PAPER_MODELS
+        assert "resnet101" in available_models()
+
+    def test_resnet101_plans_and_simulates(self):
+        planned = Planner(heterogeneous_array(2, 2), get_scheme("accpar")).plan(
+            build_model("resnet101"), batch=32
+        )
+        assert verify_planned(planned) == []
+        report = evaluate(planned)
+        assert report.total_time > 0.0
+        assert report.fits_memory
+
+
+class TestZooConsistency:
+    def test_family_parameter_ordering(self):
+        params = [
+            parameter_count(build_model(n))
+            for n in ("resnet18", "resnet34", "resnet50", "resnet101",
+                      "resnet152")
+        ]
+        assert params == sorted(params)
+
+    def test_vgg_family_parameter_ordering(self):
+        params = [
+            parameter_count(build_model(n))
+            for n in ("vgg11", "vgg13", "vgg16", "vgg19")
+        ]
+        assert params == sorted(params)
+
+    def test_deeper_models_have_more_flops(self):
+        from repro.core.types import ShardedWorkload
+
+        def flops(name):
+            return sum(
+                ShardedWorkload(w).flops_total()
+                for w in build_model(name).workloads(8)
+            )
+
+        assert flops("resnet152") > flops("resnet101") > flops("resnet50")
+
+    def test_all_registry_models_build_and_validate(self):
+        for name in available_models():
+            net = build_model(name)
+            warnings = validate_network(net)
+            assert warnings == [], (name, warnings)
