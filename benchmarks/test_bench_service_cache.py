@@ -1,0 +1,83 @@
+"""Benchmark: plan-service cache speedup and single-flight coalescing.
+
+Two serving-layer claims are measured (and enforced):
+
+* a warm (cached) request is at least 10x faster than the cold planning run
+  it memoizes — the whole point of fronting the O(N·|T|²) DP with a cache;
+* N concurrent identical requests trigger exactly one planner invocation,
+  i.e. a coalescing factor of N.
+"""
+
+import threading
+import time
+
+from repro.hardware.presets import heterogeneous_array
+from repro.service import PlanRequest, PlanService
+
+from conftest import save_artifact
+
+MODEL = "vgg19"
+BATCH = 512
+THREADS = 8
+
+
+def test_bench_cold_vs_warm_and_coalescing(results_dir):
+    array = heterogeneous_array(8, 8)
+    request = PlanRequest(model=MODEL, array=array, batch=BATCH)
+
+    with PlanService(workers=THREADS) as service:
+        t0 = time.perf_counter()
+        cold = service.plan(request)
+        cold_s = time.perf_counter() - t0
+        assert cold.source == "planned"
+
+        warm_samples = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            warm = service.plan(request)
+            warm_samples.append(time.perf_counter() - t0)
+            assert warm.source == "memory"
+        warm_s = min(warm_samples)
+
+    # concurrent duplicate requests on a fresh service: one planner run
+    with PlanService(workers=THREADS) as service:
+        barrier = threading.Barrier(THREADS)
+        responses = [None] * THREADS
+
+        def worker(i):
+            barrier.wait()
+            responses[i] = service.plan(request)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(THREADS)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        herd_s = time.perf_counter() - t0
+
+        planner_runs = service.metrics.value("planner_runs")
+        coalesced = service.metrics.value("coalesced")
+
+    speedup = cold_s / warm_s
+    factor = THREADS / planner_runs
+    lines = [
+        f"plan service cache benchmark ({MODEL}, batch {BATCH}, "
+        f"{array.size} accelerators)",
+        f"  cold plan latency        {cold_s * 1e3:9.2f} ms",
+        f"  warm (cache) latency     {warm_s * 1e3:9.2f} ms  (best of 20)",
+        f"  warm speedup             {speedup:9.1f}x",
+        f"  {THREADS} concurrent duplicates  {herd_s * 1e3:9.2f} ms wall",
+        f"  planner invocations      {planner_runs:9d}",
+        f"  coalesced requests       {coalesced:9d}",
+        f"  coalescing factor        {factor:9.1f}x",
+    ]
+    save_artifact(results_dir, "bench_service_cache.txt", "\n".join(lines))
+
+    assert planner_runs == 1, "duplicate requests must plan exactly once"
+    assert coalesced == THREADS - 1
+    assert speedup >= 10.0, (
+        f"warm requests must be >=10x faster than cold (got {speedup:.1f}x: "
+        f"cold {cold_s * 1e3:.2f}ms, warm {warm_s * 1e3:.2f}ms)"
+    )

@@ -74,6 +74,13 @@ from .hardware import (
     make_group,
 )
 from .models import PAPER_MODELS, available_models, build_model, register_model
+from .service import (
+    MetricsRegistry,
+    PlanCache,
+    PlanRequest,
+    PlanResponse,
+    PlanService,
+)
 from .sim import EngineConfig, MemoryReport, SimReport, evaluate
 
 __version__ = "1.0.0"
@@ -102,9 +109,14 @@ __all__ = [
     "LevelPlan",
     "Linear",
     "MemoryReport",
+    "MetricsRegistry",
     "Network",
     "OwtScheme",
     "PAPER_MODELS",
+    "PlanCache",
+    "PlanRequest",
+    "PlanResponse",
+    "PlanService",
     "PairCostModel",
     "PartitionType",
     "Phase",

@@ -9,6 +9,9 @@ Examples::
     python -m repro simulate --model resnet50 --scheme hypar --array tpu-v3:16
     python -m repro sweep --models alexnet,vgg11 --array hetero
     python -m repro figure --which fig7
+    python -m repro warm --models alexnet,vgg11 --array hetero
+    echo '{"model": "alexnet", "array": "hetero"}' | python -m repro serve
+    python -m repro service-stats
 """
 
 from __future__ import annotations
@@ -41,6 +44,9 @@ from .models.registry import available_models, build_model
 from .sim.executor import evaluate
 
 _KNOWN_SPECS = {"tpu-v2": TPU_V2, "tpu-v3": TPU_V3}
+
+#: default disk tier for the plan service commands (serve / warm / service-stats)
+DEFAULT_CACHE_DIR = ".plan-cache"
 
 
 def parse_array(text: str) -> AcceleratorGroup:
@@ -117,6 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", required=True)
     p.add_argument("--optimizer", choices=["sgd", "momentum", "adam"],
                    default="sgd")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve plan requests as JSON lines on stdin/stdout",
+    )
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="disk cache tier directory ('' disables persistence)")
+    p.add_argument("--capacity", type=int, default=128,
+                   help="in-memory LRU capacity (plans)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="planning worker threads (default: CPU count)")
+
+    p = sub.add_parser("warm", help="pre-populate the plan cache")
+    p.add_argument("--models", required=True,
+                   help="comma-separated model names")
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p.add_argument("--capacity", type=int, default=128)
+
+    p = sub.add_parser("service-stats",
+                       help="summarize the disk cache tier and last session")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
     p = sub.add_parser("report", help="write a full markdown report")
     p.add_argument("--model", required=True)
@@ -228,6 +259,59 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _build_service(cache_dir, capacity: int, workers=None):
+    from .service import PlanCache, PlanService
+
+    disk_dir = cache_dir if cache_dir else None
+    return PlanService(cache=PlanCache(capacity=capacity, disk_dir=disk_dir),
+                       workers=workers)
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import serve_loop
+
+    service = _build_service(args.cache_dir, args.capacity, args.workers)
+    try:
+        served = serve_loop(service, sys.stdin, sys.stdout)
+    finally:
+        service.close()
+    print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_warm(args) -> int:
+    from .service import PlanRequest
+    from .service.server import warm_cache
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    if not models:
+        print("warm needs at least one model", file=sys.stderr)
+        return 2
+    service = _build_service(args.cache_dir, args.capacity)
+    try:
+        requests = [
+            PlanRequest(model=m, array=args.array, batch=args.batch,
+                        scheme=args.scheme, levels=args.levels)
+            for m in models
+        ]
+        responses = warm_cache(service, requests)
+    finally:
+        service.close()
+    for response in responses:
+        print(f"{response.planned.network_name:<12} {response.source:<8} "
+              f"{response.latency_s * 1e3:8.1f} ms  {response.fingerprint}")
+    print(f"cache: {len(service.cache)} in memory, "
+          f"{len(service.cache.disk_keys())} on disk")
+    return 0
+
+
+def _cmd_service_stats(args) -> int:
+    from .service.server import describe_cache_dir
+
+    print(describe_cache_dir(args.cache_dir))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments.analysis import type_histogram
 
@@ -288,6 +372,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "validate": lambda: _cmd_validate(args),
         "report": lambda: _cmd_report(args),
+        "serve": lambda: _cmd_serve(args),
+        "warm": lambda: _cmd_warm(args),
+        "service-stats": lambda: _cmd_service_stats(args),
     }
     try:
         return handlers[args.command]()

@@ -5,7 +5,7 @@ from .greedy import greedy_chain
 from .cost_model import PairCostModel, StepDecision, inter_layer_elements
 from .dp_search import SearchResult, search_stages
 from .hierarchy import PartitionScheme, collect_level_plans, plan_tree, stages_key
-from .planner import AccParPlanner, AccParScheme, PlannedExecution, Planner
+from .planner import AccParPlanner, AccParScheme, GreedyScheme, PlannedExecution, Planner
 from .ratio import compute_proportional_ratio, solve_balanced_ratio
 from .quantize import (
     QuantizationError,
@@ -13,7 +13,13 @@ from .quantize import (
     quantize_plan,
     quantize_ratio,
 )
-from .serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from .serialize import (
+    PlanFormatError,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
 from .verify import PlanVerificationError, verify_planned
 from .stages import (
     ShardedLayerStage,
@@ -45,6 +51,7 @@ __all__ = [
     "QuantizationReport",
     "quantize_plan",
     "quantize_ratio",
+    "PlanFormatError",
     "PlanVerificationError",
     "load_plan",
     "plan_from_dict",
@@ -54,6 +61,7 @@ __all__ = [
     "ALL_TYPES",
     "AccParPlanner",
     "AccParScheme",
+    "GreedyScheme",
     "HYPAR_TYPES",
     "HierarchicalPlan",
     "LayerPartition",

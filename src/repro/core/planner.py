@@ -23,8 +23,9 @@ from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
 from .cost_model import PairCostModel
 from .dp_search import search_stages
+from .greedy import greedy_chain
 from .hierarchy import PartitionScheme, collect_level_plans, plan_tree
-from .stages import ShardedStage, to_sharded_stages
+from .stages import ShardedStage, flatten_to_chain, to_sharded_stages
 from .types import ALL_TYPES, HierarchicalPlan, LevelPlan, PartitionType
 
 
@@ -55,6 +56,40 @@ class AccParScheme:
     ) -> LevelPlan:
         model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
         result = search_stages(list(stages), model, self.space)
+        return LevelPlan(assignments=result.assignments, cost=result.cost,
+                         scheme=self.name)
+
+
+class GreedyScheme:
+    """Myopic per-layer scheme: :func:`repro.core.greedy.greedy_chain` per level.
+
+    O(N·|T|) instead of the DP's O(N·|T|²) and with no multi-path branch
+    search (fork/join regions are linearized), so it answers fast at the cost
+    of search quality.  The plan service uses it as the graceful-degradation
+    fallback when an exact planning job blows through a request deadline; the
+    response is marked ``degraded`` and the exact plan replaces it in the
+    cache once the background job lands.
+    """
+
+    def __init__(
+        self,
+        space: Sequence[PartitionType] = ALL_TYPES,
+        ratio_mode: str = "balanced",
+        name: str = "greedy",
+    ):
+        self.space = tuple(space)
+        self.ratio_mode = ratio_mode
+        self.name = name
+
+    def level_plan(
+        self,
+        stages: Sequence[ShardedStage],
+        party_i: AcceleratorGroup,
+        party_j: AcceleratorGroup,
+        dtype_bytes: int,
+    ) -> LevelPlan:
+        model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
+        result = greedy_chain(flatten_to_chain(stages), model, self.space)
         return LevelPlan(assignments=result.assignments, cost=result.cost,
                          scheme=self.name)
 

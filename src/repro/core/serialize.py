@@ -24,6 +24,23 @@ from .types import HierarchicalPlan, LayerPartition, LevelPlan, PartitionType
 FORMAT_VERSION = 1
 
 
+class PlanFormatError(ValueError):
+    """Raised when a plan document cannot be understood by this reader.
+
+    Distinguishes schema problems (wrong version, missing fields) from the
+    semantic validation errors raised further down the load path, so callers
+    like the disk cache tier can treat unreadable documents as misses rather
+    than crashes.
+    """
+
+
+#: the AcceleratorSpec constructor arguments this reader understands; any
+#: other key in a stored spec comes from a future schema and is ignored
+_SPEC_FIELDS = (
+    "name", "flops", "memory_bytes", "memory_bandwidth", "network_bandwidth",
+)
+
+
 def _spec_to_dict(spec: AcceleratorSpec) -> Dict:
     return {
         "name": spec.name,
@@ -35,7 +52,14 @@ def _spec_to_dict(spec: AcceleratorSpec) -> Dict:
 
 
 def _spec_from_dict(data: Dict) -> AcceleratorSpec:
-    return AcceleratorSpec(**data)
+    missing = [f for f in _SPEC_FIELDS if f not in data]
+    if missing:
+        raise PlanFormatError(
+            f"accelerator spec document is missing fields {missing}"
+        )
+    # keep only the known fields: documents written by a future schema may
+    # carry extra keys, and the disk cache tier must stay readable across it
+    return AcceleratorSpec(**{f: data[f] for f in _SPEC_FIELDS})
 
 
 def _plan_node_to_dict(plan: HierarchicalPlan) -> Optional[Dict]:
@@ -95,8 +119,9 @@ def plan_from_dict(
     """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported plan format version {version!r} (expected {FORMAT_VERSION})"
+        raise PlanFormatError(
+            f"unsupported plan format version {version!r} (expected {FORMAT_VERSION}); "
+            f"re-plan with this version of the library or load with a matching reader"
         )
     builder = network_builder or build_model
     network = builder(data["network"])

@@ -1,0 +1,25 @@
+"""Stable content hashing shared by the fingerprint methods.
+
+The plan service addresses its cache by content, so every object that can
+influence a plan (accelerator specs, arrays, networks, request knobs) exposes
+a ``fingerprint()`` built on this digest.  Stability contract: the digest of
+a given payload never changes across processes, platforms or Python builds —
+it feeds persistent (disk-tier) cache file names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def stable_digest(payload) -> str:
+    """Hex digest of a JSON-serializable payload, stable across processes.
+
+    Canonical JSON (sorted keys, no whitespace) feeds SHA-256; the first 16
+    hex characters are plenty for cache addressing and keep keys readable.
+    Floats rely on Python's shortest-round-trip ``repr``, which is exact for
+    any value that itself round-trips through JSON.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]

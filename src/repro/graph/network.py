@@ -307,6 +307,31 @@ class Network:
             )
         return result
 
+    def fingerprint(self, batch: int = 1) -> str:
+        """Stable content hash of the graph structure and its shapes.
+
+        Covers the network name, every layer's class and wiring, and the
+        per-layer output feature maps at ``batch`` — so two registrations of
+        the same model name with different architectures hash differently,
+        which is what makes the plan-service cache safe against model
+        redefinition.  ``batch`` defaults to 1 because shapes at any fixed
+        batch identify the architecture; request batch is hashed separately
+        by the service.
+        """
+        from ..digest import stable_digest
+
+        shapes = self.infer_shapes(batch)
+        layers = [
+            {
+                "name": name,
+                "kind": type(self._layers[name]).__name__,
+                "inputs": self._preds[name],
+                "shape": list(shapes[name].shape),
+            }
+            for name in self.topological_order()
+        ]
+        return stable_digest({"name": self.name, "layers": layers})
+
     def describe(self, batch: int) -> str:
         """Human-readable per-layer summary (name, type, output shape)."""
         shapes = self.infer_shapes(batch)

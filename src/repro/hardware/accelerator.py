@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..digest import stable_digest
+
 
 @dataclass(frozen=True)
 class AcceleratorSpec:
@@ -31,6 +33,22 @@ class AcceleratorSpec:
         for field_name in ("flops", "memory_bytes", "memory_bandwidth", "network_bandwidth"):
             if getattr(self, field_name) <= 0:
                 raise ValueError(f"{field_name} must be positive for {self.name!r}")
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every field the cost model reads.
+
+        Two specs with the same fingerprint are interchangeable for planning,
+        so the plan-service cache keys on this rather than object identity.
+        """
+        return stable_digest(
+            {
+                "name": self.name,
+                "flops": self.flops,
+                "memory_bytes": self.memory_bytes,
+                "memory_bandwidth": self.memory_bandwidth,
+                "network_bandwidth": self.network_bandwidth,
+            }
+        )
 
     def __str__(self) -> str:
         return (
@@ -85,6 +103,16 @@ class AcceleratorGroup:
         for m in self.members:
             counts[m.name] = counts.get(m.name, 0) + 1
         return tuple(sorted(counts.items()))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the ordered member list.
+
+        Member *order* is included: :func:`~repro.hardware.cluster.bisection_tree`
+        sorts members itself, but two groups with different orderings are
+        still distinct request inputs, and hashing the order keeps the
+        fingerprint a pure function of the constructor arguments.
+        """
+        return stable_digest([m.fingerprint() for m in self.members])
 
     def __str__(self) -> str:
         parts = ", ".join(f"{n}x{c}" for n, c in self.signature())

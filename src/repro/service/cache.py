@@ -1,0 +1,194 @@
+"""Two-tier content-addressed plan cache: in-memory LRU over optional disk.
+
+Tier 1 is a thread-safe LRU of :class:`~repro.core.planner.PlannedExecution`
+objects keyed by request fingerprint.  Tier 2 (optional) is a directory of
+JSON documents in the :mod:`repro.core.serialize` format, one file per
+fingerprint — which makes the disk tier shareable between ``warm`` runs and
+later ``serve`` processes, and even hand-inspectable with ``jq``.
+
+Disk documents that fail to load (future schema version, unregistered model,
+truncated file) are treated as misses, not errors: the cache must never make
+a serveable request fail.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Tuple
+
+from ..core.planner import PlannedExecution
+from ..core.serialize import plan_from_dict, plan_to_dict
+from ..graph.network import Network
+
+
+@dataclass
+class CacheStats:
+    """Counters for every way a lookup or insert can go."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    disk_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "disk_errors": self.disk_errors,
+        }
+
+
+class PlanCache:
+    """LRU plan cache with an optional persistent disk tier.
+
+    ``capacity`` bounds the in-memory tier only; the disk tier grows without
+    bound (plans are a few KB each).  A disk hit is promoted into memory so
+    repeated lookups pay the JSON parse once.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        disk_dir=None,
+        network_builder: Optional[Callable[[str], Network]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._network_builder = network_builder
+        self._entries: "OrderedDict[str, PlannedExecution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[PlannedExecution]:
+        planned, _ = self.get_with_tier(key)
+        return planned
+
+    def peek(self, key: str) -> Optional[PlannedExecution]:
+        """Memory-tier lookup that records no stats and touches no LRU order.
+
+        For internal correctness re-checks (single-flight race closing) that
+        must not distort the hit/miss counters.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def get_with_tier(self, key: str) -> Tuple[Optional[PlannedExecution], Optional[str]]:
+        """Look up a fingerprint; returns ``(plan, "memory"|"disk"|None)``."""
+        with self._lock:
+            planned = self._entries.get(key)
+            if planned is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits_memory += 1
+                return planned, "memory"
+
+        planned = self._load_disk(key)
+        if planned is not None:
+            with self._lock:
+                self.stats.hits_disk += 1
+                self._insert(key, planned)
+            return planned, "disk"
+
+        with self._lock:
+            self.stats.misses += 1
+        return None, None
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def put(self, key: str, planned: PlannedExecution, persist: bool = True) -> None:
+        with self._lock:
+            self.stats.puts += 1
+            self._insert(key, planned)
+        if persist:
+            self._store_disk(key, planned)
+
+    def _insert(self, key: str, planned: PlannedExecution) -> None:
+        # caller holds the lock
+        self._entries[key] = planned
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.json"
+
+    def _load_disk(self, key: str) -> Optional[PlannedExecution]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return plan_from_dict(data, network_builder=self._network_builder)
+        except (ValueError, KeyError, OSError):
+            # unreadable entry (future schema, unknown model, corruption):
+            # a cache must degrade to a miss, never to a request failure
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+
+    def _store_disk(self, key: str, planned: PlannedExecution) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        document = plan_to_dict(planned)
+        document["fingerprint"] = key
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(document, indent=2))
+        tmp.replace(path)  # atomic against concurrent readers
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def memory_keys(self):
+        with self._lock:
+            return list(self._entries)
+
+    def disk_keys(self):
+        if self.disk_dir is None:
+            return []
+        return sorted(p.stem for p in self.disk_dir.glob("*.json"))
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+        if disk and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.json"):
+                path.unlink()

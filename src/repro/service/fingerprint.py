@@ -1,0 +1,87 @@
+"""Canonical plan requests and their content-addressed fingerprints.
+
+A :class:`PlanRequest` is the unit of work the plan service accepts: every
+knob that can change the resulting plan is a field here, and
+:meth:`PlanRequest.fingerprint` folds them all — including the *structure*
+of the named model, not just its name — into one stable hex key.  Two
+requests with equal fingerprints are guaranteed to produce byte-identical
+plans, which is what makes single-flight coalescing and the content-addressed
+cache sound.
+
+Stability contract (documented in docs/serving.md): fingerprints only change
+when ``REQUEST_SCHEMA_VERSION`` is bumped, which invalidates every persisted
+cache entry at once rather than silently serving stale plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..digest import stable_digest
+from ..graph.network import Network
+from ..hardware.accelerator import AcceleratorGroup
+from ..models.registry import build_model
+
+#: bump when the fingerprint payload layout (or plan semantics) changes;
+#: folded into every key so old disk-cache entries simply stop matching
+REQUEST_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """Everything that determines a plan, in canonical form.
+
+    ``space`` and ``ratio_mode`` are the AccPar ablation knobs
+    (:class:`repro.core.planner.AccParScheme`); leaving them ``None`` means
+    "the scheme's defaults" and hashes distinctly from pinning the defaults
+    explicitly — by design, since a scheme's defaults may evolve.
+    """
+
+    model: str
+    array: AcceleratorGroup
+    batch: int = 512
+    scheme: str = "accpar"
+    dtype_bytes: int = 2
+    levels: Optional[int] = None
+    space: Optional[Tuple[str, ...]] = None      # PartitionType values, e.g. ("I", "II")
+    ratio_mode: Optional[str] = None             # "balanced" | "equal" | "proportional"
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        if self.space is not None:
+            object.__setattr__(self, "space", tuple(self.space))
+
+    def build_network(
+        self, network_builder: Optional[Callable[[str], Network]] = None
+    ) -> Network:
+        builder = network_builder or build_model
+        return builder(self.model)
+
+    def fingerprint(
+        self, network_builder: Optional[Callable[[str], Network]] = None
+    ) -> str:
+        """The cache key: a stable hash over the full request content.
+
+        The model is resolved through the registry (or ``network_builder``)
+        and its structural fingerprint is hashed, so re-registering a model
+        name with a different architecture can never hit a stale entry.
+        """
+        network = self.build_network(network_builder)
+        return stable_digest(
+            {
+                "schema": REQUEST_SCHEMA_VERSION,
+                "model": self.model.lower(),
+                "network": network.fingerprint(),
+                "array": self.array.fingerprint(),
+                "batch": self.batch,
+                "scheme": self.scheme.lower(),
+                "dtype_bytes": self.dtype_bytes,
+                "levels": self.levels,
+                "space": list(self.space) if self.space is not None else None,
+                "ratio_mode": self.ratio_mode,
+            }
+        )

@@ -1,0 +1,170 @@
+"""JSON-lines front-end for the plan service (``python -m repro serve``).
+
+One request per line on stdin, one JSON response per line on stdout — the
+simplest protocol that scripts, ``xargs`` and load generators can all drive.
+A request looks like::
+
+    {"model": "alexnet", "array": "hetero", "batch": 512, "deadline_ms": 50}
+
+Optional fields: ``scheme`` (default ``accpar``), ``levels``, ``dtype_bytes``,
+``space`` (partition-type values, e.g. ``["I", "II"]``), ``ratio_mode``,
+``id`` (echoed back).  Control operations use ``op``::
+
+    {"op": "stats"}        -> metrics + cache counters
+    {"op": "shutdown"}     -> drain and exit the loop
+
+Malformed input produces an ``{"ok": false, "error": ...}`` line and the
+loop keeps serving — a bad client must not take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from .fingerprint import PlanRequest
+from .service import PlanResponse, PlanService
+
+#: name of the stats snapshot dropped next to the disk cache tier; carries a
+#: leading underscore and a .txt suffix so the ``*.json`` entry glob skips it
+STATS_SNAPSHOT_NAME = "_last_session_stats.txt"
+
+
+def request_from_doc(doc: Dict) -> PlanRequest:
+    """Build a canonical :class:`PlanRequest` from a JSON request document."""
+    from ..cli import parse_array  # deferred: the CLI imports this module
+
+    if "model" not in doc:
+        raise ValueError("request needs a 'model' field")
+    array = doc.get("array", "hetero")
+    if isinstance(array, str):
+        array = parse_array(array)
+    space = doc.get("space")
+    return PlanRequest(
+        model=doc["model"],
+        array=array,
+        batch=int(doc.get("batch", 512)),
+        scheme=doc.get("scheme", "accpar"),
+        dtype_bytes=int(doc.get("dtype_bytes", 2)),
+        levels=doc.get("levels"),
+        space=tuple(space) if space is not None else None,
+        ratio_mode=doc.get("ratio_mode"),
+    )
+
+
+def response_to_doc(response: PlanResponse) -> Dict:
+    planned = response.planned
+    root_cost = (
+        planned.root_level_plan.cost if planned.hierarchy_levels() > 0 else None
+    )
+    return {
+        "ok": True,
+        "fingerprint": response.fingerprint,
+        "source": response.source,
+        "cache_hit": response.cache_hit,
+        "degraded": response.degraded,
+        "coalesced": response.coalesced,
+        "latency_ms": round(response.latency_s * 1e3, 3),
+        "model": planned.network_name,
+        "scheme": planned.scheme,
+        "batch": planned.batch,
+        "levels": planned.hierarchy_levels(),
+        "root_cost": root_cost,
+    }
+
+
+def handle_line(service: PlanService, line: str) -> Optional[Dict]:
+    """Process one request line; ``None`` means "stop serving"."""
+    text = line.strip()
+    if not text:
+        return {"ok": False, "error": "empty request line"}
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"bad JSON: {exc}"}
+    if not isinstance(doc, dict):
+        return {"ok": False, "error": "request must be a JSON object"}
+
+    op = doc.get("op", "plan")
+    request_id = doc.get("id")
+    try:
+        if op == "shutdown":
+            return None
+        if op == "stats":
+            result: Dict = {"ok": True, "stats": service.snapshot()}
+        elif op == "plan":
+            deadline_ms = doc.get("deadline_ms")
+            deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+            response = service.plan(request_from_doc(doc), deadline_s=deadline_s)
+            result = response_to_doc(response)
+        else:
+            result = {"ok": False, "error": f"unknown op {op!r}"}
+    except Exception as exc:  # a bad request must not kill the loop
+        result = {"ok": False, "error": str(exc)}
+    if request_id is not None:
+        result["id"] = request_id
+    return result
+
+
+def serve_loop(service: PlanService, lines: Iterable[str], out: TextIO) -> int:
+    """Serve requests until EOF or a shutdown op; returns served-line count."""
+    served = 0
+    for line in lines:
+        result = handle_line(service, line)
+        if result is None:
+            break
+        out.write(json.dumps(result) + "\n")
+        out.flush()
+        served += 1
+    service.drain()
+    write_stats_snapshot(service)
+    return served
+
+
+def warm_cache(
+    service: PlanService, requests: Iterable[PlanRequest]
+) -> List[PlanResponse]:
+    """Pre-populate the cache and persist a stats snapshot alongside it."""
+    responses = service.warm(requests)
+    service.drain()
+    write_stats_snapshot(service)
+    return responses
+
+
+def write_stats_snapshot(service: PlanService) -> None:
+    """Drop a human-readable stats file next to the disk cache tier (if any).
+
+    ``service-stats`` can then report on the last serve/warm session without
+    holding the service process open.
+    """
+    disk_dir = service.cache.disk_dir
+    if disk_dir is None:
+        return
+    (disk_dir / STATS_SNAPSHOT_NAME).write_text(service.render_stats() + "\n")
+
+
+def describe_cache_dir(disk_dir) -> str:
+    """Offline summary of a disk cache tier, for ``service-stats``."""
+    from pathlib import Path
+
+    disk_dir = Path(disk_dir)
+    if not disk_dir.is_dir():
+        return f"{disk_dir}: no cache directory"
+    entries = sorted(disk_dir.glob("*.json"))
+    lines = [f"disk cache {disk_dir}: {len(entries)} plan(s), "
+             f"{sum(p.stat().st_size for p in entries)} bytes"]
+    by_model: Dict[str, int] = {}
+    for path in entries:
+        try:
+            doc = json.loads(path.read_text())
+            label = f"{doc.get('network', '?')} / {doc.get('scheme', '?')} " \
+                    f"/ batch {doc.get('batch', '?')}"
+        except (json.JSONDecodeError, OSError):
+            label = "(unreadable)"
+        by_model[label] = by_model.get(label, 0) + 1
+    for label in sorted(by_model):
+        lines.append(f"  {by_model[label]}x {label}")
+    snapshot = disk_dir / STATS_SNAPSHOT_NAME
+    if snapshot.exists():
+        lines += ["", "last session:", snapshot.read_text().rstrip()]
+    return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""The plan service: cache → single-flight → worker pool → deadline fallback.
+
+Request lifecycle (:meth:`PlanService.plan`):
+
+1. **fingerprint** the request (model structure + array + knobs);
+2. **cache lookup** — a memory or disk hit returns immediately;
+3. **single-flight** — on a miss, the first caller becomes the leader and
+   submits one exact planning job to the worker pool; concurrent identical
+   requests coalesce onto the same in-flight future;
+4. **deadline** — a caller whose deadline expires before the exact job lands
+   gets a fast greedy-scheme plan marked ``degraded=True``.  The exact job
+   keeps running in the pool and upgrades the cache entry when it finishes
+   (background refinement), so the *next* request gets the exact plan.
+
+Distinct fingerprints run concurrently across the pool; identical ones never
+plan twice.  All counters land in a :class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..baselines import get_scheme
+from ..core.hierarchy import PartitionScheme
+from ..core.planner import AccParScheme, GreedyScheme, PlannedExecution, Planner
+from ..core.types import ALL_TYPES, PartitionType
+from ..graph.network import Network
+from .cache import PlanCache
+from .fingerprint import PlanRequest
+from .metrics import MetricsRegistry
+from .singleflight import SingleFlight
+
+
+@dataclass
+class PlanResponse:
+    """A served plan plus how it was produced.
+
+    ``source`` is one of ``memory`` / ``disk`` (cache tiers), ``planned``
+    (this call ran the planner), ``coalesced`` (another in-flight request ran
+    it) or ``degraded`` (deadline fallback).
+    """
+
+    planned: PlannedExecution
+    fingerprint: str
+    source: str
+    degraded: bool
+    coalesced: bool
+    latency_s: float
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source in ("memory", "disk")
+
+
+def build_scheme(request: PlanRequest) -> PartitionScheme:
+    """Resolve a request's scheme name + ablation knobs into a scheme object.
+
+    The ``space`` / ``ratio_mode`` knobs parameterize the AccPar (and greedy)
+    search; the fixed baselines (dp/owt/hypar) have no such knobs and reject
+    them rather than silently ignoring cache-key-relevant input.
+    """
+    name = request.scheme.lower()
+    space = (
+        tuple(PartitionType(v) for v in request.space)
+        if request.space is not None
+        else None
+    )
+    if name in ("accpar", "greedy"):
+        cls = AccParScheme if name == "accpar" else GreedyScheme
+        kwargs = {}
+        if space is not None:
+            kwargs["space"] = space
+        if request.ratio_mode is not None:
+            kwargs["ratio_mode"] = request.ratio_mode
+        return cls(**kwargs)
+    if space is not None or request.ratio_mode is not None:
+        raise ValueError(
+            f"scheme {request.scheme!r} does not accept space/ratio_mode knobs"
+        )
+    return get_scheme(name)
+
+
+class PlanService:
+    """Long-running, concurrent planning front-end over the AccPar planner."""
+
+    def __init__(
+        self,
+        cache: Optional[PlanCache] = None,
+        workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        network_builder: Optional[Callable[[str], Network]] = None,
+    ):
+        self.cache = cache if cache is not None else PlanCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._network_builder = network_builder
+        self._flight = SingleFlight()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers or os.cpu_count() or 4,
+            thread_name_prefix="plan-worker",
+        )
+        self._pending: set = set()
+        self._pending_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def plan(
+        self, request: PlanRequest, deadline_s: Optional[float] = None
+    ) -> PlanResponse:
+        """Serve one request, waiting at most ``deadline_s`` for exactness.
+
+        ``deadline_s=None`` waits for the exact plan.  A deadline of 0 is
+        legal and means "whatever is ready right now or the greedy fallback".
+        """
+        if self._closed:
+            raise RuntimeError("PlanService is closed")
+        start = time.perf_counter()
+        self.metrics.counter("requests").inc()
+        key = request.fingerprint(self._network_builder)
+
+        planned, tier = self.cache.get_with_tier(key)
+        if planned is not None:
+            self.metrics.counter(f"hits_{tier}").inc()
+            return self._respond(planned, key, tier, start,
+                                 degraded=False, coalesced=False)
+
+        self.metrics.counter("misses").inc()
+        future, leader = self._flight.begin(key)
+        if leader:
+            self._submit_exact(key, request, future)
+        else:
+            self.metrics.counter("coalesced").inc()
+
+        try:
+            planned = future.result(timeout=deadline_s)
+        except FutureTimeout:
+            self.metrics.counter("degraded").inc()
+            planned = self._plan_degraded(request)
+            return self._respond(planned, key, "degraded", start,
+                                 degraded=True, coalesced=not leader)
+        except Exception:
+            self.metrics.counter("errors").inc()
+            raise
+
+        source = "planned" if leader else "coalesced"
+        return self._respond(planned, key, source, start,
+                             degraded=False, coalesced=not leader)
+
+    def warm(self, requests: Iterable[PlanRequest]) -> List[PlanResponse]:
+        """Pre-populate the cache; returns one response per request."""
+        return [self.plan(request) for request in requests]
+
+    # ------------------------------------------------------------------
+    # planning internals
+    # ------------------------------------------------------------------
+    def _submit_exact(self, key: str, request: PlanRequest, future: Future) -> None:
+        def job() -> None:
+            try:
+                # a caller can miss the cache, then lose the begin() race to
+                # a leader that already finished: re-check before planning so
+                # a fingerprint is never planned twice
+                planned = self.cache.peek(key)
+                if planned is None:
+                    self.metrics.counter("planner_runs").inc()
+                    t0 = time.perf_counter()
+                    planned = self._plan_exact(request)
+                    self.metrics.histogram("exact_plan_s").observe(
+                        time.perf_counter() - t0
+                    )
+                    self.cache.put(key, planned)
+                future.set_result(planned)
+            except BaseException as exc:  # must reach the waiting callers
+                future.set_exception(exc)
+            finally:
+                # only after the put: a new caller either finds the cache
+                # entry or joins a still-open flight, never a stale gap
+                self._flight.finish(key)
+
+        pooled = self._pool.submit(job)
+        with self._pending_lock:
+            self._pending.add(pooled)
+        pooled.add_done_callback(self._discard_pending)
+
+    def _discard_pending(self, fut: Future) -> None:
+        with self._pending_lock:
+            self._pending.discard(fut)
+
+    def _plan_exact(self, request: PlanRequest) -> PlannedExecution:
+        planner = Planner(
+            request.array,
+            build_scheme(request),
+            dtype_bytes=request.dtype_bytes,
+            levels=request.levels,
+        )
+        return planner.plan(request.build_network(self._network_builder),
+                            request.batch)
+
+    def _plan_degraded(self, request: PlanRequest) -> PlannedExecution:
+        """The deadline fallback: greedy search, same knobs, run inline.
+
+        Deliberately NOT cached — the background exact job owns the cache
+        entry, so a degraded answer can never mask the exact plan.
+        """
+        scheme = GreedyScheme(
+            space=(
+                tuple(PartitionType(v) for v in request.space)
+                if request.space is not None
+                else ALL_TYPES
+            ),
+            ratio_mode=request.ratio_mode or "balanced",
+        )
+        planner = Planner(
+            request.array, scheme,
+            dtype_bytes=request.dtype_bytes,
+            levels=request.levels,
+        )
+        return planner.plan(request.build_network(self._network_builder),
+                            request.batch)
+
+    def _respond(
+        self,
+        planned: PlannedExecution,
+        key: str,
+        source: str,
+        start: float,
+        degraded: bool,
+        coalesced: bool,
+    ) -> PlanResponse:
+        latency = time.perf_counter() - start
+        self.metrics.histogram("request_latency_s").observe(latency)
+        return PlanResponse(
+            planned=planned,
+            fingerprint=key,
+            source=source,
+            degraded=degraded,
+            coalesced=coalesced,
+            latency_s=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every in-flight planning job has finished.
+
+        Lets callers observe background refinement deterministically (tests,
+        clean shutdown); new requests may still be submitted afterwards.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._pending_lock:
+                pending = list(self._pending)
+            if not pending:
+                return
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("drain timed out with jobs in flight")
+            for fut in pending:
+                fut.exception(timeout=remaining)
+
+    def snapshot(self) -> dict:
+        """JSON-compatible stats: metrics + cache counters and sizes."""
+        cache_stats = self.cache.stats.as_dict()
+        cache_stats["memory_entries"] = len(self.cache)
+        cache_stats["disk_entries"] = len(self.cache.disk_keys())
+        return {"metrics": self.metrics.snapshot(), "cache": cache_stats}
+
+    def render_stats(self) -> str:
+        lines = [self.metrics.render()]
+        cache = self.snapshot()["cache"]
+        lines.append("plan cache")
+        width = max(len(k) for k in cache)
+        for name, value in sorted(cache.items()):
+            lines.append(f"  {name:<{width}}  {value}")
+        return "\n".join(lines)
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

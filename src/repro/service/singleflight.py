@@ -1,0 +1,51 @@
+"""Single-flight request coalescing: one in-flight job per fingerprint.
+
+The classic Go ``singleflight`` shape: the first caller for a key becomes
+the *leader* and owns producing the result; everyone else arriving while the
+job is in flight becomes a *follower* and waits on the same future.  The
+plan service wraps every cache miss in this, so a thundering herd of
+identical requests costs exactly one O(N·|T|²) planning run.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Tuple
+
+
+class SingleFlight:
+    """Keyed coalescing of concurrent producers."""
+
+    def __init__(self):
+        self._flights: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    def begin(self, key: str) -> Tuple[Future, bool]:
+        """Join (or open) the flight for ``key``.
+
+        Returns ``(future, is_leader)``.  The leader MUST eventually resolve
+        the future (result or exception) and then call :meth:`finish`, or
+        followers wait forever.
+        """
+        with self._lock:
+            existing = self._flights.get(key)
+            if existing is not None:
+                return existing, False
+            future: Future = Future()
+            self._flights[key] = future
+            return future, True
+
+    def finish(self, key: str) -> None:
+        """Close the flight; later callers for ``key`` start a new one.
+
+        Call only after the result is visible wherever followers would look
+        next (i.e. after the cache ``put``), so a caller that just missed
+        this flight re-finds the result instead of replanning.
+        """
+        with self._lock:
+            self._flights.pop(key, None)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)

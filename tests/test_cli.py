@@ -169,3 +169,57 @@ class TestFigureCommand:
         assert main(["figure", "--which", which]) == 0
         out = capsys.readouterr().out
         assert out.strip()
+
+
+class TestServiceCommands:
+    def test_warm_then_serve_hits_cache(self, capsys, tmp_path, monkeypatch):
+        import io
+
+        cache_dir = str(tmp_path / "cache")
+        code = main(["warm", "--models", "lenet,alexnet",
+                     "--array", "tpu-v2:2,tpu-v3:2", "--batch", "32",
+                     "--cache-dir", cache_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 on disk" in out
+
+        request = json.dumps({"model": "lenet", "array": "tpu-v2:2,tpu-v3:2",
+                              "batch": 32})
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(["serve", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        response = json.loads(out.splitlines()[0])
+        assert response["ok"] and response["cache_hit"]
+        assert response["source"] == "disk"
+
+    def test_serve_without_persistence(self, capsys, monkeypatch):
+        import io
+
+        lines = "\n".join([
+            json.dumps({"model": "lenet", "array": "tpu-v3:2", "batch": 32}),
+            json.dumps({"model": "lenet", "array": "tpu-v3:2", "batch": 32}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--cache-dir", ""]) == 0
+        first, second = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert not first["cache_hit"]
+        assert second["cache_hit"] and second["source"] == "memory"
+
+    def test_service_stats_reports_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["warm", "--models", "lenet", "--array", "tpu-v3:2",
+              "--batch", "32", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["service-stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 plan(s)" in out
+        assert "lenet" in out
+        assert "last session" in out
+
+    def test_service_stats_missing_dir(self, capsys, tmp_path):
+        assert main(["service-stats", "--cache-dir",
+                     str(tmp_path / "nope")]) == 0
+        assert "no cache directory" in capsys.readouterr().out
+
+    def test_warm_empty_models_errors(self, capsys):
+        assert main(["warm", "--models", " , ", "--array", "tpu-v3:2"]) == 2

@@ -46,7 +46,8 @@ class TestTutorialSnippets:
 class TestProjectDocs:
     @pytest.mark.parametrize(
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-                 "docs/paper_mapping.md", "docs/tutorial.md"]
+                 "docs/paper_mapping.md", "docs/tutorial.md",
+                 "docs/serving.md"]
     )
     def test_documents_present_and_nonempty(self, name):
         path = ROOT / name

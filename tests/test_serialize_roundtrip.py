@@ -1,0 +1,96 @@
+"""Round-trip property test: every registry model × array kind, plus the
+forward-compatibility behavior of the plan reader (PlanFormatError, unknown
+spec keys) that the disk cache tier depends on."""
+
+import json
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.core.serialize import (
+    PlanFormatError,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.core.hierarchy import collect_level_plans
+from repro.hardware import heterogeneous_array, homogeneous_array
+from repro.models import available_models, build_model
+from repro.sim.executor import evaluate
+
+ARRAYS = {
+    "homogeneous": lambda: homogeneous_array(4),
+    "heterogeneous": lambda: heterogeneous_array(2, 2),
+}
+
+
+@pytest.mark.parametrize("model_name", available_models())
+@pytest.mark.parametrize("array_kind", sorted(ARRAYS))
+def test_roundtrip_preserves_plan(model_name, array_kind, tmp_path):
+    """save_plan → load_plan reproduces assignments, ratios and cost."""
+    planned = AccParPlanner(ARRAYS[array_kind]()).plan(
+        build_model(model_name), batch=32
+    )
+    path = tmp_path / "plan.json"
+    save_plan(planned, path)
+    # some builders name their network differently from the registry key
+    # (e.g. 'trident' builds 'trident2'), so resolve through the key we used
+    reloaded = load_plan(path, network_builder=lambda _: build_model(model_name))
+
+    assert reloaded.network_name == planned.network_name
+    assert reloaded.batch == planned.batch
+    assert reloaded.scheme == planned.scheme
+    assert reloaded.hierarchy_levels() == planned.hierarchy_levels()
+
+    original_levels = collect_level_plans(planned.plan)
+    reloaded_levels = collect_level_plans(reloaded.plan)
+    assert len(original_levels) == len(reloaded_levels)
+    for original, restored in zip(original_levels, reloaded_levels):
+        assert set(original.assignments) == set(restored.assignments)
+        for name, lp in original.assignments.items():
+            assert restored.assignments[name].ptype is lp.ptype
+            assert restored.assignments[name].ratio == pytest.approx(lp.ratio)
+        assert restored.cost == pytest.approx(original.cost)
+
+    assert evaluate(reloaded).total_time == pytest.approx(
+        evaluate(planned).total_time
+    )
+
+
+@pytest.fixture
+def alexnet_doc():
+    planned = AccParPlanner(heterogeneous_array(2, 2)).plan(
+        build_model("alexnet"), batch=64
+    )
+    return plan_to_dict(planned)
+
+
+class TestForwardCompatibility:
+    def test_unknown_spec_keys_are_ignored(self, alexnet_doc):
+        for spec in alexnet_doc["array"]:
+            spec["future_field"] = "from-a-newer-writer"
+            spec["another"] = [1, 2, 3]
+        reloaded = plan_from_dict(alexnet_doc)
+        assert reloaded.network_name == "alexnet"
+
+    def test_missing_spec_field_raises_plan_format_error(self, alexnet_doc):
+        del alexnet_doc["array"][0]["flops"]
+        with pytest.raises(PlanFormatError, match="missing fields"):
+            plan_from_dict(alexnet_doc)
+
+    def test_version_mismatch_raises_plan_format_error(self, alexnet_doc):
+        alexnet_doc["format_version"] = 2
+        with pytest.raises(PlanFormatError, match="format version"):
+            plan_from_dict(alexnet_doc)
+
+    def test_plan_format_error_is_a_value_error(self):
+        assert issubclass(PlanFormatError, ValueError)
+
+    def test_extra_document_keys_roundtrip(self, alexnet_doc, tmp_path):
+        # the disk cache tier stores the fingerprint inside the document;
+        # the reader must not choke on keys it does not know
+        alexnet_doc["fingerprint"] = "abcdef0123456789"
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(alexnet_doc))
+        assert load_plan(path).network_name == "alexnet"

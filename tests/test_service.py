@@ -1,0 +1,322 @@
+"""Tests for the plan service: cache tiers, single-flight, deadlines, metrics."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.hardware import heterogeneous_array
+from repro.models import build_model
+from repro.service import (
+    MetricsRegistry,
+    PlanCache,
+    PlanRequest,
+    PlanService,
+    SingleFlight,
+    build_scheme,
+    serve_loop,
+)
+from repro.service.server import handle_line, warm_cache
+from repro.sim.executor import evaluate
+
+
+@pytest.fixture
+def array():
+    return heterogeneous_array(2, 2)
+
+
+@pytest.fixture
+def request_alexnet(array):
+    return PlanRequest(model="alexnet", array=array, batch=64)
+
+
+@pytest.fixture
+def service():
+    with PlanService(workers=4) as svc:
+        yield svc
+
+
+def assert_same_plan(a, b):
+    """Two PlannedExecutions carry identical decisions and simulated cost."""
+    assert a.network_name == b.network_name
+    assert a.hierarchy_levels() == b.hierarchy_levels()
+    left = a.root_level_plan.assignments
+    right = b.root_level_plan.assignments
+    assert set(left) == set(right)
+    for name in left:
+        assert left[name].ptype is right[name].ptype
+        assert left[name].ratio == pytest.approx(right[name].ratio)
+    assert evaluate(a).total_time == pytest.approx(evaluate(b).total_time)
+
+
+class TestCacheHits:
+    def test_hit_returns_plan_identical_to_cold(self, service, request_alexnet, array):
+        cold = service.plan(request_alexnet)
+        warm = service.plan(request_alexnet)
+        assert cold.source == "planned" and not cold.cache_hit
+        assert warm.source == "memory" and warm.cache_hit
+        reference = AccParPlanner(array).plan(build_model("alexnet"), batch=64)
+        assert_same_plan(warm.planned, cold.planned)
+        assert_same_plan(warm.planned, reference)
+
+    def test_hit_counters(self, service, request_alexnet):
+        service.plan(request_alexnet)
+        service.plan(request_alexnet)
+        service.plan(request_alexnet)
+        assert service.metrics.value("requests") == 3
+        assert service.metrics.value("planner_runs") == 1
+        assert service.metrics.value("hits_memory") == 2
+        assert service.cache.stats.hits_memory == 2
+
+    def test_distinct_requests_plan_separately(self, service, array):
+        service.plan(PlanRequest(model="lenet", array=array, batch=32))
+        service.plan(PlanRequest(model="lenet", array=array, batch=64))
+        assert service.metrics.value("planner_runs") == 2
+
+
+class TestDiskTier:
+    def test_disk_roundtrip_across_instances(self, tmp_path, request_alexnet):
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as first:
+            cold = first.plan(request_alexnet)
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as second:
+            warm = second.plan(request_alexnet)
+            assert warm.source == "disk" and warm.cache_hit
+            assert_same_plan(warm.planned, cold.planned)
+            assert second.metrics.value("planner_runs") == 0
+            # the disk hit was promoted: the next lookup is a memory hit
+            assert second.plan(request_alexnet).source == "memory"
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, request_alexnet):
+        key = request_alexnet.fingerprint()
+        (tmp_path / f"{key}.json").write_text("{not json")
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as svc:
+            response = svc.plan(request_alexnet)
+        assert response.source == "planned"
+        assert svc.cache.stats.disk_errors == 1
+
+    def test_future_schema_disk_entry_is_a_miss(self, tmp_path, request_alexnet):
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as first:
+            first.plan(request_alexnet)
+        key = request_alexnet.fingerprint()
+        path = tmp_path / f"{key}.json"
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as second:
+            response = second.plan(request_alexnet)
+        assert response.source == "planned"
+        assert second.cache.stats.disk_errors == 1
+
+
+class TestLRUEviction:
+    def test_capacity_respected(self, array):
+        cache = PlanCache(capacity=2)
+        with PlanService(cache=cache) as svc:
+            requests = [
+                PlanRequest(model=m, array=array, batch=32)
+                for m in ("lenet", "alexnet", "vgg11")
+            ]
+            keys = [r.fingerprint() for r in requests]
+            for r in requests:
+                svc.plan(r)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert keys[0] not in cache            # oldest evicted
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_lru_order_follows_access(self, array):
+        cache = PlanCache(capacity=2)
+        with PlanService(cache=cache) as svc:
+            lenet = PlanRequest(model="lenet", array=array, batch=32)
+            alexnet = PlanRequest(model="alexnet", array=array, batch=32)
+            svc.plan(lenet)
+            svc.plan(alexnet)
+            svc.plan(lenet)  # refresh lenet: alexnet is now the LRU entry
+            svc.plan(PlanRequest(model="vgg11", array=array, batch=32))
+            assert lenet.fingerprint() in cache
+            assert alexnet.fingerprint() not in cache
+
+
+class TestSingleFlight:
+    def test_n_threads_one_planner_invocation(self, array):
+        n = 8
+        request = PlanRequest(model="vgg11", array=array, batch=64)
+        responses = [None] * n
+        barrier = threading.Barrier(n)
+
+        with PlanService(workers=4) as svc:
+            def worker(i):
+                barrier.wait()
+                responses[i] = svc.plan(request)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert svc.metrics.value("planner_runs") == 1
+            assert svc.metrics.value("coalesced") == n - 1
+            leaders = [r for r in responses if r.source == "planned"]
+            followers = [r for r in responses if r.source == "coalesced"]
+            assert len(leaders) == 1 and len(followers) == n - 1
+            for r in responses:
+                assert r.planned is responses[0].planned
+
+    def test_flight_primitive(self):
+        flight = SingleFlight()
+        f1, leader1 = flight.begin("k")
+        f2, leader2 = flight.begin("k")
+        assert leader1 and not leader2
+        assert f1 is f2
+        f1.set_result(42)
+        flight.finish("k")
+        assert flight.in_flight() == 0
+        _, leader3 = flight.begin("k")
+        assert leader3
+
+
+class TestDeadline:
+    def test_expired_deadline_returns_greedy_fallback(self, service, array):
+        request = PlanRequest(model="vgg19", array=array, batch=512)
+        response = service.plan(request, deadline_s=0.0)
+        assert response.degraded
+        assert response.source == "degraded"
+        assert response.planned.scheme == "greedy"
+        assert service.metrics.value("degraded") == 1
+        # the fallback still covers every weighted layer
+        network = build_model("vgg19")
+        expected = {w.name for w in network.workloads(512)}
+        assigned = set(response.planned.root_level_plan.layer_assignments())
+        assert expected <= assigned
+
+    def test_background_refinement_upgrades_cache(self, service, array):
+        request = PlanRequest(model="vgg16", array=array, batch=512)
+        degraded = service.plan(request, deadline_s=0.0)
+        assert degraded.planned.scheme == "greedy"
+        service.drain()
+        refined = service.plan(request)
+        assert refined.cache_hit
+        assert refined.planned.scheme == "accpar"
+        assert service.metrics.value("planner_runs") == 1
+
+    def test_generous_deadline_serves_exact_plan(self, service, request_alexnet):
+        response = service.plan(request_alexnet, deadline_s=300.0)
+        assert not response.degraded
+        assert response.planned.scheme == "accpar"
+
+
+class TestSchemeResolution:
+    def test_ablation_knobs_reach_accpar(self, array):
+        scheme = build_scheme(
+            PlanRequest(model="alexnet", array=array, space=("I", "II"),
+                        ratio_mode="equal")
+        )
+        assert [t.value for t in scheme.space] == ["I", "II"]
+        assert scheme.ratio_mode == "equal"
+
+    def test_baselines_reject_knobs(self, array):
+        with pytest.raises(ValueError, match="knobs"):
+            build_scheme(
+                PlanRequest(model="alexnet", array=array, scheme="hypar",
+                            space=("I",))
+            )
+
+    def test_greedy_scheme_served_directly(self, service, array):
+        response = service.plan(
+            PlanRequest(model="lenet", array=array, batch=32, scheme="greedy")
+        )
+        assert response.planned.scheme == "greedy"
+
+
+class TestErrors:
+    def test_unknown_model_raises_before_flight(self, service, array):
+        with pytest.raises(KeyError):
+            service.plan(PlanRequest(model="nonexistent", array=array))
+        assert service.metrics.value("planner_runs") == 0
+
+    def test_closed_service_rejects_requests(self, request_alexnet):
+        svc = PlanService()
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.plan(request_alexnet)
+
+
+class TestWarmAndServeLoop:
+    def test_warm_populates_both_tiers(self, tmp_path, array):
+        cache = PlanCache(disk_dir=tmp_path)
+        with PlanService(cache=cache) as svc:
+            requests = [
+                PlanRequest(model=m, array=array, batch=64)
+                for m in ("lenet", "alexnet")
+            ]
+            responses = warm_cache(svc, requests)
+        assert [r.source for r in responses] == ["planned", "planned"]
+        assert len(cache) == 2
+        assert len(cache.disk_keys()) == 2
+
+    def test_serve_loop_end_to_end(self, service):
+        import io
+
+        lines = [
+            json.dumps({"model": "lenet", "array": "tpu-v2:2,tpu-v3:2",
+                        "batch": 32, "id": "a"}),
+            json.dumps({"model": "lenet", "array": "tpu-v2:2,tpu-v3:2",
+                        "batch": 32, "id": "b"}),
+            json.dumps({"op": "stats"}),
+            "this is not json",
+            json.dumps({"op": "shutdown"}),
+            json.dumps({"model": "lenet"}),  # never reached
+        ]
+        out = io.StringIO()
+        served = serve_loop(service, lines, out)
+        results = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert served == 4
+        assert results[0]["ok"] and results[0]["id"] == "a"
+        assert not results[0]["cache_hit"]
+        assert results[1]["cache_hit"] and results[1]["source"] == "memory"
+        assert results[2]["stats"]["cache"]["hits_memory"] == 1
+        assert not results[3]["ok"] and "JSON" in results[3]["error"]
+
+    def test_handle_line_bad_request_is_reported(self, service):
+        result = handle_line(service, json.dumps({"op": "plan"}))
+        assert not result["ok"] and "model" in result["error"]
+        result = handle_line(service, json.dumps({"model": "nope", "id": 7}))
+        assert not result["ok"] and result["id"] == 7
+        result = handle_line(service, json.dumps({"op": "???"}))
+        assert not result["ok"] and "unknown op" in result["error"]
+
+    def test_deadline_ms_in_request_doc(self, service):
+        doc = {"model": "vgg13", "array": "hetero", "batch": 512,
+               "deadline_ms": 0}
+        result = handle_line(service, json.dumps(doc))
+        assert result["ok"] and result["degraded"]
+        assert result["source"] == "degraded"
+
+
+class TestMetricsRegistry:
+    def test_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for ms in range(1, 101):
+            hist.observe(ms / 1e3)
+        assert hist.percentile(50) == pytest.approx(0.050)
+        assert hist.percentile(95) == pytest.approx(0.095)
+        assert hist.percentile(99) == pytest.approx(0.099)
+        assert hist.count == 100
+
+    def test_render_contains_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("lat").observe(0.010)
+        text = registry.render()
+        assert "requests" in text and "3" in text
+        assert "p95" in text
+
+    def test_empty_registry_renders(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
