@@ -1,0 +1,148 @@
+"""Planner-throughput bench: the hot-path overhaul vs the seed planner.
+
+Times end-to-end hierarchical planning (tree build + every level search) on
+the paper's heterogeneous 128+128 TPU-v2/v3 array and emits
+``results/BENCH_planner.json``.  Three guarantees are enforced here rather
+than just reported:
+
+* the optimized planner (closed-form Eq. 10 + family memoization) emits the
+  *same plan* as the legacy mode (bisection, uncached) — types identical,
+  ratios within 1e-9;
+* the optimized planner clears the overhaul's speedup floor against the
+  recorded seed-planner timings;
+* fresh timings may not regress more than ``REGRESSION_FACTOR``× against the
+  committed ``BENCH_planner.json`` (the CI gate; the committed file is read
+  *before* it is rewritten with this run's numbers).
+"""
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.core.hierarchy import collect_level_plans
+from repro.core.planner import AccParScheme, Planner
+from repro.hardware.presets import heterogeneous_array
+from repro.models import build_model
+
+from conftest import RESULTS_DIR
+
+ARTIFACT = "BENCH_planner.json"
+
+NETWORKS = ("alexnet", "vgg16", "resnet18")
+BATCH = 512
+REPEATS = 5
+
+#: end-to-end planning time of the pre-overhaul planner (bisection ratio
+#: solver, no step memoization, no workload/tree caching) on this benchmark's
+#: exact configuration, recorded at the seed commit.  These are the "before"
+#: numbers the overhaul is measured against; the in-process legacy mode
+#: (``closed_form=False, memoize=False``) is faster than this because the
+#: structural work (eager workload quantities, pairing-tree cache, linear
+#: backtracking) speeds both modes up.
+SEED_BASELINE_MS = {
+    "alexnet": 44.8,
+    "vgg16": 92.9,
+    "resnet18": 224.5,
+}
+
+#: acceptance floor for the overhaul: optimized wall-clock vs seed baseline
+SPEEDUP_FLOOR = 5.0
+
+#: CI gate: fresh optimized timings may be at most this factor slower than
+#: the committed artifact (absorbs machine-speed differences between the
+#: machine that committed the baseline and the CI runner)
+REGRESSION_FACTOR = 3.0
+
+
+def _plan(net, scheme):
+    """One cold end-to-end plan: fresh array, fresh planner, fresh scheme."""
+    array = heterogeneous_array()
+    return Planner(array, scheme).plan(net, BATCH)
+
+
+def _median_ms(net, scheme_factory):
+    times = []
+    for _ in range(REPEATS):
+        scheme = scheme_factory()
+        t0 = time.perf_counter()
+        _plan(net, scheme)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times) * 1e3
+
+
+def _assert_same_plan(name, optimized, legacy):
+    """The overhaul must not change a single decision: types identical,
+    ratios within 1e-9, per-level costs within float noise."""
+    opt_levels = collect_level_plans(optimized.plan)
+    leg_levels = collect_level_plans(legacy.plan)
+    assert len(opt_levels) == len(leg_levels), name
+    for opt, leg in zip(opt_levels, leg_levels):
+        assert set(opt.assignments) == set(leg.assignments), name
+        for key in opt.assignments:
+            o, l = opt.assignments[key], leg.assignments[key]
+            assert o.ptype == l.ptype, (name, key, o.ptype, l.ptype)
+            assert abs(o.ratio - l.ratio) <= 1e-9, (name, key, o.ratio, l.ratio)
+        if opt.cost and leg.cost:
+            rel = abs(opt.cost - leg.cost) / max(abs(leg.cost), 1e-30)
+            assert rel <= 1e-9, (name, opt.cost, leg.cost)
+
+
+def test_planner_throughput_and_regression_gate(results_dir):
+    artifact_path = pathlib.Path(results_dir) / ARTIFACT
+    committed = None
+    if artifact_path.exists():
+        committed = json.loads(artifact_path.read_text())
+
+    networks = {}
+    for name in NETWORKS:
+        net = build_model(name)
+
+        # identity first (also warms imports and caches for the timings)
+        optimized = _plan(net, AccParScheme())
+        legacy = _plan(net, AccParScheme(closed_form=False, memoize=False))
+        _assert_same_plan(name, optimized, legacy)
+
+        optimized_ms = _median_ms(net, AccParScheme)
+        legacy_ms = _median_ms(
+            net, lambda: AccParScheme(closed_form=False, memoize=False)
+        )
+        seed_ms = SEED_BASELINE_MS[name]
+        networks[name] = {
+            "seed_baseline_ms": seed_ms,
+            "optimized_ms": round(optimized_ms, 2),
+            "legacy_mode_ms": round(legacy_ms, 2),
+            "speedup_vs_seed": round(seed_ms / optimized_ms, 2),
+            "speedup_vs_legacy_mode": round(legacy_ms / optimized_ms, 2),
+        }
+
+        assert seed_ms / optimized_ms >= SPEEDUP_FLOOR, (
+            f"{name}: optimized planner at {optimized_ms:.1f}ms is only "
+            f"{seed_ms / optimized_ms:.1f}x over the seed baseline "
+            f"({seed_ms:.1f}ms); the overhaul requires >= {SPEEDUP_FLOOR}x"
+        )
+
+        if committed is not None:
+            baseline = committed["networks"][name]["optimized_ms"]
+            assert optimized_ms <= REGRESSION_FACTOR * baseline, (
+                f"{name}: optimized planner regressed to {optimized_ms:.1f}ms, "
+                f"more than {REGRESSION_FACTOR}x the committed baseline "
+                f"({baseline:.1f}ms)"
+            )
+
+    payload = {
+        "description": (
+            "End-to-end hierarchical planning time (median of "
+            f"{REPEATS} cold runs), heterogeneous 128+128 TPU-v2/v3 array, "
+            f"batch {BATCH}.  seed_baseline_ms is the pre-overhaul planner "
+            "recorded at the seed commit; legacy_mode_ms is the same solver "
+            "configuration (bisection, uncached) running in-process today."
+        ),
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "regression_factor": REGRESSION_FACTOR,
+        "networks": networks,
+    }
+    text = json.dumps(payload, indent=2)
+    artifact_path.write_text(text + "\n")
+    print(f"\n[artifact: {artifact_path}]\n{text}")

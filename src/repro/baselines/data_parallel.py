@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..core.cost_model import PairCostModel
+from ..core.counters import planner_counters
 from ..core.dp_search import search_stages
 from ..core.stages import ShardedStage
 from ..core.types import ALL_TYPES, LevelPlan, PartitionType, ShardedWorkload
@@ -44,6 +45,7 @@ class FixedTypeScheme:
             ALL_TYPES,
             space_fn=lambda w: (self._type_fn(w),),
         )
+        planner_counters.merge(model.stats.as_dict())
         return LevelPlan(assignments=result.assignments, cost=result.cost,
                          scheme=self.name)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.cost_model import PairCostModel
+from ..core.counters import planner_counters
 from ..core.dp_search import search_stages
 from ..core.stages import ShardedStage, flatten_to_chain
 from ..core.types import HYPAR_TYPES, LevelPlan
@@ -39,5 +40,6 @@ class HyParScheme:
         chain = flatten_to_chain(list(stages))
         model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="comm-volume")
         result = search_stages(chain, model, HYPAR_TYPES)
+        planner_counters.merge(model.stats.as_dict())
         return LevelPlan(assignments=result.assignments, cost=result.cost,
                          scheme=self.name)

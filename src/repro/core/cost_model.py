@@ -24,11 +24,18 @@ aggregated accelerator group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from ..hardware.accelerator import AcceleratorGroup
-from .ratio import solve_balanced_ratio
+from .counters import StepStats
+from .ratio import (
+    PATH_BISECTION,
+    PATH_LINEAR,
+    PATH_QUADRATIC,
+    PairCostPoly,
+    solve_balanced_ratio,
+    solve_balanced_ratio_poly,
+)
 from .types import PartitionType, ShardedWorkload
 
 #: transitions with zero inter-layer cost: the boundary tensors already agree
@@ -64,6 +71,34 @@ E_TRANSITIONS = frozenset(
     }
 )
 
+#: the four Table 5 cost families; a step's per-party costs depend on the
+#: predecessor type only through its family, which is what collapses the
+#: nine (prev, cur) transitions to at most four distinct costings per layer
+FAMILY_ZERO = "zero"
+FAMILY_CROSS = "cross"
+FAMILY_F = "f-move"
+FAMILY_E = "e-move"
+
+_TRANSITION_FAMILY = {
+    **{key: FAMILY_ZERO for key in ZERO_TRANSITIONS},
+    **{key: FAMILY_CROSS for key in CROSS_TRANSITIONS},
+    **{key: FAMILY_F for key in F_TRANSITIONS},
+    **{key: FAMILY_E for key in E_TRANSITIONS},
+}
+
+
+def transition_family(
+    prev_type: Optional[PartitionType], cur_type: PartitionType
+) -> str:
+    """The Table 5 cost family of one (prev, cur) transition.
+
+    A free entry boundary (``prev_type is None``) incurs no inter-layer
+    cost, exactly like the zero transitions, so it shares their family.
+    """
+    if prev_type is None:
+        return FAMILY_ZERO
+    return _TRANSITION_FAMILY[(prev_type, cur_type)]
+
 
 def inter_layer_elements(
     boundary_fm_elements: float,
@@ -90,9 +125,12 @@ def inter_layer_elements(
     raise ValueError(f"unknown transition {key!r}")
 
 
-@dataclass(frozen=True)
-class StepDecision:
-    """Outcome of costing one layer under one (prev_type, type) transition."""
+class StepDecision(NamedTuple):
+    """Outcome of costing one layer under one (prev_type, type) transition.
+
+    A NamedTuple rather than a frozen dataclass: the planner constructs one
+    per uncached step and tuple construction is several times cheaper.
+    """
 
     ptype: PartitionType
     alpha: float
@@ -122,6 +160,24 @@ class PairCostModel:
     * ``"comm-volume"`` — HyPar's objective: α = 1/2 and the cost is the raw
       communication *amount* in bytes (no computation, no bandwidth), since
       HyPar uses communication as the proxy for performance.
+
+    Two hot-path optimizations are on by default and individually
+    switchable (the throughput benchmark and the equivalence property tests
+    run both configurations):
+
+    * ``closed_form`` — solve Eq. 10 analytically from the
+      :class:`~repro.core.ratio.PairCostPoly` coefficients instead of the
+      ~80-iteration bisection (bisection remains the checked fallback);
+    * ``memoize`` — cache one :class:`StepDecision` per
+      ``(workload key, transition family, cur_type)``: compute and
+      intra-layer costs are independent of the predecessor type, and the
+      inter-layer cost depends on it only through the Table 5 family, so
+      the nine transitions collapse to at most four costings per layer and
+      repeated costings (multi-path entry states, greedy re-steps) become
+      dictionary hits.
+
+    Work performed is tallied in ``self.stats``
+    (:class:`~repro.core.counters.StepStats`).
     """
 
     def __init__(
@@ -130,6 +186,8 @@ class PairCostModel:
         party_j: AcceleratorGroup,
         dtype_bytes: int = 2,
         ratio_mode: str = "balanced",
+        closed_form: bool = True,
+        memoize: bool = True,
     ):
         if ratio_mode not in ("balanced", "proportional", "equal", "comm-volume"):
             raise ValueError(f"unknown ratio_mode {ratio_mode!r}")
@@ -143,12 +201,20 @@ class PairCostModel:
         self.b_j = party_j.network_bandwidth
         self.dtype_bytes = dtype_bytes
         self.ratio_mode = ratio_mode
+        self.closed_form = closed_form
+        self.memoize = memoize
+        self.stats = StepStats()
+        self._step_cache: dict = {}
+        self._boundary_cache: dict = {}
+
+        if ratio_mode in ("balanced", "proportional"):
+            self._nominal_alpha = self.c_i / (self.c_i + self.c_j)
+        else:
+            self._nominal_alpha = 0.5
 
     def nominal_alpha(self) -> float:
         """Default share for boundary-only transfers (no computation to balance)."""
-        if self.ratio_mode in ("balanced", "proportional"):
-            return self.c_i / (self.c_i + self.c_j)
-        return 0.5
+        return self._nominal_alpha
 
     # ------------------------------------------------------------------
     # component costs
@@ -202,6 +268,87 @@ class PairCostModel:
         cm_j = intra_j + inter_j
         return cp_i + cm_i, cp_j + cm_j, (cp_i, cp_j), (cm_i, cm_j)
 
+    def _poly_parts(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        family: Optional[str] = None,
+    ) -> Tuple[PairCostPoly, float, float]:
+        """:meth:`step_poly` plus the ``(total FLOPs, psum)`` it consumed.
+
+        The closed-form step needs the same two workload quantities again to
+        split the balanced cost into compute and communication shares;
+        returning them avoids a second pair of lookups on the hot path.
+        """
+        total = sw.flops_total()
+        psum = sw.a_psum(cur_type)
+        intra = psum * self.dtype_bytes
+        const_i = psum / self.c_i + intra / self.b_i
+        lin_i = total / self.c_i
+        quad_i = 0.0
+        const_j = (total + psum) / self.c_j + intra / self.b_j
+        lin_j = -total / self.c_j
+        quad_j = 0.0
+        if prev_type is not None:
+            if family is None:
+                family = transition_family(prev_type, cur_type)
+            if family == FAMILY_CROSS:
+                cross = 2.0 * sw.a_input_fm() * self.dtype_bytes
+                quad_i = cross / self.b_i
+                quad_j = cross / self.b_j
+            elif family in (FAMILY_F, FAMILY_E):
+                move = sw.a_input_fm() * self.dtype_bytes
+                const_i += move / self.b_i
+                lin_i -= move / self.b_i
+                lin_j += move / self.b_j
+        return (
+            PairCostPoly(const_i, lin_i, quad_i, const_j, lin_j, quad_j),
+            total,
+            psum,
+        )
+
+    def step_poly(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        family: Optional[str] = None,
+    ) -> PairCostPoly:
+        """Eq. 9 step costs as α-polynomial coefficients (Tables 4-6).
+
+        ``cost_i(α) = const_i + lin_i·α + quad_i·α(1-α)`` and likewise for
+        party j; matches :meth:`step_pair_costs` at every α by construction
+        (asserted by the property tests).  Callers that already know the
+        transition's Table 5 ``family`` may pass it to skip the lookup.
+        """
+        return self._poly_parts(sw, prev_type, cur_type, family)[0]
+
+    def _solve_balanced_alpha(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+    ) -> float:
+        """Eq. 10 for one step: closed form when enabled, else bisection."""
+        self.stats.ratio_solves += 1
+        if not self.closed_form:
+            return solve_balanced_ratio(
+                lambda a: self.step_pair_costs(sw, prev_type, cur_type, a)[:2]
+            )
+        alpha, path = solve_balanced_ratio_poly(
+            self.step_poly(sw, prev_type, cur_type)
+        )
+        if path == PATH_LINEAR:
+            self.stats.ratio_closed_linear += 1
+        elif path == PATH_QUADRATIC:
+            self.stats.ratio_closed_quadratic += 1
+        elif path == PATH_BISECTION:
+            self.stats.ratio_bisection_fallback += 1
+        else:
+            self.stats.ratio_minimax += 1
+        return alpha
+
     # ------------------------------------------------------------------
     # DP step costing under the configured ratio policy
     # ------------------------------------------------------------------
@@ -210,11 +357,41 @@ class PairCostModel:
         sw: ShardedWorkload,
         prev_type: Optional[PartitionType],
         cur_type: PartitionType,
+        family: Optional[str] = None,
+    ) -> StepDecision:
+        """One memoized Eq. 9 step costing.
+
+        The cache key is ``(workload key, transition family, cur_type)``:
+        everything a :class:`StepDecision` contains is invariant across
+        predecessor types within one Table 5 family.  Callers that already
+        computed the family (the DP's family-collapse loop) may pass it in.
+        """
+        self.stats.step_calls += 1
+        if family is None:
+            family = transition_family(prev_type, cur_type)
+        key = None
+        if self.memoize:
+            key = (sw.key(), family, cur_type)
+            cached = self._step_cache.get(key)
+            if cached is not None:
+                self.stats.step_cache_hits += 1
+                return cached
+        decision = self._step_uncached(sw, prev_type, cur_type, family)
+        if key is not None:
+            self._step_cache[key] = decision
+        return decision
+
+    def _step_uncached(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        family: Optional[str] = None,
     ) -> StepDecision:
         if self.ratio_mode == "balanced":
-            alpha = solve_balanced_ratio(
-                lambda a: self.step_pair_costs(sw, prev_type, cur_type, a)[:2]
-            )
+            if self.closed_form:
+                return self._step_closed_form(sw, prev_type, cur_type, family)
+            alpha = self._solve_balanced_alpha(sw, prev_type, cur_type)
             combine = max  # equal at the solution up to solver tolerance
         elif self.ratio_mode == "proportional":
             alpha = self.c_i / (self.c_i + self.c_j)
@@ -245,6 +422,47 @@ class PairCostModel:
             comm_j=cm_j,
         )
 
+    def _step_closed_form(
+        self,
+        sw: ShardedWorkload,
+        prev_type: Optional[PartitionType],
+        cur_type: PartitionType,
+        family: Optional[str] = None,
+    ) -> StepDecision:
+        """Balanced-mode step via one :class:`PairCostPoly` build.
+
+        The polynomial serves both the Eq. 10 solve and the final cost
+        evaluation, so the per-party cost formulas are computed exactly
+        once per (family, type) combination.
+        """
+        poly, total, psum = self._poly_parts(sw, prev_type, cur_type, family)
+        self.stats.ratio_solves += 1
+        alpha, path = solve_balanced_ratio_poly(poly)
+        if path == PATH_LINEAR:
+            self.stats.ratio_closed_linear += 1
+        elif path == PATH_QUADRATIC:
+            self.stats.ratio_closed_quadratic += 1
+        elif path == PATH_BISECTION:
+            self.stats.ratio_bisection_fallback += 1
+        else:
+            self.stats.ratio_minimax += 1
+        ci, cj = poly.costs(alpha)
+        # compute shares, same arithmetic as compute_costs() with the
+        # already-fetched workload quantities
+        cp_i = (alpha * total + psum) / self.c_i
+        cp_j = ((1.0 - alpha) * total + psum) / self.c_j
+        return StepDecision(
+            ptype=cur_type,
+            alpha=alpha,
+            cost=ci if ci >= cj else cj,
+            cost_i=ci,
+            cost_j=cj,
+            compute_i=cp_i,
+            compute_j=cp_j,
+            comm_i=ci - cp_i,
+            comm_j=cj - cp_j,
+        )
+
     def boundary_step(
         self,
         boundary_fm_elements: float,
@@ -258,9 +476,33 @@ class PairCostModel:
         the skip tensor produced under ``prev_type`` must be consumed under
         ``cur_type``.  With no computation to balance, the nominal ratio is
         the compute-proportional one (or 1/2 for equal-ratio schemes).
+        Memoized on ``(elements, prev, cur, α)`` — multi-path joins re-cost
+        the same alignments once per entry state and exit alignment.
         """
         if alpha is None:
             alpha = self.nominal_alpha()
+        self.stats.boundary_calls += 1
+        key = None
+        if self.memoize:
+            key = (boundary_fm_elements, prev_type, cur_type, alpha)
+            cached = self._boundary_cache.get(key)
+            if cached is not None:
+                self.stats.boundary_cache_hits += 1
+                return cached
+        decision = self._boundary_uncached(
+            boundary_fm_elements, prev_type, cur_type, alpha
+        )
+        if key is not None:
+            self._boundary_cache[key] = decision
+        return decision
+
+    def _boundary_uncached(
+        self,
+        boundary_fm_elements: float,
+        prev_type: PartitionType,
+        cur_type: PartitionType,
+        alpha: float,
+    ) -> StepDecision:
         if self.ratio_mode == "comm-volume":
             amount_i, amount_j = inter_layer_elements(
                 boundary_fm_elements, prev_type, cur_type, alpha

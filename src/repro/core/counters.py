@@ -1,0 +1,104 @@
+"""Planner performance counters: how much work did a search actually do?
+
+Two layers, matched to where the cost is paid:
+
+* :class:`StepStats` — a plain-``__slots__`` bag of integers owned by one
+  :class:`~repro.core.cost_model.PairCostModel`.  The DP inner loop bumps
+  attributes directly (no locks, no dict lookups), so counting adds nothing
+  measurable to the hot path.
+* :class:`PerfCounters` — a thread-safe named-counter registry.  The
+  process-wide :data:`planner_counters` instance aggregates every search:
+  schemes merge their model's :class:`StepStats` into it after each level
+  plan, and the coarser events (hierarchy memo hits, multipath path DPs)
+  increment it directly.  The plan service folds a snapshot into its
+  ``stats``/``service-stats`` output.
+
+Counter names (all monotonic):
+
+``step_calls`` / ``step_cache_hits``
+    Eq. 9 step costings requested vs. answered from the per-model
+    transition-family cache.
+``boundary_calls`` / ``boundary_cache_hits``
+    Table 5 boundary re-alignment costings (multi-path joins, skip paths).
+``ratio_solves`` and the solver-path split ``ratio_closed_linear`` /
+``ratio_closed_quadratic`` / ``ratio_bisection_fallback`` / ``ratio_minimax``
+    How each balanced ratio (Eq. 10) was obtained: affine closed form,
+    quadratic closed form (the α·β cross transitions), the checked bisection
+    fallback, or the minimax fallback when one party dominates everywhere.
+``hierarchy_memo_hits`` / ``hierarchy_memo_misses``
+    Pairing-tree nodes answered from the symmetric-subtree memo vs. planned.
+``multipath_path_dp_runs``
+    Per-entry-state path DPs run inside fork/join regions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping
+
+
+class StepStats:
+    """Lock-free per-model counters for the DP inner loop."""
+
+    __slots__ = (
+        "step_calls",
+        "step_cache_hits",
+        "boundary_calls",
+        "boundary_cache_hits",
+        "ratio_solves",
+        "ratio_closed_linear",
+        "ratio_closed_quadratic",
+        "ratio_bisection_fallback",
+        "ratio_minimax",
+        "multipath_path_dp_runs",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def step_cache_hit_rate(self) -> float:
+        return self.step_cache_hits / self.step_calls if self.step_calls else 0.0
+
+
+class PerfCounters:
+    """Thread-safe registry of named monotonic counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("perf counters only go up")
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def merge(self, counts: Mapping[str, int]) -> None:
+        """Fold a batch of local counts (e.g. a model's StepStats) in."""
+        with self._lock:
+            for name, amount in counts.items():
+                if amount:
+                    self._counts[name] = self._counts.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-compatible dump, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmark isolation)."""
+        with self._lock:
+            self._counts.clear()
+
+
+#: process-wide planner counters; surfaced by the plan service and benchmarks
+planner_counters = PerfCounters()

@@ -18,9 +18,9 @@ the O(3^N) brute force (validated against :mod:`repro.core.brute_force`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, NamedTuple, Optional, Sequence, Tuple
 
-from .cost_model import PairCostModel
+from .cost_model import PairCostModel, transition_family
 from .stages import ShardedLayerStage, ShardedParallelStage, ShardedStage
 from .types import ALL_TYPES, LayerPartition, PartitionType, ShardedWorkload
 
@@ -31,19 +31,63 @@ SpaceFn = Callable[[ShardedWorkload], Sequence[PartitionType]]
 #: DP states: a partition type, or None for the free entry boundary
 State = Optional[PartitionType]
 
+#: relative slack for comparing candidate costs: two candidates closer than
+#: this are a *tie* and the first-seen one wins.  Mathematically tied
+#: branches (symmetric fork paths, equal-cost exit states) otherwise get
+#: broken by last-ulp float noise, which depends on the arithmetic route
+#: (closure evaluation vs polynomial coefficients) rather than the model —
+#: the slack makes every solver variant of the same cost model emit the
+#: same plan.  Genuine cost differences in the model are many orders of
+#: magnitude above 1e-9 relative.
+COST_REL_TOL = 1e-9
 
-@dataclass(frozen=True)
-class TransitionInfo:
-    """Cost and layer decisions of crossing one stage between two states."""
+
+def improves(candidate: float, incumbent: Optional[float]) -> bool:
+    """True when ``candidate`` beats ``incumbent`` beyond float-noise slack."""
+    if incumbent is None:
+        return True
+    slack = COST_REL_TOL * max(abs(candidate), abs(incumbent))
+    return candidate < incumbent - slack
+
+
+class TransitionInfo(NamedTuple):
+    """Cost and layer decisions of crossing one stage between two states.
+
+    A NamedTuple: the search constructs thousands per plan and tuple
+    construction is several times cheaper than a frozen dataclass.
+    """
 
     cost: float
     assignments: Tuple[Tuple[str, LayerPartition], ...] = ()
 
-    def merged_with(self, other: "TransitionInfo") -> "TransitionInfo":
-        return TransitionInfo(
-            cost=self.cost + other.cost,
-            assignments=self.assignments + other.assignments,
-        )
+
+@dataclass(frozen=True)
+class _BackNode:
+    """Parent-pointer backtracking node: one stage's decisions on a DP path.
+
+    The frontier used to accumulate full assignment tuples per state, which
+    re-copies every prefix at every stage — O(N²) tuple concatenation over a
+    chain.  Instead each frontier entry now points at its predecessor's node
+    and the optimal paths are reconstructed once at the end, in O(N) per
+    surviving exit state.
+    """
+
+    assignments: Tuple[Tuple[str, LayerPartition], ...]
+    parent: Optional["_BackNode"]
+
+    def backtrack(self) -> Tuple[Tuple[str, LayerPartition], ...]:
+        """Concatenate the per-stage decisions from entry to this node."""
+        groups = []
+        node: Optional[_BackNode] = self
+        while node is not None:
+            if node.assignments:
+                groups.append(node.assignments)
+            node = node.parent
+        groups.reverse()
+        out: list = []
+        for group in groups:
+            out.extend(group)
+        return tuple(out)
 
 
 @dataclass
@@ -68,12 +112,34 @@ def layer_stage_transitions(
     """Eq. 9 step costs for one weighted layer, all (tt, t) combinations."""
     layer_space = space_fn(stage.workload) if space_fn is not None else space
     transitions: Dict[Tuple[State, PartitionType], TransitionInfo] = {}
+    sw = stage.workload
+    name = stage.name
+    if model.memoize:
+        # a step decision depends on the predecessor only through its
+        # Table 5 family (the model's own cache relies on the same fact);
+        # cost each (family, t) combination once and fan the shared
+        # TransitionInfo out to every (tt, t) in the family
+        by_family: Dict[Tuple[str, PartitionType], TransitionInfo] = {}
+        for tt in in_states:
+            for t in layer_space:
+                fam = transition_family(tt, t)
+                fam_key = (fam, t)
+                info = by_family.get(fam_key)
+                if info is None:
+                    decision = model.step(sw, tt, t, fam)
+                    info = TransitionInfo(
+                        cost=decision.cost,
+                        assignments=((name, LayerPartition(t, decision.alpha)),),
+                    )
+                    by_family[fam_key] = info
+                transitions[(tt, t)] = info
+        return transitions
     for tt in in_states:
         for t in layer_space:
-            decision = model.step(stage.workload, tt, t)
+            decision = model.step(sw, tt, t)
             transitions[(tt, t)] = TransitionInfo(
                 cost=decision.cost,
-                assignments=((stage.name, LayerPartition(t, decision.alpha)),),
+                assignments=((name, LayerPartition(t, decision.alpha)),),
             )
     return transitions
 
@@ -91,14 +157,19 @@ def dp_over_stages(
     costs (``None`` = free boundary, used for the network input).  Returns,
     per reachable exit state, the minimal total cost and the accumulated
     layer assignments along the optimal path.
+
+    The frontier carries parent-pointer :class:`_BackNode` chains instead of
+    materialized assignment tuples; the optimal path per exit state is
+    backtracked exactly once after the last stage, keeping the whole search
+    linear in the number of stages.
     """
     from .multipath import parallel_stage_transitions  # local import: cycle-free
 
     if not entry:
         raise ValueError("entry state set must be non-empty")
 
-    frontier: Dict[State, Tuple[float, TransitionInfo]] = {
-        s: (c, TransitionInfo(0.0)) for s, c in entry.items()
+    frontier: Dict[State, Tuple[float, Optional[_BackNode]]] = {
+        s: (c, None) for s, c in entry.items()
     }
 
     for stage in stages:
@@ -110,15 +181,28 @@ def dp_over_stages(
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown stage kind {type(stage).__name__}")
 
-        new_frontier: Dict[State, Tuple[float, TransitionInfo]] = {}
+        new_frontier: Dict[State, Tuple[float, Optional[_BackNode]]] = {}
         for (tt, t), info in transitions.items():
-            base_cost, base_info = frontier[tt]
+            base_cost, base_node = frontier[tt]
             total = base_cost + info.cost
-            if t not in new_frontier or total < new_frontier[t][0]:
-                new_frontier[t] = (total, base_info.merged_with(info))
+            incumbent = new_frontier.get(t)
+            # the improves() slack, inlined: this is the hottest comparison
+            if incumbent is None or total < incumbent[0] - COST_REL_TOL * (
+                total if total >= incumbent[0] else incumbent[0]
+            ):
+                new_frontier[t] = (total, _BackNode(info.assignments, base_node))
         frontier = new_frontier
 
-    return frontier
+    return {
+        s: (
+            cost,
+            TransitionInfo(
+                cost=cost,
+                assignments=node.backtrack() if node is not None else (),
+            ),
+        )
+        for s, (cost, node) in frontier.items()
+    }
 
 
 def search_stages(
@@ -142,7 +226,11 @@ def search_stages(
         return SearchResult(assignments={}, cost=0.0, exit_state=None)
 
     exits = dp_over_stages(stages, model, space, entry, space_fn)
-    best_state = min(exits, key=lambda s: exits[s][0])
+    best_state = None
+    best_cost = None
+    for state, (cost, _) in exits.items():
+        if best_cost is None or improves(cost, best_cost):
+            best_state, best_cost = state, cost
     best_cost, info = exits[best_state]
     return SearchResult(
         assignments=dict(info.assignments),

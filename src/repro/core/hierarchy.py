@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode
+from .counters import planner_counters
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
 from .types import HierarchicalPlan, LevelPlan
 
@@ -59,7 +60,9 @@ def plan_tree(
     key = (node.group.signature(), node.depth(), stages_key(stages))
     cached = _memo.get(key)
     if cached is not None:
+        planner_counters.inc("hierarchy_memo_hits")
         return cached
+    planner_counters.inc("hierarchy_memo_misses")
 
     assert node.left is not None and node.right is not None
     level = scheme.level_plan(stages, node.left.group, node.right.group, dtype_bytes)

@@ -17,6 +17,12 @@ Conventions:
 * after the stage the boundary tensor behaves like the output of a weighted
   layer in state ``s``, so the next stage's Eq. 9 step applies unchanged —
   which is what lets consecutive residual blocks chain.
+
+Besides the ``@join:`` alignment entry, the macro-transition records one
+synthetic ``@exit:`` entry per path — the partition state the path's output
+tensor is in *before* re-alignment to the join state — so the simulator
+replays exactly the re-alignments the search costed rather than re-deriving
+them from the path's last layer.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from typing import Dict, Sequence, Tuple
 
 from .cost_model import PairCostModel
 from .stages import ShardedParallelStage, first_workload, last_workload
-from .types import LayerPartition, PartitionType, join_key
+from .types import LayerPartition, PartitionType, join_key, path_exit_key
 
 
 def alignment_cost(
@@ -56,7 +62,7 @@ def parallel_stage_transitions(
     For every ``(tt, s)`` the cost is the sum over paths of that path's
     cheapest DP cost from entry state ``tt`` to exit alignment ``s``.
     """
-    from .dp_search import TransitionInfo, dp_over_stages  # cycle-free at runtime
+    from .dp_search import TransitionInfo, dp_over_stages, improves  # cycle-free at runtime
 
     # the fork tensor: input feature map of the first weighted layer in any
     # non-empty path (all paths consume the same tensor)
@@ -68,12 +74,38 @@ def parallel_stage_transitions(
     if fork_elements is None:
         raise ValueError(f"parallel stage {stage.name!r} has no weighted layers")
 
+    # local alignment-cost memo: (elements, from, to) hits skip the
+    # model.boundary_step call chain entirely inside this stage's loops
+    align_cache: Dict[Tuple[float, "PartitionType | None", PartitionType], float] = {}
+
+    def align(elements: float, frm: "PartitionType | None", to: PartitionType) -> float:
+        key = (elements, frm, to)
+        cost = align_cache.get(key)
+        if cost is None:
+            cost = alignment_cost(model, elements, frm, to)
+            align_cache[key] = cost
+        return cost
+
+    # the synthetic @exit / @join entries all carry the nominal ratio, so
+    # the handful of distinct LayerPartition values can be shared across
+    # the (tt, s) loop instead of constructed per combination
+    nominal = model.nominal_alpha()
+    nominal_lp: Dict[PartitionType, LayerPartition] = {}
+
+    def nominal_partition(state: PartitionType) -> LayerPartition:
+        lp = nominal_lp.get(state)
+        if lp is None:
+            lp = LayerPartition(state, nominal)
+            nominal_lp[state] = lp
+        return lp
+
     transitions: Dict[Tuple["PartitionType | None", PartitionType], TransitionInfo] = {}
     for tt in in_states:
         # run each non-empty path's DP once per entry state; reuse across s
         path_exits = []
         for path in stage.paths:
             if path:
+                model.stats.multipath_path_dp_runs += 1
                 path_exits.append(
                     (path, dp_over_stages(path, model, space, entry={tt: 0.0},
                                           space_fn=space_fn))
@@ -84,25 +116,37 @@ def parallel_stage_transitions(
         for s in space:
             total = 0.0
             assignments: Tuple[Tuple[str, object], ...] = ()
-            for path, exits in path_exits:
+            for index, (path, exits) in enumerate(path_exits):
                 if exits is None:
-                    # identity skip: re-align the fork tensor itself
-                    total += alignment_cost(model, fork_elements, tt, s)
-                    continue
-                out_elements = last_workload(path).a_output_fm()
-                best_cost = None
-                best_info = None
-                for exit_state, (cost, info) in exits.items():
-                    aligned = cost + alignment_cost(model, out_elements, exit_state, s)
-                    if best_cost is None or aligned < best_cost:
-                        best_cost = aligned
-                        best_info = info
-                assert best_cost is not None and best_info is not None
-                total += best_cost
-                assignments += best_info.assignments
+                    # identity skip: re-align the fork tensor itself, which
+                    # is still in the entry state tt
+                    total += align(fork_elements, tt, s)
+                    chosen_exit = tt
+                else:
+                    out_elements = last_workload(path).a_output_fm()
+                    best_cost = None
+                    best_info = None
+                    best_exit = None
+                    for exit_state, (cost, info) in exits.items():
+                        aligned = cost + align(out_elements, exit_state, s)
+                        if best_cost is None or improves(aligned, best_cost):
+                            best_cost = aligned
+                            best_info = info
+                            best_exit = exit_state
+                    assert best_cost is not None and best_info is not None
+                    total += best_cost
+                    assignments += best_info.assignments
+                    chosen_exit = best_exit
+                # record the path's pre-alignment exit state (None only for
+                # a skip path at the free network entry: nothing to align)
+                if chosen_exit is not None:
+                    assignments += (
+                        (path_exit_key(stage.name, index),
+                         nominal_partition(chosen_exit)),
+                    )
             # record the chosen join alignment so the simulator can replay it
             assignments += (
-                (join_key(stage.name), LayerPartition(s, model.nominal_alpha())),
+                (join_key(stage.name), nominal_partition(s)),
             )
             transitions[(tt, s)] = TransitionInfo(cost=total, assignments=assignments)
     return transitions

@@ -22,6 +22,7 @@ from ..graph.network import Network
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
 from .cost_model import PairCostModel
+from .counters import planner_counters
 from .dp_search import search_stages
 from .greedy import greedy_chain
 from .hierarchy import PartitionScheme, collect_level_plans, plan_tree
@@ -42,10 +43,17 @@ class AccParScheme:
         space: Sequence[PartitionType] = ALL_TYPES,
         ratio_mode: str = "balanced",
         name: str = "accpar",
+        closed_form: bool = True,
+        memoize: bool = True,
     ):
         self.space = tuple(space)
         self.ratio_mode = ratio_mode
         self.name = name
+        # hot-path knobs, forwarded to PairCostModel; the throughput
+        # benchmark and equivalence tests flip them off to get the
+        # pre-optimization (bisection, uncached) planner
+        self.closed_form = closed_form
+        self.memoize = memoize
 
     def level_plan(
         self,
@@ -54,8 +62,11 @@ class AccParScheme:
         party_j: AcceleratorGroup,
         dtype_bytes: int,
     ) -> LevelPlan:
-        model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
+        model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode,
+                              closed_form=self.closed_form,
+                              memoize=self.memoize)
         result = search_stages(list(stages), model, self.space)
+        planner_counters.merge(model.stats.as_dict())
         return LevelPlan(assignments=result.assignments, cost=result.cost,
                          scheme=self.name)
 
@@ -90,6 +101,7 @@ class GreedyScheme:
     ) -> LevelPlan:
         model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
         result = greedy_chain(flatten_to_chain(stages), model, self.space)
+        planner_counters.merge(model.stats.as_dict())
         return LevelPlan(assignments=result.assignments, cost=result.cost,
                          scheme=self.name)
 

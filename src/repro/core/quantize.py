@@ -18,7 +18,7 @@ from .planner import PlannedExecution
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
 from .types import (
     HierarchicalPlan,
-    JOIN_PREFIX,
+    is_synthetic_key,
     LayerPartition,
     LevelPlan,
     PartitionType,
@@ -103,7 +103,7 @@ def quantize_plan(
 
         new_assignments: Dict[str, LayerPartition] = {}
         for name, lp in plan.level_plan.assignments.items():
-            if name.startswith(JOIN_PREFIX):
+            if is_synthetic_key(name):
                 new_assignments[name] = lp
                 continue
             extent = partitioned_extent(by_name[name], lp.ptype)

@@ -5,16 +5,26 @@ two parties of a split: find α with
 
     cost_i(α) = cost_j(1 - α).
 
-Most transitions yield costs affine in α, but the Type-I→Type-II and
-Type-III→Type-I inter-layer terms are proportional to α·β = α(1-α)
-(Table 5), so instead of a closed form we use a robust bracketed bisection on
-``g(α) = cost_i(α) - cost_j(1-α)`` with a scan fallback minimizing the pair
-maximum when ``g`` does not change sign on the bracket.
+Per Tables 4-6 each party's cost is at most *quadratic* in α: computation
+and the F/E boundary moves are affine, and only the Type-I→Type-II and
+Type-III→Type-I inter-layer terms contribute the α·β = α(1-α) cross term
+(Table 5).  The balance equation therefore has a closed form — a linear
+solve for affine transitions, the quadratic formula for the cross
+transitions — implemented by :func:`solve_balanced_ratio_poly` over
+:class:`PairCostPoly` coefficient tuples.  The bracketed bisection
+(:func:`solve_balanced_ratio`) is kept both as the generic closure-based
+API and as the *checked fallback*: whenever the closed form produces no
+admissible root, the solver falls back to it rather than guessing.
+
+When the balance residual never changes sign on the bracket (one party
+dominates at every admissible ratio) there is no balanced α; both solvers
+then minimize ``max(cost_i, cost_j)`` by golden-section search instead.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+import math
+from typing import Callable, NamedTuple, Optional, Tuple
 
 #: ratios are kept strictly inside (0, 1); a zero share would be a degenerate
 #: "partition" the basic types do not model
@@ -22,6 +32,136 @@ RATIO_LO = 1e-3
 RATIO_HI = 1.0 - 1e-3
 
 PairCostFn = Callable[[float], Tuple[float, float]]
+
+#: solver paths (counter suffixes): how a balanced ratio was obtained
+PATH_LINEAR = "closed_linear"
+PATH_QUADRATIC = "closed_quadratic"
+PATH_BISECTION = "bisection_fallback"
+PATH_MINIMAX = "minimax"
+
+_INV_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+class PairCostPoly(NamedTuple):
+    """Coefficients of one Eq. 10 balance problem.
+
+    Both parties' costs are expressed in the share α of party *i*::
+
+        cost_i(α) = const_i + lin_i·α + quad_i·α(1-α)
+        cost_j(α) = const_j + lin_j·α + quad_j·α(1-α)
+
+    (party j's affine part is folded into ``const_j``/``lin_j``, so
+    ``lin_j`` is typically negative: j's compute share is 1-α.)  The
+    α(1-α) terms carry the Table 5 cross transitions; they vanish for
+    every other transition family.  A NamedTuple rather than a dataclass:
+    one is built per uncached planner step, and tuple construction is
+    several times cheaper.
+    """
+
+    const_i: float
+    lin_i: float
+    quad_i: float
+    const_j: float
+    lin_j: float
+    quad_j: float
+
+    def costs(self, alpha: float) -> Tuple[float, float]:
+        ab = alpha * (1.0 - alpha)
+        return (
+            self.const_i + self.lin_i * alpha + self.quad_i * ab,
+            self.const_j + self.lin_j * alpha + self.quad_j * ab,
+        )
+
+    def residual(self, alpha: float) -> float:
+        """g(α) = cost_i(α) - cost_j(α)."""
+        ci, cj = self.costs(alpha)
+        return ci - cj
+
+
+def solve_balanced_ratio_poly(
+    poly: PairCostPoly,
+    lo: float = RATIO_LO,
+    hi: float = RATIO_HI,
+) -> Tuple[float, str]:
+    """Closed-form Eq. 10 solve; returns ``(α, solver_path)``.
+
+    The residual ``g(α) = ΔA + ΔB·α + ΔC·α(1-α)`` is affine or quadratic:
+
+    * ``ΔC == 0`` — affine: root at ``-ΔA/ΔB``;
+    * otherwise — ``-ΔC·α² + (ΔB+ΔC)·α + ΔA = 0``, solved with the
+      numerically stable (citardauq) quadratic formula; a sign change of
+      ``g`` on the bracket guarantees exactly one root inside it.
+
+    Mirrors :func:`solve_balanced_ratio`'s bracket semantics exactly so the
+    two emit identical decisions: endpoint roots are returned as-is and a
+    residual that never changes sign falls back to minimizing the pair
+    maximum.  If the closed form yields no admissible in-bracket root
+    (degenerate coefficients), the checked fallback re-solves by bisection.
+    """
+    if not lo < hi:
+        raise ValueError(f"invalid bracket [{lo}, {hi}]")
+
+    # endpoint residuals, inlined with the exact operation order of
+    # ``poly.residual`` (costs first, then the subtraction) so the sign
+    # checks below agree bit-for-bit with the closure-based solver
+    const_i, lin_i, quad_i, const_j, lin_j, quad_j = poly
+    ab = lo * (1.0 - lo)
+    g_lo = (const_i + lin_i * lo + quad_i * ab) - (const_j + lin_j * lo + quad_j * ab)
+    ab = hi * (1.0 - hi)
+    g_hi = (const_i + lin_i * hi + quad_i * ab) - (const_j + lin_j * hi + quad_j * ab)
+    if g_lo == 0.0:
+        return lo, PATH_LINEAR
+    if g_hi == 0.0:
+        return hi, PATH_LINEAR
+
+    d_a = const_i - const_j
+    d_b = lin_i - lin_j
+    d_c = quad_i - quad_j
+
+    if g_lo * g_hi > 0.0:
+        return _minimize_pair_max_poly(poly, d_a, d_b, d_c, lo, hi), PATH_MINIMAX
+
+    if d_c == 0.0:
+        # affine residual: ΔA + ΔB·α = 0; ΔB != 0 because g changes sign
+        root = -d_a / d_b
+        if math.isfinite(root) and lo <= root <= hi:
+            return root, PATH_LINEAR
+    else:
+        root = _quadratic_root_in(d_a, d_b, d_c, lo, hi)
+        if root is not None:
+            return root, PATH_QUADRATIC
+
+    # checked fallback: the analytic root was lost to degenerate floats
+    return solve_balanced_ratio(poly.costs, lo, hi), PATH_BISECTION
+
+
+def _quadratic_root_in(
+    d_a: float, d_b: float, d_c: float, lo: float, hi: float
+) -> Optional[float]:
+    """The root of ``ΔA + ΔB·α + ΔC·(α-α²)`` inside ``[lo, hi]``, if any.
+
+    Rewritten as ``a·α² + b·α + c = 0`` with ``a = ΔC``, ``b = -(ΔB+ΔC)``,
+    ``c = -ΔA`` and solved via the two-branch stable formula (one root from
+    the standard form, the other from the citardauq form), which keeps
+    precision when ``a`` is small or ``b`` nearly cancels the discriminant.
+    """
+    a, b, c = d_c, -(d_b + d_c), -d_a
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        return None
+    sqrt_d = math.sqrt(disc)
+    q = -0.5 * (b + math.copysign(sqrt_d, b)) if b != 0.0 else -0.5 * sqrt_d
+    roots = []
+    if a != 0.0:
+        roots.append(q / a)
+    if q != 0.0:
+        roots.append(c / q)
+    candidates = [r for r in roots if math.isfinite(r) and lo <= r <= hi]
+    if not candidates:
+        return None
+    # a sign change admits exactly one interior root; floating point can
+    # surface the second only when both sit at the same point anyway
+    return candidates[0]
 
 
 def solve_balanced_ratio(
@@ -31,12 +171,23 @@ def solve_balanced_ratio(
     tol: float = 1e-10,
     max_iter: int = 80,
 ) -> float:
-    """Solve ``cost_i(α) == cost_j(1-α)`` for α in ``[lo, hi]``.
+    """Solve ``cost_i(α) == cost_j(1-α)`` for α in ``[lo, hi]`` by bisection.
 
     ``pair_cost(α)`` returns ``(cost_i, cost_j)`` already evaluated at shares
-    ``(α, 1-α)``.  Falls back to minimizing ``max(cost_i, cost_j)`` by golden
-    -section-style scan if the balance residual never changes sign (which can
-    happen when one party dominates at every admissible ratio).
+    ``(α, 1-α)``.  Falls back to minimizing ``max(cost_i, cost_j)`` by
+    golden-section search if the balance residual never changes sign (which
+    can happen when one party dominates at every admissible ratio).
+
+    ``tol`` bounds the returned α's distance from the true root (the bracket
+    is bisected until it is narrower than ``tol``); the iteration only stops
+    early on an exactly-zero residual, so the answer agrees with the
+    closed-form solver to solver precision rather than to a residual
+    threshold whose meaning depends on the cost magnitudes.
+
+    This is the generic closure-based solver; when the per-party costs are
+    available as :class:`PairCostPoly` coefficients, prefer the closed-form
+    :func:`solve_balanced_ratio_poly` (identical answers, ~80× fewer cost
+    evaluations).
     """
     if not lo < hi:
         raise ValueError(f"invalid bracket [{lo}, {hi}]")
@@ -59,7 +210,7 @@ def solve_balanced_ratio(
     for _ in range(max_iter):
         mid = 0.5 * (a + b)
         gm = residual(mid)
-        if abs(gm) <= tol or (b - a) <= tol:
+        if gm == 0.0 or (b - a) <= tol:
             return mid
         if ga * gm <= 0.0:
             b = mid
@@ -68,19 +219,87 @@ def solve_balanced_ratio(
     return 0.5 * (a + b)
 
 
-def _minimize_pair_max(pair_cost: PairCostFn, lo: float, hi: float,
-                       samples: int = 64) -> float:
-    """Scan fallback: the α minimizing the slower party's cost."""
-    best_alpha = lo
-    best_value = float("inf")
-    for k in range(samples + 1):
-        alpha = lo + (hi - lo) * k / samples
+def _minimize_pair_max(
+    pair_cost: PairCostFn,
+    lo: float,
+    hi: float,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> float:
+    """Golden-section search for the α minimizing the slower party's cost.
+
+    This fallback only runs when the balance residual has one sign on the
+    whole bracket, i.e. the same party is the slower one at every admissible
+    α; ``max(cost_i, cost_j)`` then coincides with that party's single
+    smooth cost — affine or quadratic under the model, hence unimodal on
+    the bracket, which is exactly the shape golden-section search needs.
+    The endpoints are compared against the interior optimum explicitly so
+    boundary minima (e.g. of the concave α·β cross-term costs) are never
+    missed.
+    """
+
+    def value(alpha: float) -> float:
         ci, cj = pair_cost(alpha)
-        value = max(ci, cj)
-        if value < best_value:
-            best_value = value
-            best_alpha = alpha
+        return max(ci, cj)
+
+    a, b = lo, hi
+    c = b - _INV_GOLDEN * (b - a)
+    d = a + _INV_GOLDEN * (b - a)
+    fc, fd = value(c), value(d)
+    for _ in range(max_iter):
+        if (b - a) <= tol:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_GOLDEN * (b - a)
+            fc = value(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_GOLDEN * (b - a)
+            fd = value(d)
+    interior = c if fc <= fd else d
+
+    best_alpha, best_value = lo, value(lo)
+    for alpha in (interior, hi):
+        v = value(alpha)
+        if v < best_value:
+            best_alpha, best_value = alpha, v
     return best_alpha
+
+
+def _minimize_pair_max_poly(
+    poly: PairCostPoly,
+    d_a: float,
+    d_b: float,
+    d_c: float,
+    lo: float,
+    hi: float,
+) -> float:
+    """Endpoint minimax for polynomial pair costs.
+
+    Each party's cost ``const + lin·α + quad·α(1-α)`` is affine or concave
+    in α (second derivative ``-2·quad ≤ 0``), so on a bracket where one
+    party dominates throughout, ``max(cost_i, cost_j)`` is that party's
+    concave cost and its minimum sits at an endpoint — no search needed.
+    Dominance can only switch mid-bracket if the quadratic residual dips
+    through zero *strictly inside* the bracket despite same-sign endpoints
+    (a double interior root); that rare case falls back to the same
+    golden-section search the closure-based solver uses.  Ties between the
+    endpoints keep ``lo``, matching the search's lo-first comparison order.
+    """
+    if d_c != 0.0:
+        a, b, c = d_c, -(d_b + d_c), -d_a
+        disc = b * b - 4.0 * a * c
+        if disc > 0.0:
+            sqrt_d = math.sqrt(disc)
+            q = -0.5 * (b + math.copysign(sqrt_d, b)) if b != 0.0 else -0.5 * sqrt_d
+            for root in ((q / a) if a != 0.0 else math.inf,
+                         (c / q) if q != 0.0 else math.inf):
+                if lo < root < hi:
+                    return _minimize_pair_max(poly.costs, lo, hi)
+    v_lo = max(poly.costs(lo))
+    v_hi = max(poly.costs(hi))
+    return lo if v_lo <= v_hi else hi
 
 
 def compute_proportional_ratio(flops_i: float, flops_j: float) -> float:

@@ -24,7 +24,8 @@ real-valued ("effective" amounts, in the paper's words).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Optional, Tuple
 
 from ..graph.layers import LayerWorkload
@@ -36,6 +37,11 @@ class PartitionType(enum.Enum):
     TYPE_I = "I"     # partition the batch dimension B     (data parallelism)
     TYPE_II = "II"   # partition the input dimension D_i   (model parallelism)
     TYPE_III = "III"  # partition the output dimension D_o (the type OWT/HyPar miss)
+
+    # planner inner loops are dict-heavy with partition-type keys; the
+    # default Enum.__hash__ is a Python-level function, while members are
+    # singletons so the C-level identity hash is exact and much cheaper
+    __hash__ = object.__hash__
 
     def __str__(self) -> str:
         return f"Type-{self.value}"
@@ -111,6 +117,29 @@ class ShardedWorkload:
             value = getattr(self, name)
             if not 0.0 < value <= 1.0:
                 raise ValueError(f"{name} must be in (0, 1], got {value}")
+        # Derived quantities are computed eagerly: the planner hot path reads
+        # each of them O(|T|²) times per layer per level, and plain instance
+        # attributes skip the descriptor machinery a cached_property would
+        # pay on every access.  (A frozen dataclass still has a __dict__;
+        # object.__setattr__ bypasses the frozen guard.)
+        base = self.base
+        batch = base.batch * self.batch_frac
+        d_in = base.d_in * self.din_frac
+        d_out = base.d_out * self.dout_frac
+        a_in = batch * d_in * base.in_spatial
+        a_out = batch * d_out * base.out_spatial
+        a_w = d_in * d_out * base.kernel_spatial
+        f_fwd = a_out * _reduction_flops(d_in * base.kernel_spatial)
+        f_bwd = a_in * _reduction_flops(d_out * base.kernel_spatial)
+        f_grad = a_w * _reduction_flops(batch * base.out_spatial)
+        store = object.__setattr__
+        store(self, "_a_input_fm", a_in)
+        store(self, "_a_output_fm", a_out)
+        store(self, "_a_weight", a_w)
+        store(self, "_flops_forward", f_fwd)
+        store(self, "_flops_backward", f_bwd)
+        store(self, "_flops_gradient", f_grad)
+        store(self, "_flops_total", f_fwd + f_bwd + f_grad)
 
     # -- effective dimensions ------------------------------------------
     @property
@@ -130,17 +159,19 @@ class ShardedWorkload:
         return self.base.d_out * self.dout_frac
 
     # -- effective tensor sizes (the paper's A(.)) ----------------------
+    # Precomputed in __post_init__; the public methods keep their call
+    # syntax so call sites are unchanged.
     def a_input_fm(self) -> float:
         """A(F_l) = A(E_l)."""
-        return self.batch * self.d_in * self.base.in_spatial
+        return self._a_input_fm
 
     def a_output_fm(self) -> float:
         """A(F_{l+1}) = A(E_{l+1})."""
-        return self.batch * self.d_out * self.base.out_spatial
+        return self._a_output_fm
 
     def a_weight(self) -> float:
         """A(W_l) = A(ΔW_l)."""
-        return self.d_in * self.d_out * self.base.kernel_spatial
+        return self._a_weight
 
     def a_psum(self, ptype: PartitionType) -> float:
         """Size of the partial-sum tensor exchanged intra-layer (Table 4)."""
@@ -159,23 +190,21 @@ class ShardedWorkload:
         return self.a_input_fm()       # F_l
 
     # -- FLOP counts (Table 6, CONV-extended per Section 4.3) ----------
+    # Precomputed in __post_init__ alongside the tensor sizes.
     def flops_forward(self) -> float:
         """A(F_{l+1}) * (2 * D_i * K_h * K_w - 1)."""
-        reduction = self.d_in * self.base.kernel_spatial
-        return self.a_output_fm() * _reduction_flops(reduction)
+        return self._flops_forward
 
     def flops_backward(self) -> float:
         """A(E_l) * (2 * D_o * K_h * K_w - 1)."""
-        reduction = self.d_out * self.base.kernel_spatial
-        return self.a_input_fm() * _reduction_flops(reduction)
+        return self._flops_backward
 
     def flops_gradient(self) -> float:
         """A(W_l) * (2 * B * H_o * W_o - 1)."""
-        reduction = self.batch * self.base.out_spatial
-        return self.a_weight() * _reduction_flops(reduction)
+        return self._flops_gradient
 
     def flops_total(self) -> float:
-        return self.flops_forward() + self.flops_backward() + self.flops_gradient()
+        return self._flops_total
 
     def flops_phase(self, phase: Phase) -> float:
         if phase is Phase.FORWARD:
@@ -189,14 +218,23 @@ class ShardedWorkload:
         """The sub-workload a party holds after partitioning by ``ptype``."""
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        # direct construction instead of dataclasses.replace: replace()
+        # re-introspects the field list on every call, and sharding sits on
+        # the per-level hot path of the hierarchical planner
         if ptype is PartitionType.TYPE_I:
-            return replace(self, batch_frac=self.batch_frac * fraction)
+            return ShardedWorkload(
+                self.base, self.batch_frac * fraction, self.din_frac, self.dout_frac
+            )
         if ptype is PartitionType.TYPE_II:
-            return replace(self, din_frac=self.din_frac * fraction)
-        return replace(self, dout_frac=self.dout_frac * fraction)
+            return ShardedWorkload(
+                self.base, self.batch_frac, self.din_frac * fraction, self.dout_frac
+            )
+        return ShardedWorkload(
+            self.base, self.batch_frac, self.din_frac, self.dout_frac * fraction
+        )
 
-    def key(self) -> Tuple:
-        """Hashable identity for memoization across symmetric subtrees."""
+    @cached_property
+    def _key(self) -> Tuple:
         return (
             self.base.name,
             self.base.batch,
@@ -209,6 +247,10 @@ class ShardedWorkload:
             round(self.din_frac, 12),
             round(self.dout_frac, 12),
         )
+
+    def key(self) -> Tuple:
+        """Hashable identity for memoization across symmetric subtrees."""
+        return self._key
 
 
 @dataclass(frozen=True)
@@ -234,9 +276,24 @@ class LayerPartition:
 #: multi-path search (they are not real layers and are filtered from reports)
 JOIN_PREFIX = "@join:"
 
+#: key prefix for the synthetic per-path exit states of a fork/join region:
+#: the partition state each path's output tensor is in *before* re-alignment
+#: to the join state, so the simulator/trace can replay the re-alignment
+#: exactly instead of re-deriving it from the path's last layer
+PATH_EXIT_PREFIX = "@exit:"
+
 
 def join_key(stage_name: str) -> str:
     return JOIN_PREFIX + stage_name
+
+
+def path_exit_key(stage_name: str, path_index: int) -> str:
+    return f"{PATH_EXIT_PREFIX}{stage_name}:{path_index}"
+
+
+def is_synthetic_key(name: str) -> bool:
+    """True for non-layer assignment entries (``@join:`` / ``@exit:``)."""
+    return name.startswith((JOIN_PREFIX, PATH_EXIT_PREFIX))
 
 
 @dataclass
@@ -244,8 +301,9 @@ class LevelPlan:
     """Per-layer assignments for one hierarchy level (one pairing-tree node).
 
     ``assignments`` may also contain synthetic ``@join:`` entries recording
-    the partition state chosen for each fork/join boundary tensor; these are
-    consumed by the simulator and excluded from layer-facing views.
+    the partition state chosen for each fork/join boundary tensor and
+    ``@exit:`` entries recording each path's pre-alignment exit state; these
+    are consumed by the simulator and excluded from layer-facing views.
     """
 
     assignments: Dict[str, LayerPartition]
@@ -256,11 +314,11 @@ class LevelPlan:
         return self.assignments[layer_name]
 
     def layer_assignments(self) -> Dict[str, LayerPartition]:
-        """Real-layer assignments only (synthetic join entries dropped)."""
+        """Real-layer assignments only (synthetic entries dropped)."""
         return {
             name: lp
             for name, lp in self.assignments.items()
-            if not name.startswith(JOIN_PREFIX)
+            if not is_synthetic_key(name)
         }
 
     def type_counts(self) -> Dict[PartitionType, int]:

@@ -19,7 +19,7 @@ from ..sim.memory import leaf_memory_report
 from ..training.optimizers import SGD, OptimizerSpec
 from .planner import PlannedExecution
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
-from .types import ALL_TYPES, HierarchicalPlan, JOIN_PREFIX
+from .types import ALL_TYPES, HierarchicalPlan, is_synthetic_key
 
 
 class PlanVerificationError(ValueError):
@@ -69,7 +69,7 @@ def verify_planned(
                 )
         extraneous = {
             n for n in assignments
-            if n not in layer_names and not n.startswith(JOIN_PREFIX)
+            if n not in layer_names and not is_synthetic_key(n)
         }
         if extraneous:
             issues.append(f"{path}: assignments for unknown layers {sorted(extraneous)}")

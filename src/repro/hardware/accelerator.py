@@ -11,6 +11,7 @@ partitioning of Section 5.1 compose.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from ..digest import stable_digest
@@ -73,23 +74,26 @@ class AcceleratorGroup:
         if not self.members:
             raise ValueError("an AcceleratorGroup needs at least one member")
 
+    # aggregates are over an immutable member tuple, so they are computed
+    # once per group (cached_property stores into the instance __dict__,
+    # which frozen dataclasses retain); the planner reads them per tree node
     @property
     def size(self) -> int:
         return len(self.members)
 
-    @property
+    @cached_property
     def flops(self) -> float:
         return sum(m.flops for m in self.members)
 
-    @property
+    @cached_property
     def memory_bytes(self) -> float:
         return sum(m.memory_bytes for m in self.members)
 
-    @property
+    @cached_property
     def memory_bandwidth(self) -> float:
         return sum(m.memory_bandwidth for m in self.members)
 
-    @property
+    @cached_property
     def network_bandwidth(self) -> float:
         return sum(m.network_bandwidth for m in self.members)
 
@@ -97,12 +101,16 @@ class AcceleratorGroup:
     def is_homogeneous(self) -> bool:
         return len({m.name for m in self.members}) == 1
 
-    def signature(self) -> Tuple[Tuple[str, int], ...]:
-        """Hashable multiset of member types; used for plan/sim memoization."""
+    @cached_property
+    def _signature(self) -> Tuple[Tuple[str, int], ...]:
         counts: dict = {}
         for m in self.members:
             counts[m.name] = counts.get(m.name, 0) + 1
         return tuple(sorted(counts.items()))
+
+    def signature(self) -> Tuple[Tuple[str, int], ...]:
+        """Hashable multiset of member types; used for plan/sim memoization."""
+        return self._signature
 
     def fingerprint(self) -> str:
         """Stable content hash of the ordered member list.

@@ -15,7 +15,7 @@ Eq. 10 ratio solver departs from 1/2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .accelerator import AcceleratorGroup, AcceleratorSpec
 
@@ -38,11 +38,21 @@ class GroupNode:
             raise ValueError("GroupNode must have either zero or two children")
 
     def depth(self) -> int:
-        """Number of split levels below this node."""
-        if self.is_leaf:
-            return 0
-        assert self.left is not None and self.right is not None
-        return 1 + max(self.left.depth(), self.right.depth())
+        """Number of split levels below this node.
+
+        Cached after the first call: the pairing tree is fully built by
+        :func:`bisection_tree` before anyone asks for depths, and the
+        hierarchy planner asks at every internal node.
+        """
+        cached = self.__dict__.get("_depth")
+        if cached is None:
+            if self.is_leaf:
+                cached = 0
+            else:
+                assert self.left is not None and self.right is not None
+                cached = 1 + max(self.left.depth(), self.right.depth())
+            self.__dict__["_depth"] = cached
+        return cached
 
     def internal_nodes(self) -> Iterator["GroupNode"]:
         if not self.is_leaf:
@@ -91,6 +101,16 @@ SPLIT_POLICIES = {
     "interleaved": _split_interleaved,
 }
 
+#: pairing trees are pure functions of (sorted members, levels, policy);
+#: AcceleratorSpec is a frozen value type, so identical arrays built at
+#: different times share one tree.  The tree is read-only after
+#: construction (planners only traverse it and memoize depths), and real
+#: deployments use a handful of array shapes, so the cache stays tiny.
+_TREE_CACHE: Dict[Tuple, GroupNode] = {}
+
+#: same reasoning for the depth probe of :func:`max_hierarchy_levels`
+_DEPTH_CACHE: Dict[Tuple[AcceleratorSpec, ...], int] = {}
+
 
 def bisection_tree(array: AcceleratorGroup, levels: int,
                    policy: str = "type-separated") -> GroupNode:
@@ -114,6 +134,10 @@ def bisection_tree(array: AcceleratorGroup, levels: int,
     split = SPLIT_POLICIES[policy]
 
     ordered = tuple(sorted(array.members, key=lambda m: (-m.flops, m.name)))
+    cache_key = (ordered, levels, policy)
+    cached = _TREE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
 
     def build(members: Tuple[AcceleratorSpec, ...], level: int) -> GroupNode:
         node = GroupNode(group=AcceleratorGroup(members), level=level)
@@ -123,13 +147,33 @@ def bisection_tree(array: AcceleratorGroup, levels: int,
             node.right = build(right_members, level + 1)
         return node
 
-    return build(ordered, 0)
+    root = build(ordered, 0)
+    _TREE_CACHE[cache_key] = root
+    return root
 
 
 def max_hierarchy_levels(array: AcceleratorGroup) -> int:
-    """Deepest possible pairing tree for this array."""
-    tree = bisection_tree(array, levels=len(array.members))
-    return tree.depth()
+    """Deepest possible pairing tree for this array.
+
+    Recurses over member tuples only — building the full node/group tree
+    just to measure its depth costs O(n²) group constructions for an
+    n-accelerator array.
+    """
+    split = SPLIT_POLICIES["type-separated"]
+    ordered = tuple(sorted(array.members, key=lambda m: (-m.flops, m.name)))
+    cached = _DEPTH_CACHE.get(ordered)
+    if cached is not None:
+        return cached
+
+    def depth_of(members: Tuple[AcceleratorSpec, ...]) -> int:
+        if len(members) <= 1:
+            return 0
+        left, right = split(members)
+        return 1 + max(depth_of(left), depth_of(right))
+
+    depth = depth_of(ordered)
+    _DEPTH_CACHE[ordered] = depth
+    return depth
 
 
 def describe_tree(root: GroupNode, max_depth: int = 3) -> str:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
 from ..baselines import get_scheme
+from ..core.counters import planner_counters
 from ..core.hierarchy import PartitionScheme
 from ..core.planner import AccParScheme, GreedyScheme, PlannedExecution, Planner
 from ..core.types import ALL_TYPES, PartitionType
@@ -268,19 +269,38 @@ class PlanService:
                 fut.exception(timeout=remaining)
 
     def snapshot(self) -> dict:
-        """JSON-compatible stats: metrics + cache counters and sizes."""
+        """JSON-compatible stats: metrics, cache counters, planner counters.
+
+        ``planner`` holds the process-wide search-work counters
+        (:data:`repro.core.counters.planner_counters`): step calls and cache
+        hits, ratio-solver path split, hierarchy memo hits, multipath DP
+        runs — the cold-path cost behind every ``planner_runs`` increment.
+        """
         cache_stats = self.cache.stats.as_dict()
         cache_stats["memory_entries"] = len(self.cache)
         cache_stats["disk_entries"] = len(self.cache.disk_keys())
-        return {"metrics": self.metrics.snapshot(), "cache": cache_stats}
+        return {
+            "metrics": self.metrics.snapshot(),
+            "cache": cache_stats,
+            "planner": planner_counters.snapshot(),
+        }
 
     def render_stats(self) -> str:
+        snap = self.snapshot()
         lines = [self.metrics.render()]
-        cache = self.snapshot()["cache"]
+        cache = snap["cache"]
         lines.append("plan cache")
         width = max(len(k) for k in cache)
         for name, value in sorted(cache.items()):
             lines.append(f"  {name:<{width}}  {value}")
+        planner = snap["planner"]
+        lines.append("planner counters")
+        if not planner:
+            lines.append("  (no planner work recorded)")
+        else:
+            width = max(len(k) for k in planner)
+            for name, value in planner.items():
+                lines.append(f"  {name:<{width}}  {value}")
         return "\n".join(lines)
 
     def close(self, wait: bool = True) -> None:

@@ -40,6 +40,7 @@ from ..core.types import (
     PartitionType,
     Phase,
     join_key,
+    path_exit_key,
 )
 from ..hardware.cluster import GroupNode
 from .energy import EnergyBreakdown, ZERO_ENERGY, events_energy
@@ -142,13 +143,19 @@ def _level_net_events(
                 jkey = join_key(stage.name)
                 join_lp = assignments.get(jkey)
                 fork = first_workload([stage])
-                for path in stage.paths:
+                for index, path in enumerate(stage.paths):
                     if path:
                         exit_state = walk(path, prev)
                         boundary = last_workload(path).a_output_fm()
                     else:
                         exit_state = prev
                         boundary = fork.a_input_fm()  # the skip tensor itself
+                    # the search records each path's pre-alignment exit state;
+                    # prefer the recorded value so the replay matches exactly
+                    # what was costed (inferred state kept for legacy plans)
+                    recorded = assignments.get(path_exit_key(stage.name, index))
+                    if recorded is not None:
+                        exit_state = recorded.ptype
                     # re-align each path's output to the join state
                     if join_lp is not None and exit_state is not None \
                             and exit_state is not join_lp.ptype:

@@ -6,6 +6,7 @@ import pytest
 from repro.core.cost_model import PairCostModel
 from repro.core.dp_search import (
     TransitionInfo,
+    _BackNode,
     dp_over_stages,
     layer_stage_transitions,
 )
@@ -43,13 +44,30 @@ def model():
     return PairCostModel(make_group(TPU_V3, 1), make_group(TPU_V2, 1))
 
 
-class TestTransitionInfo:
-    def test_merge_accumulates(self):
-        a = TransitionInfo(1.0, (("x", LayerPartition(I, 0.5)),))
-        b = TransitionInfo(2.0, (("y", LayerPartition(II, 0.5)),))
-        merged = a.merged_with(b)
-        assert merged.cost == 3.0
-        assert [n for n, _ in merged.assignments] == ["x", "y"]
+class TestBacktracking:
+    def test_backtrack_restores_stage_order(self):
+        first = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
+        second = _BackNode((("y", LayerPartition(II, 0.5)),), parent=first)
+        assert [n for n, _ in second.backtrack()] == ["x", "y"]
+
+    def test_empty_groups_skipped(self):
+        first = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
+        empty = _BackNode((), parent=first)
+        assert [n for n, _ in empty.backtrack()] == ["x"]
+
+    def test_shared_prefix_not_copied(self):
+        # two branches share the same parent chain object (O(N) memory)
+        prefix = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
+        left = _BackNode((("l", LayerPartition(II, 0.5)),), parent=prefix)
+        right = _BackNode((("r", LayerPartition(III, 0.5)),), parent=prefix)
+        assert left.parent is right.parent
+        assert [n for n, _ in left.backtrack()] == ["x", "l"]
+        assert [n for n, _ in right.backtrack()] == ["x", "r"]
+
+    def test_transition_info_is_plain_record(self):
+        info = TransitionInfo(1.0, (("x", LayerPartition(I, 0.5)),))
+        assert info.cost == 1.0
+        assert dict(info.assignments)["x"].ptype is I
 
 
 class TestDpInternals:

@@ -12,9 +12,12 @@ from repro.core.stages import (
 )
 from repro.core.types import (
     ALL_TYPES,
+    PATH_EXIT_PREFIX,
     PartitionType,
     ShardedWorkload,
+    is_synthetic_key,
     join_key,
+    path_exit_key,
 )
 from repro.graph.layers import LayerWorkload
 from repro.hardware import TPU_V2, TPU_V3, make_group
@@ -90,6 +93,68 @@ class TestParallelTransitions:
             parallel_stage_transitions(stage, model, ALL_TYPES, [I])
 
 
+class TestPathExitRecording:
+    """The macro-transition must record each path's pre-alignment exit state
+    so the simulator replays the re-alignments the search actually costed."""
+
+    def test_two_path_block_records_both_exits(self, model):
+        stage = residual_region()  # path 0: two layers; path 1: identity skip
+        transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I, II])
+        for (tt, s), info in transitions.items():
+            assignments = dict(info.assignments)
+            # the weighted path exits in whatever state its last layer chose
+            exit0 = assignments[path_exit_key("block", 0)]
+            assert exit0.ptype is assignments["p2b"].ptype, (tt, s)
+            # the skip path carries the fork tensor through unchanged, so its
+            # exit state is the region's entry state
+            exit1 = assignments[path_exit_key("block", 1)]
+            assert exit1.ptype is tt, (tt, s)
+            # and the join alignment is the macro-transition's exit state
+            assert assignments[join_key("block")].ptype is s, (tt, s)
+
+    def test_free_entry_skip_path_records_no_exit(self, model):
+        """At the network entry (tt=None) a skip path has nothing to
+        re-align, so no synthetic exit entry is recorded for it."""
+        stage = residual_region()
+        transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [None])
+        for info in transitions.values():
+            assignments = dict(info.assignments)
+            assert path_exit_key("block", 0) in assignments
+            assert path_exit_key("block", 1) not in assignments
+
+    def test_resnet_block_search_exposes_exit_states(self, model):
+        """End-to-end regression on a two-path ResNet-style block: the final
+        plan must carry consistent @exit entries for the chosen DP path."""
+        stages = [fc_stage("pre"), residual_region(), fc_stage("post")]
+        result = search_stages(stages, model)
+        exit0 = result.assignments[path_exit_key("block", 0)]
+        exit1 = result.assignments[path_exit_key("block", 1)]
+        join = result.assignments[join_key("block")]
+        # path 0's exit is its last layer's chosen type
+        assert exit0.ptype is result.assignments["p2b"].ptype
+        # the skip path exits in the state 'pre' fed the fork with
+        assert exit1.ptype is result.assignments["pre"].ptype
+        # every synthetic state is one of the searchable types
+        for lp in (exit0, exit1, join):
+            assert lp.ptype in ALL_TYPES
+
+    def test_resnet18_every_block_has_exit_entries(self, model):
+        from repro.models import build_model
+
+        net = build_model("resnet18")
+        stages = to_sharded_stages(net.stages(batch=8))
+        result = search_stages(stages, model)
+        joins = {n for n in result.assignments if n.startswith("@join:")}
+        exits = {n for n in result.assignments if n.startswith(PATH_EXIT_PREFIX)}
+        assert joins, "resnet18 must contain fork/join regions"
+        # every joined region records at least one per-path exit state
+        for join_name in joins:
+            region = join_name.split(":", 1)[1]
+            assert any(n.startswith(f"{PATH_EXIT_PREFIX}{region}:") for n in exits), (
+                region
+            )
+
+
 class TestEndToEndMultipath:
     def test_search_through_residual_block(self, model):
         stages = [fc_stage("pre"), residual_region(), fc_stage("post")]
@@ -126,7 +191,7 @@ class TestEndToEndMultipath:
         net = build_model("resnet18")
         stages = to_sharded_stages(net.stages(batch=8))
         result = search_stages(stages, model)
-        planned = {n for n in result.assignments if not n.startswith("@join:")}
+        planned = {n for n in result.assignments if not is_synthetic_key(n)}
         expected = {w.name for w in net.workloads(8)}
         assert planned == expected
 

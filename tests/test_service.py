@@ -146,6 +146,11 @@ class TestSingleFlight:
         barrier = threading.Barrier(n)
 
         with PlanService(workers=4) as svc:
+            # hold the exact job open long enough that every thread joins
+            # the flight before it lands (otherwise late threads can find
+            # the cache already filled and skew the coalesced counts)
+            delay_exact_planning(svc, seconds=0.1)
+
             def worker(i):
                 barrier.wait()
                 responses[i] = svc.plan(request)
@@ -177,8 +182,27 @@ class TestSingleFlight:
         assert leader3
 
 
+def delay_exact_planning(service, seconds=0.25):
+    """Slow the exact planning job so a 0-deadline reliably expires first.
+
+    The planner is fast enough that a pool worker can finish an exact plan
+    before the requesting thread gets scheduled to check its deadline; the
+    deadline tests need the slow-exact-plan regime, so create it explicitly.
+    """
+    import time as _time
+
+    original = service._plan_exact
+
+    def slowed(request):
+        _time.sleep(seconds)
+        return original(request)
+
+    service._plan_exact = slowed
+
+
 class TestDeadline:
     def test_expired_deadline_returns_greedy_fallback(self, service, array):
+        delay_exact_planning(service)
         request = PlanRequest(model="vgg19", array=array, batch=512)
         response = service.plan(request, deadline_s=0.0)
         assert response.degraded
@@ -192,6 +216,7 @@ class TestDeadline:
         assert expected <= assigned
 
     def test_background_refinement_upgrades_cache(self, service, array):
+        delay_exact_planning(service)
         request = PlanRequest(model="vgg16", array=array, batch=512)
         degraded = service.plan(request, deadline_s=0.0)
         assert degraded.planned.scheme == "greedy"
