@@ -4,6 +4,8 @@ import pathlib
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
@@ -14,7 +16,12 @@ def results_dir():
 
 
 def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Persist a reproduced table/figure and echo it for the bench log."""
+    """Persist a reproduced table/figure and echo it for the bench log.
+
+    Written atomically (temp file + ``os.replace``): an interrupted bench
+    run can never leave a truncated artifact behind for a later run — or
+    the CI regression gate — to trip over.
+    """
     path = results_dir / name
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
     print(f"\n[artifact: {path}]\n{text}")

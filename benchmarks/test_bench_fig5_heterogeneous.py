@@ -11,6 +11,8 @@ from repro.experiments.figures import figure5_heterogeneous
 from repro.experiments.reporting import format_grouped_bars, format_speedup_table
 from repro.models import PAPER_MODELS, RESNET_MODELS, VGG_MODELS
 
+from repro.ioutil import atomic_write_text
+
 from conftest import save_artifact
 
 
@@ -28,8 +30,9 @@ def test_fig5_heterogeneous_array(benchmark, results_dir):
 
     from repro.experiments.svg import grouped_bar_svg
 
-    (results_dir / "fig5_heterogeneous.svg").write_text(
-        grouped_bar_svg(table, "Figure 5: speedup over DP (heterogeneous array)")
+    atomic_write_text(
+        results_dir / "fig5_heterogeneous.svg",
+        grouped_bar_svg(table, "Figure 5: speedup over DP (heterogeneous array)"),
     )
 
     # shape assertions from Section 6.2

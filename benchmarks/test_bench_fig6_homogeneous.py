@@ -9,6 +9,8 @@ import pytest
 from repro.experiments.figures import figure5_heterogeneous, figure6_homogeneous
 from repro.experiments.reporting import format_grouped_bars, format_speedup_table
 
+from repro.ioutil import atomic_write_text
+
 from conftest import save_artifact
 
 
@@ -24,8 +26,9 @@ def test_fig6_homogeneous_array(benchmark, results_dir):
 
     from repro.experiments.svg import grouped_bar_svg
 
-    (results_dir / "fig6_homogeneous.svg").write_text(
-        grouped_bar_svg(table, "Figure 6: speedup over DP (homogeneous array)")
+    atomic_write_text(
+        results_dir / "fig6_homogeneous.svg",
+        grouped_bar_svg(table, "Figure 6: speedup over DP (homogeneous array)"),
     )
 
     assert table.geomean("accpar") >= table.geomean("hypar") - 1e-9

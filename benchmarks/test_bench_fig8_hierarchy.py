@@ -9,6 +9,8 @@ import pytest
 
 from repro.experiments.figures import figure8_hierarchy_sweep
 
+from repro.ioutil import atomic_write_text
+
 from conftest import save_artifact
 
 
@@ -21,13 +23,14 @@ def test_fig8_hierarchy_scalability(benchmark, results_dir):
 
     from repro.experiments.svg import line_chart_svg
 
-    (results_dir / "fig8_hierarchy.svg").write_text(
+    atomic_write_text(
+        results_dir / "fig8_hierarchy.svg",
         line_chart_svg(
             [float(h) for h in result.levels],
             result.speedups,
             "Figure 8: speedup vs hierarchy level (Vgg19)",
             x_label="hierarchy level h",
-        )
+        ),
     )
 
     assert result.levels == list(range(2, 10))

@@ -11,13 +11,16 @@ Examples::
     python -m repro figure --which fig7
     python -m repro warm --models alexnet,vgg11 --array hetero
     echo '{"model": "alexnet", "array": "hetero"}' | python -m repro serve
-    python -m repro service-stats
+    python -m repro service-stats --format prometheus
+    python -m repro profile alexnet --out trace.json
+    python -m repro simulate --model alexnet --trace sim_trace.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .baselines import SCHEME_ORDER, get_scheme
@@ -107,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
     p.add_argument("--batch", type=int, default=512)
     p.add_argument("--levels", type=int, default=None)
+    p.add_argument("--trace", default=None,
+                   help="write the simulated critical-path Chrome trace here")
+
+    p = sub.add_parser(
+        "profile",
+        help="trace one planning run: Chrome trace JSON + self-time table",
+    )
+    p.add_argument("model", help="model name (see 'repro models')")
+    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--levels", type=int, default=None)
+    p.add_argument("--out", default=None,
+                   help="write the planner-execution Chrome trace here")
+    p.add_argument("--sim-trace", default=None,
+                   help="also write the simulated-iteration Chrome trace here")
 
     p = sub.add_parser("sweep", help="speedup table over models and schemes")
     p.add_argument("--models", required=True,
@@ -148,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("service-stats",
                        help="summarize the disk cache tier and last session")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p.add_argument("--format", choices=["text", "json", "prometheus"],
+                   default="text",
+                   help="text summary, raw JSON snapshot, or Prometheus "
+                        "text exposition")
 
     p = sub.add_parser("report", help="write a full markdown report")
     p.add_argument("--model", required=True)
@@ -219,6 +242,47 @@ def _cmd_simulate(args) -> int:
     if mem is not None:
         print(f"worst leaf memory: {mem.total_bytes / 2**30:.3f} GiB "
               f"({mem.utilization * 100:.2f}%) fits={mem.fits}")
+    if args.trace:
+        from .sim.timeline import save_chrome_trace
+
+        save_chrome_trace(planned, args.trace)
+        print(f"simulated critical-path trace written to {args.trace}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Trace one planning run; emit Chrome trace JSON + a profile table."""
+    from .obs import chrome_trace_document, render_profile, save_trace_document
+    from .obs.tracing import tracer
+
+    network = build_model(args.model)
+    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+
+    was_enabled = tracer.enabled
+    tracer.enable()
+    tracer.clear()
+    try:
+        t0 = time.perf_counter()
+        planned = planner.plan(network, args.batch)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        spans = tracer.drain()
+    finally:
+        tracer.enabled = was_enabled
+
+    print(f"profiled {args.model} / {args.scheme} on {args.array}: "
+          f"{elapsed_ms:.1f} ms, {len(spans)} spans"
+          + (f" ({tracer.spans_dropped} dropped)" if tracer.spans_dropped else ""))
+    print()
+    print(render_profile(spans, title=f"planner profile ({args.model})"))
+    if args.out:
+        save_trace_document(chrome_trace_document(spans), args.out)
+        print(f"\nplanner trace written to {args.out} "
+              "(open in Perfetto or chrome://tracing)")
+    if args.sim_trace:
+        from .sim.timeline import save_chrome_trace
+
+        save_chrome_trace(planned, args.sim_trace)
+        print(f"simulated-iteration trace written to {args.sim_trace}")
     return 0
 
 
@@ -268,8 +332,12 @@ def _build_service(cache_dir, capacity: int, workers=None):
 
 
 def _cmd_serve(args) -> int:
+    from .obs.logging import configure_json_logging
     from .service.server import serve_loop
 
+    # stdout carries the JSON-lines protocol; structured logs (e.g. the
+    # slow-request warning, with trace id) go to stderr as JSON too
+    configure_json_logging(stream=sys.stderr)
     service = _build_service(args.cache_dir, args.capacity, args.workers)
     try:
         served = serve_loop(service, sys.stdin, sys.stdout)
@@ -306,9 +374,22 @@ def _cmd_warm(args) -> int:
 
 
 def _cmd_service_stats(args) -> int:
-    from .service.server import describe_cache_dir
+    import json
 
-    print(describe_cache_dir(args.cache_dir))
+    from .obs.registry import render_prometheus
+    from .service.server import describe_cache_dir, load_stats_snapshot
+
+    if args.format == "text":
+        print(describe_cache_dir(args.cache_dir))
+        return 0
+    # json / prometheus render the last session's machine-readable snapshot;
+    # an absent snapshot renders as all-zero canonical series rather than an
+    # error so scrapers see a stable series set from the first scrape on
+    snapshot = load_stats_snapshot(args.cache_dir) or {}
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
     return 0
 
 
@@ -352,9 +433,9 @@ def _cmd_report(args) -> int:
 
     document = "\n".join(lines)
     if args.out:
-        from pathlib import Path
+        from .ioutil import atomic_write_text
 
-        Path(args.out).write_text(document)
+        atomic_write_text(args.out, document)
         print(f"report written to {args.out}")
     else:
         print(document)
@@ -368,6 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "describe": lambda: _cmd_describe(args),
         "plan": lambda: _cmd_plan(args),
         "simulate": lambda: _cmd_simulate(args),
+        "profile": lambda: _cmd_profile(args),
         "sweep": lambda: _cmd_sweep(args),
         "figure": lambda: _cmd_figure(args),
         "validate": lambda: _cmd_validate(args),

@@ -6,14 +6,19 @@ Two layers, matched to where the cost is paid:
   :class:`~repro.core.cost_model.PairCostModel`.  The DP inner loop bumps
   attributes directly (no locks, no dict lookups), so counting adds nothing
   measurable to the hot path.
-* :class:`PerfCounters` — a thread-safe named-counter registry.  The
-  process-wide :data:`planner_counters` instance aggregates every search:
-  schemes merge their model's :class:`StepStats` into it after each level
-  plan, and the coarser events (hierarchy memo hits, multipath path DPs)
-  increment it directly.  The plan service folds a snapshot into its
-  ``stats``/``service-stats`` output.
+* :class:`~repro.obs.registry.PerfCounters` — a thread-safe named-counter
+  registry, now living in the unified observability registry
+  (:mod:`repro.obs.registry`) and re-exported here so the historical
+  import path keeps working.  The process-wide :data:`planner_counters`
+  instance aggregates every search: schemes merge their model's
+  :class:`StepStats` into it after each level plan, and the coarser events
+  (hierarchy memo hits, multipath path DPs) increment it directly.  The
+  plan service folds a snapshot into its ``stats``/``service-stats``
+  output, and ``repro service-stats --format prometheus`` renders the
+  same names as ``repro_planner_<name>_total`` series.
 
-Counter names (all monotonic):
+Counter names (all monotonic; the canonical list is
+:data:`repro.obs.registry.PLANNER_COUNTER_NAMES`):
 
 ``step_calls`` / ``step_cache_hits``
     Eq. 9 step costings requested vs. answered from the per-model
@@ -33,8 +38,11 @@ Counter names (all monotonic):
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Mapping
+from typing import Dict
+
+from ..obs.registry import PerfCounters, planner_counters
+
+__all__ = ["StepStats", "PerfCounters", "planner_counters"]
 
 
 class StepStats:
@@ -63,42 +71,3 @@ class StepStats:
     @property
     def step_cache_hit_rate(self) -> float:
         return self.step_cache_hits / self.step_calls if self.step_calls else 0.0
-
-
-class PerfCounters:
-    """Thread-safe registry of named monotonic counters."""
-
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
-        self._lock = threading.Lock()
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("perf counters only go up")
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + amount
-
-    def merge(self, counts: Mapping[str, int]) -> None:
-        """Fold a batch of local counts (e.g. a model's StepStats) in."""
-        with self._lock:
-            for name, amount in counts.items():
-                if amount:
-                    self._counts[name] = self._counts.get(name, 0) + amount
-
-    def value(self, name: str) -> int:
-        with self._lock:
-            return self._counts.get(name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        """JSON-compatible dump, sorted by name."""
-        with self._lock:
-            return dict(sorted(self._counts.items()))
-
-    def reset(self) -> None:
-        """Zero every counter (tests and benchmark isolation)."""
-        with self._lock:
-            self._counts.clear()
-
-
-#: process-wide planner counters; surfaced by the plan service and benchmarks
-planner_counters = PerfCounters()

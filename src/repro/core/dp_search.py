@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, NamedTuple, Optional, Sequence, Tuple
 
+from ..obs.tracing import tracer
 from .cost_model import PairCostModel, transition_family
 from .stages import ShardedLayerStage, ShardedParallelStage, ShardedStage
 from .types import ALL_TYPES, LayerPartition, PartitionType, ShardedWorkload
@@ -144,6 +145,36 @@ def layer_stage_transitions(
     return transitions
 
 
+def _advance_frontier(
+    stage: ShardedStage,
+    frontier: Dict[State, Tuple[float, Optional[_BackNode]]],
+    model: PairCostModel,
+    space: Sequence[PartitionType],
+    space_fn: Optional[SpaceFn],
+    parallel_transitions,
+) -> Dict[State, Tuple[float, Optional[_BackNode]]]:
+    """One DP step: cross ``frontier`` over ``stage``'s transition table."""
+    in_states = list(frontier)
+    if isinstance(stage, ShardedLayerStage):
+        transitions = layer_stage_transitions(stage, model, space, in_states, space_fn)
+    elif isinstance(stage, ShardedParallelStage):
+        transitions = parallel_transitions(stage, model, space, in_states, space_fn)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown stage kind {type(stage).__name__}")
+
+    new_frontier: Dict[State, Tuple[float, Optional[_BackNode]]] = {}
+    for (tt, t), info in transitions.items():
+        base_cost, base_node = frontier[tt]
+        total = base_cost + info.cost
+        incumbent = new_frontier.get(t)
+        # the improves() slack, inlined: this is the hottest comparison
+        if incumbent is None or total < incumbent[0] - COST_REL_TOL * (
+            total if total >= incumbent[0] else incumbent[0]
+        ):
+            new_frontier[t] = (total, _BackNode(info.assignments, base_node))
+    return new_frontier
+
+
 def dp_over_stages(
     stages: Sequence[ShardedStage],
     model: PairCostModel,
@@ -172,26 +203,20 @@ def dp_over_stages(
         s: (c, None) for s, c in entry.items()
     }
 
+    # hoisted out of the loop: the guard on the raw attribute keeps the
+    # disabled path allocation-free (asserted by the tracer tests), and one
+    # search never straddles an enable/disable toggle
+    traced = tracer.enabled
     for stage in stages:
-        in_states = list(frontier)
-        if isinstance(stage, ShardedLayerStage):
-            transitions = layer_stage_transitions(stage, model, space, in_states, space_fn)
-        elif isinstance(stage, ShardedParallelStage):
-            transitions = parallel_stage_transitions(stage, model, space, in_states, space_fn)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown stage kind {type(stage).__name__}")
-
-        new_frontier: Dict[State, Tuple[float, Optional[_BackNode]]] = {}
-        for (tt, t), info in transitions.items():
-            base_cost, base_node = frontier[tt]
-            total = base_cost + info.cost
-            incumbent = new_frontier.get(t)
-            # the improves() slack, inlined: this is the hottest comparison
-            if incumbent is None or total < incumbent[0] - COST_REL_TOL * (
-                total if total >= incumbent[0] else incumbent[0]
-            ):
-                new_frontier[t] = (total, _BackNode(info.assignments, base_node))
-        frontier = new_frontier
+        if traced:
+            with tracer.span("dp.stage", category="dp", stage=stage.name,
+                             states=len(frontier)):
+                frontier = _advance_frontier(stage, frontier, model, space,
+                                             space_fn,
+                                             parallel_stage_transitions)
+        else:
+            frontier = _advance_frontier(stage, frontier, model, space,
+                                         space_fn, parallel_stage_transitions)
 
     return {
         s: (
@@ -225,13 +250,16 @@ def search_stages(
     if not stages:
         return SearchResult(assignments={}, cost=0.0, exit_state=None)
 
-    exits = dp_over_stages(stages, model, space, entry, space_fn)
-    best_state = None
-    best_cost = None
-    for state, (cost, _) in exits.items():
-        if best_cost is None or improves(cost, best_cost):
-            best_state, best_cost = state, cost
-    best_cost, info = exits[best_state]
+    with tracer.span("dp.search", category="dp", stages=len(stages),
+                     space=len(space)) as span:
+        exits = dp_over_stages(stages, model, space, entry, space_fn)
+        best_state = None
+        best_cost = None
+        for state, (cost, _) in exits.items():
+            if best_cost is None or improves(cost, best_cost):
+                best_state, best_cost = state, cost
+        best_cost, info = exits[best_state]
+        span.set("cost", best_cost)
     return SearchResult(
         assignments=dict(info.assignments),
         cost=best_cost,

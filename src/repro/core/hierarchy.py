@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode
+from ..obs.tracing import tracer
 from .counters import planner_counters
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
 from .types import HierarchicalPlan, LevelPlan
@@ -65,17 +66,24 @@ def plan_tree(
     planner_counters.inc("hierarchy_memo_misses")
 
     assert node.left is not None and node.right is not None
-    level = scheme.level_plan(stages, node.left.group, node.right.group, dtype_bytes)
+    # the span wraps the level plan AND the recursion into both children,
+    # so child hierarchy spans nest inside their parent's in the trace
+    with tracer.span(
+        "hierarchy.plan", category="hierarchy",
+        level=node.level + 1, group=str(node.group), scheme=scheme.name,
+    ):
+        level = scheme.level_plan(stages, node.left.group, node.right.group,
+                                  dtype_bytes)
 
-    left_stages = shard_stages(stages, level.assignments, "left")
-    right_stages = shard_stages(stages, level.assignments, "right")
+        left_stages = shard_stages(stages, level.assignments, "left")
+        right_stages = shard_stages(stages, level.assignments, "right")
 
-    plan = HierarchicalPlan(
-        level_plan=level,
-        left=plan_tree(node.left, left_stages, scheme, dtype_bytes, _memo),
-        right=plan_tree(node.right, right_stages, scheme, dtype_bytes, _memo),
-        scheme=scheme.name,
-    )
+        plan = HierarchicalPlan(
+            level_plan=level,
+            left=plan_tree(node.left, left_stages, scheme, dtype_bytes, _memo),
+            right=plan_tree(node.right, right_stages, scheme, dtype_bytes, _memo),
+            scheme=scheme.name,
+        )
     _memo[key] = plan
     return plan
 

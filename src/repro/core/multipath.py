@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
+from ..obs.tracing import tracer
 from .cost_model import PairCostModel
 from .stages import ShardedParallelStage, first_workload, last_workload
 from .types import LayerPartition, PartitionType, join_key, path_exit_key
@@ -103,13 +104,21 @@ def parallel_stage_transitions(
     for tt in in_states:
         # run each non-empty path's DP once per entry state; reuse across s
         path_exits = []
-        for path in stage.paths:
+        for path_index, path in enumerate(stage.paths):
             if path:
                 model.stats.multipath_path_dp_runs += 1
-                path_exits.append(
-                    (path, dp_over_stages(path, model, space, entry={tt: 0.0},
-                                          space_fn=space_fn))
-                )
+                if tracer.enabled:
+                    with tracer.span("multipath.path_dp", category="dp",
+                                     stage=stage.name, path=path_index,
+                                     entry=str(tt)):
+                        exits = dp_over_stages(path, model, space,
+                                               entry={tt: 0.0},
+                                               space_fn=space_fn)
+                else:
+                    exits = dp_over_stages(path, model, space,
+                                           entry={tt: 0.0},
+                                           space_fn=space_fn)
+                path_exits.append((path, exits))
             else:
                 path_exits.append((path, None))
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Callable, NamedTuple, Optional, Tuple
 
+from ..obs.tracing import tracer
+
 #: ratios are kept strictly inside (0, 1); a zero share would be a degenerate
 #: "partition" the basic types do not model
 RATIO_LO = 1e-3
@@ -84,6 +86,26 @@ def solve_balanced_ratio_poly(
     hi: float = RATIO_HI,
 ) -> Tuple[float, str]:
     """Closed-form Eq. 10 solve; returns ``(α, solver_path)``.
+
+    When tracing is enabled each solve becomes a ``ratio.solve`` span
+    whose ``path`` attribute records which solver branch answered; the
+    disabled path is a single attribute check.
+    """
+    if tracer.enabled:
+        with tracer.span("ratio.solve", category="ratio") as span:
+            alpha, path = _solve_balanced_ratio_poly(poly, lo, hi)
+            span.set("path", path)
+            span.set("alpha", alpha)
+        return alpha, path
+    return _solve_balanced_ratio_poly(poly, lo, hi)
+
+
+def _solve_balanced_ratio_poly(
+    poly: PairCostPoly,
+    lo: float,
+    hi: float,
+) -> Tuple[float, str]:
+    """The untraced closed-form solve behind :func:`solve_balanced_ratio_poly`.
 
     The residual ``g(α) = ΔA + ΔB·α + ΔC·α(1-α)`` is affine or quadratic:
 
@@ -165,6 +187,27 @@ def _quadratic_root_in(
 
 
 def solve_balanced_ratio(
+    pair_cost: PairCostFn,
+    lo: float = RATIO_LO,
+    hi: float = RATIO_HI,
+    tol: float = 1e-10,
+    max_iter: int = 80,
+) -> float:
+    """Traced wrapper over :func:`_solve_balanced_ratio` (bisection).
+
+    Emits a ``ratio.bisection`` span when tracing is enabled — including
+    when it runs as the closed-form solver's checked fallback, where the
+    span nests inside the ``ratio.solve`` span that triggered it.
+    """
+    if tracer.enabled:
+        with tracer.span("ratio.bisection", category="ratio") as span:
+            alpha = _solve_balanced_ratio(pair_cost, lo, hi, tol, max_iter)
+            span.set("alpha", alpha)
+        return alpha
+    return _solve_balanced_ratio(pair_cost, lo, hi, tol, max_iter)
+
+
+def _solve_balanced_ratio(
     pair_cost: PairCostFn,
     lo: float = RATIO_LO,
     hi: float = RATIO_HI,

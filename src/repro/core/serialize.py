@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..graph.network import Network
+from ..ioutil import atomic_write_text
 from ..hardware.accelerator import AcceleratorGroup, AcceleratorSpec
 from ..hardware.cluster import bisection_tree
 from ..models.registry import build_model
@@ -149,8 +150,8 @@ def plan_from_dict(
 
 
 def save_plan(planned: PlannedExecution, path) -> None:
-    """Write a plan to a JSON file."""
-    Path(path).write_text(json.dumps(plan_to_dict(planned), indent=2))
+    """Atomically write a plan to a JSON file."""
+    atomic_write_text(path, json.dumps(plan_to_dict(planned), indent=2))
 
 
 def load_plan(path, network_builder=None) -> PlannedExecution:

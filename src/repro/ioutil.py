@@ -1,0 +1,40 @@
+"""Small filesystem utilities shared across the repo.
+
+:func:`atomic_write_text` is the one way any repro code persists an
+artifact — benchmark results, Chrome traces, stats snapshots, disk-cache
+entries.  The write goes to a uniquely named temporary file *in the target
+directory* (same filesystem, so the final ``os.replace`` is atomic), which
+means an interrupted run can truncate only its own temp file, never the
+artifact a CI gate or a concurrent reader depends on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the resolved path.
+
+    The temp file is created with :func:`tempfile.mkstemp` next to the
+    target, so concurrent writers of the same path cannot collide on a
+    shared ``.tmp`` name, and a crash leaves at worst an orphaned
+    ``<name>.*.tmp`` file rather than a half-written artifact.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,71 @@
+"""repro.obs — unified tracing, metrics, and profiling.
+
+Three telemetry concerns, one dependency-free layer:
+
+* :mod:`repro.obs.tracing` — structured spans with thread-local nesting and
+  a process-wide :data:`~repro.obs.tracing.tracer`; near-zero overhead while
+  disabled, which is the default.
+* :mod:`repro.obs.registry` — the canonical home of the metric primitives
+  (:class:`~repro.obs.registry.Counter`,
+  :class:`~repro.obs.registry.LatencyHistogram`,
+  :class:`~repro.obs.registry.MetricsRegistry`,
+  :class:`~repro.obs.registry.PerfCounters`) plus Prometheus
+  text-exposition rendering.  ``repro.service.metrics`` and
+  ``repro.core.counters`` re-export from here, so old import paths keep
+  working.
+* :mod:`repro.obs.export` — Chrome Trace Event JSON and a self-time /
+  cumulative-time profile table over collected spans.
+* :mod:`repro.obs.logging` — structured JSON log lines carrying the active
+  trace id.
+
+Typical profiling session::
+
+    from repro.obs import tracer, chrome_trace_document, render_profile
+
+    tracer.enable()
+    planner.plan(network, batch)
+    spans = tracer.drain()
+    tracer.disable()
+    print(render_profile(spans))
+"""
+
+from .export import (
+    REQUIRED_EVENT_KEYS,
+    chrome_trace_document,
+    profile_rows,
+    render_profile,
+    save_trace_document,
+    spans_to_events,
+)
+from .logging import JsonLogFormatter, configure_json_logging, get_logger
+from .registry import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    PerfCounters,
+    planner_counters,
+    render_prometheus,
+)
+from .tracing import Span, Tracer, new_trace_id, tracer
+
+__all__ = [
+    "Counter",
+    "JsonLogFormatter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PerfCounters",
+    "REQUIRED_EVENT_KEYS",
+    "Span",
+    "Tracer",
+    "chrome_trace_document",
+    "configure_json_logging",
+    "get_logger",
+    "new_trace_id",
+    "planner_counters",
+    "profile_rows",
+    "render_profile",
+    "render_prometheus",
+    "save_trace_document",
+    "spans_to_events",
+    "tracer",
+]

@@ -1,0 +1,123 @@
+"""Span exporters: Chrome Trace Event JSON and a self-time profile table.
+
+The Chrome trace here is the *execution-side* twin of
+:mod:`repro.sim.timeline`: that module renders where the **simulated**
+iteration spends its time on the accelerator array; this one renders where
+the **planner itself** spends wall-clock time producing the plan.  Both
+emit the same Trace Event Format (complete ``"X"`` events), so both load
+in ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+
+The profile table aggregates spans by name into cumulative time (span
+duration, children included) and self time (duration minus direct
+children), the two columns any profiler reader expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, NamedTuple, Sequence
+
+from ..ioutil import atomic_write_text
+from .tracing import Span, thread_rows
+
+#: keys the Trace Event Format requires on every complete ("X") event
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def spans_to_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Complete ``"X"`` trace events, timestamps rebased to the first span.
+
+    ``tid`` is a stable small integer per OS thread (worker-pool traces get
+    one row per worker); attributes — including the trace id — land in
+    ``args``, where the trace viewers display them on click.
+    """
+    finished = [s for s in spans if s.complete]
+    if not finished:
+        return []
+    rows = thread_rows(finished)
+    origin = min(s.start_ns for s in finished)
+    events: List[Dict[str, Any]] = []
+    for span in sorted(finished, key=lambda s: (s.start_ns, s.span_id)):
+        args: Dict[str, Any] = dict(span.attributes)
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": round((span.start_ns - origin) / 1e3, 3),
+            "dur": round(max(span.duration_ns / 1e3, 0.001), 3),
+            "pid": 0,
+            "tid": rows[span.thread_id],
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace_document(spans: Sequence[Span]) -> Dict[str, Any]:
+    """The JSON document Chrome/Perfetto load: events + display unit."""
+    return {"traceEvents": spans_to_events(spans), "displayTimeUnit": "ms"}
+
+
+def save_trace_document(document: Dict[str, Any], path) -> None:
+    """Atomically persist a trace document as JSON."""
+    atomic_write_text(path, json.dumps(document, indent=1) + "\n")
+
+
+class ProfileRow(NamedTuple):
+    """One aggregated line of the profile table."""
+
+    name: str
+    count: int
+    cumulative_ms: float
+    self_ms: float
+
+
+def profile_rows(spans: Sequence[Span]) -> List[ProfileRow]:
+    """Aggregate spans by name; sorted by descending self time.
+
+    Self time is a span's duration minus its *direct* children's durations
+    (floored at zero against clock skew), so the table's self-time column
+    sums to roughly the roots' cumulative time — the property that lets a
+    reader find where wall-clock actually went.
+    """
+    finished = [s for s in spans if s.complete]
+    child_ns: Dict[int, int] = {}
+    for span in finished:
+        if span.parent_id is not None:
+            child_ns[span.parent_id] = (
+                child_ns.get(span.parent_id, 0) + span.duration_ns
+            )
+
+    totals: Dict[str, List[float]] = {}
+    for span in finished:
+        self_ns = max(span.duration_ns - child_ns.get(span.span_id, 0), 0)
+        bucket = totals.setdefault(span.name, [0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += span.duration_ns
+        bucket[2] += self_ns
+
+    rows = [
+        ProfileRow(name, int(count), cum / 1e6, self_ / 1e6)
+        for name, (count, cum, self_) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_ms, r.name))
+    return rows
+
+
+def render_profile(spans: Sequence[Span], title: str = "planner profile") -> str:
+    """Aligned text profile table over a span list."""
+    rows = profile_rows(spans)
+    lines = [title]
+    if not rows:
+        lines.append("  (no spans collected)")
+        return "\n".join(lines)
+    width = max(max(len(r.name) for r in rows), len("span"))
+    lines.append(f"  {'span':<{width}}  {'count':>7}  "
+                 f"{'self ms':>10}  {'cum ms':>10}")
+    for row in rows:
+        lines.append(
+            f"  {row.name:<{width}}  {row.count:>7}  "
+            f"{row.self_ms:>10.3f}  {row.cumulative_ms:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""The unified metrics registry: one home for every counter and histogram.
+
+Before this module existed the repo had two disjoint metric islands —
+``repro.service.metrics`` (request counters + latency histograms) and
+``repro.core.counters`` (planner search-work counters).  Both now live
+here; the old modules are thin re-export shims, so every historical import
+path (``from repro.service.metrics import MetricsRegistry``, ``from
+repro.core.counters import planner_counters``) still resolves to the same
+objects.
+
+Everything is dependency-free (no prometheus client in the image), but
+:func:`render_prometheus` emits standard `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a real
+scraper — or ``curl`` — can consume the numbers:
+
+* service counters   → ``repro_service_<name>_total`` (counter)
+* latency histograms → ``repro_service_<name>_seconds`` (summary:
+  ``{quantile=...}`` samples plus ``_sum``/``_count``)
+* cache gauges       → ``repro_cache_<name>`` (gauge)
+* planner counters   → ``repro_planner_<name>_total`` (counter)
+
+The canonical series names are enumerated in :data:`SERVICE_COUNTER_NAMES`
+and :data:`PLANNER_COUNTER_NAMES`; the renderer always emits them (zero
+when unobserved) so dashboards never see a series wink in and out of
+existence, and ``docs/observability.md`` documents the same lists.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional
+
+#: every counter the plan service increments (see repro.service.service)
+SERVICE_COUNTER_NAMES = (
+    "requests",
+    "hits_memory",
+    "hits_disk",
+    "misses",
+    "coalesced",
+    "degraded",
+    "errors",
+    "planner_runs",
+    "slow_requests",
+)
+
+#: every latency histogram the plan service observes
+SERVICE_HISTOGRAM_NAMES = (
+    "request_latency_s",
+    "exact_plan_s",
+)
+
+#: every counter the planner search bumps (see repro.core.counters for the
+#: per-name documentation; StepStats merges into these after each level)
+PLANNER_COUNTER_NAMES = (
+    "step_calls",
+    "step_cache_hits",
+    "boundary_calls",
+    "boundary_cache_hits",
+    "ratio_solves",
+    "ratio_closed_linear",
+    "ratio_closed_quadratic",
+    "ratio_bisection_fallback",
+    "ratio_minimax",
+    "hierarchy_memo_hits",
+    "hierarchy_memo_misses",
+    "multipath_path_dp_runs",
+)
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Reservoir of recent latency observations with exact-rank percentiles.
+
+    Keeps the most recent ``window`` samples (deque eviction), which biases
+    percentiles toward current behavior — the right bias for a serving
+    dashboard.  ``count``/``total`` cover every observation ever made.
+    """
+
+    def __init__(self, name: str, window: int = 4096):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the reservoir; None when empty."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(1, round(p / 100 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Creates-on-first-use registry of counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str, window: int = 4096) -> LatencyHistogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram(name, window)
+            return self._histograms[name]
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if it was never incremented)."""
+        with self._lock:
+            counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def snapshot(self) -> Dict:
+        """JSON-compatible dump of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "histograms": {n: h.summary() for n, h in sorted(histograms.items())},
+        }
+
+    def render(self, title: str = "service metrics") -> str:
+        """Aligned text snapshot (the ``service-stats`` output)."""
+        snap = self.snapshot()
+        lines: List[str] = [title]
+        if not snap["counters"] and not snap["histograms"]:
+            lines.append("  (no metrics recorded)")
+            return "\n".join(lines)
+        width = max((len(n) for n in snap["counters"]), default=0)
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<{width}}  {value}")
+        for name, s in snap["histograms"].items():
+            if not s["count"]:
+                lines.append(f"  {name}  count=0")
+                continue
+            lines.append(
+                f"  {name}  count={s['count']}"
+                f" mean={s['mean'] * 1e3:.2f}ms"
+                f" p50={s['p50'] * 1e3:.2f}ms"
+                f" p95={s['p95'] * 1e3:.2f}ms"
+                f" p99={s['p99'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """This registry's metrics alone, as Prometheus exposition text."""
+        return render_prometheus({"metrics": self.snapshot()},
+                                 include_defaults=False)
+
+
+class PerfCounters:
+    """Thread-safe registry of named monotonic counters (planner work)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("perf counters only go up")
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def merge(self, counts: Mapping[str, int]) -> None:
+        """Fold a batch of local counts (e.g. a model's StepStats) in."""
+        with self._lock:
+            for name, amount in counts.items():
+                if amount:
+                    self._counts[name] = self._counts.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-compatible dump, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmark isolation)."""
+        with self._lock:
+            self._counts.clear()
+
+
+#: process-wide planner counters; surfaced by the plan service and benchmarks
+planner_counters = PerfCounters()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _metric_name(prefix: str, raw: str) -> str:
+    return f"{prefix}_{_NAME_OK.sub('_', raw)}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _histogram_metric_name(raw: str) -> str:
+    """``request_latency_s`` → ``repro_service_request_latency_seconds``."""
+    base = _NAME_OK.sub("_", raw)
+    if base.endswith("_s"):
+        base = base[:-2]
+    if not base.endswith("_seconds"):
+        base += "_seconds"
+    return f"repro_service_{base}"
+
+
+def render_prometheus(snapshot: Mapping, include_defaults: bool = True) -> str:
+    """Render a service-stats snapshot as Prometheus exposition text.
+
+    ``snapshot`` is the :meth:`repro.service.service.PlanService.snapshot`
+    shape — ``{"metrics": {"counters", "histograms"}, "cache": {...},
+    "planner": {...}}`` — with every part optional, so the offline
+    ``repro service-stats --format prometheus`` can render a partial (or
+    empty) snapshot loaded from disk.  With ``include_defaults`` the
+    canonical service and planner series are always present, zero-valued
+    when unobserved.
+    """
+    metrics = snapshot.get("metrics", {}) or {}
+    counters = dict(metrics.get("counters", {}) or {})
+    histograms = dict(metrics.get("histograms", {}) or {})
+    cache = dict(snapshot.get("cache", {}) or {})
+    planner = dict(snapshot.get("planner", {}) or {})
+
+    if include_defaults:
+        for name in SERVICE_COUNTER_NAMES:
+            counters.setdefault(name, 0)
+        for name in SERVICE_HISTOGRAM_NAMES:
+            histograms.setdefault(
+                name, {"count": 0, "mean": None, "p50": None,
+                       "p95": None, "p99": None})
+        for name in PLANNER_COUNTER_NAMES:
+            planner.setdefault(name, 0)
+
+    lines: List[str] = []
+    for raw in sorted(counters):
+        name = _metric_name("repro_service", raw) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(counters[raw])}")
+
+    for raw in sorted(histograms):
+        s = histograms[raw]
+        name = _histogram_metric_name(raw)
+        count = int(s.get("count") or 0)
+        mean = s.get("mean")
+        total = (mean or 0.0) * count
+        lines.append(f"# TYPE {name} summary")
+        for quantile, key in _QUANTILES:
+            value = s.get(key)
+            if value is None and count:
+                continue
+            lines.append(
+                f'{name}{{quantile="{quantile}"}} {_format_value(value)}'
+            )
+        lines.append(f"{name}_sum {_format_value(total)}")
+        lines.append(f"{name}_count {count}")
+
+    for raw in sorted(cache):
+        name = _metric_name("repro_cache", raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(cache[raw])}")
+
+    for raw in sorted(planner):
+        name = _metric_name("repro_planner", raw) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(planner[raw])}")
+
+    return "\n".join(lines) + "\n"

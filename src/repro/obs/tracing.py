@@ -1,0 +1,248 @@
+"""Structured span tracing for the planner and the plan service.
+
+A :class:`Span` is one timed region of execution — a hierarchy level plan, a
+DP stage, a ratio solve, a service request — with nanosecond timestamps,
+free-form attributes and a parent pointer maintained by a thread-local
+stack, so concurrent planning jobs in the service's worker pool each build
+their own correctly nested tree.
+
+Design constraints, in priority order:
+
+1. **Disabled means free.**  The process-wide :data:`tracer` starts
+   disabled and every hot call site guards on the single attribute read
+   ``tracer.enabled`` before building a span (the DP inner loop performs
+   *no* allocation on the disabled path — asserted by
+   ``tests/test_obs_tracing.py`` via :attr:`Tracer.spans_started`, not by
+   timing).  Cold call sites may call :meth:`Tracer.span` unconditionally;
+   it returns the shared :data:`NULL_SPAN` singleton while disabled.
+2. **No dependencies.**  Only the standard library; the exporters in
+   :mod:`repro.obs.export` turn collected spans into Chrome Trace Event
+   JSON and profile tables.
+3. **Bounded memory.**  A tracer keeps at most ``max_spans`` finished
+   spans; further spans are timed but dropped (counted in
+   :attr:`Tracer.spans_dropped`), so an accidentally long trace session
+   degrades instead of exhausting memory.
+
+Trace ids are 16-hex-char request correlators (:func:`new_trace_id`): the
+service generates one per request, stores it in the tracer's thread-local
+slot (:meth:`Tracer.set_trace_id`), and both spans and the JSON log
+formatter pick it up from there.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id for request correlation."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed, attributed region; also its own context manager.
+
+    ``__slots__`` and direct attribute bumps keep construction cheap: a
+    fully-enabled planner trace creates one of these per hierarchy node,
+    DP stage and ratio solve.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "thread_id",
+        "start_ns",
+        "end_ns",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 attributes: Optional[Dict[str, Any]]):
+        self.name = name
+        self.category = category
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self.trace_id: Optional[str] = None
+        self.thread_id = 0
+        self.start_ns = 0
+        self.end_ns = 0
+        self.attributes: Dict[str, Any] = attributes if attributes else {}
+        self._tracer = tracer
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute (e.g. a result only known at span end)."""
+        self.attributes[key] = value
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def complete(self) -> bool:
+        """True once the span has both endpoints recorded."""
+        return self.end_ns >= self.start_ns > 0
+
+    def __enter__(self) -> "Span":
+        local = self._tracer._local
+        stack: List[Span] = getattr(local, "stack", None) or []
+        if stack:
+            self.parent_id = stack[-1].span_id
+        self.trace_id = getattr(local, "trace_id", None)
+        self.thread_id = threading.get_ident()
+        stack.append(self)
+        local.stack = stack
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end_ns = time.perf_counter_ns()
+        stack = self._tracer._local.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._collect(self)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dump (tests and ad-hoc inspection)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "thread_id": self.thread_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+
+#: shared disabled-path singleton; never allocated per call
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans process-wide; disabled (and nearly free) by default."""
+
+    def __init__(self, enabled: bool = False, max_spans: int = 200_000):
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.enabled = enabled
+        self.max_spans = max_spans
+        #: spans actually started (never bumped on the disabled path; the
+        #: no-allocation tests assert on deltas of this counter)
+        self.spans_started = 0
+        #: finished spans discarded because the buffer was full
+        self.spans_dropped = 0
+        self._finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every collected span and zero the drop counter."""
+        with self._lock:
+            self._finished.clear()
+            self.spans_dropped = 0
+
+    # ------------------------------------------------------------------
+    # trace-id propagation (thread-local; workers set it per job)
+    # ------------------------------------------------------------------
+    def set_trace_id(self, trace_id: Optional[str]) -> None:
+        self._local.trace_id = trace_id
+
+    def current_trace_id(self) -> Optional[str]:
+        return getattr(self._local, "trace_id", None)
+
+    # ------------------------------------------------------------------
+    # span creation and collection
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "planner", **attributes):
+        """Open a span; ``with tracer.span("dp.search", stages=3): ...``.
+
+        Returns :data:`NULL_SPAN` while disabled.  Hot loops should guard
+        on :attr:`enabled` themselves so not even the keyword dict for
+        ``attributes`` is built.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        self.spans_started += 1
+        return Span(self, name, category, attributes)
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                self.spans_dropped += 1
+                return
+            self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Copy of the collected spans (oldest first)."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> List[Span]:
+        """Return the collected spans and clear the buffer."""
+        with self._lock:
+            spans, self._finished = self._finished, []
+        return spans
+
+
+#: the process-wide tracer every instrumented module shares
+tracer = Tracer()
+
+
+def span_index(spans: List[Span]) -> Dict[int, Span]:
+    """``span_id -> span`` lookup over a span list."""
+    return {span.span_id: span for span in spans}
+
+
+def children_of(spans: List[Span]) -> Dict[Optional[int], List[Span]]:
+    """``parent_id -> [children]`` over a span list (None = roots)."""
+    tree: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        tree.setdefault(span.parent_id, []).append(span)
+    return tree
+
+
+def thread_rows(spans: List[Span]) -> Dict[int, int]:
+    """Stable small-integer row (``tid``) per OS thread id, for exporters."""
+    rows: Dict[int, int] = {}
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        if span.thread_id not in rows:
+            rows[span.thread_id] = len(rows)
+    return rows

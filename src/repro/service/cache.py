@@ -23,6 +23,7 @@ from typing import Callable, Optional, Tuple
 from ..core.planner import PlannedExecution
 from ..core.serialize import plan_from_dict, plan_to_dict
 from ..graph.network import Network
+from ..ioutil import atomic_write_text
 
 
 @dataclass
@@ -162,9 +163,9 @@ class PlanCache:
             return
         document = plan_to_dict(planned)
         document["fingerprint"] = key
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(document, indent=2))
-        tmp.replace(path)  # atomic against concurrent readers
+        # unique temp name + os.replace: atomic against concurrent readers
+        # AND concurrent writers of the same fingerprint
+        atomic_write_text(path, json.dumps(document, indent=2))
 
     # ------------------------------------------------------------------
     # introspection

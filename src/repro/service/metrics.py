@@ -1,149 +1,14 @@
-"""Service metrics: named counters and latency histograms with a text view.
+"""Service metrics — re-export shim over :mod:`repro.obs.registry`.
 
-Deliberately dependency-free (no prometheus client in the image): counters
-are plain locked integers and histograms keep a bounded reservoir of recent
-observations, enough for the p50/p95/p99 the service reports.  The renderer
-produces the ``service-stats`` snapshot and the benchmark artifacts.
+The counter/histogram primitives the plan service uses moved into the
+unified observability registry (``repro.obs.registry``), which also adds
+Prometheus text-exposition rendering; this module keeps the historical
+import path (``from repro.service.metrics import MetricsRegistry``)
+pointing at the very same classes.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Deque, Dict, List, Optional
+from ..obs.registry import Counter, LatencyHistogram, MetricsRegistry
 
-
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-class LatencyHistogram:
-    """Reservoir of recent latency observations with exact-rank percentiles.
-
-    Keeps the most recent ``window`` samples (deque eviction), which biases
-    percentiles toward current behavior — the right bias for a serving
-    dashboard.  ``count``/``total`` cover every observation ever made.
-    """
-
-    def __init__(self, name: str, window: int = 4096):
-        if window <= 0:
-            raise ValueError("window must be positive")
-        self.name = name
-        self._samples: Deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._total = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError("latency cannot be negative")
-        with self._lock:
-            self._samples.append(seconds)
-            self._count += 1
-            self._total += seconds
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def total(self) -> float:
-        with self._lock:
-            return self._total
-
-    def percentile(self, p: float) -> Optional[float]:
-        """Nearest-rank percentile over the reservoir; None when empty."""
-        if not 0 < p <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        with self._lock:
-            if not self._samples:
-                return None
-            ordered = sorted(self._samples)
-        rank = max(1, round(p / 100 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
-
-    def summary(self) -> Dict[str, Optional[float]]:
-        return {
-            "count": self.count,
-            "mean": (self.total / self.count) if self.count else None,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-        }
-
-
-class MetricsRegistry:
-    """Creates-on-first-use registry of counters and histograms."""
-
-    def __init__(self):
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, LatencyHistogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(self, name: str, window: int = 4096) -> LatencyHistogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = LatencyHistogram(name, window)
-            return self._histograms[name]
-
-    def value(self, name: str) -> int:
-        """Current value of a counter (0 if it was never incremented)."""
-        with self._lock:
-            counter = self._counters.get(name)
-        return counter.value if counter else 0
-
-    def snapshot(self) -> Dict:
-        """JSON-compatible dump of every metric."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in sorted(counters.items())},
-            "histograms": {n: h.summary() for n, h in sorted(histograms.items())},
-        }
-
-    def render(self, title: str = "service metrics") -> str:
-        """Aligned text snapshot (the ``service-stats`` output)."""
-        snap = self.snapshot()
-        lines: List[str] = [title]
-        if not snap["counters"] and not snap["histograms"]:
-            lines.append("  (no metrics recorded)")
-            return "\n".join(lines)
-        width = max((len(n) for n in snap["counters"]), default=0)
-        for name, value in snap["counters"].items():
-            lines.append(f"  {name:<{width}}  {value}")
-        for name, s in snap["histograms"].items():
-            if not s["count"]:
-                lines.append(f"  {name}  count=0")
-                continue
-            lines.append(
-                f"  {name}  count={s['count']}"
-                f" mean={s['mean'] * 1e3:.2f}ms"
-                f" p50={s['p50'] * 1e3:.2f}ms"
-                f" p95={s['p95'] * 1e3:.2f}ms"
-                f" p99={s['p99'] * 1e3:.2f}ms"
-            )
-        return "\n".join(lines)
+__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]

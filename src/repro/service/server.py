@@ -20,14 +20,21 @@ loop keeps serving — a bad client must not take the service down.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, TextIO
 
+from ..ioutil import atomic_write_text
 from .fingerprint import PlanRequest
 from .service import PlanResponse, PlanService
 
 #: name of the stats snapshot dropped next to the disk cache tier; carries a
 #: leading underscore and a .txt suffix so the ``*.json`` entry glob skips it
 STATS_SNAPSHOT_NAME = "_last_session_stats.txt"
+
+#: machine-readable twin of the text snapshot (leading underscore keeps it
+#: out of the ``*.json`` plan-entry glob); ``repro service-stats --format
+#: json/prometheus`` renders from this file offline
+STATS_SNAPSHOT_JSON_NAME = "_last_session_stats.meta"
 
 
 def request_from_doc(doc: Dict) -> PlanRequest:
@@ -60,6 +67,7 @@ def response_to_doc(response: PlanResponse) -> Dict:
     return {
         "ok": True,
         "fingerprint": response.fingerprint,
+        "trace_id": response.trace_id,
         "source": response.source,
         "cache_hit": response.cache_hit,
         "degraded": response.degraded,
@@ -132,21 +140,34 @@ def warm_cache(
 
 
 def write_stats_snapshot(service: PlanService) -> None:
-    """Drop a human-readable stats file next to the disk cache tier (if any).
+    """Drop stats files next to the disk cache tier (if any).
 
-    ``service-stats`` can then report on the last serve/warm session without
+    Two artifacts, written atomically: the human-readable text snapshot
+    (``service-stats``'s default view) and its JSON twin, which the
+    ``--format json`` / ``--format prometheus`` renderers consume without
     holding the service process open.
     """
     disk_dir = service.cache.disk_dir
     if disk_dir is None:
         return
-    (disk_dir / STATS_SNAPSHOT_NAME).write_text(service.render_stats() + "\n")
+    atomic_write_text(disk_dir / STATS_SNAPSHOT_NAME,
+                      service.render_stats() + "\n")
+    atomic_write_text(disk_dir / STATS_SNAPSHOT_JSON_NAME,
+                      json.dumps(service.snapshot(), indent=2) + "\n")
+
+
+def load_stats_snapshot(disk_dir) -> Optional[Dict]:
+    """The last session's JSON stats snapshot, or None when absent/corrupt."""
+    path = Path(disk_dir) / STATS_SNAPSHOT_JSON_NAME
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
 
 
 def describe_cache_dir(disk_dir) -> str:
     """Offline summary of a disk cache tier, for ``service-stats``."""
-    from pathlib import Path
-
     disk_dir = Path(disk_dir)
     if not disk_dir.is_dir():
         return f"{disk_dir}: no cache directory"

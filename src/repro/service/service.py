@@ -32,10 +32,15 @@ from ..core.hierarchy import PartitionScheme
 from ..core.planner import AccParScheme, GreedyScheme, PlannedExecution, Planner
 from ..core.types import ALL_TYPES, PartitionType
 from ..graph.network import Network
+from ..obs.logging import get_logger, slow_request_threshold_s
+from ..obs.registry import render_prometheus
+from ..obs.tracing import new_trace_id, tracer
 from .cache import PlanCache
 from .fingerprint import PlanRequest
 from .metrics import MetricsRegistry
 from .singleflight import SingleFlight
+
+log = get_logger("repro.service")
 
 
 @dataclass
@@ -53,6 +58,7 @@ class PlanResponse:
     degraded: bool
     coalesced: bool
     latency_s: float
+    trace_id: str = ""
 
     @property
     def cache_hit(self) -> bool:
@@ -96,9 +102,13 @@ class PlanService:
         workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         network_builder: Optional[Callable[[str], Network]] = None,
+        slow_request_s: Optional[float] = None,
     ):
         self.cache = cache if cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: requests slower than this log a structured warning; defaults to
+        #: the REPRO_SLOW_REQUEST_MS environment variable, then 1 s
+        self.slow_request_s = slow_request_threshold_s(slow_request_s)
         self._network_builder = network_builder
         self._flight = SingleFlight()
         self._pool = ThreadPoolExecutor(
@@ -119,39 +129,62 @@ class PlanService:
 
         ``deadline_s=None`` waits for the exact plan.  A deadline of 0 is
         legal and means "whatever is ready right now or the greedy fallback".
+
+        Every request gets a fresh trace id; it is active on this thread
+        for the duration of the call (spans and log lines pick it up),
+        propagated into the worker that plans on the request's behalf, and
+        returned on the :class:`PlanResponse`.
         """
         if self._closed:
             raise RuntimeError("PlanService is closed")
+        trace_id = new_trace_id()
+        previous_trace_id = tracer.current_trace_id()
+        tracer.set_trace_id(trace_id)
+        try:
+            with tracer.span("service.request", category="service",
+                             model=request.model, scheme=request.scheme):
+                return self._plan_traced(request, deadline_s, trace_id)
+        finally:
+            tracer.set_trace_id(previous_trace_id)
+
+    def _plan_traced(
+        self, request: PlanRequest, deadline_s: Optional[float], trace_id: str
+    ) -> PlanResponse:
         start = time.perf_counter()
         self.metrics.counter("requests").inc()
-        key = request.fingerprint(self._network_builder)
+        with tracer.span("service.fingerprint", category="service"):
+            key = request.fingerprint(self._network_builder)
 
-        planned, tier = self.cache.get_with_tier(key)
+        with tracer.span("service.cache_lookup", category="service"):
+            planned, tier = self.cache.get_with_tier(key)
         if planned is not None:
             self.metrics.counter(f"hits_{tier}").inc()
-            return self._respond(planned, key, tier, start,
+            return self._respond(planned, key, tier, start, trace_id,
                                  degraded=False, coalesced=False)
 
         self.metrics.counter("misses").inc()
         future, leader = self._flight.begin(key)
         if leader:
-            self._submit_exact(key, request, future)
+            self._submit_exact(key, request, future, trace_id)
         else:
             self.metrics.counter("coalesced").inc()
 
         try:
-            planned = future.result(timeout=deadline_s)
+            with tracer.span("service.singleflight_wait", category="service",
+                             leader=leader):
+                planned = future.result(timeout=deadline_s)
         except FutureTimeout:
             self.metrics.counter("degraded").inc()
-            planned = self._plan_degraded(request)
-            return self._respond(planned, key, "degraded", start,
+            with tracer.span("service.degraded_fallback", category="service"):
+                planned = self._plan_degraded(request)
+            return self._respond(planned, key, "degraded", start, trace_id,
                                  degraded=True, coalesced=not leader)
         except Exception:
             self.metrics.counter("errors").inc()
             raise
 
         source = "planned" if leader else "coalesced"
-        return self._respond(planned, key, source, start,
+        return self._respond(planned, key, source, start, trace_id,
                              degraded=False, coalesced=not leader)
 
     def warm(self, requests: Iterable[PlanRequest]) -> List[PlanResponse]:
@@ -161,8 +194,12 @@ class PlanService:
     # ------------------------------------------------------------------
     # planning internals
     # ------------------------------------------------------------------
-    def _submit_exact(self, key: str, request: PlanRequest, future: Future) -> None:
+    def _submit_exact(self, key: str, request: PlanRequest, future: Future,
+                      trace_id: str = "") -> None:
         def job() -> None:
+            # the worker thread inherits the requesting thread's trace id so
+            # the exact-planning spans and logs correlate with the request
+            tracer.set_trace_id(trace_id or None)
             try:
                 # a caller can miss the cache, then lose the begin() race to
                 # a leader that already finished: re-check before planning so
@@ -171,7 +208,11 @@ class PlanService:
                 if planned is None:
                     self.metrics.counter("planner_runs").inc()
                     t0 = time.perf_counter()
-                    planned = self._plan_exact(request)
+                    with tracer.span("service.plan_exact", category="service",
+                                     model=request.model,
+                                     scheme=request.scheme,
+                                     fingerprint=key):
+                        planned = self._plan_exact(request)
                     self.metrics.histogram("exact_plan_s").observe(
                         time.perf_counter() - t0
                     )
@@ -231,11 +272,26 @@ class PlanService:
         key: str,
         source: str,
         start: float,
+        trace_id: str,
         degraded: bool,
         coalesced: bool,
     ) -> PlanResponse:
         latency = time.perf_counter() - start
         self.metrics.histogram("request_latency_s").observe(latency)
+        if latency >= self.slow_request_s:
+            self.metrics.counter("slow_requests").inc()
+            log.warning(
+                "slow plan request",
+                extra={
+                    "trace_id": trace_id,
+                    "fingerprint": key,
+                    "model": planned.network_name,
+                    "source": source,
+                    "degraded": degraded,
+                    "latency_ms": round(latency * 1e3, 3),
+                    "threshold_ms": round(self.slow_request_s * 1e3, 3),
+                },
+            )
         return PlanResponse(
             planned=planned,
             fingerprint=key,
@@ -243,6 +299,7 @@ class PlanService:
             degraded=degraded,
             coalesced=coalesced,
             latency_s=latency,
+            trace_id=trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -302,6 +359,10 @@ class PlanService:
             for name, value in planner.items():
                 lines.append(f"  {name:<{width}}  {value}")
         return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """The full stats snapshot as Prometheus text exposition."""
+        return render_prometheus(self.snapshot())
 
     def close(self, wait: bool = True) -> None:
         self._closed = True

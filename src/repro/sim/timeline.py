@@ -11,10 +11,10 @@ reported iteration time.
 from __future__ import annotations
 
 import json
-from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..core.planner import PlannedExecution
+from ..ioutil import atomic_write_text
 from ..core.stages import iter_sharded_workloads, shard_stages
 from ..core.types import Phase
 from ..hardware.cluster import GroupNode
@@ -122,7 +122,7 @@ def _subtree_leaf_time(node: GroupNode, plan, stages, engine: TimingEngine) -> f
 
 def save_chrome_trace(planned: PlannedExecution, path,
                       config: Optional[EngineConfig] = None) -> None:
-    """Write the critical-path timeline as a Chrome-trace JSON file."""
+    """Atomically write the critical-path timeline as a Chrome-trace file."""
     events = critical_path_timeline(planned, config)
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
-    Path(path).write_text(json.dumps(document, indent=1))
+    atomic_write_text(path, json.dumps(document, indent=1))

@@ -223,3 +223,86 @@ class TestServiceCommands:
 
     def test_warm_empty_models_errors(self, capsys):
         assert main(["warm", "--models", " , ", "--array", "tpu-v3:2"]) == 2
+
+
+class TestProfileCommand:
+    def test_profile_prints_table_and_writes_trace(self, capsys, tmp_path):
+        from repro.obs.export import REQUIRED_EVENT_KEYS
+        from repro.obs.tracing import tracer
+
+        trace = tmp_path / "trace.json"
+        code = main(["profile", "lenet", "--array", "tpu-v2:2,tpu-v3:2",
+                     "--batch", "32", "--out", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner profile (lenet)" in out
+        assert "dp.stage" in out and "ratio.solve" in out
+        assert "planner trace written" in out
+
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert events
+        for key in REQUIRED_EVENT_KEYS:
+            assert all(key in event for event in events), key
+        assert {e["name"] for e in events} >= {"hierarchy.plan", "dp.search"}
+        # profiling must not leave the process-wide tracer enabled
+        assert not tracer.enabled
+
+    def test_profile_emits_both_traces(self, capsys, tmp_path):
+        planner_trace = tmp_path / "planner.json"
+        sim_trace = tmp_path / "sim.json"
+        code = main(["profile", "lenet", "--array", "tpu-v3:4",
+                     "--batch", "32", "--out", str(planner_trace),
+                     "--sim-trace", str(sim_trace)])
+        assert code == 0
+        assert json.loads(planner_trace.read_text())["traceEvents"]
+        assert json.loads(sim_trace.read_text())["traceEvents"]
+        assert "simulated-iteration trace" in capsys.readouterr().out
+
+    def test_simulate_trace_flag(self, capsys, tmp_path):
+        trace = tmp_path / "sim.json"
+        code = main(["simulate", "--model", "lenet", "--array", "tpu-v3:2",
+                     "--batch", "32", "--trace", str(trace)])
+        assert code == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert "critical-path trace" in capsys.readouterr().out
+
+
+class TestServiceStatsFormats:
+    def _warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["warm", "--models", "lenet", "--array", "tpu-v3:2",
+              "--batch", "32", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        return cache_dir
+
+    def test_json_format(self, capsys, tmp_path):
+        cache_dir = self._warm(tmp_path, capsys)
+        assert main(["service-stats", "--cache-dir", cache_dir,
+                     "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["metrics"]["counters"]["planner_runs"] >= 1
+        assert "cache" in snapshot and "planner" in snapshot
+
+    def test_prometheus_format(self, capsys, tmp_path):
+        cache_dir = self._warm(tmp_path, capsys)
+        assert main(["service-stats", "--cache-dir", cache_dir,
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+        assert "repro_service_planner_runs_total 1" in out
+        # both former metric islands surface in one exposition
+        assert "repro_planner_step_calls_total" in out
+        assert "repro_cache_" in out
+
+    def test_prometheus_without_snapshot_is_all_zero_defaults(
+            self, capsys, tmp_path):
+        assert main(["service-stats", "--cache-dir", str(tmp_path / "nope"),
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_service_requests_total 0" in out
+        assert "repro_planner_step_calls_total 0" in out
+
+    def test_format_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["service-stats", "--format", "xml"])

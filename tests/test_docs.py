@@ -47,7 +47,8 @@ class TestProjectDocs:
     @pytest.mark.parametrize(
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/paper_mapping.md", "docs/tutorial.md",
-                 "docs/serving.md", "docs/performance.md"]
+                 "docs/serving.md", "docs/performance.md",
+                 "docs/observability.md"]
     )
     def test_documents_present_and_nonempty(self, name):
         path = ROOT / name

@@ -1,0 +1,127 @@
+"""Profile aggregation, trace persistence, and atomic artifact writes."""
+
+import json
+
+import pytest
+
+from repro.ioutil import atomic_write_text
+from repro.obs.export import (
+    chrome_trace_document,
+    profile_rows,
+    render_profile,
+    save_trace_document,
+)
+from repro.obs.tracing import Tracer
+
+
+def synthetic_spans():
+    """A deterministic two-thread-free span tree with known durations.
+
+    parent (10ms) -> child_a (2ms), child_b (3ms); grandchild (1ms) under
+    child_b; plus a second root `parent` instance (4ms, no children).
+    """
+    t = Tracer(enabled=True)
+    with t.span("parent"):
+        with t.span("child_a"):
+            pass
+        with t.span("child_b"):
+            with t.span("grandchild"):
+                pass
+    with t.span("parent"):
+        pass
+    spans = t.drain()
+    by_id = sorted(spans, key=lambda s: s.span_id)
+    parent1, child_a, child_b, grandchild, parent2 = by_id
+    ms = 1_000_000
+    # keep every start_ns > 0: Span.complete treats 0 as "never started"
+    parent1.start_ns, parent1.end_ns = 1 * ms, 11 * ms
+    child_a.start_ns, child_a.end_ns = 2 * ms, 4 * ms
+    child_b.start_ns, child_b.end_ns = 5 * ms, 8 * ms
+    grandchild.start_ns, grandchild.end_ns = 6 * ms, 7 * ms
+    parent2.start_ns, parent2.end_ns = 13 * ms, 17 * ms
+    return spans
+
+
+class TestProfileRows:
+    def test_cumulative_and_self_time(self):
+        rows = {r.name: r for r in profile_rows(synthetic_spans())}
+        # parent: 10ms + 4ms cumulative; self excludes direct children only
+        assert rows["parent"].count == 2
+        assert rows["parent"].cumulative_ms == pytest.approx(14.0)
+        assert rows["parent"].self_ms == pytest.approx(14.0 - 2.0 - 3.0)
+        # child_b's self time excludes the grandchild
+        assert rows["child_b"].self_ms == pytest.approx(2.0)
+        assert rows["child_b"].cumulative_ms == pytest.approx(3.0)
+        # leaves: self == cumulative
+        assert rows["child_a"].self_ms == rows["child_a"].cumulative_ms
+        assert rows["grandchild"].self_ms == pytest.approx(1.0)
+
+    def test_self_time_sums_to_root_cumulative(self):
+        rows = profile_rows(synthetic_spans())
+        total_self = sum(r.self_ms for r in rows)
+        root_cumulative = 14.0  # both `parent` instances
+        assert total_self == pytest.approx(root_cumulative)
+
+    def test_sorted_by_descending_self_time(self):
+        rows = profile_rows(synthetic_spans())
+        assert [r.self_ms for r in rows] == sorted(
+            (r.self_ms for r in rows), reverse=True
+        )
+        assert rows[0].name == "parent"
+
+    def test_self_time_floored_at_zero(self):
+        """Clock skew (children summing past the parent) must not go
+        negative in the table."""
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        outer, inner = sorted(t.drain(), key=lambda s: s.span_id)
+        outer.start_ns, outer.end_ns = 1, 1_000_001
+        inner.start_ns, inner.end_ns = 1, 2_000_001  # "longer" than parent
+        rows = {r.name: r for r in profile_rows([outer, inner])}
+        assert rows["outer"].self_ms == 0.0
+
+    def test_render_profile_table(self):
+        text = render_profile(synthetic_spans())
+        lines = text.splitlines()
+        assert lines[0] == "planner profile"
+        assert "self ms" in lines[1] and "cum ms" in lines[1]
+        assert any("parent" in line and "14.000" in line for line in lines)
+
+    def test_render_profile_empty(self):
+        assert "(no spans collected)" in render_profile([])
+
+
+class TestSaveTraceDocument:
+    def test_round_trip_and_no_temp_residue(self, tmp_path):
+        document = chrome_trace_document(synthetic_spans())
+        target = tmp_path / "trace.json"
+        save_trace_document(document, target)
+        loaded = json.loads(target.read_text())
+        assert loaded == document
+        assert len(loaded["traceEvents"]) == 5
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        returned = atomic_write_text(target, "hello\n")
+        assert returned == target
+        assert target.read_text() == "hello\n"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failure_leaves_target_and_no_temp_file(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("original")
+        with pytest.raises(TypeError):
+            atomic_write_text(target, 123)  # not a str: write() raises
+        assert target.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [target]

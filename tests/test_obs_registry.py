@@ -1,0 +1,207 @@
+"""Unified metrics registry: histograms, counters, shims, Prometheus text."""
+
+import random
+import re
+
+import pytest
+
+import repro.core.counters as counters_shim
+import repro.service.metrics as metrics_shim
+from repro.obs.registry import (
+    PLANNER_COUNTER_NAMES,
+    SERVICE_COUNTER_NAMES,
+    SERVICE_HISTOGRAM_NAMES,
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    PerfCounters,
+    planner_counters,
+    render_prometheus,
+)
+
+#: a non-comment exposition line: metric name, optional {labels}, a value
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? (-?\d+(\.\d+)?([eE][-+]?\d+)?|NaN)$"
+)
+
+
+def assert_valid_exposition(text):
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        if line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_LINE.match(line), line
+
+
+class TestLatencyHistogramEdges:
+    def test_empty_reservoir(self):
+        hist = LatencyHistogram("empty")
+        assert hist.count == 0
+        assert hist.total == 0.0
+        assert hist.percentile(50) is None
+        assert hist.summary() == {
+            "count": 0, "mean": None, "p50": None, "p95": None, "p99": None,
+        }
+
+    def test_single_sample_is_every_percentile(self):
+        hist = LatencyHistogram("one")
+        hist.observe(0.25)
+        for p in (1, 50, 95, 99, 100):
+            assert hist.percentile(p) == 0.25
+        assert hist.summary()["mean"] == 0.25
+
+    def test_window_eviction_biases_toward_recent(self):
+        """count/total are lifetime; percentiles see only the last `window`."""
+        hist = LatencyHistogram("windowed", window=4)
+        for value in range(1, 9):
+            hist.observe(float(value))
+        assert hist.count == 8
+        assert hist.total == 36.0
+        # reservoir is now [5, 6, 7, 8]: old samples can no longer drag
+        # percentiles down
+        assert hist.percentile(50) == 6.0
+        assert hist.percentile(99) == 8.0
+        assert hist.percentile(1) == 5.0
+
+    def test_exact_rank_percentiles_match_sorted_reference(self):
+        samples = [float(v) for v in range(1, 101)]
+        random.Random(20200229).shuffle(samples)
+        hist = LatencyHistogram("ranked", window=256)
+        for value in samples:
+            hist.observe(value)
+        ordered = sorted(samples)
+        for p in (50, 95, 99):
+            rank = max(1, round(p / 100 * len(ordered)))
+            assert hist.percentile(p) == ordered[rank - 1], p
+        # nearest-rank on 100 evenly spread samples lands exactly on the
+        # value at that rank
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(99) == 99.0
+
+    def test_invalid_arguments(self):
+        hist = LatencyHistogram("strict")
+        with pytest.raises(ValueError):
+            hist.observe(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            LatencyHistogram("bad", window=0)
+
+
+class TestCountersAndRegistry:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_registry_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.value("never_touched") == 0
+
+    def test_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("request_latency_s").observe(0.010)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests": 3}
+        assert snap["histograms"]["request_latency_s"]["count"] == 1
+        text = registry.render()
+        assert "requests" in text and "count=1" in text
+
+    def test_perf_counters_merge_and_reset(self):
+        perf = PerfCounters()
+        perf.inc("step_calls", 2)
+        perf.merge({"step_calls": 3, "ratio_solves": 7, "zero": 0})
+        assert perf.value("step_calls") == 5
+        assert perf.snapshot() == {"ratio_solves": 7, "step_calls": 5}
+        with pytest.raises(ValueError):
+            perf.inc("step_calls", -1)
+        perf.reset()
+        assert perf.snapshot() == {}
+
+
+class TestImportShims:
+    """Historical import paths must resolve to the unified objects."""
+
+    def test_service_metrics_shim(self):
+        assert metrics_shim.Counter is Counter
+        assert metrics_shim.LatencyHistogram is LatencyHistogram
+        assert metrics_shim.MetricsRegistry is MetricsRegistry
+
+    def test_core_counters_shim(self):
+        assert counters_shim.PerfCounters is PerfCounters
+        assert counters_shim.planner_counters is planner_counters
+
+
+class TestPrometheusRendering:
+    def test_empty_snapshot_emits_canonical_series(self):
+        text = render_prometheus({})
+        assert_valid_exposition(text)
+        for name in SERVICE_COUNTER_NAMES:
+            assert f"repro_service_{name}_total 0" in text
+        for name in PLANNER_COUNTER_NAMES:
+            assert f"repro_planner_{name}_total 0" in text
+        # histogram families appear even with zero observations
+        assert "repro_service_request_latency_seconds_count 0" in text
+        assert "repro_service_exact_plan_seconds_count 0" in text
+
+    def test_both_former_metric_islands_present(self):
+        """The families that used to live in service.metrics and
+        core.counters both appear in one exposition."""
+        text = render_prometheus({})
+        assert "repro_service_requests_total" in text      # ex service.metrics
+        assert "repro_planner_step_calls_total" in text    # ex core.counters
+
+    def test_full_snapshot_values(self):
+        snapshot = {
+            "metrics": {
+                "counters": {"requests": 12, "misses": 4},
+                "histograms": {
+                    "request_latency_s": {
+                        "count": 2, "mean": 0.05,
+                        "p50": 0.04, "p95": 0.06, "p99": 0.06,
+                    },
+                },
+            },
+            "cache": {"memory_entries": 3, "capacity": 128},
+            "planner": {"step_calls": 99},
+        }
+        text = render_prometheus(snapshot)
+        assert_valid_exposition(text)
+        assert "repro_service_requests_total 12" in text
+        assert "repro_service_misses_total 4" in text
+        assert 'repro_service_request_latency_seconds{quantile="0.5"} 0.04' in text
+        assert "repro_service_request_latency_seconds_sum 0.1" in text
+        assert "repro_service_request_latency_seconds_count 2" in text
+        assert "repro_cache_memory_entries 3" in text
+        assert "repro_planner_step_calls_total 99" in text
+        # unobserved planner series still present, zeroed
+        assert "repro_planner_ratio_solves_total 0" in text
+
+    def test_type_lines_precede_samples(self):
+        text = render_prometheus({})
+        lines = text.rstrip("\n").splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[index + 1].startswith(family), line
+
+    def test_registry_render_prometheus_is_partial(self):
+        """MetricsRegistry.render_prometheus shows only recorded series."""
+        registry = MetricsRegistry()
+        registry.counter("requests").inc()
+        text = registry.render_prometheus()
+        assert_valid_exposition(text)
+        assert "repro_service_requests_total 1" in text
+        assert "repro_planner_step_calls_total" not in text
+
+    def test_histogram_names_are_canonical(self):
+        assert SERVICE_HISTOGRAM_NAMES == ("request_latency_s", "exact_plan_s")
