@@ -20,7 +20,6 @@ from repro import (
     get_scheme,
     heterogeneous_array,
 )
-from repro.core.types import JOIN_PREFIX
 
 
 def main() -> None:
@@ -49,13 +48,9 @@ def main() -> None:
         print()
 
     # join alignments chosen for the fork/join boundary tensors
-    joins = [
-        (name[len(JOIN_PREFIX):], lp.ptype)
-        for name, lp in root.assignments.items()
-        if name.startswith(JOIN_PREFIX)
-    ]
+    joins = root.joins()
     print(f"\n{len(joins)} fork/join boundaries aligned "
-          f"({Counter(t for _, t in joins)})")
+          f"({Counter(j.state for j in joins)})")
 
     # compare against HyPar's linearized planning
     accpar_time = evaluate(planned).total_time

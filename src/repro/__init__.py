@@ -74,6 +74,15 @@ from .hardware import (
     make_group,
 )
 from .models import PAPER_MODELS, available_models, build_model, register_model
+from .plan import (
+    JoinAlignment,
+    LayerAssignment,
+    PathExit,
+    available_backends,
+    get_backend,
+    plan_diff,
+    validate_plan,
+)
 from .service import (
     MetricsRegistry,
     PlanCache,
@@ -104,9 +113,12 @@ __all__ = [
     "HierarchicalPlan",
     "HyParScheme",
     "Input",
+    "JoinAlignment",
+    "LayerAssignment",
     "LayerPartition",
     "LayerWorkload",
     "LevelPlan",
+    "PathExit",
     "Linear",
     "MemoryReport",
     "MetricsRegistry",
@@ -130,11 +142,15 @@ __all__ = [
     "TPU_V2",
     "TPU_V3",
     "TensorShape",
+    "available_backends",
     "available_models",
     "bisection_tree",
     "build_model",
     "evaluate",
+    "get_backend",
     "get_scheme",
+    "plan_diff",
+    "validate_plan",
     "heterogeneous_array",
     "homogeneous_array",
     "make_group",

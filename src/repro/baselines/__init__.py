@@ -1,6 +1,6 @@
 """Baseline schemes: DP, OWT and HyPar, plus a scheme registry."""
 
-from typing import Dict, List
+from typing import List, Optional
 
 from ..core.hierarchy import PartitionScheme
 from ..core.planner import AccParScheme
@@ -9,17 +9,25 @@ from .hypar import HyParScheme
 from .owt import OwtScheme
 
 
-def get_scheme(name: str) -> PartitionScheme:
-    """Build a scheme by its paper name: dp / owt / hypar / accpar."""
+def get_scheme(name: str, backend: Optional[str] = None) -> PartitionScheme:
+    """Build a scheme by its paper name: dp / owt / hypar / accpar.
+
+    ``backend`` overrides the scheme's search backend (a name from
+    :func:`repro.plan.available_backends`); ``None`` keeps each scheme's
+    default (the exact DP).
+    """
     key = name.lower()
     if key == "dp":
-        return DataParallelScheme()
+        return DataParallelScheme() if backend is None else DataParallelScheme(backend)
     if key == "owt":
-        return OwtScheme()
+        return OwtScheme() if backend is None else OwtScheme(backend)
     if key == "hypar":
-        return HyParScheme()
+        return HyParScheme() if backend is None else HyParScheme(backend)
     if key == "accpar":
-        return AccParScheme()
+        scheme = AccParScheme()
+        if backend is not None:
+            scheme.backend = backend
+        return scheme
     raise KeyError(f"unknown scheme {name!r}; expected dp/owt/hypar/accpar")
 
 

@@ -12,24 +12,32 @@ from typing import Callable, Sequence
 
 from ..core.cost_model import PairCostModel
 from ..core.counters import planner_counters
-from ..core.dp_search import search_stages
 from ..core.stages import ShardedStage
-from ..core.types import ALL_TYPES, LevelPlan, PartitionType, ShardedWorkload
+from ..core.types import ALL_TYPES, PartitionType, ShardedWorkload
 from ..hardware.accelerator import AcceleratorGroup
+from ..plan.backends import get_backend
+from ..plan.ir import LevelPlan
 
 
 class FixedTypeScheme:
     """A static per-layer-kind policy with equal (1/2) partitioning ratios.
 
-    ``type_fn`` maps a workload to its pinned partition type; the DP then
+    ``type_fn`` maps a workload to its pinned partition type; the search then
     only chooses join-alignment states in multi-path regions.  Equal ratios
     mean heterogeneous pairs are gated by the slower party — the idle time
-    Section 6.2 attributes to OWT/HyPar/DP.
+    Section 6.2 attributes to OWT/HyPar/DP.  The pinning is expressed as a
+    per-layer ``space_fn``, so it composes with any registered backend.
     """
 
-    def __init__(self, name: str, type_fn: Callable[[ShardedWorkload], PartitionType]):
+    def __init__(
+        self,
+        name: str,
+        type_fn: Callable[[ShardedWorkload], PartitionType],
+        backend: str = "dp",
+    ):
         self.name = name
         self._type_fn = type_fn
+        self.backend = backend
 
     def level_plan(
         self,
@@ -39,19 +47,18 @@ class FixedTypeScheme:
         dtype_bytes: int,
     ) -> LevelPlan:
         model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="equal")
-        result = search_stages(
+        result = get_backend(self.backend).search(
             list(stages),
             model,
             ALL_TYPES,
             space_fn=lambda w: (self._type_fn(w),),
         )
         planner_counters.merge(model.stats.as_dict())
-        return LevelPlan(assignments=result.assignments, cost=result.cost,
-                         scheme=self.name)
+        return result.to_level_plan(self.name)
 
 
 class DataParallelScheme(FixedTypeScheme):
     """All layers Type-I (batch partitioning), ratio 1/2."""
 
-    def __init__(self) -> None:
-        super().__init__("dp", lambda w: PartitionType.TYPE_I)
+    def __init__(self, backend: str = "dp") -> None:
+        super().__init__("dp", lambda w: PartitionType.TYPE_I, backend=backend)

@@ -19,16 +19,19 @@ from typing import Sequence
 
 from ..core.cost_model import PairCostModel
 from ..core.counters import planner_counters
-from ..core.dp_search import search_stages
 from ..core.stages import ShardedStage, flatten_to_chain
-from ..core.types import HYPAR_TYPES, LevelPlan
+from ..core.types import HYPAR_TYPES
 from ..hardware.accelerator import AcceleratorGroup
+from ..plan.backends import get_backend
+from ..plan.ir import LevelPlan
 
 
 class HyParScheme:
     """Layer-wise DP over {Type-I, Type-II} minimizing communication volume."""
 
-    name = "hypar"
+    def __init__(self, backend: str = "dp") -> None:
+        self.name = "hypar"
+        self.backend = backend
 
     def level_plan(
         self,
@@ -39,7 +42,6 @@ class HyParScheme:
     ) -> LevelPlan:
         chain = flatten_to_chain(list(stages))
         model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="comm-volume")
-        result = search_stages(chain, model, HYPAR_TYPES)
+        result = get_backend(self.backend).search(chain, model, HYPAR_TYPES)
         planner_counters.merge(model.stats.as_dict())
-        return LevelPlan(assignments=result.assignments, cost=result.cost,
-                         scheme=self.name)
+        return result.to_level_plan(self.name)

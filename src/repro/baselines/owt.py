@@ -16,8 +16,9 @@ from .data_parallel import FixedTypeScheme
 class OwtScheme(FixedTypeScheme):
     """CONV → Type-I (data parallel); FC → Type-II (model parallel)."""
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str = "dp") -> None:
         super().__init__(
             "owt",
             lambda w: PartitionType.TYPE_I if w.base.is_conv else PartitionType.TYPE_II,
+            backend=backend,
         )

@@ -5,6 +5,8 @@ Examples::
     python -m repro models
     python -m repro describe --model alexnet --batch 64
     python -m repro plan --model vgg19 --array hetero --out plan.json
+    python -m repro plan --model vgg19 --backend greedy --out fast.json
+    python -m repro plan-diff plan.json fast.json
     python -m repro simulate --plan plan.json
     python -m repro simulate --model resnet50 --scheme hypar --array tpu-v3:16
     python -m repro sweep --models alexnet,vgg11 --array hetero
@@ -44,6 +46,7 @@ from .hardware.accelerator import AcceleratorGroup, AcceleratorSpec, make_group
 from .hardware.cluster import describe_tree
 from .hardware.presets import TPU_V2, TPU_V3, heterogeneous_array, homogeneous_array
 from .models.registry import available_models, build_model
+from .plan import available_backends, plan_diff
 from .sim.executor import evaluate
 
 _KNOWN_SPECS = {"tpu-v2": TPU_V2, "tpu-v3": TPU_V3}
@@ -87,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_option(p) -> None:
+        p.add_argument(
+            "--backend", choices=available_backends(), default=None,
+            help="search backend (default: the scheme's own, the exact DP)",
+        )
+
     sub.add_parser("models", help="list the model zoo")
 
     p = sub.add_parser("describe", help="print a model's layers and shapes")
@@ -102,6 +111,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write the plan as JSON")
     p.add_argument("--breakdown", action="store_true",
                    help="print the root-level cost breakdown")
+    add_backend_option(p)
+
+    p = sub.add_parser(
+        "plan-diff",
+        help="compare two plan JSON files decision-by-decision",
+    )
+    p.add_argument("plan_a", help="first plan JSON file")
+    p.add_argument("plan_b", help="second plan JSON file")
+    p.add_argument("--rel-tol", type=float, default=None,
+                   help="relative tolerance for ratio comparison "
+                        "(default: 1e-9)")
 
     p = sub.add_parser("simulate", help="simulate a plan or plan+simulate")
     p.add_argument("--plan", default=None, help="JSON plan from 'plan --out'")
@@ -112,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=None)
     p.add_argument("--trace", default=None,
                    help="write the simulated critical-path Chrome trace here")
+    add_backend_option(p)
 
     p = sub.add_parser(
         "profile",
@@ -126,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the planner-execution Chrome trace here")
     p.add_argument("--sim-trace", default=None,
                    help="also write the simulated-iteration Chrome trace here")
+    add_backend_option(p)
 
     p = sub.add_parser("sweep", help="speedup table over models and schemes")
     p.add_argument("--models", required=True,
@@ -163,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=None)
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p.add_argument("--capacity", type=int, default=128)
+    add_backend_option(p)
 
     p = sub.add_parser("service-stats",
                        help="summarize the disk cache tier and last session")
@@ -181,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="output .md path (default stdout)")
     p.add_argument("--what-if", action="store_true",
                    help="include the per-layer type-sensitivity table")
+    add_backend_option(p)
 
     return parser
 
@@ -202,7 +226,8 @@ def _cmd_describe(args) -> int:
 
 def _cmd_plan(args) -> int:
     network = build_model(args.model)
-    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+    planner = Planner(args.array, get_scheme(args.scheme, backend=args.backend),
+                      levels=args.levels)
     planned = planner.plan(network, args.batch)
     issues = verify_planned(planned)
 
@@ -229,7 +254,9 @@ def _cmd_simulate(args) -> int:
     if args.plan:
         planned = load_plan(args.plan)
     elif args.model:
-        planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+        planner = Planner(args.array,
+                          get_scheme(args.scheme, backend=args.backend),
+                          levels=args.levels)
         planned = planner.plan(build_model(args.model), args.batch)
     else:
         print("simulate needs --plan or --model", file=sys.stderr)
@@ -256,7 +283,8 @@ def _cmd_profile(args) -> int:
     from .obs.tracing import tracer
 
     network = build_model(args.model)
-    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+    planner = Planner(args.array, get_scheme(args.scheme, backend=args.backend),
+                      levels=args.levels)
 
     was_enabled = tracer.enabled
     tracer.enable()
@@ -305,6 +333,21 @@ def _cmd_figure(args) -> int:
     else:
         print(figure8_hierarchy_sweep().rendered())
     return 0
+
+
+def _cmd_plan_diff(args) -> int:
+    a = load_plan(args.plan_a)
+    b = load_plan(args.plan_b)
+    kwargs = {} if args.rel_tol is None else {"rel_tol": args.rel_tol}
+    differences = plan_diff(a.plan, b.plan, **kwargs)
+    if not differences:
+        print(f"{args.plan_a} and {args.plan_b} make identical decisions")
+        return 0
+    print(f"{len(differences)} difference(s) between "
+          f"{args.plan_a} and {args.plan_b}:")
+    for difference in differences:
+        print(f"  - {difference}")
+    return 1
 
 
 def _cmd_validate(args) -> int:
@@ -359,7 +402,8 @@ def _cmd_warm(args) -> int:
     try:
         requests = [
             PlanRequest(model=m, array=args.array, batch=args.batch,
-                        scheme=args.scheme, levels=args.levels)
+                        scheme=args.scheme, levels=args.levels,
+                        backend=args.backend)
             for m in models
         ]
         responses = warm_cache(service, requests)
@@ -396,7 +440,8 @@ def _cmd_service_stats(args) -> int:
 def _cmd_report(args) -> int:
     from .experiments.analysis import type_histogram
 
-    planner = Planner(args.array, get_scheme(args.scheme), levels=args.levels)
+    planner = Planner(args.array, get_scheme(args.scheme, backend=args.backend),
+                      levels=args.levels)
     planned = planner.plan(build_model(args.model), args.batch)
     report = evaluate(planned)
 
@@ -448,6 +493,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "models": lambda: _cmd_models(),
         "describe": lambda: _cmd_describe(args),
         "plan": lambda: _cmd_plan(args),
+        "plan-diff": lambda: _cmd_plan_diff(args),
         "simulate": lambda: _cmd_simulate(args),
         "profile": lambda: _cmd_profile(args),
         "sweep": lambda: _cmd_sweep(args),

@@ -32,12 +32,10 @@ from .stages import (
     shard_stages,
     to_sharded_stages,
 )
+from ..plan.ir import HierarchicalPlan, LayerPartition, LevelPlan
 from .types import (
     ALL_TYPES,
     HYPAR_TYPES,
-    HierarchicalPlan,
-    LayerPartition,
-    LevelPlan,
     PartitionType,
     Phase,
     PSUM_PHASE,

@@ -9,36 +9,57 @@ small networks, and quantify the asymptotic win.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
+from ..plan.ir import LayerAssignment, SearchResult
 from .cost_model import PairCostModel
-from .dp_search import SearchResult
+from .dp_search import SpaceFn
 from .stages import ShardedLayerStage, ShardedStage
-from .types import ALL_TYPES, LayerPartition, PartitionType
+from .types import ALL_TYPES, PartitionType
+
+#: refuse enumerations beyond this many layers by default — 3^12 ≈ 531k
+#: combinations is the practical ceiling for a test-suite oracle; anything
+#: longer is exactly the regime the paper's DP exists for
+DEFAULT_MAX_LAYERS = 12
 
 
 def brute_force_chain(
     stages: Sequence[ShardedStage],
     model: PairCostModel,
     space: Sequence[PartitionType] = ALL_TYPES,
+    space_fn: Optional[SpaceFn] = None,
+    max_layers: int = DEFAULT_MAX_LAYERS,
 ) -> SearchResult:
     """Enumerate every type sequence on a *linear* chain of weighted layers.
 
     Costs are accumulated with the same :meth:`PairCostModel.step` the DP
     uses, but with no shared structure — an independent check of Eq. 9's
     optimal-substructure argument rather than of the arithmetic alone.
+
+    Chains longer than ``max_layers`` raise :class:`ValueError` instead of
+    enumerating |T|^N combinations.
     """
     for stage in stages:
         if not isinstance(stage, ShardedLayerStage):
             raise TypeError("brute_force_chain handles linear chains only")
     chain = [stage for stage in stages if isinstance(stage, ShardedLayerStage)]
     if not chain:
-        return SearchResult(assignments={}, cost=0.0, exit_state=None)
+        return SearchResult(entries=(), cost=0.0, exit_state=None)
+    if len(chain) > max_layers:
+        raise ValueError(
+            f"brute force over {len(chain)} layers would enumerate "
+            f"{len(space)}^{len(chain)} type sequences; the cap is "
+            f"max_layers={max_layers} — use the 'dp' backend instead"
+        )
 
+    spaces = [
+        tuple(space_fn(stage.workload)) if space_fn is not None else tuple(space)
+        for stage in chain
+    ]
     best_cost = float("inf")
     best_combo = None
     best_alphas: Sequence[float] = ()
-    for combo in itertools.product(space, repeat=len(chain)):
+    for combo in itertools.product(*spaces):
         total = 0.0
         prev: Optional[PartitionType] = None
         alphas = []
@@ -55,12 +76,12 @@ def brute_force_chain(
             best_alphas = tuple(alphas)
 
     assert best_combo is not None
-    assignments: Dict[str, LayerPartition] = {
-        stage.name: LayerPartition(ptype, alpha)
+    entries: Tuple[LayerAssignment, ...] = tuple(
+        LayerAssignment(stage.name, ptype, alpha)
         for stage, ptype, alpha in zip(chain, best_combo, best_alphas)
-    }
+    )
     return SearchResult(
-        assignments=assignments,
+        entries=entries,
         cost=best_cost,
         exit_state=best_combo[-1],
     )

@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, NamedTuple, Optional, Sequence, Tuple
 
 from ..obs.tracing import tracer
+from ..plan.ir import LayerAssignment, PlanEntry, SearchResult
 from .cost_model import PairCostModel, transition_family
 from .stages import ShardedLayerStage, ShardedParallelStage, ShardedStage
-from .types import ALL_TYPES, LayerPartition, PartitionType, ShardedWorkload
+from .types import ALL_TYPES, PartitionType, ShardedWorkload
 
 #: optional per-layer restriction of the searchable types (used by the fixed
 #: baselines: data parallelism pins Type-I everywhere, OWT pins by layer kind)
@@ -52,55 +53,43 @@ def improves(candidate: float, incumbent: Optional[float]) -> bool:
 
 
 class TransitionInfo(NamedTuple):
-    """Cost and layer decisions of crossing one stage between two states.
+    """Cost and typed plan entries of crossing one stage between two states.
 
     A NamedTuple: the search constructs thousands per plan and tuple
     construction is several times cheaper than a frozen dataclass.
     """
 
     cost: float
-    assignments: Tuple[Tuple[str, LayerPartition], ...] = ()
+    entries: Tuple[PlanEntry, ...] = ()
 
 
 @dataclass(frozen=True)
 class _BackNode:
     """Parent-pointer backtracking node: one stage's decisions on a DP path.
 
-    The frontier used to accumulate full assignment tuples per state, which
+    The frontier used to accumulate full entry tuples per state, which
     re-copies every prefix at every stage — O(N²) tuple concatenation over a
     chain.  Instead each frontier entry now points at its predecessor's node
     and the optimal paths are reconstructed once at the end, in O(N) per
     surviving exit state.
     """
 
-    assignments: Tuple[Tuple[str, LayerPartition], ...]
+    entries: Tuple[PlanEntry, ...]
     parent: Optional["_BackNode"]
 
-    def backtrack(self) -> Tuple[Tuple[str, LayerPartition], ...]:
+    def backtrack(self) -> Tuple[PlanEntry, ...]:
         """Concatenate the per-stage decisions from entry to this node."""
         groups = []
         node: Optional[_BackNode] = self
         while node is not None:
-            if node.assignments:
-                groups.append(node.assignments)
+            if node.entries:
+                groups.append(node.entries)
             node = node.parent
         groups.reverse()
         out: list = []
         for group in groups:
             out.extend(group)
         return tuple(out)
-
-
-@dataclass
-class SearchResult:
-    """Outcome of one level's search."""
-
-    assignments: Dict[str, LayerPartition]
-    cost: float
-    exit_state: Optional[PartitionType]
-
-    def types(self) -> Dict[str, PartitionType]:
-        return {name: lp.ptype for name, lp in self.assignments.items()}
 
 
 def layer_stage_transitions(
@@ -130,7 +119,7 @@ def layer_stage_transitions(
                     decision = model.step(sw, tt, t, fam)
                     info = TransitionInfo(
                         cost=decision.cost,
-                        assignments=((name, LayerPartition(t, decision.alpha)),),
+                        entries=(LayerAssignment(name, t, decision.alpha),),
                     )
                     by_family[fam_key] = info
                 transitions[(tt, t)] = info
@@ -140,7 +129,7 @@ def layer_stage_transitions(
             decision = model.step(sw, tt, t)
             transitions[(tt, t)] = TransitionInfo(
                 cost=decision.cost,
-                assignments=((name, LayerPartition(t, decision.alpha)),),
+                entries=(LayerAssignment(name, t, decision.alpha),),
             )
     return transitions
 
@@ -171,7 +160,7 @@ def _advance_frontier(
         if incumbent is None or total < incumbent[0] - COST_REL_TOL * (
             total if total >= incumbent[0] else incumbent[0]
         ):
-            new_frontier[t] = (total, _BackNode(info.assignments, base_node))
+            new_frontier[t] = (total, _BackNode(info.entries, base_node))
     return new_frontier
 
 
@@ -223,7 +212,7 @@ def dp_over_stages(
             cost,
             TransitionInfo(
                 cost=cost,
-                assignments=node.backtrack() if node is not None else (),
+                entries=node.backtrack() if node is not None else (),
             ),
         )
         for s, (cost, node) in frontier.items()
@@ -248,7 +237,7 @@ def search_stages(
     if entry is None:
         entry = {None: 0.0}
     if not stages:
-        return SearchResult(assignments={}, cost=0.0, exit_state=None)
+        return SearchResult(entries=(), cost=0.0, exit_state=None)
 
     with tracer.span("dp.search", category="dp", stages=len(stages),
                      space=len(space)) as span:
@@ -261,7 +250,7 @@ def search_stages(
         best_cost, info = exits[best_state]
         span.set("cost", best_cost)
     return SearchResult(
-        assignments=dict(info.assignments),
+        entries=info.entries,
         cost=best_cost,
         exit_state=best_state,
     )

@@ -10,23 +10,26 @@ quantify the DP's advantage, not just assert it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from ..plan.ir import LayerAssignment, SearchResult
 from .cost_model import PairCostModel
-from .dp_search import SearchResult
+from .dp_search import SpaceFn, improves
 from .stages import ShardedLayerStage, ShardedStage
-from .types import ALL_TYPES, LayerPartition, PartitionType
+from .types import ALL_TYPES, PartitionType
 
 
 def greedy_chain(
     stages: Sequence[ShardedStage],
     model: PairCostModel,
     space: Sequence[PartitionType] = ALL_TYPES,
+    space_fn: Optional[SpaceFn] = None,
 ) -> SearchResult:
     """Myopic per-layer choice on a linear chain.
 
-    Uses the same step costs as the DP, so any gap between the two is pure
-    search quality.
+    Uses the same step costs as the DP — including the ``COST_REL_TOL``
+    tie-break of :func:`~repro.core.dp_search.improves`, so greedy-vs-DP
+    comparisons measure search quality, not last-ulp float noise.
     """
     for stage in stages:
         if not isinstance(stage, ShardedLayerStage):
@@ -34,18 +37,21 @@ def greedy_chain(
     if not space:
         raise ValueError("partition-type space must be non-empty")
 
-    assignments: Dict[str, LayerPartition] = {}
+    entries: List[LayerAssignment] = []
     total = 0.0
     prev: Optional[PartitionType] = None
     for stage in stages:
+        layer_space = space_fn(stage.workload) if space_fn is not None else space
         best = None
-        for t in space:
+        best_cost: Optional[float] = None
+        for t in layer_space:
             decision = model.step(stage.workload, prev, t)
-            if best is None or decision.cost < best.cost:
+            if improves(decision.cost, best_cost):
                 best = decision
+                best_cost = decision.cost
         assert best is not None
-        assignments[stage.name] = LayerPartition(best.ptype, best.alpha)
+        entries.append(LayerAssignment(stage.name, best.ptype, best.alpha))
         total += best.cost
         prev = best.ptype
 
-    return SearchResult(assignments=assignments, cost=total, exit_state=prev)
+    return SearchResult(entries=tuple(entries), cost=total, exit_state=prev)

@@ -19,9 +19,9 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode
 from ..obs.tracing import tracer
+from ..plan.ir import HierarchicalPlan, LevelPlan
 from .counters import planner_counters
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
-from .types import HierarchicalPlan, LevelPlan
 
 
 class PartitionScheme(Protocol):
@@ -75,8 +75,9 @@ def plan_tree(
         level = scheme.level_plan(stages, node.left.group, node.right.group,
                                   dtype_bytes)
 
-        left_stages = shard_stages(stages, level.assignments, "left")
-        right_stages = shard_stages(stages, level.assignments, "right")
+        assignments = level.layer_assignments()
+        left_stages = shard_stages(stages, assignments, "left")
+        right_stages = shard_stages(stages, assignments, "right")
 
         plan = HierarchicalPlan(
             level_plan=level,

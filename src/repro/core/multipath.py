@@ -18,11 +18,12 @@ Conventions:
   layer in state ``s``, so the next stage's Eq. 9 step applies unchanged —
   which is what lets consecutive residual blocks chain.
 
-Besides the ``@join:`` alignment entry, the macro-transition records one
-synthetic ``@exit:`` entry per path — the partition state the path's output
-tensor is in *before* re-alignment to the join state — so the simulator
-replays exactly the re-alignments the search costed rather than re-deriving
-them from the path's last layer.
+Besides the :class:`~repro.plan.ir.JoinAlignment` entry, the
+macro-transition records one :class:`~repro.plan.ir.PathExit` entry per
+path — the partition state the path's output tensor is in *before*
+re-alignment to the join state — so the simulator replays exactly the
+re-alignments the search costed rather than re-deriving them from the
+path's last layer.
 """
 
 from __future__ import annotations
@@ -30,9 +31,10 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from ..obs.tracing import tracer
+from ..plan.ir import JoinAlignment, PathExit, PlanEntry
 from .cost_model import PairCostModel
 from .stages import ShardedParallelStage, first_workload, last_workload
-from .types import LayerPartition, PartitionType, join_key, path_exit_key
+from .types import PartitionType
 
 
 def alignment_cost(
@@ -87,18 +89,27 @@ def parallel_stage_transitions(
             align_cache[key] = cost
         return cost
 
-    # the synthetic @exit / @join entries all carry the nominal ratio, so
-    # the handful of distinct LayerPartition values can be shared across
-    # the (tt, s) loop instead of constructed per combination
+    # the alignment entries all carry the nominal ratio, so the handful of
+    # distinct JoinAlignment / PathExit values can be shared across the
+    # (tt, s) loop instead of constructed per combination
     nominal = model.nominal_alpha()
-    nominal_lp: Dict[PartitionType, LayerPartition] = {}
+    join_cache: Dict[PartitionType, JoinAlignment] = {}
+    exit_cache: Dict[Tuple[int, PartitionType], PathExit] = {}
 
-    def nominal_partition(state: PartitionType) -> LayerPartition:
-        lp = nominal_lp.get(state)
-        if lp is None:
-            lp = LayerPartition(state, nominal)
-            nominal_lp[state] = lp
-        return lp
+    def join_entry(state: PartitionType) -> JoinAlignment:
+        entry = join_cache.get(state)
+        if entry is None:
+            entry = JoinAlignment(stage.name, state, nominal)
+            join_cache[state] = entry
+        return entry
+
+    def exit_entry(index: int, state: PartitionType) -> PathExit:
+        key = (index, state)
+        entry = exit_cache.get(key)
+        if entry is None:
+            entry = PathExit(stage.name, index, state, nominal)
+            exit_cache[key] = entry
+        return entry
 
     transitions: Dict[Tuple["PartitionType | None", PartitionType], TransitionInfo] = {}
     for tt in in_states:
@@ -124,7 +135,7 @@ def parallel_stage_transitions(
 
         for s in space:
             total = 0.0
-            assignments: Tuple[Tuple[str, object], ...] = ()
+            entries: Tuple[PlanEntry, ...] = ()
             for index, (path, exits) in enumerate(path_exits):
                 if exits is None:
                     # identity skip: re-align the fork tensor itself, which
@@ -144,18 +155,13 @@ def parallel_stage_transitions(
                             best_exit = exit_state
                     assert best_cost is not None and best_info is not None
                     total += best_cost
-                    assignments += best_info.assignments
+                    entries += best_info.entries
                     chosen_exit = best_exit
                 # record the path's pre-alignment exit state (None only for
                 # a skip path at the free network entry: nothing to align)
                 if chosen_exit is not None:
-                    assignments += (
-                        (path_exit_key(stage.name, index),
-                         nominal_partition(chosen_exit)),
-                    )
+                    entries += (exit_entry(index, chosen_exit),)
             # record the chosen join alignment so the simulator can replay it
-            assignments += (
-                (join_key(stage.name), nominal_partition(s)),
-            )
-            transitions[(tt, s)] = TransitionInfo(cost=total, assignments=assignments)
+            entries += (join_entry(s),)
+            transitions[(tt, s)] = TransitionInfo(cost=total, entries=entries)
     return transitions

@@ -11,6 +11,11 @@ Typical use::
 per-level plans; feed it to :func:`repro.sim.evaluate` for the simulated
 iteration time, or inspect ``planned.root_level_plan`` for the per-layer
 decisions (Figure 7).
+
+Every scheme resolves its search algorithm through the backend registry
+(:func:`repro.plan.get_backend`): ``AccParScheme(backend="greedy")`` runs
+the paper's cost model under the myopic search, and the CLI's ``--backend``
+flag reaches here.
 """
 
 from __future__ import annotations
@@ -21,13 +26,13 @@ from typing import Dict, List, Optional, Sequence
 from ..graph.network import Network
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
+from ..plan.backends import get_backend
+from ..plan.ir import HierarchicalPlan, LevelPlan
 from .cost_model import PairCostModel
 from .counters import planner_counters
-from .dp_search import search_stages
-from .greedy import greedy_chain
 from .hierarchy import PartitionScheme, collect_level_plans, plan_tree
-from .stages import ShardedStage, flatten_to_chain, to_sharded_stages
-from .types import ALL_TYPES, HierarchicalPlan, LevelPlan, PartitionType
+from .stages import ShardedStage, to_sharded_stages
+from .types import ALL_TYPES, PartitionType
 
 
 class AccParScheme:
@@ -36,6 +41,8 @@ class AccParScheme:
     ``space`` and ``ratio_mode`` are exposed for the ablation studies
     (restricting to {Type-I, Type-II} isolates the value of Type-III;
     ``ratio_mode="equal"`` isolates the value of flexible ratios).
+    ``backend`` names the search algorithm in the
+    :mod:`repro.plan.backends` registry; the default is the exact DP.
     """
 
     def __init__(
@@ -45,6 +52,7 @@ class AccParScheme:
         name: str = "accpar",
         closed_form: bool = True,
         memoize: bool = True,
+        backend: str = "dp",
     ):
         self.space = tuple(space)
         self.ratio_mode = ratio_mode
@@ -54,6 +62,7 @@ class AccParScheme:
         # pre-optimization (bisection, uncached) planner
         self.closed_form = closed_form
         self.memoize = memoize
+        self.backend = backend
 
     def level_plan(
         self,
@@ -65,14 +74,13 @@ class AccParScheme:
         model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode,
                               closed_form=self.closed_form,
                               memoize=self.memoize)
-        result = search_stages(list(stages), model, self.space)
+        result = get_backend(self.backend).search(stages, model, self.space)
         planner_counters.merge(model.stats.as_dict())
-        return LevelPlan(assignments=result.assignments, cost=result.cost,
-                         scheme=self.name)
+        return result.to_level_plan(self.name)
 
 
-class GreedyScheme:
-    """Myopic per-layer scheme: :func:`repro.core.greedy.greedy_chain` per level.
+class GreedyScheme(AccParScheme):
+    """Myopic per-layer scheme: the ``greedy`` backend under AccPar's cost model.
 
     O(N·|T|) instead of the DP's O(N·|T|²) and with no multi-path branch
     search (fork/join regions are linearized), so it answers fast at the cost
@@ -87,23 +95,10 @@ class GreedyScheme:
         space: Sequence[PartitionType] = ALL_TYPES,
         ratio_mode: str = "balanced",
         name: str = "greedy",
+        backend: str = "greedy",
     ):
-        self.space = tuple(space)
-        self.ratio_mode = ratio_mode
-        self.name = name
-
-    def level_plan(
-        self,
-        stages: Sequence[ShardedStage],
-        party_i: AcceleratorGroup,
-        party_j: AcceleratorGroup,
-        dtype_bytes: int,
-    ) -> LevelPlan:
-        model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode)
-        result = greedy_chain(flatten_to_chain(stages), model, self.space)
-        planner_counters.merge(model.stats.as_dict())
-        return LevelPlan(assignments=result.assignments, cost=result.cost,
-                         scheme=self.name)
+        super().__init__(space=space, ratio_mode=ratio_mode, name=name,
+                         backend=backend)
 
 
 @dataclass
@@ -131,21 +126,74 @@ class PlannedExecution:
     def hierarchy_levels(self) -> int:
         return self.plan.depth()
 
-    def layer_types_by_level(self) -> List[Dict[str, PartitionType]]:
+    def layer_types_by_level(self, strict: bool = False) -> List[Dict[str, PartitionType]]:
         """Per level (following the leftmost spine), the layer→type map.
 
         Matches Figure 7's presentation: one row per hierarchy level.  The
-        leftmost spine is representative because sibling subtrees are
-        symmetric for homogeneous splits.
+        leftmost spine is representative only when sibling subtrees plan
+        identically — always true for homogeneous equal splits, but under
+        the default ``type-separated`` split policy on a *heterogeneous*
+        array the two children of the root are different sub-arrays and
+        their subtree plans can legitimately differ.  ``strict=True``
+        raises :class:`ValueError` in that case; the default keeps the
+        leftmost spine (documented asymmetry) — use
+        :meth:`layer_types_by_subtree` for the full per-subtree picture.
         """
+        if strict and not self.subtrees_symmetric():
+            raise ValueError(
+                "sibling subtree plans differ (heterogeneous array under a "
+                "type-separated split?); the leftmost spine is not "
+                "representative — use layer_types_by_subtree()"
+            )
         result: List[Dict[str, PartitionType]] = []
         node = self.plan
         while node is not None and node.level_plan is not None:
             result.append(
-                {name: lp.ptype for name, lp in node.level_plan.assignments.items()}
+                {a.name: a.ptype for a in node.level_plan.layers()}
             )
             node = node.left
         return result
+
+    def layer_types_by_subtree(self) -> Dict[str, Dict[str, PartitionType]]:
+        """The layer→type map of *every* internal plan node, keyed by path.
+
+        Paths are ``"root"``, ``"rootL"``, ``"rootR"``, ``"rootLL"`` … —
+        the exact report for asymmetric plans where
+        :meth:`layer_types_by_level` must pick one spine.
+        """
+        result: Dict[str, Dict[str, PartitionType]] = {}
+
+        def visit(node: Optional[HierarchicalPlan], path: str) -> None:
+            if node is None or node.level_plan is None:
+                return
+            result[path] = {a.name: a.ptype for a in node.level_plan.layers()}
+            visit(node.left, path + "L")
+            visit(node.right, path + "R")
+
+        visit(self.plan, "root")
+        return result
+
+    def subtrees_symmetric(self) -> bool:
+        """True when every pair of sibling subtrees carries identical plans."""
+
+        def same(a: Optional[HierarchicalPlan],
+                 b: Optional[HierarchicalPlan]) -> bool:
+            if a is None or b is None:
+                return a is b
+            if a.level_plan is None or b.level_plan is None:
+                return (a.level_plan is None) == (b.level_plan is None)
+            if a.level_plan.entries != b.level_plan.entries:
+                return False
+            return same(a.left, b.left) and same(a.right, b.right)
+
+        def visit(node: Optional[HierarchicalPlan]) -> bool:
+            if node is None or node.level_plan is None:
+                return True
+            if not same(node.left, node.right):
+                return False
+            return visit(node.left) and visit(node.right)
+
+        return visit(self.plan)
 
 
 class Planner:

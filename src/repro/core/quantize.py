@@ -14,16 +14,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..plan.ir import (
+    HierarchicalPlan,
+    LayerAssignment,
+    LevelPlan,
+    PlanEntry,
+)
 from .planner import PlannedExecution
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
-from .types import (
-    HierarchicalPlan,
-    is_synthetic_key,
-    LayerPartition,
-    LevelPlan,
-    PartitionType,
-    ShardedWorkload,
-)
+from .types import PartitionType, ShardedWorkload
 
 
 class QuantizationError(ValueError):
@@ -101,29 +100,32 @@ def quantize_plan(
         levels += 1
         by_name = workload_index(stages)
 
-        new_assignments: Dict[str, LayerPartition] = {}
-        for name, lp in plan.level_plan.assignments.items():
-            if is_synthetic_key(name):
-                new_assignments[name] = lp
+        new_entries: List[PlanEntry] = []
+        for entry in plan.level_plan.entries:
+            if not isinstance(entry, LayerAssignment):
+                # join/exit alignment entries describe transfers, not
+                # tensor splits; their nominal ratios pass through
+                new_entries.append(entry)
                 continue
-            extent = partitioned_extent(by_name[name], lp.ptype)
+            extent = partitioned_extent(by_name[entry.name], entry.ptype)
             try:
-                snapped = quantize_ratio(lp.ratio, extent)
+                snapped = quantize_ratio(entry.alpha, extent)
             except QuantizationError:
                 if strict:
                     raise
                 unrealizable += 1
-                new_assignments[name] = lp
+                new_entries.append(entry)
                 continue
-            max_shift = max(max_shift, abs(snapped - lp.ratio))
+            max_shift = max(max_shift, abs(snapped - entry.alpha))
             n_ratios += 1
-            new_assignments[name] = LayerPartition(lp.ptype, snapped)
+            new_entries.append(LayerAssignment(entry.name, entry.ptype, snapped))
 
-        level = LevelPlan(assignments=new_assignments,
+        level = LevelPlan(entries=tuple(new_entries),
                           cost=plan.level_plan.cost,
                           scheme=plan.level_plan.scheme)
-        left_stages = shard_stages(stages, new_assignments, "left")
-        right_stages = shard_stages(stages, new_assignments, "right")
+        assignments = level.layer_assignments()
+        left_stages = shard_stages(stages, assignments, "left")
+        right_stages = shard_stages(stages, assignments, "right")
         assert plan.left is not None and plan.right is not None
         return HierarchicalPlan(
             level_plan=level,

@@ -3,35 +3,60 @@
 A planning run is cheap for one model but a production deployment would
 plan once and ship the decision to the runtime, so plans round-trip through
 a plain-JSON document: the accelerator array, the model name and batch, and
-the per-level assignments.  Loading re-derives the pairing tree and sharded
+the per-level plan entries.  Loading re-derives the pairing tree and sharded
 stages deterministically and re-attaches the stored decisions.
+
+Format version 2 stores each level as an *ordered* ``"entries"`` list of
+typed records (``layer`` / ``join`` / ``exit``), mirroring the plan IR of
+:mod:`repro.plan.ir` one-to-one.  Version-1 documents — a flat
+``"assignments"`` dict whose fork/join decisions were encoded as magic
+``@join:`` / ``@exit:`` key strings — are migrated on read, so every plan
+file and disk-cache entry written by earlier releases keeps loading
+bit-identically.  This module is the only place the v1 key convention
+still exists, as migration shims.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..graph.network import Network
 from ..ioutil import atomic_write_text
 from ..hardware.accelerator import AcceleratorGroup, AcceleratorSpec
 from ..hardware.cluster import bisection_tree
 from ..models.registry import build_model
+from ..plan.ir import (
+    HierarchicalPlan,
+    JoinAlignment,
+    LayerAssignment,
+    LevelPlan,
+    PathExit,
+    PlanEntry,
+)
 from .planner import PlannedExecution
 from .stages import to_sharded_stages
-from .types import HierarchicalPlan, LayerPartition, LevelPlan, PartitionType
+from .types import PartitionType
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions this reader understands; v1 documents go through the
+#: assignments-dict migration shim below
+SUPPORTED_VERSIONS = (1, 2)
+
+# v1's synthetic-key encoding of fork/join decisions, kept only for migration
+_V1_JOIN_PREFIX = "@join:"
+_V1_EXIT_PREFIX = "@exit:"
 
 
 class PlanFormatError(ValueError):
     """Raised when a plan document cannot be understood by this reader.
 
-    Distinguishes schema problems (wrong version, missing fields) from the
-    semantic validation errors raised further down the load path, so callers
-    like the disk cache tier can treat unreadable documents as misses rather
-    than crashes.
+    Distinguishes schema problems (wrong version, missing fields, invalid
+    ratios) from the semantic validation errors raised further down the load
+    path, so callers like the disk cache tier can treat unreadable documents
+    as misses rather than crashes.
     """
 
 
@@ -63,39 +88,135 @@ def _spec_from_dict(data: Dict) -> AcceleratorSpec:
     return AcceleratorSpec(**{f: data[f] for f in _SPEC_FIELDS})
 
 
+def _entry_to_dict(entry: PlanEntry) -> Dict:
+    if isinstance(entry, LayerAssignment):
+        return {"layer": entry.name, "type": entry.ptype.value,
+                "alpha": entry.alpha}
+    if isinstance(entry, JoinAlignment):
+        return {"join": entry.stage, "state": entry.state.value,
+                "alpha": entry.alpha}
+    if isinstance(entry, PathExit):
+        return {"exit": entry.stage, "path": entry.path_index,
+                "state": entry.state.value, "alpha": entry.alpha}
+    raise TypeError(f"not a plan entry: {entry!r}")  # pragma: no cover
+
+
+def _ptype(value, context: str) -> PartitionType:
+    try:
+        return PartitionType(value)
+    except ValueError:
+        raise PlanFormatError(
+            f"{context}: unknown partition type {value!r}"
+        ) from None
+
+
+def _alpha(value, context: str) -> float:
+    if not isinstance(value, (int, float)) or not 0.0 < value < 1.0:
+        raise PlanFormatError(
+            f"{context}: ratio {value!r} outside the open interval (0, 1)"
+        )
+    return float(value)
+
+
+def _entry_from_dict(data: Dict) -> PlanEntry:
+    try:
+        if "layer" in data:
+            name = data["layer"]
+            return LayerAssignment(
+                name,
+                _ptype(data["type"], f"layer {name!r}"),
+                _alpha(data["alpha"], f"layer {name!r}"),
+            )
+        if "join" in data:
+            stage = data["join"]
+            return JoinAlignment(
+                stage,
+                _ptype(data["state"], f"join {stage!r}"),
+                _alpha(data["alpha"], f"join {stage!r}"),
+            )
+        if "exit" in data:
+            stage = data["exit"]
+            return PathExit(
+                stage,
+                int(data["path"]),
+                _ptype(data["state"], f"exit {stage!r}"),
+                _alpha(data["alpha"], f"exit {stage!r}"),
+            )
+    except KeyError as exc:
+        raise PlanFormatError(
+            f"plan entry {data!r} is missing field {exc}"
+        ) from None
+    raise PlanFormatError(
+        f"plan entry {data!r} has none of the discriminator keys "
+        f"'layer' / 'join' / 'exit'"
+    )
+
+
+def _v1_entries(assignments: Dict[str, Dict]) -> List[PlanEntry]:
+    """Migrate a v1 flat assignments dict to ordered typed entries.
+
+    v1 encoded fork/join decisions as synthetic keys: ``@join:<stage>`` for
+    the join state and ``@exit:<stage>:<path>`` for per-path exit states.
+    Stage names themselves contain ``@`` and ``:`` (forks are named like
+    ``fork@stem_relu``), so the exit path index is split off the *right*.
+    JSON objects preserve insertion order, which v1 writers emitted in entry
+    order — migration keeps it.
+    """
+    entries: List[PlanEntry] = []
+    for key, record in assignments.items():
+        ptype = _ptype(record["type"], f"v1 assignment {key!r}")
+        alpha = _alpha(record["ratio"], f"v1 assignment {key!r}")
+        if key.startswith(_V1_JOIN_PREFIX):
+            entries.append(
+                JoinAlignment(key[len(_V1_JOIN_PREFIX):], ptype, alpha)
+            )
+        elif key.startswith(_V1_EXIT_PREFIX):
+            rest = key[len(_V1_EXIT_PREFIX):]
+            stage, _, index = rest.rpartition(":")
+            if not stage or not index.isdigit():
+                raise PlanFormatError(
+                    f"malformed v1 path-exit key {key!r}"
+                )
+            entries.append(PathExit(stage, int(index), ptype, alpha))
+        else:
+            entries.append(LayerAssignment(key, ptype, alpha))
+    return entries
+
+
 def _plan_node_to_dict(plan: HierarchicalPlan) -> Optional[Dict]:
     if plan.level_plan is None:
         return None
     return {
         "cost": plan.level_plan.cost,
         "scheme": plan.level_plan.scheme,
-        "assignments": {
-            name: {"type": lp.ptype.value, "ratio": lp.ratio}
-            for name, lp in plan.level_plan.assignments.items()
-        },
+        "entries": [_entry_to_dict(e) for e in plan.level_plan.entries],
         "left": _plan_node_to_dict(plan.left) if plan.left else None,
         "right": _plan_node_to_dict(plan.right) if plan.right else None,
     }
 
 
-def _plan_node_from_dict(data: Optional[Dict], scheme: str) -> HierarchicalPlan:
+def _plan_node_from_dict(data: Optional[Dict], scheme: str,
+                         version: int) -> HierarchicalPlan:
     if data is None:
         return HierarchicalPlan(level_plan=None, scheme=scheme)
-    assignments = {
-        name: LayerPartition(PartitionType(entry["type"]), entry["ratio"])
-        for name, entry in data["assignments"].items()
-    }
+    if version == 1:
+        entries = _v1_entries(data["assignments"])
+    else:
+        entries = [_entry_from_dict(e) for e in data["entries"]]
+    try:
+        level = LevelPlan(entries, cost=data["cost"], scheme=data["scheme"])
+    except ValueError as exc:  # duplicate entries in a hand-edited document
+        raise PlanFormatError(str(exc)) from None
     return HierarchicalPlan(
-        level_plan=LevelPlan(assignments=assignments, cost=data["cost"],
-                             scheme=data["scheme"]),
-        left=_plan_node_from_dict(data.get("left"), scheme),
-        right=_plan_node_from_dict(data.get("right"), scheme),
+        level_plan=level,
+        left=_plan_node_from_dict(data.get("left"), scheme, version),
+        right=_plan_node_from_dict(data.get("right"), scheme, version),
         scheme=scheme,
     )
 
 
 def plan_to_dict(planned: PlannedExecution) -> Dict:
-    """Serialize a planned execution to a JSON-compatible document."""
+    """Serialize a planned execution to a JSON-compatible document (v2)."""
     return {
         "format_version": FORMAT_VERSION,
         "network": planned.network_name,
@@ -114,15 +235,17 @@ def plan_from_dict(
 ) -> PlannedExecution:
     """Reconstruct a planned execution from :func:`plan_to_dict` output.
 
-    ``network_builder`` resolves the stored model name; it defaults to the
-    model-zoo registry, so custom models must be registered (or passed via
-    a custom builder) before loading.
+    Accepts both current (v2) documents and v1 documents, which are migrated
+    transparently.  ``network_builder`` resolves the stored model name; it
+    defaults to the model-zoo registry, so custom models must be registered
+    (or passed via a custom builder) before loading.
     """
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise PlanFormatError(
-            f"unsupported plan format version {version!r} (expected {FORMAT_VERSION}); "
-            f"re-plan with this version of the library or load with a matching reader"
+            f"unsupported plan format version {version!r} (expected one of "
+            f"{SUPPORTED_VERSIONS}); re-plan with this version of the "
+            f"library or load with a matching reader"
         )
     builder = network_builder or build_model
     network = builder(data["network"])
@@ -130,7 +253,7 @@ def plan_from_dict(
     array = AcceleratorGroup(tuple(_spec_from_dict(s) for s in data["array"]))
     tree = bisection_tree(array, data["levels"])
     stages = to_sharded_stages(network.stages(data["batch"]))
-    plan = _plan_node_from_dict(data["plan"], data["scheme"])
+    plan = _plan_node_from_dict(data["plan"], data["scheme"], version)
 
     if plan.depth() != tree.depth():
         raise ValueError(

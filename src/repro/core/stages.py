@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from ..graph.network import LayerStage, ParallelStage, Stage
-from .types import LayerPartition, ShardedWorkload
+from ..plan.ir import LayerPartition
+from .types import ShardedWorkload
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..graph.layers import LayerWorkload
 
@@ -251,104 +251,3 @@ class ShardedWorkload:
     def key(self) -> Tuple:
         """Hashable identity for memoization across symmetric subtrees."""
         return self._key
-
-
-@dataclass(frozen=True)
-class LayerPartition:
-    """The decision for one layer at one hierarchy level.
-
-    ``ratio`` is the share α of the *first* party (left child of the pairing
-    tree node); the second party gets β = 1 - α.
-    """
-
-    ptype: PartitionType
-    ratio: float = 0.5
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.ratio < 1.0:
-            raise ValueError(f"ratio must be in (0, 1), got {self.ratio}")
-
-    def __str__(self) -> str:
-        return f"{self.ptype} (α={self.ratio:.3f})"
-
-
-#: key prefix for the synthetic join-alignment decisions recorded by the
-#: multi-path search (they are not real layers and are filtered from reports)
-JOIN_PREFIX = "@join:"
-
-#: key prefix for the synthetic per-path exit states of a fork/join region:
-#: the partition state each path's output tensor is in *before* re-alignment
-#: to the join state, so the simulator/trace can replay the re-alignment
-#: exactly instead of re-deriving it from the path's last layer
-PATH_EXIT_PREFIX = "@exit:"
-
-
-def join_key(stage_name: str) -> str:
-    return JOIN_PREFIX + stage_name
-
-
-def path_exit_key(stage_name: str, path_index: int) -> str:
-    return f"{PATH_EXIT_PREFIX}{stage_name}:{path_index}"
-
-
-def is_synthetic_key(name: str) -> bool:
-    """True for non-layer assignment entries (``@join:`` / ``@exit:``)."""
-    return name.startswith((JOIN_PREFIX, PATH_EXIT_PREFIX))
-
-
-@dataclass
-class LevelPlan:
-    """Per-layer assignments for one hierarchy level (one pairing-tree node).
-
-    ``assignments`` may also contain synthetic ``@join:`` entries recording
-    the partition state chosen for each fork/join boundary tensor and
-    ``@exit:`` entries recording each path's pre-alignment exit state; these
-    are consumed by the simulator and excluded from layer-facing views.
-    """
-
-    assignments: Dict[str, LayerPartition]
-    cost: float = 0.0
-    scheme: str = ""
-
-    def partition(self, layer_name: str) -> LayerPartition:
-        return self.assignments[layer_name]
-
-    def layer_assignments(self) -> Dict[str, LayerPartition]:
-        """Real-layer assignments only (synthetic entries dropped)."""
-        return {
-            name: lp
-            for name, lp in self.assignments.items()
-            if not is_synthetic_key(name)
-        }
-
-    def type_counts(self) -> Dict[PartitionType, int]:
-        counts = {t: 0 for t in ALL_TYPES}
-        for lp in self.layer_assignments().values():
-            counts[lp.ptype] += 1
-        return counts
-
-
-@dataclass
-class HierarchicalPlan:
-    """A plan for the whole pairing tree: one LevelPlan per internal node.
-
-    The tree structure mirrors :class:`~repro.hardware.cluster.GroupNode`:
-    ``level_plan`` applies at this node's split; ``left``/``right`` are the
-    children's plans (``None`` for leaves).
-    """
-
-    level_plan: Optional[LevelPlan]
-    left: Optional["HierarchicalPlan"] = None
-    right: Optional["HierarchicalPlan"] = None
-    scheme: str = ""
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.level_plan is None
-
-    def depth(self) -> int:
-        if self.is_leaf:
-            return 0
-        left_d = self.left.depth() if self.left else 0
-        right_d = self.right.depth() if self.right else 0
-        return 1 + max(left_d, right_d)

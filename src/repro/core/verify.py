@@ -5,7 +5,8 @@ arrive from JSON (:mod:`repro.core.serialize`) or hand edits, so the
 runtime-facing API re-checks everything before execution:
 
 * every weighted layer has an assignment at every level, with a valid type
-  and an interior ratio;
+  and an interior ratio, and alignment entries reference real parallel
+  stages (delegated to :func:`repro.plan.validate.validate_level`);
 * the plan tree mirrors the pairing tree;
 * the fully-sharded leaf workloads fit each leaf group's HBM (Table 7).
 """
@@ -15,11 +16,11 @@ from __future__ import annotations
 from typing import List
 
 from ..hardware.cluster import GroupNode
+from ..plan.validate import collect_structure, validate_level
 from ..sim.memory import leaf_memory_report
 from ..training.optimizers import SGD, OptimizerSpec
 from .planner import PlannedExecution
 from .stages import ShardedStage, iter_sharded_workloads, shard_stages
-from .types import ALL_TYPES, HierarchicalPlan, is_synthetic_key
 
 
 class PlanVerificationError(ValueError):
@@ -37,10 +38,10 @@ def verify_planned(
     :class:`PlanVerificationError` instead.
     """
     issues: List[str] = []
-    layer_names = {sw.name for sw in iter_sharded_workloads(planned.stages)}
+    layer_names, parallel_paths = collect_structure(planned.stages)
 
-    def visit(node: GroupNode, plan: HierarchicalPlan,
-              stages: List[ShardedStage], path: str) -> None:
+    def visit(node: GroupNode, plan, stages: List[ShardedStage],
+              path: str) -> None:
         if plan.level_plan is None or node.is_leaf:
             if node.is_leaf != plan.is_leaf and layer_names:
                 issues.append(
@@ -56,23 +57,12 @@ def verify_planned(
                 )
             return
 
-        assignments = plan.level_plan.assignments
-        missing = layer_names - set(assignments)
-        if missing:
-            issues.append(f"{path}: layers without assignment: {sorted(missing)}")
-        for name, lp in assignments.items():
-            if lp.ptype not in ALL_TYPES:
-                issues.append(f"{path}: layer {name!r} has invalid type {lp.ptype!r}")
-            if not 0.0 < lp.ratio < 1.0:
-                issues.append(
-                    f"{path}: layer {name!r} ratio {lp.ratio} outside (0, 1)"
-                )
-        extraneous = {
-            n for n in assignments
-            if n not in layer_names and not is_synthetic_key(n)
-        }
-        if extraneous:
-            issues.append(f"{path}: assignments for unknown layers {sorted(extraneous)}")
+        level_issues = validate_level(plan.level_plan, layer_names,
+                                      parallel_paths)
+        issues.extend(f"{path}: {issue}" for issue in level_issues)
+        layer_entries = plan.level_plan.layers()
+        missing = layer_names - {a.name for a in layer_entries}
+        bad_alpha = any(not 0.0 < a.alpha < 1.0 for a in layer_entries)
 
         if plan.left is None or plan.right is None:
             issues.append(f"{path}: internal plan node missing children")
@@ -81,8 +71,9 @@ def verify_planned(
             issues.append(f"{path}: plan has levels below a pairing-tree leaf")
             return
 
-        if missing:
-            return  # cannot shard further without full assignments
+        if missing or bad_alpha:
+            return  # cannot shard further on incomplete/invalid assignments
+        assignments = plan.level_plan.layer_assignments()
         left_stages = shard_stages(stages, assignments, "left")
         right_stages = shard_stages(stages, assignments, "right")
         visit(node.left, plan.left, left_stages, path + "L")

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional
 from ..core.cost_model import PairCostModel
 from ..core.planner import PlannedExecution
 from ..core.stages import iter_sharded_workloads
-from ..core.types import LayerPartition, PartitionType
+from ..core.types import PartitionType
+from ..plan.ir import LayerPartition
 from ..sim.executor import SimReport
 from .reporting import format_table
 

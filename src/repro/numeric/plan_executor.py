@@ -1,7 +1,7 @@
 """Execute real planner output numerically: the end-to-end bridge.
 
 :mod:`repro.numeric.hierarchical` validates symmetric level plans; this
-module consumes an actual :class:`~repro.core.types.HierarchicalPlan` as
+module consumes an actual :class:`~repro.plan.ir.HierarchicalPlan` as
 produced by :class:`~repro.core.planner.AccParPlanner` — per-*node* types
 and ratios, asymmetric across heterogeneous subtrees — and runs the
 training step with real matrices.  It is the final link in the chain:
@@ -20,7 +20,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.types import HierarchicalPlan, PartitionType
+from ..core.types import PartitionType
+from ..plan.ir import HierarchicalPlan
 from .hierarchical import HierCommLog, HierTrace
 from .reference import MlpSpec, relu, relu_grad
 from .sharding import split_point
@@ -69,10 +70,8 @@ class PlanTreeMlpExecutor:
     def _check_plan(self, plan: HierarchicalPlan) -> None:
         if plan.level_plan is None:
             return
-        missing = [
-            name for name in self.layer_names
-            if name not in plan.level_plan.assignments
-        ]
+        assigned = {a.name for a in plan.level_plan.layers()}
+        missing = [name for name in self.layer_names if name not in assigned]
         if missing:
             raise ValueError(f"plan misses assignments for layers {missing}")
         assert plan.left is not None and plan.right is not None
@@ -81,7 +80,7 @@ class PlanTreeMlpExecutor:
 
     def _assignment(self, plan: HierarchicalPlan, k: int):
         assert plan.level_plan is not None
-        return plan.level_plan.assignments[self.layer_names[k]]
+        return plan.level_plan.partition(self.layer_names[k])
 
     # -- recursive kernels over the plan tree ---------------------------
     def _forward(self, plan: HierarchicalPlan, level: int, k: int,

@@ -1,0 +1,130 @@
+"""Structural diffing of hierarchical plans.
+
+Two plans are *equivalent* when they make the same decisions: same tree
+shape, same per-layer types, ratios equal within a relative tolerance
+(float noise from different arithmetic routes is not a difference — the
+same ``COST_REL_TOL`` reasoning as the search's tie-breaking), and the same
+join/exit alignments.  Entry *order* and per-level costs are deliberately
+not compared: they are representation detail, not decisions.
+
+:func:`plan_diff` returns the differences as typed records; the
+``repro plan-diff`` CLI subcommand and the equivalence tests render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ir import HierarchicalPlan, LevelPlan
+
+#: relative tolerance under which two ratios count as the same decision
+ALPHA_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PlanDifference:
+    """One difference between two plans at one tree position.
+
+    ``kind`` is one of ``structure`` / ``layers`` / ``type`` / ``alpha`` /
+    ``join`` / ``exit``.
+    """
+
+    path: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path} [{self.kind}]: {self.detail}"
+
+
+def _close(a: float, b: float, rel_tol: float) -> bool:
+    return abs(a - b) <= rel_tol * max(abs(a), abs(b), 1.0)
+
+
+def _diff_level(a: LevelPlan, b: LevelPlan, path: str,
+                rel_tol: float) -> List[PlanDifference]:
+    out: List[PlanDifference] = []
+
+    a_layers = {e.name: e for e in a.layers()}
+    b_layers = {e.name: e for e in b.layers()}
+    only_a = sorted(set(a_layers) - set(b_layers))
+    only_b = sorted(set(b_layers) - set(a_layers))
+    if only_a or only_b:
+        out.append(PlanDifference(
+            path, "layers",
+            f"layer sets differ (only in a: {only_a}, only in b: {only_b})",
+        ))
+    for name in sorted(set(a_layers) & set(b_layers)):
+        ea, eb = a_layers[name], b_layers[name]
+        if ea.ptype is not eb.ptype:
+            out.append(PlanDifference(
+                path, "type", f"layer {name!r}: {ea.ptype} vs {eb.ptype}"
+            ))
+        elif not _close(ea.alpha, eb.alpha, rel_tol):
+            out.append(PlanDifference(
+                path, "alpha",
+                f"layer {name!r}: alpha {ea.alpha!r} vs {eb.alpha!r}",
+            ))
+
+    a_joins = {e.stage: e for e in a.joins()}
+    b_joins = {e.stage: e for e in b.joins()}
+    for stage in sorted(set(a_joins) | set(b_joins)):
+        ja, jb = a_joins.get(stage), b_joins.get(stage)
+        if ja is None or jb is None:
+            out.append(PlanDifference(
+                path, "join",
+                f"stage {stage!r} aligned only in {'a' if jb is None else 'b'}",
+            ))
+        elif ja.state is not jb.state:
+            out.append(PlanDifference(
+                path, "join", f"stage {stage!r}: {ja.state} vs {jb.state}"
+            ))
+
+    a_exits = {(e.stage, e.path_index): e for e in a.path_exits()}
+    b_exits = {(e.stage, e.path_index): e for e in b.path_exits()}
+    for key in sorted(set(a_exits) | set(b_exits)):
+        xa, xb = a_exits.get(key), b_exits.get(key)
+        stage, index = key
+        if xa is None or xb is None:
+            out.append(PlanDifference(
+                path, "exit",
+                f"stage {stage!r} path {index} recorded only in "
+                f"{'a' if xb is None else 'b'}",
+            ))
+        elif xa.state is not xb.state:
+            out.append(PlanDifference(
+                path, "exit",
+                f"stage {stage!r} path {index}: {xa.state} vs {xb.state}",
+            ))
+    return out
+
+
+def plan_diff(
+    a: HierarchicalPlan,
+    b: HierarchicalPlan,
+    rel_tol: float = ALPHA_REL_TOL,
+) -> List[PlanDifference]:
+    """Every decision-level difference between two plan trees (empty = same)."""
+    out: List[PlanDifference] = []
+
+    def visit(na: Optional[HierarchicalPlan], nb: Optional[HierarchicalPlan],
+              path: str) -> None:
+        if na is None and nb is None:
+            return
+        if na is None or nb is None or na.is_leaf != nb.is_leaf:
+            def shape(n: Optional[HierarchicalPlan]) -> str:
+                if n is None:
+                    return "absent"
+                return "leaf" if n.is_leaf else "internal"
+            out.append(PlanDifference(
+                path, "structure", f"{shape(na)} in a vs {shape(nb)} in b"
+            ))
+            return
+        if na.level_plan is not None and nb.level_plan is not None:
+            out.extend(_diff_level(na.level_plan, nb.level_plan, path, rel_tol))
+        visit(na.left, nb.left, path + "L")
+        visit(na.right, nb.right, path + "R")
+
+    visit(a, b, "root")
+    return out

@@ -25,7 +25,8 @@ from ..models.registry import build_model
 
 #: bump when the fingerprint payload layout (or plan semantics) changes;
 #: folded into every key so old disk-cache entries simply stop matching
-REQUEST_SCHEMA_VERSION = 1
+#: (v2: per-request search backend + typed plan-entry serialization)
+REQUEST_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,9 @@ class PlanRequest:
     ``space`` and ``ratio_mode`` are the AccPar ablation knobs
     (:class:`repro.core.planner.AccParScheme`); leaving them ``None`` means
     "the scheme's defaults" and hashes distinctly from pinning the defaults
-    explicitly — by design, since a scheme's defaults may evolve.
+    explicitly — by design, since a scheme's defaults may evolve.  The same
+    convention covers ``backend``: ``None`` keeps the scheme's default search
+    backend, a name from :func:`repro.plan.available_backends` overrides it.
     """
 
     model: str
@@ -46,6 +49,7 @@ class PlanRequest:
     levels: Optional[int] = None
     space: Optional[Tuple[str, ...]] = None      # PartitionType values, e.g. ("I", "II")
     ratio_mode: Optional[str] = None             # "balanced" | "equal" | "proportional"
+    backend: Optional[str] = None                # search backend name, e.g. "greedy"
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
@@ -83,5 +87,6 @@ class PlanRequest:
                 "levels": self.levels,
                 "space": list(self.space) if self.space is not None else None,
                 "ratio_mode": self.ratio_mode,
+                "backend": self.backend.lower() if self.backend else None,
             }
         )

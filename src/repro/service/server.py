@@ -8,7 +8,8 @@ A request looks like::
 
 Optional fields: ``scheme`` (default ``accpar``), ``levels``, ``dtype_bytes``,
 ``space`` (partition-type values, e.g. ``["I", "II"]``), ``ratio_mode``,
-``id`` (echoed back).  Control operations use ``op``::
+``backend`` (search backend name, e.g. ``"greedy"``), ``id`` (echoed back).
+Control operations use ``op``::
 
     {"op": "stats"}        -> metrics + cache counters
     {"op": "shutdown"}     -> drain and exit the loop
@@ -56,6 +57,7 @@ def request_from_doc(doc: Dict) -> PlanRequest:
         levels=doc.get("levels"),
         space=tuple(space) if space is not None else None,
         ratio_mode=doc.get("ratio_mode"),
+        backend=doc.get("backend"),
     )
 
 

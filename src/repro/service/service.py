@@ -8,9 +8,11 @@ Request lifecycle (:meth:`PlanService.plan`):
    submits one exact planning job to the worker pool; concurrent identical
    requests coalesce onto the same in-flight future;
 4. **deadline** — a caller whose deadline expires before the exact job lands
-   gets a fast greedy-scheme plan marked ``degraded=True``.  The exact job
-   keeps running in the pool and upgrades the cache entry when it finishes
-   (background refinement), so the *next* request gets the exact plan.
+   gets a fast fallback plan marked ``degraded=True``: the *same* scheme and
+   knobs re-run under the service's fallback search backend (greedy unless
+   configured otherwise).  The exact job keeps running in the pool and
+   upgrades the cache entry when it finishes (background refinement), so the
+   *next* request gets the exact plan.
 
 Distinct fingerprints run concurrently across the pool; identical ones never
 plan twice.  All counters land in a :class:`~repro.service.metrics.MetricsRegistry`.
@@ -30,8 +32,9 @@ from ..baselines import get_scheme
 from ..core.counters import planner_counters
 from ..core.hierarchy import PartitionScheme
 from ..core.planner import AccParScheme, GreedyScheme, PlannedExecution, Planner
-from ..core.types import ALL_TYPES, PartitionType
+from ..core.types import PartitionType
 from ..graph.network import Network
+from ..plan.backends import get_backend
 from ..obs.logging import get_logger, slow_request_threshold_s
 from ..obs.registry import render_prometheus
 from ..obs.tracing import new_trace_id, tracer
@@ -65,14 +68,22 @@ class PlanResponse:
         return self.source in ("memory", "disk")
 
 
-def build_scheme(request: PlanRequest) -> PartitionScheme:
+def build_scheme(
+    request: PlanRequest, backend_override: Optional[str] = None
+) -> PartitionScheme:
     """Resolve a request's scheme name + ablation knobs into a scheme object.
 
     The ``space`` / ``ratio_mode`` knobs parameterize the AccPar (and greedy)
     search; the fixed baselines (dp/owt/hypar) have no such knobs and reject
-    them rather than silently ignoring cache-key-relevant input.
+    them rather than silently ignoring cache-key-relevant input.  The search
+    backend is, in precedence order: ``backend_override`` (the service's
+    deadline fallback path), then the request's ``backend`` field, then the
+    scheme's own default.
     """
     name = request.scheme.lower()
+    backend = backend_override if backend_override is not None else request.backend
+    if backend is not None:
+        get_backend(backend)  # fail fast on unknown names, before planning
     space = (
         tuple(PartitionType(v) for v in request.space)
         if request.space is not None
@@ -85,12 +96,14 @@ def build_scheme(request: PlanRequest) -> PartitionScheme:
             kwargs["space"] = space
         if request.ratio_mode is not None:
             kwargs["ratio_mode"] = request.ratio_mode
+        if backend is not None:
+            kwargs["backend"] = backend
         return cls(**kwargs)
     if space is not None or request.ratio_mode is not None:
         raise ValueError(
             f"scheme {request.scheme!r} does not accept space/ratio_mode knobs"
         )
-    return get_scheme(name)
+    return get_scheme(name, backend=backend)
 
 
 class PlanService:
@@ -103,9 +116,14 @@ class PlanService:
         metrics: Optional[MetricsRegistry] = None,
         network_builder: Optional[Callable[[str], Network]] = None,
         slow_request_s: Optional[float] = None,
+        fallback_backend: str = "greedy",
     ):
         self.cache = cache if cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: search backend for the deadline-degraded path; validated eagerly
+        #: so a typo surfaces at construction, not on the first slow request
+        get_backend(fallback_backend)
+        self.fallback_backend = fallback_backend
         #: requests slower than this log a structured warning; defaults to
         #: the REPRO_SLOW_REQUEST_MS environment variable, then 1 s
         self.slow_request_s = slow_request_threshold_s(slow_request_s)
@@ -245,21 +263,14 @@ class PlanService:
                             request.batch)
 
     def _plan_degraded(self, request: PlanRequest) -> PlannedExecution:
-        """The deadline fallback: greedy search, same knobs, run inline.
+        """The deadline fallback: same scheme, fallback search backend, inline.
 
         Deliberately NOT cached — the background exact job owns the cache
         entry, so a degraded answer can never mask the exact plan.
         """
-        scheme = GreedyScheme(
-            space=(
-                tuple(PartitionType(v) for v in request.space)
-                if request.space is not None
-                else ALL_TYPES
-            ),
-            ratio_mode=request.ratio_mode or "balanced",
-        )
         planner = Planner(
-            request.array, scheme,
+            request.array,
+            build_scheme(request, backend_override=self.fallback_backend),
             dtype_bytes=request.dtype_bytes,
             levels=request.levels,
         )

@@ -33,15 +33,8 @@ from ..core.stages import (
     shard_stages,
 )
 from ..core.hierarchy import stages_key
-from ..core.types import (
-    HierarchicalPlan,
-    LayerPartition,
-    PSUM_PHASE,
-    PartitionType,
-    Phase,
-    join_key,
-    path_exit_key,
-)
+from ..core.types import PSUM_PHASE, PartitionType, Phase
+from ..plan.ir import HierarchicalPlan, LevelPlan
 from ..hardware.cluster import GroupNode
 from .energy import EnergyBreakdown, ZERO_ENERGY, events_energy
 from .engine import EngineConfig, TimingEngine
@@ -105,7 +98,7 @@ class _NodeResult:
 
 def _level_net_events(
     stages: Sequence[ShardedStage],
-    assignments: Dict[str, LayerPartition],
+    level: LevelPlan,
     entry_state: Optional[PartitionType],
 ) -> Tuple[List[TraceEvent], List[TraceEvent], Optional[PartitionType]]:
     """Per-party network/psum-add events for one level; returns exit state."""
@@ -124,7 +117,7 @@ def _level_net_events(
         for stage in sub:
             if isinstance(stage, ShardedLayerStage):
                 sw = stage.workload
-                lp = assignments[sw.name]
+                lp = level.partition(sw.name)
                 g = granule_of(sw)
                 phase = PSUM_PHASE[lp.ptype]
                 # intra-layer: both parties fetch the peer's partial sums and add
@@ -140,8 +133,7 @@ def _level_net_events(
                     emit_pair(amount_i, amount_j, sw.name, Phase.FORWARD, g)
                 prev = lp.ptype
             elif isinstance(stage, ShardedParallelStage):
-                jkey = join_key(stage.name)
-                join_lp = assignments.get(jkey)
+                join = level.alignment_for(stage.name)
                 fork = first_workload([stage])
                 for index, path in enumerate(stage.paths):
                     if path:
@@ -153,19 +145,19 @@ def _level_net_events(
                     # the search records each path's pre-alignment exit state;
                     # prefer the recorded value so the replay matches exactly
                     # what was costed (inferred state kept for legacy plans)
-                    recorded = assignments.get(path_exit_key(stage.name, index))
+                    recorded = level.path_exit(stage.name, index)
                     if recorded is not None:
-                        exit_state = recorded.ptype
+                        exit_state = recorded.state
                     # re-align each path's output to the join state
-                    if join_lp is not None and exit_state is not None \
-                            and exit_state is not join_lp.ptype:
+                    if join is not None and exit_state is not None \
+                            and exit_state is not join.state:
                         amount_i, amount_j = inter_layer_elements(
-                            boundary, exit_state, join_lp.ptype, join_lp.ratio
+                            boundary, exit_state, join.state, join.alpha
                         )
                         emit_pair(amount_i, amount_j, stage.name, Phase.FORWARD,
                                   granule_of(fork))
-                if join_lp is not None:
-                    prev = join_lp.ptype
+                if join is not None:
+                    prev = join.state
                 # else: linearized schemes (HyPar) recorded no join state; the
                 # boundary keeps the fork state, which never over-charges them
             else:  # pragma: no cover - defensive
@@ -208,9 +200,9 @@ def evaluate(planned: PlannedExecution,
 
         assert node.left is not None and node.right is not None
         assert plan.left is not None and plan.right is not None
-        assignments = plan.level_plan.assignments
+        level = plan.level_plan
 
-        ev_i, ev_j, _ = _level_net_events(stages, assignments, entry_state=None)
+        ev_i, ev_j, _ = _level_net_events(stages, level, entry_state=None)
         time_i = engine.elapsed(ev_i, node.left.group)
         time_j = engine.elapsed(ev_j, node.right.group)
         comm_time = max(time_i, time_j)
@@ -220,6 +212,7 @@ def evaluate(planned: PlannedExecution,
         bytes_j = sum(e.quantized_amount() for e in ev_j
                       if e.kind is EventKind.NET_READ) * config.dtype_bytes
 
+        assignments = level.layer_assignments()
         left_stages = shard_stages(stages, assignments, "left")
         right_stages = shard_stages(stages, assignments, "right")
         left = visit(node.left, plan.left, left_stages)

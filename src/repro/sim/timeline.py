@@ -59,9 +59,9 @@ def critical_path_timeline(
     while plan.level_plan is not None and not node.is_leaf:
         assert node.left is not None and node.right is not None
         assert plan.left is not None and plan.right is not None
-        assignments = plan.level_plan.assignments
+        level = plan.level_plan
 
-        ev_i, ev_j, _ = _level_net_events(stages, assignments, entry_state=None)
+        ev_i, ev_j, _ = _level_net_events(stages, level, entry_state=None)
         time_i = engine.elapsed(ev_i, node.left.group)
         time_j = engine.elapsed(ev_j, node.right.group)
         comm_us = max(time_i, time_j) * 1e6
@@ -74,6 +74,7 @@ def critical_path_timeline(
         cursor_us += comm_us
         level_row += 1
 
+        assignments = level.layer_assignments()
         left_stages = shard_stages(stages, assignments, "left")
         right_stages = shard_stages(stages, assignments, "right")
         # descend into the slower child: compare one-level-down quickly by

@@ -115,7 +115,9 @@ class TestValidateCommand:
         main(["plan", "--model", "lenet", "--array", "tpu-v3:4",
               "--batch", "32", "--out", str(out_file)])
         document = json.loads(out_file.read_text())
-        del document["plan"]["assignments"]["cv1"]
+        document["plan"]["entries"] = [
+            e for e in document["plan"]["entries"] if e.get("layer") != "cv1"
+        ]
         out_file.write_text(json.dumps(document))
         capsys.readouterr()
         assert main(["validate", "--plan", str(out_file)]) == 1
@@ -306,3 +308,64 @@ class TestServiceStatsFormats:
     def test_format_choices_enforced(self):
         with pytest.raises(SystemExit):
             main(["service-stats", "--format", "xml"])
+
+
+class TestBackendOption:
+    def test_plan_with_greedy_backend(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.json"
+        code = main(["plan", "--model", "lenet", "--array", "tpu-v2:2,tpu-v3:2",
+                     "--batch", "32", "--backend", "greedy",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--model", "lenet", "--array", "tpu-v3:4",
+                  "--backend", "quantum"])
+
+    def test_backend_changes_decisions(self, capsys, tmp_path):
+        a = tmp_path / "dp.json"
+        b = tmp_path / "greedy.json"
+        common = ["--model", "alexnet", "--array", "tpu-v2:2,tpu-v3:2",
+                  "--batch", "64"]
+        main(["plan", *common, "--out", str(a)])
+        main(["plan", *common, "--backend", "greedy", "--out", str(b)])
+        capsys.readouterr()
+        assert main(["plan-diff", str(a), str(b)]) == 1
+        assert "difference" in capsys.readouterr().out
+
+
+class TestPlanDiffCommand:
+    def _plan(self, tmp_path, name, **extra):
+        out_file = tmp_path / f"{name}.json"
+        args = ["plan", "--model", "lenet", "--array", "tpu-v3:4",
+                "--batch", "32", "--out", str(out_file)]
+        for flag, value in extra.items():
+            args += [f"--{flag}", value]
+        assert main(args) == 0
+        return out_file
+
+    def test_identical_plans_exit_zero(self, capsys, tmp_path):
+        a = self._plan(tmp_path, "a")
+        b = self._plan(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["plan-diff", str(a), str(b)]) == 0
+        assert "identical decisions" in capsys.readouterr().out
+
+    def test_differing_plans_exit_one_and_list_diffs(self, capsys, tmp_path):
+        a = self._plan(tmp_path, "a")
+        b = self._plan(tmp_path, "b", scheme="dp")
+        capsys.readouterr()
+        assert main(["plan-diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "[type]" in out or "[alpha]" in out
+
+    def test_rel_tol_flag(self, capsys, tmp_path):
+        a = self._plan(tmp_path, "a")
+        b = self._plan(tmp_path, "b", scheme="dp")
+        capsys.readouterr()
+        # an absurdly loose tolerance silences alpha diffs but not type diffs;
+        # the command still reports the decision-level verdict
+        code = main(["plan-diff", str(a), str(b), "--rel-tol", "0.5"])
+        assert code in (0, 1)

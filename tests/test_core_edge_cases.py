@@ -11,14 +11,8 @@ from repro.core.stages import (
     ShardedParallelStage,
     to_sharded_stages,
 )
-from repro.core.types import (
-    ALL_TYPES,
-    HierarchicalPlan,
-    LayerPartition,
-    LevelPlan,
-    PartitionType,
-    ShardedWorkload,
-)
+from repro.core.types import ALL_TYPES, PartitionType, ShardedWorkload
+from repro.plan.ir import HierarchicalPlan, LayerAssignment, LevelPlan
 from repro.baselines import get_scheme
 from repro.graph.layers import LayerWorkload
 from repro.hardware import (
@@ -146,7 +140,7 @@ class TestHierarchyEdgeCases:
         assert leaf.is_leaf
 
     def test_level_plan_partition_accessor(self):
-        level = LevelPlan(assignments={"a": LayerPartition(I, 0.5)})
+        level = LevelPlan(entries=(LayerAssignment("a", I, 0.5),))
         assert level.partition("a").ptype is I
         with pytest.raises(KeyError):
             level.partition("ghost")

@@ -48,7 +48,7 @@ class TestProjectDocs:
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/paper_mapping.md", "docs/tutorial.md",
                  "docs/serving.md", "docs/performance.md",
-                 "docs/observability.md"]
+                 "docs/observability.md", "docs/plan-format.md"]
     )
     def test_documents_present_and_nonempty(self, name):
         path = ROOT / name

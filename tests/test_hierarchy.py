@@ -80,7 +80,7 @@ class TestStagesKey:
 
     def test_key_changes_with_sharding(self, stages):
         from repro.core.stages import shard_stages
-        from repro.core.types import LayerPartition
+        from repro.plan.ir import LayerPartition
 
         assignments = {
             sw.name: LayerPartition(I, 0.5)

@@ -13,12 +13,12 @@ from repro.core.dp_search import (
 from repro.core.stages import ShardedLayerStage
 from repro.core.types import (
     ALL_TYPES,
-    LayerPartition,
     PartitionType,
     Phase,
     ShardedWorkload,
 )
 from repro.graph.layers import LayerWorkload
+from repro.plan.ir import LayerAssignment
 from repro.hardware import TPU_V2, TPU_V3, make_group
 from repro.numeric.sharding import AxisShard, reassemble, take
 from repro.numeric.two_device import (
@@ -46,28 +46,29 @@ def model():
 
 class TestBacktracking:
     def test_backtrack_restores_stage_order(self):
-        first = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
-        second = _BackNode((("y", LayerPartition(II, 0.5)),), parent=first)
-        assert [n for n, _ in second.backtrack()] == ["x", "y"]
+        first = _BackNode((LayerAssignment("x", I, 0.5),), parent=None)
+        second = _BackNode((LayerAssignment("y", II, 0.5),), parent=first)
+        assert [e.name for e in second.backtrack()] == ["x", "y"]
 
     def test_empty_groups_skipped(self):
-        first = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
+        first = _BackNode((LayerAssignment("x", I, 0.5),), parent=None)
         empty = _BackNode((), parent=first)
-        assert [n for n, _ in empty.backtrack()] == ["x"]
+        assert [e.name for e in empty.backtrack()] == ["x"]
 
     def test_shared_prefix_not_copied(self):
         # two branches share the same parent chain object (O(N) memory)
-        prefix = _BackNode((("x", LayerPartition(I, 0.5)),), parent=None)
-        left = _BackNode((("l", LayerPartition(II, 0.5)),), parent=prefix)
-        right = _BackNode((("r", LayerPartition(III, 0.5)),), parent=prefix)
+        prefix = _BackNode((LayerAssignment("x", I, 0.5),), parent=None)
+        left = _BackNode((LayerAssignment("l", II, 0.5),), parent=prefix)
+        right = _BackNode((LayerAssignment("r", III, 0.5),), parent=prefix)
         assert left.parent is right.parent
-        assert [n for n, _ in left.backtrack()] == ["x", "l"]
-        assert [n for n, _ in right.backtrack()] == ["x", "r"]
+        assert [e.name for e in left.backtrack()] == ["x", "l"]
+        assert [e.name for e in right.backtrack()] == ["x", "r"]
 
     def test_transition_info_is_plain_record(self):
-        info = TransitionInfo(1.0, (("x", LayerPartition(I, 0.5)),))
+        info = TransitionInfo(1.0, (LayerAssignment("x", I, 0.5),))
         assert info.cost == 1.0
-        assert dict(info.assignments)["x"].ptype is I
+        by_name = {e.name: e for e in info.entries}
+        assert by_name["x"].ptype is I
 
 
 class TestDpInternals:
@@ -78,7 +79,8 @@ class TestDpInternals:
         assert len(transitions) == 2 * 3
         for (tt, t), info in transitions.items():
             assert info.cost > 0
-            assert dict(info.assignments)["fc"].ptype is t
+            by_name = {e.name: e for e in info.entries}
+            assert by_name["fc"].ptype is t
 
     def test_dp_over_stages_exposes_all_exits(self, model):
         exits = dp_over_stages([fc_stage()], model, ALL_TYPES, {None: 0.0})

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.stages import iter_sharded_workloads, shard_stages, to_sharded_stages
-from repro.core.types import LayerPartition, PartitionType
+from repro.core.types import PartitionType
+from repro.plan.ir import LayerPartition
 from repro.hardware import TPU_V2, TPU_V3, make_group
 from repro.models import build_model
 from repro.sim.memory import leaf_memory_report

@@ -63,13 +63,7 @@ class TestNWayPlanning:
         assert times["accpar"] < times["dp"]
 
     def test_n_way_join_state_recorded(self):
-        from repro.core.types import JOIN_PREFIX
-
         planned = Planner(homogeneous_array(2), get_scheme("accpar")).plan(
             trident(n_blocks=1), batch=16
         )
-        joins = [
-            name for name in planned.root_level_plan.assignments
-            if name.startswith(JOIN_PREFIX)
-        ]
-        assert len(joins) == 1
+        assert len(planned.root_level_plan.joins()) == 1

@@ -10,17 +10,10 @@ from repro.core.stages import (
     ShardedParallelStage,
     to_sharded_stages,
 )
-from repro.core.types import (
-    ALL_TYPES,
-    PATH_EXIT_PREFIX,
-    PartitionType,
-    ShardedWorkload,
-    is_synthetic_key,
-    join_key,
-    path_exit_key,
-)
+from repro.core.types import ALL_TYPES, PartitionType, ShardedWorkload
 from repro.graph.layers import LayerWorkload
 from repro.hardware import TPU_V2, TPU_V3, make_group
+from repro.plan.ir import JoinAlignment, LayerAssignment, LevelPlan, PathExit
 
 I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
 
@@ -35,6 +28,11 @@ def residual_region(with_skip_layer=False):
     p2 = (fc_stage("p2a"), fc_stage("p2b"))
     p1 = (fc_stage("p1a"),) if with_skip_layer else ()
     return ShardedParallelStage(paths=(p2, p1), name="block")
+
+
+def as_level(info_or_result):
+    """View a TransitionInfo or SearchResult's entries through LevelPlan."""
+    return LevelPlan(entries=tuple(info_or_result.entries))
 
 
 @pytest.fixture
@@ -68,14 +66,15 @@ class TestParallelTransitions:
         stage = residual_region()
         transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I])
         for (tt, s), info in transitions.items():
-            assignments = dict(info.assignments)
-            assert assignments[join_key("block")].ptype is s
+            join = as_level(info).alignment_for("block")
+            assert join is not None and join.state is s
 
     def test_path_layers_assigned(self, model):
         stage = residual_region(with_skip_layer=True)
         transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I])
         for info in transitions.values():
-            names = {name for name, _ in info.assignments}
+            names = {e.name for e in info.entries
+                     if isinstance(e, LayerAssignment)}
             assert {"p1a", "p2a", "p2b"} <= names
 
     def test_cost_sums_paths(self, model):
@@ -101,16 +100,16 @@ class TestPathExitRecording:
         stage = residual_region()  # path 0: two layers; path 1: identity skip
         transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [I, II])
         for (tt, s), info in transitions.items():
-            assignments = dict(info.assignments)
+            level = as_level(info)
             # the weighted path exits in whatever state its last layer chose
-            exit0 = assignments[path_exit_key("block", 0)]
-            assert exit0.ptype is assignments["p2b"].ptype, (tt, s)
+            exit0 = level.path_exit("block", 0)
+            assert exit0.state is level.assignment("p2b").ptype, (tt, s)
             # the skip path carries the fork tensor through unchanged, so its
             # exit state is the region's entry state
-            exit1 = assignments[path_exit_key("block", 1)]
-            assert exit1.ptype is tt, (tt, s)
+            exit1 = level.path_exit("block", 1)
+            assert exit1.state is tt, (tt, s)
             # and the join alignment is the macro-transition's exit state
-            assert assignments[join_key("block")].ptype is s, (tt, s)
+            assert level.alignment_for("block").state is s, (tt, s)
 
     def test_free_entry_skip_path_records_no_exit(self, model):
         """At the network entry (tt=None) a skip path has nothing to
@@ -118,41 +117,38 @@ class TestPathExitRecording:
         stage = residual_region()
         transitions = parallel_stage_transitions(stage, model, ALL_TYPES, [None])
         for info in transitions.values():
-            assignments = dict(info.assignments)
-            assert path_exit_key("block", 0) in assignments
-            assert path_exit_key("block", 1) not in assignments
+            level = as_level(info)
+            assert level.path_exit("block", 0) is not None
+            assert level.path_exit("block", 1) is None
 
     def test_resnet_block_search_exposes_exit_states(self, model):
         """End-to-end regression on a two-path ResNet-style block: the final
-        plan must carry consistent @exit entries for the chosen DP path."""
+        plan must carry consistent path-exit entries for the chosen DP path."""
         stages = [fc_stage("pre"), residual_region(), fc_stage("post")]
-        result = search_stages(stages, model)
-        exit0 = result.assignments[path_exit_key("block", 0)]
-        exit1 = result.assignments[path_exit_key("block", 1)]
-        join = result.assignments[join_key("block")]
+        level = search_stages(stages, model).to_level_plan("test")
+        exit0 = level.path_exit("block", 0)
+        exit1 = level.path_exit("block", 1)
+        join = level.alignment_for("block")
         # path 0's exit is its last layer's chosen type
-        assert exit0.ptype is result.assignments["p2b"].ptype
+        assert exit0.state is level.assignment("p2b").ptype
         # the skip path exits in the state 'pre' fed the fork with
-        assert exit1.ptype is result.assignments["pre"].ptype
+        assert exit1.state is level.assignment("pre").ptype
         # every synthetic state is one of the searchable types
-        for lp in (exit0, exit1, join):
-            assert lp.ptype in ALL_TYPES
+        for entry in (exit0, exit1, join):
+            assert entry.state in ALL_TYPES
 
     def test_resnet18_every_block_has_exit_entries(self, model):
         from repro.models import build_model
 
         net = build_model("resnet18")
         stages = to_sharded_stages(net.stages(batch=8))
-        result = search_stages(stages, model)
-        joins = {n for n in result.assignments if n.startswith("@join:")}
-        exits = {n for n in result.assignments if n.startswith(PATH_EXIT_PREFIX)}
-        assert joins, "resnet18 must contain fork/join regions"
+        level = search_stages(stages, model).to_level_plan("test")
+        join_stages = {j.stage for j in level.joins()}
+        exit_stages = {e.stage for e in level.path_exits()}
+        assert join_stages, "resnet18 must contain fork/join regions"
         # every joined region records at least one per-path exit state
-        for join_name in joins:
-            region = join_name.split(":", 1)[1]
-            assert any(n.startswith(f"{PATH_EXIT_PREFIX}{region}:") for n in exits), (
-                region
-            )
+        for region in join_stages:
+            assert region in exit_stages, region
 
 
 class TestEndToEndMultipath:
@@ -171,8 +167,9 @@ class TestEndToEndMultipath:
         stages = [fc_stage("pre"), block1, block2, fc_stage("post")]
         result = search_stages(stages, model)
         assert {"pre", "b1a", "b1b", "b2a", "b2b", "post"} <= set(result.assignments)
-        assert join_key("blk1") in result.assignments
-        assert join_key("blk2") in result.assignments
+        level = result.to_level_plan("test")
+        assert level.alignment_for("blk1") is not None
+        assert level.alignment_for("blk2") is not None
 
     def test_search_beats_every_uniform_plan(self):
         """The multi-path search must be at least as good as pinning all
@@ -191,7 +188,8 @@ class TestEndToEndMultipath:
         net = build_model("resnet18")
         stages = to_sharded_stages(net.stages(batch=8))
         result = search_stages(stages, model)
-        planned = {n for n in result.assignments if not is_synthetic_key(n)}
+        planned = {e.name for e in result.entries
+                   if isinstance(e, LayerAssignment)}
         expected = {w.name for w in net.workloads(8)}
         assert planned == expected
 
@@ -203,4 +201,82 @@ class TestEndToEndMultipath:
         stages = [fc_stage("pre"), outer, fc_stage("post")]
         result = search_stages(stages, model)
         assert {"pre", "o1", "i1", "o2", "post"} <= set(result.assignments)
-        assert join_key("inner") in result.assignments
+        level = result.to_level_plan("test")
+        assert level.alignment_for("inner") is not None
+
+
+class TestNestedForkJoin:
+    """A fork nested inside one path of another fork (satellite: deep
+    fork-in-path coverage for parallel_stage_transitions)."""
+
+    @staticmethod
+    def nested_region():
+        inner = ShardedParallelStage(
+            paths=((fc_stage("n_i1"), fc_stage("n_i2")), ()), name="inner"
+        )
+        return ShardedParallelStage(
+            paths=((fc_stage("n_o1"), inner, fc_stage("n_o2")),
+                   (fc_stage("n_skip"),)),
+            name="outer",
+        )
+
+    def test_transitions_cover_entry_times_space(self, model):
+        transitions = parallel_stage_transitions(
+            self.nested_region(), model, ALL_TYPES, [I, III]
+        )
+        assert set(transitions) == {(tt, s) for tt in (I, III)
+                                    for s in ALL_TYPES}
+
+    def test_inner_join_and_exits_recorded(self, model):
+        transitions = parallel_stage_transitions(
+            self.nested_region(), model, ALL_TYPES, [I]
+        )
+        for (tt, s), info in transitions.items():
+            level = as_level(info)
+            # both regions align their joins
+            assert level.alignment_for("inner") is not None
+            assert level.alignment_for("outer") is not None
+            # inner's weighted path records its exit; outer records both
+            assert level.path_exit("inner", 0) is not None
+            assert level.path_exit("outer", 0) is not None
+            assert level.path_exit("outer", 1) is not None
+            # all five layers are assigned
+            names = {e.name for e in level.layers()}
+            assert {"n_o1", "n_i1", "n_i2", "n_o2", "n_skip"} <= names
+
+    def test_inner_exit_matches_last_inner_layer(self, model):
+        transitions = parallel_stage_transitions(
+            self.nested_region(), model, ALL_TYPES, [I]
+        )
+        for info in transitions.values():
+            level = as_level(info)
+            exit0 = level.path_exit("inner", 0)
+            assert exit0.state is level.assignment("n_i2").ptype
+
+    def test_inner_skip_exit_is_inner_entry_state(self, model):
+        """Inner's empty skip path exits in whatever state entered the inner
+        region — the type chosen for n_o1, the layer feeding the inner fork."""
+        transitions = parallel_stage_transitions(
+            self.nested_region(), model, ALL_TYPES, [I]
+        )
+        for info in transitions.values():
+            level = as_level(info)
+            exit1 = level.path_exit("inner", 1)
+            assert exit1 is not None
+            assert exit1.state is level.assignment("n_o1").ptype
+
+    def test_nested_region_simulates_end_to_end(self, model):
+        """The full chain through a nested region searches and yields a
+        positive cost with a consistent typed plan."""
+        stages = [fc_stage("pre"), self.nested_region(), fc_stage("post")]
+        result = search_stages(stages, model)
+        assert result.cost > 0.0
+        level = result.to_level_plan("test")
+        assert {e.name for e in level.layers()} == {
+            "pre", "n_o1", "n_i1", "n_i2", "n_o2", "n_skip", "post"
+        }
+        # entry ordering keeps nested structure: inner entries appear between
+        # outer path-0's first and last layers
+        names = [getattr(e, "name", getattr(e, "stage", "")) for e in
+                 level.entries]
+        assert names.index("n_o1") < names.index("n_i1") < names.index("n_o2")

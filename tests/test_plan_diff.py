@@ -1,0 +1,125 @@
+"""Unit tests for structural plan diffing (repro.plan.diff)."""
+
+import pytest
+
+from repro.core.planner import AccParPlanner
+from repro.core.types import PartitionType
+from repro.hardware import heterogeneous_array
+from repro.models import build_model
+from repro.plan.diff import ALPHA_REL_TOL, PlanDifference, plan_diff
+from repro.plan.ir import (
+    HierarchicalPlan,
+    JoinAlignment,
+    LayerAssignment,
+    LevelPlan,
+    PathExit,
+)
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+def single_level(*entries, cost=0.0):
+    return HierarchicalPlan(LevelPlan(entries=tuple(entries), cost=cost))
+
+
+class TestLevelDiff:
+    def test_identical_plans_have_no_diff(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("x", I, 0.5))
+        assert plan_diff(a, b) == []
+
+    def test_entry_order_is_representation_not_decision(self):
+        a = single_level(LayerAssignment("x", I, 0.5),
+                         LayerAssignment("y", II, 0.5))
+        b = single_level(LayerAssignment("y", II, 0.5),
+                         LayerAssignment("x", I, 0.5))
+        assert plan_diff(a, b) == []
+
+    def test_cost_is_not_compared(self):
+        a = single_level(LayerAssignment("x", I, 0.5), cost=1.0)
+        b = single_level(LayerAssignment("x", I, 0.5), cost=2.0)
+        assert plan_diff(a, b) == []
+
+    def test_layer_set_difference(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("y", I, 0.5))
+        (d,) = plan_diff(a, b)
+        assert d.kind == "layers" and "x" in d.detail and "y" in d.detail
+
+    def test_type_difference(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("x", III, 0.5))
+        (d,) = plan_diff(a, b)
+        assert d.kind == "type"
+
+    def test_alpha_within_tolerance_is_same_decision(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("x", I, 0.5 * (1 + ALPHA_REL_TOL / 2)))
+        assert plan_diff(a, b) == []
+
+    def test_alpha_beyond_tolerance_differs(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("x", I, 0.5001))
+        (d,) = plan_diff(a, b)
+        assert d.kind == "alpha"
+
+    def test_custom_tolerance(self):
+        a = single_level(LayerAssignment("x", I, 0.5))
+        b = single_level(LayerAssignment("x", I, 0.5001))
+        assert plan_diff(a, b, rel_tol=1e-2) == []
+
+    def test_join_state_difference(self):
+        a = single_level(JoinAlignment("blk", I, 0.5))
+        b = single_level(JoinAlignment("blk", II, 0.5))
+        (d,) = plan_diff(a, b)
+        assert d.kind == "join"
+
+    def test_join_missing_on_one_side(self):
+        a = single_level(JoinAlignment("blk", I, 0.5))
+        b = single_level()
+        (d,) = plan_diff(a, b)
+        assert d.kind == "join" and "only in a" in d.detail
+
+    def test_exit_difference(self):
+        a = single_level(PathExit("blk", 0, I, 0.5))
+        b = single_level(PathExit("blk", 0, II, 0.5))
+        (d,) = plan_diff(a, b)
+        assert d.kind == "exit"
+
+    def test_difference_renders_with_path_and_kind(self):
+        d = PlanDifference("rootL", "type", "layer 'x': Type-I vs Type-II")
+        assert str(d) == "rootL [type]: layer 'x': Type-I vs Type-II"
+
+
+class TestTreeDiff:
+    def test_structure_difference(self):
+        a = HierarchicalPlan(LevelPlan(), left=HierarchicalPlan(None))
+        b = HierarchicalPlan(LevelPlan())
+        diffs = plan_diff(a, b)
+        assert any(d.kind == "structure" and d.path == "rootL" for d in diffs)
+
+    def test_nested_difference_carries_path(self):
+        a = HierarchicalPlan(
+            LevelPlan(),
+            left=HierarchicalPlan(LevelPlan(entries=(
+                LayerAssignment("x", I, 0.5),))),
+        )
+        b = HierarchicalPlan(
+            LevelPlan(),
+            left=HierarchicalPlan(LevelPlan(entries=(
+                LayerAssignment("x", II, 0.5),))),
+        )
+        (d,) = plan_diff(a, b)
+        assert d.path == "rootL" and d.kind == "type"
+
+    def test_real_plan_self_diff_is_empty(self):
+        planned = AccParPlanner(heterogeneous_array(2, 2)).plan(
+            build_model("resnet18"), batch=32
+        )
+        assert plan_diff(planned.plan, planned.plan) == []
+
+    def test_replan_is_deterministic(self):
+        array = heterogeneous_array(2, 2)
+        a = AccParPlanner(array).plan(build_model("alexnet"), batch=64)
+        b = AccParPlanner(array).plan(build_model("alexnet"), batch=64)
+        assert plan_diff(a.plan, b.plan) == []

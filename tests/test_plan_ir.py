@@ -1,0 +1,183 @@
+"""Unit tests for the typed plan IR (repro.plan.ir)."""
+
+import pytest
+
+from repro.core.types import PartitionType
+from repro.plan.ir import (
+    HierarchicalPlan,
+    JoinAlignment,
+    LayerAssignment,
+    LayerPartition,
+    LevelPlan,
+    PathExit,
+    SearchResult,
+)
+
+I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
+
+
+class TestEntryTypes:
+    def test_layer_assignment_partition_view(self):
+        entry = LayerAssignment("cv1", II, 0.25)
+        assert entry.ratio == 0.25
+        lp = entry.partition
+        assert isinstance(lp, LayerPartition)
+        assert lp.ptype is II and lp.ratio == 0.25
+
+    def test_join_alignment_partition_view(self):
+        entry = JoinAlignment("fork@x", III, 0.4)
+        assert entry.partition.ptype is III
+
+    def test_path_exit_partition_view(self):
+        entry = PathExit("fork@x", 1, I, 0.6)
+        assert entry.path_index == 1
+        assert entry.partition.ptype is I
+
+    def test_entries_tolerate_invalid_alpha(self):
+        """Entry constructors accept out-of-range alphas so that invalid
+        plans can be *loaded and reported* rather than crash on read."""
+        assert LayerAssignment("x", I, 1.5).alpha == 1.5
+        assert JoinAlignment("s", I, -0.1).alpha == -0.1
+
+    def test_layer_partition_still_validates(self):
+        with pytest.raises(ValueError):
+            LayerPartition(I, 1.5)
+
+    def test_invalid_alpha_partition_view_raises(self):
+        with pytest.raises(ValueError):
+            _ = LayerAssignment("x", I, 1.5).partition
+
+
+class TestLevelPlanConstruction:
+    def test_duplicate_layer_rejected(self):
+        with pytest.raises(ValueError):
+            LevelPlan(entries=(LayerAssignment("a", I),
+                               LayerAssignment("a", II)))
+
+    def test_duplicate_join_rejected(self):
+        with pytest.raises(ValueError):
+            LevelPlan(entries=(JoinAlignment("s", I), JoinAlignment("s", II)))
+
+    def test_duplicate_exit_rejected(self):
+        with pytest.raises(ValueError):
+            LevelPlan(entries=(PathExit("s", 0, I), PathExit("s", 0, II)))
+
+    def test_same_stage_different_paths_allowed(self):
+        level = LevelPlan(entries=(PathExit("s", 0, I), PathExit("s", 1, II)))
+        assert len(level.path_exits()) == 2
+
+
+class TestLevelPlanAccessors:
+    @pytest.fixture
+    def level(self):
+        return LevelPlan(
+            entries=(
+                LayerAssignment("pre", I, 0.5),
+                PathExit("blk", 0, II, 0.5),
+                PathExit("blk", 1, I, 0.5),
+                JoinAlignment("blk", III, 0.5),
+                LayerAssignment("post", III, 0.3),
+            ),
+            cost=4.2,
+            scheme="accpar",
+        )
+
+    def test_layers_in_entry_order(self, level):
+        assert [e.name for e in level.layers()] == ["pre", "post"]
+
+    def test_assignment_and_partition(self, level):
+        assert level.assignment("post").ptype is III
+        assert level.partition("post").ratio == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            level.assignment("ghost")
+
+    def test_alignment_for(self, level):
+        assert level.alignment_for("blk").state is III
+        assert level.alignment_for("nope") is None
+
+    def test_path_exit(self, level):
+        assert level.path_exit("blk", 0).state is II
+        assert level.path_exit("blk", 2) is None
+
+    def test_alignments_for_orders_exits_then_join(self, level):
+        seq = level.alignments_for("blk")
+        assert [type(e).__name__ for e in seq] == [
+            "PathExit", "PathExit", "JoinAlignment"
+        ]
+        assert [getattr(e, "path_index", None) for e in seq] == [0, 1, None]
+
+    def test_assignments_property_is_fresh_copy(self, level):
+        view = level.assignments
+        assert set(view) == {"pre", "post"}
+        view["pre"] = LayerPartition(II, 0.9)
+        assert level.assignments["pre"].ptype is I
+
+    def test_layer_assignments_excludes_synthetic_entries(self, level):
+        assert set(level.layer_assignments()) == {"pre", "post"}
+
+    def test_equality_ignores_caches(self, level):
+        clone = LevelPlan(entries=level.entries, cost=level.cost,
+                          scheme=level.scheme)
+        clone.layer_assignments()  # populate internal cache on one side only
+        assert clone == level
+
+    def test_type_counts(self, level):
+        counts = level.type_counts()
+        assert counts[I] == 1 and counts[III] == 1 and counts[II] == 0
+
+
+class TestHierarchicalPlan:
+    def test_leaf_depth(self):
+        leaf = HierarchicalPlan(level_plan=None)
+        assert leaf.is_leaf and leaf.depth() == 0
+
+    def test_nested_depth(self):
+        inner = HierarchicalPlan(LevelPlan())
+        outer = HierarchicalPlan(LevelPlan(), left=inner,
+                                 right=HierarchicalPlan(None))
+        assert outer.depth() == 2
+
+    def test_validate_delegates(self):
+        from repro.models import build_model
+
+        plan = HierarchicalPlan(LevelPlan())  # empty level: all layers missing
+        issues = plan.validate(build_model("lenet"), batch=8)
+        assert any("without assignment" in msg for msg in issues)
+
+
+class TestSearchResult:
+    def test_to_level_plan_preserves_entries_and_cost(self):
+        entries = (LayerAssignment("a", I, 0.5), JoinAlignment("s", II, 0.5))
+        result = SearchResult(entries=entries, cost=2.5, exit_state=II)
+        level = result.to_level_plan("dp")
+        assert level.entries == entries
+        assert level.cost == 2.5 and level.scheme == "dp"
+
+    def test_assignments_view_layers_only(self):
+        result = SearchResult(
+            entries=(LayerAssignment("a", I, 0.5), JoinAlignment("s", II, 0.5)),
+            cost=0.0,
+            exit_state=None,
+        )
+        assert set(result.assignments) == {"a"}
+        assert result.types() == {"a": I}
+
+
+class TestNoMagicKeyLiterals:
+    def test_no_source_outside_plan_and_serialize_uses_magic_keys(self):
+        """The @join:/@exit: string convention must not leak outside the
+        serializer's v1-migration shim (grep-enforced acceptance criterion)."""
+        from pathlib import Path
+
+        # construct the needles dynamically so this file never matches itself
+        needles = ("@" + "join:", "@" + "exit:")
+        src = Path(__file__).resolve().parent.parent / "src"
+        offenders = []
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src).as_posix()
+            if rel.startswith("repro/plan/") or rel == "repro/core/serialize.py":
+                continue
+            text = path.read_text()
+            if any(needle in text for needle in needles):
+                offenders.append(rel)
+        assert offenders == []

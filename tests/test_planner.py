@@ -79,3 +79,59 @@ class TestGenericPlanner:
         for level in planned.level_plans():
             for lp in level.layer_assignments().values():
                 assert lp.ptype in (I, II)
+
+
+class TestSubtreeReporting:
+    """Figure-7 reporting under asymmetric sibling subtrees (heterogeneous
+    arrays with the default type-separated split policy)."""
+
+    @pytest.fixture(scope="class")
+    def hetero_planned(self):
+        return AccParPlanner(heterogeneous_array(4, 4)).plan(
+            build_model("alexnet"), batch=128
+        )
+
+    @pytest.fixture(scope="class")
+    def homo_planned(self):
+        return AccParPlanner(homogeneous_array(8)).plan(
+            build_model("alexnet"), batch=128
+        )
+
+    def test_homogeneous_subtrees_are_symmetric(self, homo_planned):
+        assert homo_planned.subtrees_symmetric()
+
+    def test_homogeneous_strict_mode_succeeds(self, homo_planned):
+        per_level = homo_planned.layer_types_by_level(strict=True)
+        assert len(per_level) == homo_planned.hierarchy_levels()
+
+    def test_heterogeneous_subtrees_differ(self, hetero_planned):
+        """Type-separated bisection of a heterogeneous array puts different
+        sub-arrays under each root child; their plans legitimately differ."""
+        assert not hetero_planned.subtrees_symmetric()
+
+    def test_heterogeneous_strict_mode_raises(self, hetero_planned):
+        with pytest.raises(ValueError, match="layer_types_by_subtree"):
+            hetero_planned.layer_types_by_level(strict=True)
+
+    def test_default_mode_keeps_leftmost_spine(self, hetero_planned):
+        """Non-strict reporting still works (documented asymmetry)."""
+        per_level = hetero_planned.layer_types_by_level()
+        assert len(per_level) == hetero_planned.hierarchy_levels()
+
+    def test_by_subtree_reports_every_internal_node(self, hetero_planned):
+        by_subtree = hetero_planned.layer_types_by_subtree()
+        assert "root" in by_subtree
+        assert "rootL" in by_subtree and "rootR" in by_subtree
+        # the siblings that break symmetry are visible side by side
+        assert any(
+            by_subtree["rootL"].get(name) is not by_subtree["rootR"].get(name)
+            for name in by_subtree["rootL"]
+        )
+
+    def test_by_subtree_matches_spine_on_symmetric_plans(self, homo_planned):
+        by_subtree = homo_planned.layer_types_by_subtree()
+        per_level = homo_planned.layer_types_by_level()
+        spine = "root"
+        for level_types in per_level:
+            assert by_subtree[spine] == level_types
+            spine += "L"

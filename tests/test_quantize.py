@@ -9,7 +9,7 @@ from repro.core.quantize import (
     quantize_plan,
     quantize_ratio,
 )
-from repro.core.types import JOIN_PREFIX, PartitionType, ShardedWorkload
+from repro.core.types import PartitionType, ShardedWorkload
 from repro.core.verify import verify_planned
 from repro.graph.layers import LayerWorkload
 from repro.hardware import heterogeneous_array
@@ -64,9 +64,7 @@ class TestQuantizePlan:
         from repro.core.stages import iter_sharded_workloads
 
         by_name = {sw.name: sw for sw in iter_sharded_workloads(planned.stages)}
-        for name, lp in quantized.root_level_plan.assignments.items():
-            if name.startswith(JOIN_PREFIX):
-                continue
+        for name, lp in quantized.root_level_plan.layer_assignments().items():
             extent = int(partitioned_extent(by_name[name], lp.ptype))
             assert lp.ratio * extent == pytest.approx(round(lp.ratio * extent))
 

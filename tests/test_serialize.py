@@ -12,8 +12,9 @@ from repro.core.serialize import (
     plan_to_dict,
     save_plan,
 )
-from repro.core.types import LayerPartition, PartitionType
+from repro.core.types import PartitionType
 from repro.core.verify import PlanVerificationError, verify_planned
+from repro.plan.ir import LayerAssignment, LevelPlan
 from repro.baselines import get_scheme
 from repro.hardware import heterogeneous_array, homogeneous_array
 from repro.models import build_model
@@ -26,6 +27,16 @@ def planned():
     return AccParPlanner(heterogeneous_array(2, 2)).plan(
         build_model("alexnet"), batch=64
     )
+
+
+def _without_layer(level, name):
+    """A copy of ``level`` with one layer's assignment entry dropped."""
+    kept = tuple(
+        e for e in level.entries
+        if not (isinstance(e, LayerAssignment) and e.name == name)
+    )
+    assert len(kept) < len(level.entries), f"{name} not present"
+    return LevelPlan(entries=kept, cost=level.cost, scheme=level.scheme)
 
 
 class TestRoundTrip:
@@ -102,19 +113,24 @@ class TestVerifyPlanned:
             assert verify_planned(planned) == []
 
     def test_missing_assignment_detected(self, planned):
-        del planned.root_level_plan.assignments["cv1"]
+        planned.plan.level_plan = _without_layer(planned.root_level_plan, "cv1")
         issues = verify_planned(planned)
         assert any("cv1" in issue for issue in issues)
 
     def test_unknown_layer_detected(self, planned):
-        planned.root_level_plan.assignments["ghost"] = LayerPartition(
-            PartitionType.TYPE_I, 0.5
+        level = planned.root_level_plan
+        planned.plan.level_plan = LevelPlan(
+            entries=level.entries + (
+                LayerAssignment("ghost", PartitionType.TYPE_I, 0.5),
+            ),
+            cost=level.cost,
+            scheme=level.scheme,
         )
         issues = verify_planned(planned)
         assert any("ghost" in issue for issue in issues)
 
     def test_strict_mode_raises(self, planned):
-        del planned.root_level_plan.assignments["cv1"]
+        planned.plan.level_plan = _without_layer(planned.root_level_plan, "cv1")
         with pytest.raises(PlanVerificationError):
             verify_planned(planned, strict=True)
 

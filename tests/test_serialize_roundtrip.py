@@ -80,7 +80,7 @@ class TestForwardCompatibility:
             plan_from_dict(alexnet_doc)
 
     def test_version_mismatch_raises_plan_format_error(self, alexnet_doc):
-        alexnet_doc["format_version"] = 2
+        alexnet_doc["format_version"] = 99
         with pytest.raises(PlanFormatError, match="format version"):
             plan_from_dict(alexnet_doc)
 

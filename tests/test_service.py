@@ -207,7 +207,9 @@ class TestDeadline:
         response = service.plan(request, deadline_s=0.0)
         assert response.degraded
         assert response.source == "degraded"
-        assert response.planned.scheme == "greedy"
+        # same scheme, searched with the fallback backend
+        assert response.planned.scheme == "accpar"
+        assert service.fallback_backend == "greedy"
         assert service.metrics.value("degraded") == 1
         # the fallback still covers every weighted layer
         network = build_model("vgg19")
@@ -219,7 +221,7 @@ class TestDeadline:
         delay_exact_planning(service)
         request = PlanRequest(model="vgg16", array=array, batch=512)
         degraded = service.plan(request, deadline_s=0.0)
-        assert degraded.planned.scheme == "greedy"
+        assert degraded.degraded and degraded.source == "degraded"
         service.drain()
         refined = service.plan(request)
         assert refined.cache_hit
@@ -345,3 +347,64 @@ class TestMetricsRegistry:
     def test_counter_rejects_negative(self):
         with pytest.raises(ValueError):
             MetricsRegistry().counter("x").inc(-1)
+
+
+class TestPerRequestBackend:
+    def test_request_backend_reaches_planner(self, service, array):
+        from repro.plan import plan_diff
+
+        exact = service.plan(
+            PlanRequest(model="alexnet", array=array, batch=64)
+        )
+        greedy = service.plan(
+            PlanRequest(model="alexnet", array=array, batch=64,
+                        backend="greedy")
+        )
+        # distinct cache entries, and (on this heterogeneous array) the
+        # greedy backend makes genuinely different decisions
+        assert exact.fingerprint != greedy.fingerprint
+        assert plan_diff(exact.planned.plan, greedy.planned.plan)
+
+    def test_backend_is_part_of_the_cache_key(self, service, array):
+        first = service.plan(
+            PlanRequest(model="lenet", array=array, batch=32, backend="dp")
+        )
+        second = service.plan(
+            PlanRequest(model="lenet", array=array, batch=32,
+                        backend="greedy")
+        )
+        assert first.fingerprint != second.fingerprint
+        assert not second.cache_hit
+
+    def test_unknown_backend_fails_fast(self, service, array):
+        with pytest.raises(KeyError, match="unknown search backend"):
+            service.plan(
+                PlanRequest(model="lenet", array=array, batch=32,
+                            backend="quantum")
+            )
+
+    def test_unknown_fallback_backend_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unknown search backend"):
+            PlanService(fallback_backend="quantum")
+
+    def test_backend_alias_accepted(self, service, array):
+        response = service.plan(
+            PlanRequest(model="lenet", array=array, batch=32,
+                        backend="exact")
+        )
+        assert response.planned.scheme == "accpar"
+
+    def test_baseline_scheme_with_backend(self, service, array):
+        response = service.plan(
+            PlanRequest(model="lenet", array=array, batch=32, scheme="hypar",
+                        backend="greedy")
+        )
+        assert response.planned.scheme == "hypar"
+
+    def test_server_doc_carries_backend(self, array):
+        from repro.service.server import request_from_doc
+
+        request = request_from_doc(
+            {"model": "lenet", "batch": 32, "backend": "greedy"}
+        )
+        assert request.backend == "greedy"

@@ -12,7 +12,8 @@ from repro.core.stages import (
     shard_stages,
     to_sharded_stages,
 )
-from repro.core.types import LayerPartition, PartitionType
+from repro.core.types import PartitionType
+from repro.plan.ir import LayerPartition
 from repro.models import build_model
 
 I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III

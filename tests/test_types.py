@@ -5,18 +5,15 @@ import pytest
 from repro.core.types import (
     ALL_TYPES,
     HYPAR_TYPES,
-    JOIN_PREFIX,
-    LayerPartition,
-    LevelPlan,
     PARTITIONED_DIM,
     PSUM_PHASE,
     PartitionType,
     Phase,
     REPLICATED_TENSOR,
     ShardedWorkload,
-    join_key,
 )
 from repro.graph.layers import LayerWorkload
+from repro.plan.ir import JoinAlignment, LayerAssignment, LayerPartition, LevelPlan
 
 
 def fc_workload(batch=8, d_in=6, d_out=4, name="fc"):
@@ -192,25 +189,23 @@ class TestLayerPartition:
 class TestLevelPlan:
     def test_layer_assignments_filter_join_entries(self):
         plan = LevelPlan(
-            assignments={
-                "c1": LayerPartition(PartitionType.TYPE_I),
-                join_key("fork@x"): LayerPartition(PartitionType.TYPE_II),
-            }
+            entries=(
+                LayerAssignment("c1", PartitionType.TYPE_I),
+                JoinAlignment("fork@x", PartitionType.TYPE_II),
+            )
         )
         assert list(plan.layer_assignments()) == ["c1"]
+        assert [j.stage for j in plan.joins()] == ["fork@x"]
 
     def test_type_counts(self):
         plan = LevelPlan(
-            assignments={
-                "a": LayerPartition(PartitionType.TYPE_I),
-                "b": LayerPartition(PartitionType.TYPE_I),
-                "c": LayerPartition(PartitionType.TYPE_III),
-            }
+            entries=(
+                LayerAssignment("a", PartitionType.TYPE_I),
+                LayerAssignment("b", PartitionType.TYPE_I),
+                LayerAssignment("c", PartitionType.TYPE_III),
+            )
         )
         counts = plan.type_counts()
         assert counts[PartitionType.TYPE_I] == 2
         assert counts[PartitionType.TYPE_II] == 0
         assert counts[PartitionType.TYPE_III] == 1
-
-    def test_join_key_roundtrip(self):
-        assert join_key("x").startswith(JOIN_PREFIX)
