@@ -13,6 +13,9 @@ Examples::
     python -m repro figure --which fig7
     python -m repro warm --models alexnet,vgg11 --array hetero
     echo '{"model": "alexnet", "array": "hetero"}' | python -m repro serve
+    python -m repro serve --shards 2 --port 7070
+    python -m repro fleet-stats --port 7070 --format prometheus
+    python -m repro warm --models alexnet,vgg11 --port 7070
     python -m repro service-stats --format prometheus
     python -m repro profile alexnet --out trace.json
     python -m repro simulate --model alexnet --trace sim_trace.json
@@ -167,7 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="serve plan requests as JSON lines on stdin/stdout",
+        help="serve plan requests as JSON lines on stdin/stdout, or as a "
+             "sharded TCP fleet with --shards",
     )
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                    help="disk cache tier directory ('' disables persistence)")
@@ -175,17 +179,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory LRU capacity (plans)")
     p.add_argument("--workers", type=int, default=None,
                    help="planning worker threads (default: CPU count)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run a fleet of N plan-service shards behind an "
+                        "asyncio frontend (0 = classic single process)")
+    p.add_argument("--port", type=int, default=None,
+                   help="fleet mode: TCP port for the frontend (0 = "
+                        "ephemeral; omit to keep serving stdin/stdout)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="fleet mode: frontend bind address")
+    p.add_argument("--shard-mode", choices=["thread", "process"],
+                   default="thread",
+                   help="fleet mode: shards as threads in this process or "
+                        "as isolated OS processes")
+    p.add_argument("--trace", action="store_true",
+                   help="fleet mode: collect spans on every shard for the "
+                        "'trace' op")
 
     p = sub.add_parser("warm", help="pre-populate the plan cache")
     p.add_argument("--models", required=True,
                    help="comma-separated model names")
-    p.add_argument("--array", type=parse_array, default="hetero")
+    p.add_argument("--array", default="hetero",
+                   help="array spec (e.g. hetero, homo, tpu-v3:16)")
     p.add_argument("--scheme", choices=SCHEME_ORDER, default="accpar")
     p.add_argument("--batch", type=int, default=512)
     p.add_argument("--levels", type=int, default=None)
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p.add_argument("--capacity", type=int, default=128)
+    p.add_argument("--port", type=int, default=None,
+                   help="warm a running fleet frontend at this port instead "
+                        "of a local cache (replicates to every shard)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="fleet frontend host (with --port)")
     add_backend_option(p)
+
+    p = sub.add_parser(
+        "fleet-stats",
+        help="query a running fleet frontend for frontend + per-shard stats",
+    )
+    p.add_argument("--port", type=int, required=True,
+                   help="fleet frontend port")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--format", choices=["text", "json", "prometheus"],
+                   default="text",
+                   help="text summary, raw JSON, or Prometheus exposition "
+                        "with per-shard {shard=...} labels")
 
     p = sub.add_parser("service-stats",
                        help="summarize the disk cache tier and last session")
@@ -381,12 +418,60 @@ def _cmd_serve(args) -> int:
     # stdout carries the JSON-lines protocol; structured logs (e.g. the
     # slow-request warning, with trace id) go to stderr as JSON too
     configure_json_logging(stream=sys.stderr)
+    if args.shards:
+        return _cmd_serve_fleet(args)
     service = _build_service(args.cache_dir, args.capacity, args.workers)
     try:
         served = serve_loop(service, sys.stdin, sys.stdout)
     finally:
         service.close()
     print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_fleet(args) -> int:
+    """Fleet mode: N shards behind the asyncio frontend (see docs/serving.md).
+
+    With ``--port`` the frontend listens on TCP (v2 frames, with the v1
+    JSON-lines sniff) until a shutdown op arrives; without it the frontend
+    still comes up but requests are read from stdin and answered on stdout,
+    exactly like the single-process loop — the fleet as a drop-in upgrade.
+    """
+    from .fleet import FleetFrontend, ShardSupervisor
+    from .obs.tracing import tracer
+
+    if args.trace:
+        tracer.enable()  # the frontend's own spans; shards via trace=True
+    supervisor = ShardSupervisor(
+        args.shards,
+        cache_dir=args.cache_dir or None,
+        mode=args.shard_mode,
+        capacity=args.capacity,
+        workers=args.workers,
+        fallback_backend="greedy",
+        trace=args.trace,
+    )
+    with supervisor:
+        frontend = FleetFrontend(
+            supervisor.handles,
+            host=args.host,
+            port=args.port if args.port is not None else 0,
+        )
+        with frontend:
+            shard_list = ", ".join(
+                f"{h.name}@{h.host}:{h.port}" for h in supervisor.handles)
+            print(f"fleet up: frontend {frontend.host}:{frontend.port} "
+                  f"({args.shard_mode} shards: {shard_list})",
+                  file=sys.stderr)
+            sys.stderr.flush()
+            try:
+                if args.port is not None:
+                    frontend.wait()  # TCP only; a shutdown op ends this
+                else:
+                    served = frontend.serve_stdin(sys.stdin, sys.stdout)
+                    print(f"served {served} request(s)", file=sys.stderr)
+            except KeyboardInterrupt:
+                pass
     return 0
 
 
@@ -398,6 +483,10 @@ def _cmd_warm(args) -> int:
     if not models:
         print("warm needs at least one model", file=sys.stderr)
         return 2
+    if args.port is not None:
+        return _cmd_warm_fleet(args, models)
+    if isinstance(args.array, str):
+        args.array = parse_array(args.array)
     service = _build_service(args.cache_dir, args.capacity)
     try:
         requests = [
@@ -414,6 +503,75 @@ def _cmd_warm(args) -> int:
               f"{response.latency_s * 1e3:8.1f} ms  {response.fingerprint}")
     print(f"cache: {len(service.cache)} in memory, "
           f"{len(service.cache.disk_keys())} on disk")
+    return 0
+
+
+def _cmd_warm_fleet(args, models: List[str]) -> int:
+    """Warm a running fleet: plan on each owner, replicate to every shard."""
+    from .fleet import FleetClient
+
+    items = [
+        {"model": m, "array": args.array, "batch": args.batch,
+         "scheme": args.scheme, "levels": args.levels,
+         "backend": args.backend}
+        for m in models
+    ]
+    with FleetClient(args.host, args.port) as client:
+        reply = client.warm(items)
+    for item in reply.get("items", []):
+        if item.get("ok"):
+            print(f"{item.get('fingerprint')}  shard {item.get('shard')}  "
+                  f"{item.get('source'):<8} replicated to "
+                  f"{item.get('replicated')} peer(s)")
+        else:
+            print(f"FAILED: {item.get('error')}")
+    return 0 if reply.get("ok") else 1
+
+
+def _cmd_fleet_stats(args) -> int:
+    import json
+
+    from .fleet import FleetClient
+    from .obs.registry import render_prometheus
+
+    with FleetClient(args.host, args.port) as client:
+        stats = client.stats()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2))
+        return 0
+    frontend = stats.get("frontend", {})
+    shards = stats.get("shards", {}) or {}
+    if args.format == "prometheus":
+        # frontend series carry {component="frontend"}; each shard's carry
+        # {shard="<name>"} so one scrape yields distinguishable series
+        out = [render_prometheus({"metrics": frontend.get("metrics", {})},
+                                 include_defaults=False,
+                                 labels={"component": "frontend"})]
+        for name in sorted(shards):
+            snapshot = shards[name]
+            if snapshot:
+                out.append(render_prometheus(snapshot,
+                                             labels={"shard": name}))
+        sys.stdout.write("".join(out))
+        return 0
+    admission = frontend.get("admission", {})
+    ring = frontend.get("ring", {})
+    print(f"fleet: {len(shards)} shard(s), ring vnodes "
+          f"{ring.get('vnodes')}, queue depth {frontend.get('queue_depth')}")
+    counters = (frontend.get("metrics") or {}).get("counters") or {}
+    for name in sorted(counters):
+        print(f"  frontend.{name:<20} {counters[name]}")
+    print(f"  admission: est_hit={admission.get('est_hit_ms')}ms "
+          f"est_cold={admission.get('est_cold_ms')}ms "
+          f"decisions={admission.get('decisions')}")
+    for name in sorted(shards):
+        snapshot = shards[name] or {}
+        shard_counters = (snapshot.get("metrics") or {}).get("counters") or {}
+        cache = snapshot.get("cache") or {}
+        print(f"  shard {name}: requests={shard_counters.get('requests', 0)} "
+              f"hits_memory={shard_counters.get('hits_memory', 0)} "
+              f"misses={shard_counters.get('misses', 0)} "
+              f"cache_size={cache.get('size', cache.get('memory_entries', 0))}")
     return 0
 
 
@@ -502,6 +660,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": lambda: _cmd_report(args),
         "serve": lambda: _cmd_serve(args),
         "warm": lambda: _cmd_warm(args),
+        "fleet-stats": lambda: _cmd_fleet_stats(args),
         "service-stats": lambda: _cmd_service_stats(args),
     }
     try:

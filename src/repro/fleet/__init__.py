@@ -1,0 +1,65 @@
+"""Fleet serving: sharded, batched, deadline-aware plan service.
+
+The single-process :mod:`repro.service` answers one JSON-lines request at a
+time from one process's cache.  This package is the horizontal layer on top
+of it — the ROADMAP's "millions of users" item:
+
+* :mod:`~repro.fleet.wire` — versioned wire protocol **v2**
+  (length-prefixed JSON frames over TCP, hello/negotiation, a
+  first-byte-sniffing compat shim for the v1 JSON-lines protocol);
+* :mod:`~repro.fleet.ring` — consistent-hash sharding of the
+  content-addressed plan cache (virtual nodes, minimal movement on shard
+  join/leave, deterministic across processes);
+* :mod:`~repro.fleet.shard` — one :class:`~repro.service.service.PlanService`
+  per shard behind a threaded TCP server, runnable in-process (tests) or as
+  a separate OS process (production topology), plus the supervisor that
+  starts/stops a set of them;
+* :mod:`~repro.fleet.admission` — deadline-aware admission control: requests
+  whose deadline cannot be met are shed immediately
+  (``{"ok": false, "error": "shed"}``) instead of failing slowly, and the
+  frontend degrades to the fallback backend under queue pressure;
+* :mod:`~repro.fleet.frontend` — the asyncio frontend: batched plan API
+  (many specs per request, fanned out concurrently), earliest-deadline-first
+  dispatch queue, warm-cache replication to all peers, cross-shard stats and
+  trace aggregation;
+* :mod:`~repro.fleet.client` — the blocking client the CLI
+  (``repro fleet-stats``, ``repro warm --port``) and tests drive.
+
+See docs/serving.md ("Fleet mode") for the topology diagram, the wire
+protocol v2 spec, and the shed/degrade semantics.
+"""
+
+from .admission import AdmissionController, Decision
+from .client import FleetClient
+from .frontend import FleetFrontend
+from .ring import HashRing
+from .shard import ShardHandle, ShardServer, ShardSupervisor
+from .wire import (
+    PROTOCOL_VERSION,
+    FrameError,
+    FrameTooLarge,
+    hello_doc,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Decision",
+    "FleetClient",
+    "FleetFrontend",
+    "FrameError",
+    "FrameTooLarge",
+    "HashRing",
+    "PROTOCOL_VERSION",
+    "ShardHandle",
+    "ShardServer",
+    "ShardSupervisor",
+    "hello_doc",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]

@@ -1,0 +1,83 @@
+"""Blocking wire-v2 client for the fleet frontend (and for single shards).
+
+Used by the CLI (``repro fleet-stats``, ``repro warm --port``), by the CI
+fleet-smoke job and by tests; anything that already speaks the v1
+JSON-lines protocol can keep doing that instead — the frontend sniffs the
+first byte of each connection and serves either protocol.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from .wire import (
+    MAX_RESPONSE_FRAME_BYTES,
+    hello_doc,
+    recv_frame,
+    send_frame,
+)
+
+
+class FleetClient:
+    """One blocking v2 connection with convenience wrappers per op."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self.hello = self.request(hello_doc(role="client"))
+        if not self.hello.get("ok"):
+            self.close()
+            raise ConnectionError(
+                f"handshake refused: {self.hello.get('error')}")
+
+    # ------------------------------------------------------------------
+    def request(self, doc: Dict) -> Dict:
+        """Send one frame, block for one reply."""
+        send_frame(self._sock, doc)
+        reply = recv_frame(self._sock, max_bytes=MAX_RESPONSE_FRAME_BYTES)
+        if reply is None:
+            raise ConnectionError("server closed the connection")
+        return reply
+
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})
+
+    def plan(self, spec: Dict, *, deadline_ms: Optional[float] = None,
+             **extra) -> Dict:
+        doc = dict(spec, op="plan", **extra)
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self.request(doc)
+
+    def plan_batch(self, items: List[Dict], *,
+                   deadline_ms: Optional[float] = None, **extra) -> Dict:
+        doc: Dict = {"op": "plan_batch", "items": list(items), **extra}
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self.request(doc)
+
+    def warm(self, items: List[Dict]) -> Dict:
+        return self.request({"op": "warm", "items": list(items)})
+
+    def stats(self) -> Dict:
+        return self.request({"op": "fleet_stats"})
+
+    def trace(self) -> Dict:
+        return self.request({"op": "trace"})
+
+    def shutdown(self) -> Dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,706 @@
+"""The fleet frontend: one asyncio process that routes for all shards.
+
+Request path for one batch item::
+
+    parse ─▶ quick shed? ─▶ fingerprint ─▶ admission ─▶ EDF queue ─▶
+        dispatcher ─▶ owning shard (consistent hash) ─▶ response
+
+* **Batched plan API** — ``{"op": "plan_batch", "items": [...]}`` fans the
+  items out concurrently; each item is routed, queued and answered
+  independently, and the batch response carries per-item status in order.
+* **Deadline-aware queueing** — admitted items wait in an
+  earliest-deadline-first priority queue drained by a fixed set of
+  dispatcher tasks (one per shard link, so the queue only holds what the
+  shards cannot absorb).  Items are checked against their deadline twice:
+  at admission (:mod:`repro.fleet.admission` — the fast shed) and again at
+  dequeue (late shed), so a queue stampede cannot make the fleet burn
+  planner time on requests that already expired.
+* **Degradation under pressure** — past the admission controller's
+  degrade threshold an item is forwarded with a zero deadline: the owning
+  shard answers from cache if it can, otherwise with its fallback backend
+  (``degraded=True``), and the exact plan still lands in the shard's cache
+  in the background.
+* **Warm replication** — ``{"op": "warm", ...}`` plans each item on its
+  owning shard *with the serialized plan in the response*, then pushes
+  ``cache_put`` frames to every peer shard, so one ``repro warm --port``
+  run leaves the whole fleet hot (a shard join re-routes ~1/N of the
+  keyspace; replicated entries mean those keys stay warm).
+* **Cross-shard observability** — the frontend stamps every item with a
+  trace id that the owning shard adopts (``PlanService.plan(...,
+  trace_id=...)``), aggregates per-shard stats under shard-labelled
+  Prometheus series, and merges shard span dumps with its own into one
+  Chrome trace (``{"op": "trace"}``).
+
+The frontend runs its event loop in a dedicated thread so the blocking
+CLI (and tests) can drive it; v1 JSON-lines clients are supported both on
+stdin (:meth:`FleetFrontend.serve_stdin`) and over TCP (first-byte sniff,
+see :mod:`repro.fleet.wire`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from ..obs.registry import MetricsRegistry
+from ..obs.tracing import new_trace_id, tracer
+from ..service.server import (
+    KNOWN_OPS,
+    MAX_REQUEST_BYTES,
+    is_shutdown_ack,
+    request_from_doc,
+)
+from .admission import ADMIT, DEGRADE, AdmissionController, Decision
+from .ring import HashRing
+from .wire import (
+    FrameError,
+    FrameTooLarge,
+    MAX_REQUEST_FRAME_BYTES,
+    MAX_RESPONSE_FRAME_BYTES,
+    looks_like_v1,
+    negotiate,
+    read_frame,
+    write_frame,
+)
+
+#: ops the frontend answers (v2 frames; v1 lines accept the overlap with
+#: the single-process protocol: plan / stats / shutdown, plus plan_batch)
+FRONTEND_OPS = ("hello", "ping", "plan", "plan_batch", "warm", "stats",
+                "fleet_stats", "trace", "shutdown")
+
+#: every counter the frontend increments; enumerated for docs and tests
+FLEET_COUNTER_NAMES = (
+    "items",
+    "batches",
+    "admitted",
+    "degraded_pressure",
+    "shed_deadline",
+    "shed_queue_full",
+    "shed_late",
+    "routed",
+    "route_errors",
+    "warm_items",
+    "replicated_puts",
+    "v1_lines",
+)
+
+#: one batch may carry at most this many specs
+MAX_BATCH_ITEMS = 1024
+
+
+class ShardUnavailable(RuntimeError):
+    """The owning shard could not be reached (even after a reconnect)."""
+
+
+class _ShardLink:
+    """One persistent v2 connection to a shard."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    async def request(self, doc: Dict) -> Dict:
+        await write_frame(self.writer, doc)
+        reply = await read_frame(self.reader, MAX_RESPONSE_FRAME_BYTES)
+        if reply is None:
+            raise FrameError("shard closed the connection")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except RuntimeError:  # loop already closing
+            pass
+
+
+class _ShardPool:
+    """A small checkout pool of links to one shard, with one reconnect."""
+
+    def __init__(self, name: str, host: str, port: int, size: int = 2):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.size = size
+        self._slots: "asyncio.Queue[Optional[_ShardLink]]" = asyncio.Queue()
+        for _ in range(size):
+            self._slots.put_nowait(None)  # links are dialed lazily
+
+    async def _connect(self) -> _ShardLink:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        link = _ShardLink(reader, writer)
+        hello = await link.request(
+            {"op": "hello", "proto": 2, "role": "frontend"})
+        if not hello.get("ok"):
+            link.close()
+            raise ShardUnavailable(
+                f"shard {self.name}: handshake refused: {hello.get('error')}")
+        return link
+
+    async def request(self, doc: Dict) -> Dict:
+        slot = await self._slots.get()
+        link: Optional[_ShardLink] = slot
+        try:
+            for attempt in (0, 1):
+                if link is None:
+                    link = await self._connect()
+                try:
+                    return await link.request(doc)
+                except (FrameError, OSError, asyncio.IncompleteReadError):
+                    link.close()
+                    link = None
+                    if attempt:  # the reconnect also failed
+                        raise
+            raise ShardUnavailable(f"shard {self.name} unreachable")
+        except (ConnectionError, OSError, FrameError) as exc:
+            raise ShardUnavailable(f"shard {self.name}: {exc}") from exc
+        finally:
+            self._slots.put_nowait(link)
+
+    async def close(self) -> None:
+        for _ in range(self.size):
+            try:
+                link = self._slots.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if link is not None:
+                link.close()
+
+
+class _WorkItem:
+    """One admitted plan item waiting for a dispatcher."""
+
+    __slots__ = ("doc", "shard", "deadline_abs", "future", "fingerprint")
+
+    def __init__(self, doc: Dict, shard: str, deadline_abs: Optional[float],
+                 future: "asyncio.Future[Dict]", fingerprint: str):
+        self.doc = doc
+        self.shard = shard
+        self.deadline_abs = deadline_abs
+        self.future = future
+        self.fingerprint = fingerprint
+
+
+class FleetFrontend:
+    """Asyncio fan-out frontend over a set of running shards."""
+
+    def __init__(
+        self,
+        shards: Sequence,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        admission: Optional[AdmissionController] = None,
+        links_per_shard: int = 2,
+        network_builder=None,
+        ring: Optional[HashRing] = None,
+        name: str = "frontend",
+    ):
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        self.name = name
+        self._shard_addrs = [(str(s.name), s.host, s.port) for s in shards]
+        self.ring = ring or HashRing([addr[0] for addr in self._shard_addrs])
+        self.metrics = metrics or MetricsRegistry()
+        self.admission = admission or AdmissionController()
+        self.links_per_shard = links_per_shard
+        self._network_builder = network_builder
+        self._host = host
+        self._requested_port = port
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stopping = False
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetFrontend":
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="fleet-frontend", daemon=True)
+        self._thread.start()
+        self._started.wait(60.0)
+        if self._startup_error is not None:
+            raise RuntimeError("frontend failed to start") \
+                from self._startup_error
+        if self.port is None:
+            raise RuntimeError("frontend did not come up within 60 s")
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "FleetFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._queue: "asyncio.PriorityQueue[Tuple[float, int, _WorkItem]]" = (
+            asyncio.PriorityQueue())
+        self._pools = {
+            name: _ShardPool(name, host, port, self.links_per_shard)
+            for name, host, port in self._shard_addrs
+        }
+        server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port,
+            limit=MAX_REQUEST_FRAME_BYTES + 1024)
+        self.host, self.port = server.sockets[0].getsockname()[:2]
+        dispatchers = [
+            asyncio.ensure_future(self._dispatcher())
+            for _ in range(max(2, self.links_per_shard * len(self._pools)))
+        ]
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in dispatchers:
+                task.cancel()
+            await asyncio.gather(*dispatchers, return_exceptions=True)
+            for pool in self._pools.values():
+                await pool.close()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            first = await reader.read(1)
+            if not first:
+                return
+            if looks_like_v1(first):
+                await self._serve_v1_connection(first, reader, writer)
+            else:
+                await self._serve_v2_connection(first, reader, writer)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            return  # loop teardown cancels idle connection handlers
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _serve_v2_connection(self, prefix: bytes,
+                                   reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                doc = await read_frame(reader, MAX_REQUEST_FRAME_BYTES,
+                                       prefix=prefix)
+            except FrameTooLarge as exc:
+                await write_frame(writer, {
+                    "ok": False, "error": "request too large",
+                    "limit_bytes": exc.limit, "got_bytes": exc.declared})
+                return  # stream desynchronized past a refused frame
+            except FrameError:
+                return
+            prefix = b""
+            if doc is None:
+                return
+            reply, stop = await self._handle_op(doc)
+            await write_frame(writer, reply)
+            if stop:
+                self._stop_event.set()
+                return
+
+    async def _serve_v1_connection(self, first: bytes,
+                                   reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
+        """The v1 JSON-lines compat shim, over TCP."""
+        pending = first
+        while True:
+            try:
+                rest = await reader.readline()
+            except ValueError:  # line beyond the stream limit
+                writer.write((json.dumps({
+                    "ok": False, "error": "request too large",
+                    "limit_bytes": MAX_REQUEST_BYTES}) + "\n").encode())
+                await writer.drain()
+                return
+            line = (pending + rest).decode("utf-8", errors="replace")
+            pending = b""
+            if not line.strip():
+                if not rest:
+                    return  # EOF
+                continue
+            result = await self._handle_v1_line(line)
+            writer.write((json.dumps(result) + "\n").encode())
+            await writer.drain()
+            if is_shutdown_ack(result):
+                self._stop_event.set()
+                return
+            if not rest:
+                return  # EOF after an unterminated final line
+
+    async def _handle_v1_line(self, line: str) -> Dict:
+        """One v1 JSON-lines request routed through the fleet."""
+        self.metrics.counter("v1_lines").inc()
+        if len(line) > MAX_REQUEST_BYTES:
+            return {"ok": False, "error": "request too large",
+                    "limit_bytes": MAX_REQUEST_BYTES, "got_bytes": len(line)}
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(doc, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        reply, _ = await self._handle_op(doc)
+        return reply
+
+    def serve_stdin(self, lines: Iterable[str], out: TextIO) -> int:
+        """Drive the fleet from the v1 stdin/stdout loop (CLI compat).
+
+        Runs on the caller's thread; each line is handed to the event loop
+        and the response written back as one JSON line, exactly like the
+        single-process ``repro serve``.
+        """
+        if self._loop is None:
+            raise RuntimeError("frontend not started")
+        served = 0
+        for line in lines:
+            future = asyncio.run_coroutine_threadsafe(
+                self._handle_v1_line(line), self._loop)
+            result = future.result()
+            out.write(json.dumps(result) + "\n")
+            out.flush()
+            served += 1
+            if is_shutdown_ack(result):
+                break
+        return served
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _handle_op(self, doc: Dict) -> Tuple[Dict, bool]:
+        op = doc.get("op", "plan")
+        request_id = doc.get("id")
+        stop = False
+        try:
+            if op == "hello":
+                reply = negotiate(doc, role="frontend", server=self.name)
+            elif op == "ping":
+                reply = {"ok": True, "server": self.name,
+                         "shards": [n for n, _, _ in self._shard_addrs]}
+            elif op == "plan":
+                reply = await self._serve_item(doc)
+            elif op == "plan_batch":
+                reply = await self._serve_batch(doc)
+            elif op == "warm":
+                reply = await self._serve_warm(doc)
+            elif op in ("stats", "fleet_stats"):
+                reply = await self._fleet_stats()
+            elif op == "trace":
+                reply = await self._fleet_trace()
+            elif op == "shutdown":
+                reply = await self._shutdown_shards()
+                stop = True
+            else:
+                reply = {"ok": False, "error": f"unknown op {op!r}",
+                         "known_ops": sorted(set(FRONTEND_OPS) |
+                                             set(KNOWN_OPS))}
+        except Exception as exc:  # a bad request must not kill the frontend
+            reply = {"ok": False, "error": str(exc)}
+        if request_id is not None:
+            reply.setdefault("id", request_id)
+        return reply, stop
+
+    # -- plan items ----------------------------------------------------
+    def _parse_item(self, doc: Dict) -> str:
+        """Validate a plan document and return its fingerprint (blocking)."""
+        request = request_from_doc(doc)
+        return request.fingerprint(self._network_builder)
+
+    def _shed_doc(self, decision: Decision, start_ns: int,
+                  fingerprint: Optional[str] = None) -> Dict:
+        latency_ms = (time.perf_counter_ns() - start_ns) / 1e6
+        doc = {
+            "ok": False,
+            "error": "shed",
+            "reason": decision.reason,
+            "est_cost_ms": round(decision.est_cost_s * 1e3, 3),
+            "latency_ms": round(latency_ms, 3),
+        }
+        if fingerprint:
+            doc["fingerprint"] = fingerprint
+        return doc
+
+    async def _serve_item(self, doc: Dict) -> Dict:
+        """One plan item: admission → routing → dispatch → response."""
+        start_ns = time.perf_counter_ns()
+        self.metrics.counter("items").inc()
+        deadline_ms = doc.get("deadline_ms")
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+
+        # fast path: a deadline below any possible service time is shed
+        # before the frontend spends a single model build on it
+        quick = self.admission.quick_shed(deadline_s)
+        if quick is not None:
+            self.metrics.counter("shed_deadline").inc()
+            return self._shed_doc(quick, start_ns)
+
+        loop = asyncio.get_running_loop()
+        try:
+            fingerprint = await loop.run_in_executor(
+                None, self._parse_item, doc)
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+
+        decision = self.admission.decide(
+            fingerprint, deadline_s, self._queue.qsize())
+        if not decision.admitted:
+            self.metrics.counter(
+                "shed_queue_full" if "queue" in decision.reason
+                else "shed_deadline").inc()
+            return self._shed_doc(decision, start_ns, fingerprint)
+        self.metrics.counter("admitted").inc()
+
+        trace_id = doc.get("trace_id") or new_trace_id()
+        forwarded = {k: v for k, v in doc.items() if k not in ("op", "id")}
+        forwarded["op"] = "plan"
+        forwarded["trace_id"] = trace_id
+        if decision.action == DEGRADE:
+            self.metrics.counter("degraded_pressure").inc()
+            forwarded["deadline_ms"] = 0  # cache-now-or-fallback on the shard
+
+        owner = self.ring.owner(fingerprint)
+        deadline_abs = (loop.time() + deadline_s
+                        if deadline_s is not None else None)
+        future: "asyncio.Future[Dict]" = loop.create_future()
+        item = _WorkItem(forwarded, owner, deadline_abs, future, fingerprint)
+        priority = deadline_abs if deadline_abs is not None else float("inf")
+        self._queue.put_nowait((priority, next(self._seq), item))
+
+        reply = await future
+        reply.setdefault("shard", owner)
+        latency_s = (time.perf_counter_ns() - start_ns) / 1e9
+        self.metrics.histogram("item_latency_s").observe(latency_s)
+        tracer.record(
+            "fleet.item", "fleet",
+            start_ns=start_ns, end_ns=time.perf_counter_ns(),
+            trace_id=trace_id, shard=owner,
+            model=doc.get("model"), action=decision.action,
+        )
+        return reply
+
+    async def _dispatcher(self) -> None:
+        """Drain the EDF queue into the owning shards."""
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, item = await self._queue.get()
+            if item.future.cancelled():
+                continue
+            if (item.deadline_abs is not None
+                    and loop.time() > item.deadline_abs):
+                self.metrics.counter("shed_late").inc()
+                item.future.set_result({
+                    "ok": False, "error": "shed",
+                    "reason": "deadline expired while queued",
+                    "fingerprint": item.fingerprint,
+                })
+                continue
+            t0 = time.perf_counter()
+            try:
+                reply = await self._pools[item.shard].request(item.doc)
+                self.metrics.counter("routed").inc()
+            except Exception as exc:
+                self.metrics.counter("route_errors").inc()
+                reply = {"ok": False, "shard": item.shard,
+                         "error": f"shard {item.shard} unavailable: {exc}"}
+            if reply.get("ok"):
+                self.admission.observe(
+                    item.fingerprint, time.perf_counter() - t0,
+                    cache_hit=bool(reply.get("cache_hit")))
+            if not item.future.cancelled():
+                item.future.set_result(reply)
+
+    async def _serve_batch(self, doc: Dict) -> Dict:
+        start_ns = time.perf_counter_ns()
+        self.metrics.counter("batches").inc()
+        items = doc.get("items")
+        if not isinstance(items, list) or not items:
+            return {"ok": False, "error": "plan_batch needs a non-empty "
+                                          "'items' list"}
+        if len(items) > MAX_BATCH_ITEMS:
+            return {"ok": False, "error": "batch too large",
+                    "limit_items": MAX_BATCH_ITEMS, "got_items": len(items)}
+        batch_deadline = doc.get("deadline_ms")
+        prepared = []
+        for item in items:
+            if not isinstance(item, dict):
+                prepared.append({"__invalid__": True})
+                continue
+            merged = dict(item)
+            if batch_deadline is not None:
+                merged.setdefault("deadline_ms", batch_deadline)
+            prepared.append(merged)
+        results = await asyncio.gather(*[
+            self._serve_item(item) if "__invalid__" not in item
+            else _immediate({"ok": False,
+                             "error": "batch items must be JSON objects"})
+            for item in prepared
+        ])
+        latency_s = (time.perf_counter_ns() - start_ns) / 1e9
+        self.metrics.histogram("batch_latency_s").observe(latency_s)
+        succeeded = sum(1 for r in results if r.get("ok"))
+        return {
+            "ok": True,
+            "items": list(results),
+            "count": len(results),
+            "succeeded": succeeded,
+            "latency_ms": round(latency_s * 1e3, 3),
+        }
+
+    # -- warm replication ----------------------------------------------
+    async def _serve_warm(self, doc: Dict) -> Dict:
+        items = doc.get("items")
+        if not isinstance(items, list) or not items:
+            return {"ok": False, "error": "warm needs a non-empty 'items' "
+                                          "list"}
+        results = await asyncio.gather(
+            *[self._warm_item(item) for item in items])
+        return {"ok": all(r.get("ok") for r in results),
+                "items": list(results), "count": len(results)}
+
+    async def _warm_item(self, doc: Dict) -> Dict:
+        """Plan on the owner, then replicate the entry to every peer."""
+        if not isinstance(doc, dict):
+            return {"ok": False, "error": "warm items must be JSON objects"}
+        self.metrics.counter("warm_items").inc()
+        loop = asyncio.get_running_loop()
+        try:
+            fingerprint = await loop.run_in_executor(
+                None, self._parse_item, doc)
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}
+        owner = self.ring.owner(fingerprint)
+        forwarded = {k: v for k, v in doc.items() if k not in ("op", "id")}
+        forwarded.update(op="plan", include_plan=True,
+                         trace_id=new_trace_id())
+        try:
+            reply = await self._pools[owner].request(forwarded)
+        except Exception as exc:
+            return {"ok": False, "shard": owner, "fingerprint": fingerprint,
+                    "error": str(exc)}
+        if not reply.get("ok"):
+            reply.setdefault("shard", owner)
+            return reply
+        self.admission.note_warm(fingerprint)
+        plan_doc = reply.get("plan")
+        replicated = 0
+        if plan_doc is not None:
+            peers = [name for name in self._pools if name != owner]
+            acks = await asyncio.gather(*[
+                self._pools[peer].request({
+                    "op": "cache_put", "fingerprint": fingerprint,
+                    "plan": plan_doc})
+                for peer in peers
+            ], return_exceptions=True)
+            replicated = sum(1 for ack in acks
+                             if isinstance(ack, dict) and ack.get("ok"))
+            self.metrics.counter("replicated_puts").inc(replicated)
+        return {"ok": True, "fingerprint": fingerprint, "shard": owner,
+                "source": reply.get("source"),
+                "cache_hit": reply.get("cache_hit"),
+                "replicated": replicated}
+
+    # -- aggregation ---------------------------------------------------
+    async def _shard_stats(self) -> Dict[str, Optional[Dict]]:
+        async def one(name: str):
+            try:
+                reply = await self._pools[name].request({"op": "stats"})
+                return name, reply.get("stats")
+            except Exception:
+                return name, None
+
+        pairs = await asyncio.gather(*[one(name) for name in self._pools])
+        return dict(pairs)
+
+    def snapshot(self) -> Dict:
+        """The frontend's own stats (metrics, admission, queue, ring)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "queue_depth": self._queue.qsize() if self._loop else 0,
+            "ring": self.ring.describe(),
+        }
+
+    async def _fleet_stats(self) -> Dict:
+        return {
+            "ok": True,
+            "frontend": self.snapshot(),
+            "shards": await self._shard_stats(),
+        }
+
+    async def _fleet_trace(self) -> Dict:
+        """Merge frontend spans with every shard's into one span-dict list."""
+        local = [dict(span.as_dict(), process="frontend")
+                 for span in tracer.drain()]
+
+        async def one(name: str) -> List[Dict]:
+            try:
+                reply = await self._pools[name].request({"op": "trace"})
+                return list(reply.get("spans") or [])
+            except Exception:
+                return []
+
+        remote = await asyncio.gather(*[one(name) for name in self._pools])
+        spans = local + [span for chunk in remote for span in chunk]
+        return {"ok": True, "spans": spans, "count": len(spans)}
+
+    async def _shutdown_shards(self) -> Dict:
+        """Drain-and-stop every shard by protocol, then ack."""
+        drained: Dict[str, object] = {}
+        for name in self._pools:
+            try:
+                ack = await self._pools[name].request({"op": "shutdown"})
+                drained[name] = ack.get("drained_jobs")
+            except Exception as exc:
+                drained[name] = f"error: {exc}"
+        return {"ok": True, "op": "shutdown", "shards": drained}
+
+    # ------------------------------------------------------------------
+    # convenience for the CLI
+    # ------------------------------------------------------------------
+    def wait(self) -> None:
+        """Block until the frontend stops (shutdown op or :meth:`stop`)."""
+        if self._thread is not None:
+            self._thread.join()
+
+
+async def _immediate(doc: Dict) -> Dict:
+    return doc

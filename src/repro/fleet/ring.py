@@ -1,0 +1,113 @@
+"""Consistent-hash ring: which shard owns which plan fingerprint.
+
+The fleet shards the content-addressed plan cache by request fingerprint.
+A classic consistent-hash ring with virtual nodes gives the three
+properties the fleet needs:
+
+* **balance** — with enough virtual nodes per shard the keyspace splits
+  near-uniformly (``tests/test_fleet_ring.py`` enforces a χ² bound);
+* **minimal movement** — adding or removing a shard only moves the keys
+  that land on (or leave) that shard, ~1/N of the keyspace, so a shard
+  join/leave invalidates a slice of the cache instead of all of it;
+* **determinism** — ring points are SHA-256 of ``"{shard}#{vnode}"``, so
+  every process (frontend, shards, offline tools) that builds a ring from
+  the same shard names routes every key identically.  No process-local
+  ``hash()`` anywhere: ``PYTHONHASHSEED`` cannot desynchronize the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: virtual nodes per shard; 128 keeps the χ² balance bound comfortably
+#: while the ring build stays microseconds for realistic fleet sizes
+DEFAULT_VNODES = 128
+
+
+def _point(data: str) -> int:
+    """A 64-bit ring position for an arbitrary string, stable everywhere."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping fingerprints to shard names."""
+
+    def __init__(self, shards: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._shards: List[str] = []
+        #: sorted parallel arrays of (ring position, owning shard)
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, shard: str) -> None:
+        """Join a shard: insert its virtual nodes into the ring."""
+        if not shard:
+            raise ValueError("shard name must be non-empty")
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        self._shards.append(shard)
+        for vnode in range(self.vnodes):
+            point = _point(f"{shard}#{vnode}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        """Leave a shard: its keys redistribute to the ring's survivors."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not on the ring")
+        self._shards.remove(shard)
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Shard names in join order."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first ring point clockwise from it."""
+        if not self._points:
+            raise LookupError("ring has no shards")
+        index = bisect.bisect(self._points, _point(key))
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def distribute(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Key count per shard — balance checks and capacity planning."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        """JSON-compatible summary (the ``fleet_stats`` ``ring`` block)."""
+        return {
+            "shards": list(self._shards),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

@@ -1,0 +1,374 @@
+"""Shard servers: one :class:`PlanService` per slice of the fingerprint space.
+
+A shard is the unit of horizontal scale: it owns a contiguous set of ring
+positions (see :mod:`repro.fleet.ring`), runs a full single-process plan
+service (cache tiers, single-flight, worker pool, deadline fallback), and
+speaks wire protocol v2 over TCP.  Shards never talk to each other — the
+frontend routes, replicates and aggregates — which keeps every shard
+failure mode local.
+
+Two run modes, same server class:
+
+* **thread** — the shard lives in the calling process behind a
+  ``ThreadingTCPServer``; used by tests and by small single-machine fleets
+  where process isolation is not worth the memory duplication;
+* **process** — :func:`run_shard` is spawned as a separate OS process (the
+  production topology from the ISSUE): its cache, worker pool, metrics and
+  tracer are fully isolated, and the actual bound port travels back over a
+  pipe so ephemeral ports work.
+
+The supervisor starts N shards with per-shard disk-cache directories
+(``<cache_dir>/shard-<name>``) and stops them by protocol (a ``shutdown``
+frame drains the shard's in-flight jobs before the ack), falling back to
+termination only when a process stops responding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.serialize import plan_from_dict, plan_to_dict
+from ..obs.tracing import tracer
+from ..service.cache import PlanCache
+from ..service.server import request_from_doc, response_to_doc
+from ..service.service import PlanService
+from .ring import HashRing
+from .wire import (
+    FrameError,
+    FrameTooLarge,
+    MAX_REQUEST_FRAME_BYTES,
+    negotiate,
+    recv_frame,
+    send_frame,
+)
+
+#: ops a shard answers; the frontend speaks exactly this set
+SHARD_OPS = ("hello", "ping", "plan", "cache_put", "stats", "trace",
+             "shutdown")
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: a loop of v2 frames until EOF or shutdown."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        shard: "ShardServer" = self.server.shard  # type: ignore[attr-defined]
+        sock = self.request
+        while True:
+            try:
+                doc = recv_frame(sock, max_bytes=MAX_REQUEST_FRAME_BYTES)
+            except FrameTooLarge as exc:
+                try:
+                    send_frame(sock, {
+                        "ok": False, "error": "request too large",
+                        "limit_bytes": exc.limit, "got_bytes": exc.declared,
+                    })
+                except OSError:
+                    pass
+                return  # stream is desynchronized past a refused frame
+            except (FrameError, OSError):
+                return
+            if doc is None:
+                return
+            reply, stop = shard.handle_doc(doc)
+            try:
+                send_frame(sock, reply)
+            except OSError:
+                return
+            if stop:
+                shard.request_stop()
+                return
+
+
+class _ShardTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    block_on_close = False
+
+
+class ShardServer:
+    """A plan service behind a threaded TCP server speaking wire v2."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir=None,
+        capacity: int = 128,
+        workers: Optional[int] = None,
+        fallback_backend: str = "greedy",
+        trace: bool = False,
+    ):
+        self.name = str(name)
+        self.service = PlanService(
+            cache=PlanCache(capacity=capacity, disk_dir=cache_dir),
+            workers=workers,
+            fallback_backend=fallback_backend,
+        )
+        if trace:
+            tracer.enable()
+        self._server = _ShardTCPServer((host, port), _ShardRequestHandler)
+        self._server.shard = self  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def handle_doc(self, doc: Dict) -> Tuple[Dict, bool]:
+        """Answer one frame; returns ``(reply, stop_serving)``."""
+        op = doc.get("op", "plan")
+        request_id = doc.get("id")
+        stop = False
+        try:
+            if op == "hello":
+                reply = negotiate(doc, role="shard", server=self.name)
+            elif op == "ping":
+                reply = {"ok": True, "shard": self.name}
+            elif op == "plan":
+                reply = self._handle_plan(doc)
+            elif op == "cache_put":
+                reply = self._handle_cache_put(doc)
+            elif op == "stats":
+                reply = {"ok": True, "shard": self.name,
+                         "stats": self.service.snapshot()}
+            elif op == "trace":
+                spans = [dict(span.as_dict(), process=f"shard-{self.name}")
+                         for span in tracer.drain()]
+                reply = {"ok": True, "shard": self.name, "spans": spans}
+            elif op == "shutdown":
+                pending = self.service.pending_jobs()
+                self.service.drain()
+                reply = {"ok": True, "op": "shutdown", "shard": self.name,
+                         "drained_jobs": pending}
+                stop = True
+            else:
+                reply = {"ok": False, "shard": self.name,
+                         "error": f"unknown op {op!r}",
+                         "known_ops": list(SHARD_OPS)}
+        except Exception as exc:  # one bad request must not kill the shard
+            reply = {"ok": False, "shard": self.name, "error": str(exc)}
+        if request_id is not None:
+            reply.setdefault("id", request_id)
+        return reply, stop
+
+    def _handle_plan(self, doc: Dict) -> Dict:
+        deadline_ms = doc.get("deadline_ms")
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        request = request_from_doc(doc)
+        response = self.service.plan(
+            request, deadline_s=deadline_s, trace_id=doc.get("trace_id"))
+        reply = response_to_doc(response)
+        reply["shard"] = self.name
+        if doc.get("include_plan"):
+            reply["plan"] = plan_to_dict(response.planned)
+        return reply
+
+    def _handle_cache_put(self, doc: Dict) -> Dict:
+        """Warm-replication receiver: install a peer-planned cache entry."""
+        fingerprint = doc.get("fingerprint")
+        plan_doc = doc.get("plan")
+        if not fingerprint or not isinstance(plan_doc, dict):
+            raise ValueError("cache_put needs 'fingerprint' and 'plan'")
+        planned = plan_from_dict(plan_doc)
+        self.service.cache.put(fingerprint, planned)
+        return {"ok": True, "shard": self.name, "stored": True,
+                "fingerprint": fingerprint}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving connections until :meth:`stop` (or a shutdown op)."""
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._server.server_close()
+            self.service.close()
+
+    def start_background(self) -> None:
+        """Serve from a daemon thread (the supervisor's thread mode)."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name=f"shard-{self.name}", daemon=True)
+        self._serve_thread.start()
+
+    def request_stop(self) -> None:
+        """Stop serving soon; safe to call from a handler thread."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.request_stop()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout)
+
+
+def run_shard(config: Dict, port_conn) -> None:
+    """Process entrypoint: build a shard, report its port, serve forever.
+
+    ``config`` is a plain dict of primitives so the function works under
+    every multiprocessing start method (spawn pickles it).
+    """
+    server = ShardServer(
+        config["name"],
+        host=config.get("host", "127.0.0.1"),
+        port=config.get("port", 0),
+        cache_dir=config.get("cache_dir"),
+        capacity=config.get("capacity", 128),
+        workers=config.get("workers"),
+        fallback_backend=config.get("fallback_backend", "greedy"),
+        trace=config.get("trace", False),
+    )
+    port_conn.send(server.port)
+    port_conn.close()
+    server.serve_forever()
+
+
+@dataclass
+class ShardHandle:
+    """Where a running shard listens, plus how to stop it."""
+
+    name: str
+    host: str
+    port: int
+    mode: str  # "thread" | "process"
+    server: Optional[ShardServer] = field(default=None, repr=False)
+    process: Optional[multiprocessing.process.BaseProcess] = field(
+        default=None, repr=False)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.mode == "thread" and self.server is not None:
+            self.server.stop(timeout)
+            return
+        if self.process is None:
+            return
+        try:
+            self._send_shutdown(timeout)
+        except OSError:
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # protocol failed; last resort
+            self.process.terminate()
+            self.process.join(timeout)
+
+    def _send_shutdown(self, timeout: float) -> None:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            send_frame(sock, {"op": "shutdown"})
+            recv_frame(sock)
+
+
+class ShardSupervisor:
+    """Start, name and stop a fleet's shard set.
+
+    Shard names are ``"0" .. "N-1"`` — the same names every ring built via
+    :meth:`ring` uses, so any process that knows the shard count routes
+    identically.  Each shard gets its own disk-cache directory under
+    ``cache_dir`` (``shard-0/``, ``shard-1/``, ...): the content-addressed
+    cache is *sharded*, not shared, which is what makes cache capacity
+    scale with the fleet.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        cache_dir=None,
+        mode: str = "thread",
+        host: str = "127.0.0.1",
+        capacity: int = 128,
+        workers: Optional[int] = None,
+        fallback_backend: str = "greedy",
+        trace: bool = False,
+    ):
+        if count <= 0:
+            raise ValueError("a fleet needs at least one shard")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown shard mode {mode!r}")
+        self.count = count
+        self.mode = mode
+        self.host = host
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.capacity = capacity
+        self.workers = workers
+        self.fallback_backend = fallback_backend
+        self.trace = trace
+        self.handles: List[ShardHandle] = []
+
+    def _shard_cache_dir(self, name: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return str(self.cache_dir / f"shard-{name}")
+
+    def start(self) -> List[ShardHandle]:
+        if self.handles:
+            raise RuntimeError("supervisor already started")
+        try:
+            for index in range(self.count):
+                self.handles.append(self._start_one(str(index)))
+        except BaseException:
+            self.stop()
+            raise
+        return self.handles
+
+    def _start_one(self, name: str) -> ShardHandle:
+        if self.mode == "thread":
+            server = ShardServer(
+                name, host=self.host, cache_dir=self._shard_cache_dir(name),
+                capacity=self.capacity, workers=self.workers,
+                fallback_backend=self.fallback_backend, trace=self.trace)
+            server.start_background()
+            return ShardHandle(name, server.host, server.port, "thread",
+                               server=server)
+        # process mode: spawn avoids inheriting this process's thread/lock
+        # state (fork while worker pools run is a deadlock lottery)
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        config = {
+            "name": name,
+            "host": self.host,
+            "cache_dir": self._shard_cache_dir(name),
+            "capacity": self.capacity,
+            "workers": self.workers,
+            "fallback_backend": self.fallback_backend,
+            "trace": self.trace,
+        }
+        process = ctx.Process(target=run_shard, args=(config, child_conn),
+                              name=f"repro-shard-{name}", daemon=True)
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(60.0):
+            process.terminate()
+            raise RuntimeError(f"shard {name} never reported its port")
+        port = parent_conn.recv()
+        parent_conn.close()
+        return ShardHandle(name, self.host, port, "process", process=process)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        for handle in self.handles:
+            handle.stop(timeout)
+        self.handles = []
+
+    def ring(self, vnodes: Optional[int] = None) -> HashRing:
+        """The routing ring over this supervisor's shard names."""
+        names = [handle.name for handle in self.handles] or [
+            str(index) for index in range(self.count)]
+        return HashRing(names, **({"vnodes": vnodes} if vnodes else {}))
+
+    def __enter__(self) -> "ShardSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -32,6 +32,8 @@ Typical profiling session::
 from .export import (
     REQUIRED_EVENT_KEYS,
     chrome_trace_document,
+    chrome_trace_from_dicts,
+    dict_spans_to_events,
     profile_rows,
     render_profile,
     save_trace_document,
@@ -58,7 +60,9 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace_document",
+    "chrome_trace_from_dicts",
     "configure_json_logging",
+    "dict_spans_to_events",
     "get_logger",
     "new_trace_id",
     "planner_counters",

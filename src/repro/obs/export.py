@@ -59,6 +59,72 @@ def chrome_trace_document(spans: Sequence[Span]) -> Dict[str, Any]:
     return {"traceEvents": spans_to_events(spans), "displayTimeUnit": "ms"}
 
 
+def dict_spans_to_events(
+    span_dicts: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Trace events from :meth:`Span.as_dict` documents, multi-process aware.
+
+    The fleet ships spans across process boundaries as JSON (a shard
+    process cannot hand over :class:`Span` objects), tagging each with a
+    ``"process"`` name ("frontend", "shard-0", ...).  Each distinct process
+    gets its own ``pid`` row plus a ``process_name`` metadata event, and
+    timestamps are rebased to the earliest span across *all* processes —
+    ``perf_counter_ns`` on Linux is CLOCK_MONOTONIC, comparable between
+    processes on one machine, so cross-shard fan-out renders on one
+    coherent timeline with trace ids intact in ``args``.
+    """
+    finished = [
+        s for s in span_dicts
+        if s.get("end_ns", 0) >= s.get("start_ns", 0) > 0
+    ]
+    if not finished:
+        return []
+    origin = min(s["start_ns"] for s in finished)
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+    ordered = sorted(
+        finished,
+        key=lambda s: (s.get("process", ""), s["start_ns"],
+                       s.get("span_id", 0)),
+    )
+    for span in ordered:
+        process = str(span.get("process", "main"))
+        if process not in pids:
+            pids[process] = len(pids)
+            events.append({
+                "name": "process_name", "ph": "M", "ts": 0, "dur": 0,
+                "pid": pids[process], "tid": 0,
+                "args": {"name": process},
+            })
+        thread_key = (process, span.get("thread_id", 0))
+        if thread_key not in tids:
+            tids[thread_key] = sum(1 for k in tids if k[0] == process)
+        args: Dict[str, Any] = dict(span.get("attributes") or {})
+        if span.get("trace_id"):
+            args["trace_id"] = span["trace_id"]
+        events.append({
+            "name": span.get("name", "?"),
+            "cat": span.get("category", "fleet"),
+            "ph": "X",
+            "ts": round((span["start_ns"] - origin) / 1e3, 3),
+            "dur": round(max((span["end_ns"] - span["start_ns"]) / 1e3,
+                             0.001), 3),
+            "pid": pids[process],
+            "tid": tids[thread_key],
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace_from_dicts(
+    span_dicts: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Chrome/Perfetto document over cross-process span dictionaries."""
+    return {"traceEvents": dict_spans_to_events(span_dicts),
+            "displayTimeUnit": "ms"}
+
+
 def save_trace_document(document: Dict[str, Any], path) -> None:
     """Atomically persist a trace document as JSON."""
     atomic_write_text(path, json.dumps(document, indent=1) + "\n")

@@ -281,7 +281,25 @@ def _histogram_metric_name(raw: str) -> str:
     return f"repro_service_{base}"
 
 
-def render_prometheus(snapshot: Mapping, include_defaults: bool = True) -> str:
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _label_text(labels: Optional[Mapping], extra: str = "") -> str:
+    """``{k="v",...}`` rendered from a label mapping (plus a raw pair)."""
+    pairs = [f'{k}="{_escape_label_value(v)}"'
+             for k, v in (labels or {}).items()]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(
+    snapshot: Mapping,
+    include_defaults: bool = True,
+    labels: Optional[Mapping] = None,
+) -> str:
     """Render a service-stats snapshot as Prometheus exposition text.
 
     ``snapshot`` is the :meth:`repro.service.service.PlanService.snapshot`
@@ -291,6 +309,11 @@ def render_prometheus(snapshot: Mapping, include_defaults: bool = True) -> str:
     empty) snapshot loaded from disk.  With ``include_defaults`` the
     canonical service and planner series are always present, zero-valued
     when unobserved.
+
+    ``labels`` attaches a constant label set to **every** emitted sample —
+    the fleet renders each shard's snapshot with ``{"shard": name}`` so
+    one scrape of ``repro fleet-stats --format prometheus`` yields
+    distinguishable per-shard series instead of colliding names.
     """
     metrics = snapshot.get("metrics", {}) or {}
     counters = dict(metrics.get("counters", {}) or {})
@@ -308,11 +331,12 @@ def render_prometheus(snapshot: Mapping, include_defaults: bool = True) -> str:
         for name in PLANNER_COUNTER_NAMES:
             planner.setdefault(name, 0)
 
+    base = _label_text(labels)
     lines: List[str] = []
     for raw in sorted(counters):
         name = _metric_name("repro_service", raw) + "_total"
         lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_format_value(counters[raw])}")
+        lines.append(f"{name}{base} {_format_value(counters[raw])}")
 
     for raw in sorted(histograms):
         s = histograms[raw]
@@ -325,20 +349,19 @@ def render_prometheus(snapshot: Mapping, include_defaults: bool = True) -> str:
             value = s.get(key)
             if value is None and count:
                 continue
-            lines.append(
-                f'{name}{{quantile="{quantile}"}} {_format_value(value)}'
-            )
-        lines.append(f"{name}_sum {_format_value(total)}")
-        lines.append(f"{name}_count {count}")
+            quantile_labels = _label_text(labels, f'quantile="{quantile}"')
+            lines.append(f"{name}{quantile_labels} {_format_value(value)}")
+        lines.append(f"{name}_sum{base} {_format_value(total)}")
+        lines.append(f"{name}_count{base} {count}")
 
     for raw in sorted(cache):
         name = _metric_name("repro_cache", raw)
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {_format_value(cache[raw])}")
+        lines.append(f"{name}{base} {_format_value(cache[raw])}")
 
     for raw in sorted(planner):
         name = _metric_name("repro_planner", raw) + "_total"
         lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_format_value(planner[raw])}")
+        lines.append(f"{name}{base} {_format_value(planner[raw])}")
 
     return "\n".join(lines) + "\n"

@@ -200,6 +200,39 @@ class Tracer:
         self.spans_started += 1
         return Span(self, name, category, attributes)
 
+    def record(
+        self,
+        name: str,
+        category: str = "fleet",
+        *,
+        start_ns: int,
+        end_ns: int,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[int] = None,
+        **attributes: Any,
+    ) -> None:
+        """Collect an already-timed span without touching the thread-local
+        stack.
+
+        The context-manager API assumes one nesting stack per thread, which
+        asyncio code breaks: tasks interleave on the loop thread, so a span
+        held across an ``await`` would corrupt the stack for every other
+        task.  The fleet frontend therefore measures with
+        ``time.perf_counter_ns()`` and records completed spans here, with
+        the trace id passed explicitly instead of read from thread-local
+        state.
+        """
+        if not self.enabled:
+            return
+        span = Span(self, name, category, dict(attributes))
+        span.trace_id = trace_id
+        span.parent_id = parent_id
+        span.thread_id = threading.get_ident()
+        span.start_ns = start_ns
+        span.end_ns = end_ns
+        self.spans_started += 1
+        self._collect(span)
+
     def _collect(self, span: Span) -> None:
         with self._lock:
             if len(self._finished) >= self.max_spans:

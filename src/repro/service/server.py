@@ -28,6 +28,16 @@ from ..ioutil import atomic_write_text
 from .fingerprint import PlanRequest
 from .service import PlanResponse, PlanService
 
+#: request lines longer than this are rejected with a structured
+#: ``{"ok": false, "error": "request too large"}`` before JSON parsing —
+#: a misbehaving client cannot make the loop buffer unbounded input.
+#: Mirrors the v2 frame cap (repro.fleet.wire.MAX_REQUEST_FRAME_BYTES).
+MAX_REQUEST_BYTES = 1 << 20
+
+#: the control operations the JSON-lines protocol understands; anything
+#: else is answered with a structured unknown-op error naming this list
+KNOWN_OPS = ("plan", "stats", "shutdown")
+
 #: name of the stats snapshot dropped next to the disk cache tier; carries a
 #: leading underscore and a .txt suffix so the ``*.json`` entry glob skips it
 STATS_SNAPSHOT_NAME = "_last_session_stats.txt"
@@ -39,9 +49,22 @@ STATS_SNAPSHOT_JSON_NAME = "_last_session_stats.meta"
 
 
 def request_from_doc(doc: Dict) -> PlanRequest:
-    """Build a canonical :class:`PlanRequest` from a JSON request document."""
+    """Build a canonical :class:`PlanRequest` from a JSON request document.
+
+    Only ``op == "plan"`` documents (the default) describe a plan request;
+    any other ``op`` is rejected here so a control operation (or a typo'd
+    one) can never be silently misread as a planning job by callers that
+    skip :func:`handle_line` — the fleet frontend routes documents through
+    this function directly.
+    """
     from ..cli import parse_array  # deferred: the CLI imports this module
 
+    op = doc.get("op", "plan")
+    if op != "plan":
+        raise ValueError(
+            f"unknown op {op!r} for a plan request; known ops: "
+            + ", ".join(KNOWN_OPS)
+        )
     if "model" not in doc:
         raise ValueError("request needs a 'model' field")
     array = doc.get("array", "hetero")
@@ -83,8 +106,19 @@ def response_to_doc(response: PlanResponse) -> Dict:
     }
 
 
-def handle_line(service: PlanService, line: str) -> Optional[Dict]:
-    """Process one request line; ``None`` means "stop serving"."""
+def handle_line(service: PlanService, line: str) -> Dict:
+    """Process one request line into one response document.
+
+    A ``shutdown`` op **drains first, then acknowledges**: every in-flight
+    planning job (including background exact refinement behind a degraded
+    response) finishes and reaches the disk cache before the
+    ``{"ok": true, "op": "shutdown"}`` ack is produced — a client that
+    reads the ack knows its plans are durable.  The serving loop stops
+    after writing that ack.
+    """
+    if len(line) > MAX_REQUEST_BYTES:
+        return {"ok": False, "error": "request too large",
+                "limit_bytes": MAX_REQUEST_BYTES, "got_bytes": len(line)}
     text = line.strip()
     if not text:
         return {"ok": False, "error": "empty request line"}
@@ -99,16 +133,21 @@ def handle_line(service: PlanService, line: str) -> Optional[Dict]:
     request_id = doc.get("id")
     try:
         if op == "shutdown":
-            return None
-        if op == "stats":
-            result: Dict = {"ok": True, "stats": service.snapshot()}
+            pending = service.pending_jobs()
+            service.drain()
+            write_stats_snapshot(service)
+            result: Dict = {"ok": True, "op": "shutdown",
+                            "drained_jobs": pending}
+        elif op == "stats":
+            result = {"ok": True, "stats": service.snapshot()}
         elif op == "plan":
             deadline_ms = doc.get("deadline_ms")
             deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
             response = service.plan(request_from_doc(doc), deadline_s=deadline_s)
             result = response_to_doc(response)
         else:
-            result = {"ok": False, "error": f"unknown op {op!r}"}
+            result = {"ok": False, "error": f"unknown op {op!r}",
+                      "known_ops": list(KNOWN_OPS)}
     except Exception as exc:  # a bad request must not kill the loop
         result = {"ok": False, "error": str(exc)}
     if request_id is not None:
@@ -116,16 +155,27 @@ def handle_line(service: PlanService, line: str) -> Optional[Dict]:
     return result
 
 
+def is_shutdown_ack(result: Dict) -> bool:
+    """True for the response document that ends a serving loop."""
+    return bool(result.get("ok")) and result.get("op") == "shutdown"
+
+
 def serve_loop(service: PlanService, lines: Iterable[str], out: TextIO) -> int:
-    """Serve requests until EOF or a shutdown op; returns served-line count."""
+    """Serve requests until EOF or a shutdown op; returns served-line count.
+
+    Shutdown ordering matters: :func:`handle_line` drains in-flight jobs
+    *before* producing the shutdown ack, so by the time the client reads
+    the ack every plan — including background refinements racing the
+    shutdown — has been written to the disk cache.
+    """
     served = 0
     for line in lines:
         result = handle_line(service, line)
-        if result is None:
-            break
         out.write(json.dumps(result) + "\n")
         out.flush()
         served += 1
+        if is_shutdown_ack(result):
+            return served
     service.drain()
     write_stats_snapshot(service)
     return served

@@ -141,21 +141,26 @@ class PlanService:
     # serving
     # ------------------------------------------------------------------
     def plan(
-        self, request: PlanRequest, deadline_s: Optional[float] = None
+        self,
+        request: PlanRequest,
+        deadline_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> PlanResponse:
         """Serve one request, waiting at most ``deadline_s`` for exactness.
 
         ``deadline_s=None`` waits for the exact plan.  A deadline of 0 is
         legal and means "whatever is ready right now or the greedy fallback".
 
-        Every request gets a fresh trace id; it is active on this thread
-        for the duration of the call (spans and log lines pick it up),
-        propagated into the worker that plans on the request's behalf, and
-        returned on the :class:`PlanResponse`.
+        Every request gets a trace id — a fresh one unless the caller
+        passes ``trace_id`` (the fleet frontend does, so one id follows a
+        request across the frontend and the owning shard process).  It is
+        active on this thread for the duration of the call (spans and log
+        lines pick it up), propagated into the worker that plans on the
+        request's behalf, and returned on the :class:`PlanResponse`.
         """
         if self._closed:
             raise RuntimeError("PlanService is closed")
-        trace_id = new_trace_id()
+        trace_id = trace_id or new_trace_id()
         previous_trace_id = tracer.current_trace_id()
         tracer.set_trace_id(trace_id)
         try:
@@ -316,6 +321,11 @@ class PlanService:
     # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
+    def pending_jobs(self) -> int:
+        """Planning jobs currently in flight in the worker pool."""
+        with self._pending_lock:
+            return len(self._pending)
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every in-flight planning job has finished.
 

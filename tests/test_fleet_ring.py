@@ -1,0 +1,157 @@
+"""Consistent-hash ring: balance, minimal movement, determinism."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.digest import stable_digest
+from repro.fleet.ring import DEFAULT_VNODES, HashRing, _point
+
+
+def fingerprints(n):
+    """Synthetic fingerprint population shaped like real cache keys."""
+    return [stable_digest({"i": i}) for i in range(n)]
+
+
+class TestBalance:
+    def test_chi_squared_distribution_bound(self):
+        """Keys split near-uniformly: χ² over shard counts stays bounded.
+
+        Under consistent hashing the deviation from uniform is dominated by
+        shard *arc-length* variance, which shrinks as 1/vnodes — so the χ²
+        statistic over observed-vs-uniform counts concentrates around
+        n/vnodes (not around the k-1 of a multinomial null).  We assert it
+        stays below 3·n/vnodes: a hot shard — the failure mode virtual
+        nodes exist to prevent, e.g. a ring built with vnodes=1 — lands
+        orders of magnitude above that line.  The key population is
+        deterministic, so this is not a flaky statistical test.
+        """
+        shards = [f"shard-{i}" for i in range(8)]
+        ring = HashRing(shards)
+        keys = fingerprints(20_000)
+        counts = ring.distribute(keys)
+        expected = len(keys) / len(shards)
+        chi2 = sum((counts[s] - expected) ** 2 / expected for s in shards)
+        bound = 3 * len(keys) / ring.vnodes
+        assert chi2 < bound, f"imbalanced ring: {counts} (chi2={chi2:.1f})"
+        # and the same population on a vnodes=1 ring shows why the bound
+        # has teeth: balance collapses without virtual nodes
+        degenerate = HashRing(shards, vnodes=1)
+        d_counts = degenerate.distribute(keys)
+        d_chi2 = sum((d_counts[s] - expected) ** 2 / expected
+                     for s in shards)
+        assert d_chi2 > bound
+
+    def test_every_shard_gets_a_nontrivial_share(self):
+        ring = HashRing(["0", "1", "2", "3"])
+        counts = ring.distribute(fingerprints(8_000))
+        for shard, count in counts.items():
+            # each shard holds at least half its fair share
+            assert count > 1000, f"shard {shard} starved: {counts}"
+
+    def test_more_vnodes_tightens_balance(self):
+        keys = fingerprints(10_000)
+
+        def spread(vnodes):
+            counts = HashRing(["a", "b", "c"], vnodes=vnodes).distribute(keys)
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(256) < spread(4)
+
+
+class TestMinimalMovement:
+    def test_join_only_moves_keys_to_the_new_shard(self):
+        keys = fingerprints(5_000)
+        before = HashRing(["0", "1", "2"])
+        after = HashRing(["0", "1", "2"])
+        after.add("3")
+        moved = 0
+        for key in keys:
+            old, new = before.owner(key), after.owner(key)
+            if old != new:
+                moved += 1
+                # a key never moves between surviving shards on a join
+                assert new == "3", f"{key}: {old} -> {new} on join of '3'"
+        # ~1/4 of the keyspace moves; allow generous slack either way
+        assert 0.15 < moved / len(keys) < 0.40
+
+    def test_leave_only_moves_the_departed_shards_keys(self):
+        keys = fingerprints(5_000)
+        before = HashRing(["0", "1", "2", "3"])
+        after = HashRing(["0", "1", "2", "3"])
+        after.remove("1")
+        for key in keys:
+            old, new = before.owner(key), after.owner(key)
+            if old != "1":
+                # keys on surviving shards never move on a leave
+                assert new == old, f"{key}: {old} -> {new} on leave of '1'"
+            else:
+                assert new != "1"
+
+    def test_add_then_remove_is_identity(self):
+        keys = fingerprints(2_000)
+        ring = HashRing(["0", "1"])
+        original = {k: ring.owner(k) for k in keys}
+        ring.add("2")
+        ring.remove("2")
+        assert {k: ring.owner(k) for k in keys} == original
+
+
+class TestDeterminism:
+    def test_join_order_does_not_matter(self):
+        keys = fingerprints(2_000)
+        forward = HashRing(["0", "1", "2"])
+        backward = HashRing(["2", "1", "0"])
+        for key in keys:
+            assert forward.owner(key) == backward.owner(key)
+
+    def test_routing_is_identical_across_processes(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) routes identically.
+
+        The ring hashes with SHA-256, never the process-local ``hash()``;
+        this is what lets the frontend and offline tools agree on ownership
+        without any coordination.
+        """
+        keys = fingerprints(200)
+        local = [HashRing(["0", "1", "2"]).owner(k) for k in keys]
+        script = (
+            "from repro.fleet.ring import HashRing\n"
+            "import sys\n"
+            "ring = HashRing(['0', '1', '2'])\n"
+            "for key in sys.stdin.read().split():\n"
+            "    print(ring.owner(key))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            input="\n".join(keys), capture_output=True, text=True,
+            check=True, env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+        )
+        assert result.stdout.split() == local
+
+    def test_point_function_is_stable(self):
+        # pinned value: changing the point function silently re-shards
+        # every deployed fleet's cache — make that a loud test failure
+        assert _point("shard-0#0") == int.from_bytes(
+            __import__("hashlib").sha256(b"shard-0#0").digest()[:8], "big")
+
+
+class TestApi:
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(LookupError):
+            HashRing().owner("abc")
+
+    def test_describe_and_membership(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        assert ring.describe() == {"shards": ["a", "b"], "vnodes": 16,
+                                   "points": 32}
+        assert len(ring) == 2 and "a" in ring and "c" not in ring

@@ -1,0 +1,147 @@
+"""Wire protocol v2: framing, negotiation, size caps, v1 sniffing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.fleet.wire import (
+    FrameError,
+    FrameTooLarge,
+    PROTOCOL_VERSION,
+    decode_body,
+    encode_frame,
+    hello_doc,
+    looks_like_v1,
+    negotiate,
+    recv_frame,
+    send_frame,
+)
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket_pair()
+        doc = {"op": "plan", "model": "alexnet", "nested": {"x": [1, 2]}}
+        send_frame(a, doc)
+        assert recv_frame(b) == doc
+        a.close(), b.close()
+
+    def test_multiple_frames_on_one_stream(self):
+        a, b = socket_pair()
+        for i in range(5):
+            send_frame(a, {"i": i})
+        got = [recv_frame(b) for _ in range(5)]
+        assert [d["i"] for d in got] == list(range(5))
+        a.close(), b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        a.close()
+        assert recv_frame(b) is None
+        b.close()
+
+    def test_mid_frame_eof_is_an_error(self):
+        a, b = socket_pair()
+        frame = encode_frame({"op": "plan"})
+        a.sendall(frame[: len(frame) - 3])  # truncated body
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+        b.close()
+
+    def test_binary_safe_payload(self):
+        # embedded newlines would break the v1 line protocol; frames don't care
+        a, b = socket_pair()
+        doc = {"text": "line one\nline two\r\n{\"nested\": true}"}
+        send_frame(a, doc)
+        assert recv_frame(b) == doc
+        a.close(), b.close()
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")
+        with pytest.raises(FrameError, match="bad frame payload"):
+            decode_body(b"{not json")
+
+
+class TestSizeCap:
+    def test_oversized_frame_rejected_before_body_read(self):
+        a, b = socket_pair()
+        big = encode_frame({"pad": "x" * 5000})
+        a.sendall(big)
+        with pytest.raises(FrameTooLarge) as info:
+            recv_frame(b, max_bytes=1024)
+        assert info.value.limit == 1024
+        assert info.value.declared > 5000
+        a.close(), b.close()
+
+    def test_prefix_bytes_count_toward_the_header(self):
+        a, b = socket_pair()
+        frame = encode_frame({"op": "ping"})
+        a.sendall(frame)
+        first = b.recv(1)
+        assert not looks_like_v1(first)
+        assert recv_frame(b, prefix=first) == {"op": "ping"}
+        a.close(), b.close()
+
+
+class TestNegotiation:
+    def test_hello_doc_carries_protocol(self):
+        assert hello_doc()["proto"] == PROTOCOL_VERSION
+
+    def test_matching_version_accepted(self):
+        reply = negotiate(hello_doc(role="frontend"), role="shard", server="0")
+        assert reply["ok"] and reply["proto"] == PROTOCOL_VERSION
+        assert reply["role"] == "shard" and reply["server"] == "0"
+
+    def test_future_version_refused_with_downgrade_info(self):
+        reply = negotiate({"op": "hello", "proto": 3}, role="shard", server="0")
+        assert not reply["ok"]
+        assert reply["error"] == "unsupported protocol"
+        assert reply["requested"] == 3 and reply["proto"] == PROTOCOL_VERSION
+
+    def test_missing_proto_refused(self):
+        assert not negotiate({"op": "hello"}, role="shard", server="0")["ok"]
+
+
+class TestV1Sniff:
+    def test_v1_first_bytes(self):
+        # raw JSON text (and leading whitespace) marks a v1 line client
+        for byte in (b"{", b" ", b"\t", b"\n", b"\r"):
+            assert looks_like_v1(byte)
+
+    def test_v2_length_prefix_never_looks_like_v1(self):
+        # a v2 frame under the caps starts 0x00 0x0?…: the first byte of a
+        # <16 MiB length prefix is 0x00, never 0x7B ('{')
+        frame = encode_frame({"op": "plan", "model": "alexnet"})
+        assert frame[0:1] == b"\x00"
+        assert not looks_like_v1(frame[0:1])
+
+
+def test_request_reply_pingpong_across_threads():
+    """A server thread answering frame-for-frame stays in lockstep."""
+    a, b = socket_pair()
+
+    def server():
+        while True:
+            doc = recv_frame(b)
+            if doc is None:
+                return
+            send_frame(b, {"echo": doc["i"]})
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    for i in range(50):
+        send_frame(a, {"i": i})
+        assert recv_frame(a) == {"echo": i}
+    a.close()
+    thread.join(5.0)
+    b.close()

@@ -299,12 +299,59 @@ class TestWarmAndServeLoop:
         out = io.StringIO()
         served = serve_loop(service, lines, out)
         results = [json.loads(line) for line in out.getvalue().splitlines()]
-        assert served == 4
+        # the shutdown ack is itself written (5 lines), then the loop stops
+        assert served == 5
         assert results[0]["ok"] and results[0]["id"] == "a"
         assert not results[0]["cache_hit"]
         assert results[1]["cache_hit"] and results[1]["source"] == "memory"
         assert results[2]["stats"]["cache"]["hits_memory"] == 1
         assert not results[3]["ok"] and "JSON" in results[3]["error"]
+        assert results[4]["ok"] and results[4]["op"] == "shutdown"
+        assert results[4]["drained_jobs"] == 0
+
+    def test_shutdown_drains_inflight_jobs_to_disk(self, tmp_path, array):
+        """A shutdown racing an active plan still lands the plan on disk.
+
+        The degraded response leaves the exact refinement running in the
+        background; the shutdown ack must not be produced until that job
+        has finished and reached the disk cache tier.
+        """
+        import io
+
+        cache = PlanCache(disk_dir=tmp_path)
+        with PlanService(cache=cache, workers=2) as svc:
+            delay_exact_planning(svc, seconds=0.6)
+            request = PlanRequest(model="vgg16", array=array, batch=512)
+            degraded = svc.plan(request, deadline_s=0.0)
+            assert degraded.degraded  # exact refinement still in flight
+            out = io.StringIO()
+            served = serve_loop(svc, [json.dumps({"op": "shutdown"})], out)
+            assert served == 1
+            ack = json.loads(out.getvalue())
+            assert ack["ok"] and ack["op"] == "shutdown"
+            assert ack["drained_jobs"] >= 1
+            # the exact plan is durable before the ack was written
+            assert request.fingerprint() in cache.disk_keys()
+
+    def test_oversized_line_rejected_before_parsing(self, service):
+        from repro.service.server import MAX_REQUEST_BYTES
+
+        line = '{"model": "' + "x" * MAX_REQUEST_BYTES + '"}'
+        result = handle_line(service, line)
+        assert not result["ok"] and result["error"] == "request too large"
+        assert result["limit_bytes"] == MAX_REQUEST_BYTES
+        assert result["got_bytes"] == len(line)
+        # the loop keeps serving after the rejection
+        assert service.metrics.value("errors") == 0
+
+    def test_request_from_doc_rejects_non_plan_ops(self):
+        from repro.service.server import request_from_doc
+
+        with pytest.raises(ValueError, match="unknown op 'stats'"):
+            request_from_doc({"op": "stats", "model": "lenet"})
+        with pytest.raises(ValueError, match="known ops"):
+            request_from_doc({"op": "shutdwon", "model": "lenet"})  # typo
+        assert request_from_doc({"op": "plan", "model": "lenet"}).model == "lenet"
 
     def test_handle_line_bad_request_is_reported(self, service):
         result = handle_line(service, json.dumps({"op": "plan"}))
