@@ -194,6 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="fleet mode: collect spans on every shard for the "
                         "'trace' op")
+    p.add_argument("--restart", action="store_true",
+                   help="fleet mode (process shards): supervise crashed "
+                        "shard processes and restart them with backoff")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="fleet mode: enable the deterministic fault "
+                        "injector on every shard, e.g. "
+                        "'seed=42,drop=0.05,delay=0.1,delay_ms=20,"
+                        "corrupt=0.01' (also unlocks the chaos_kill / "
+                        "chaos_freeze wire ops); equivalent to setting "
+                        "REPRO_CHAOS on the shards. NEVER in production")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="fleet mode: seconds between frontend health "
+                        "probes of each shard (0 disables)")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="fleet mode: consecutive probe/request failures "
+                        "before a shard leaves the routing ring")
+    p.add_argument("--retry", default=None, metavar="SPEC",
+                   help="fleet mode: the frontend's transport retry "
+                        "budget, e.g. 'attempts=3,base=0.02,max=0.1,"
+                        "seed=0' (omitted keys keep the defaults; "
+                        "attempts=1 disables retries so transport errors "
+                        "fail over immediately)")
 
     p = sub.add_parser("warm", help="pre-populate the plan cache")
     p.add_argument("--models", required=True,
@@ -442,6 +464,14 @@ def _cmd_serve_fleet(args) -> int:
 
     if args.trace:
         tracer.enable()  # the frontend's own spans; shards via trace=True
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None:  # fail fast on a bad spec, before any spawn
+        from .fleet import ChaosSpec
+        ChaosSpec.parse(chaos)
+    retry = getattr(args, "retry", None)
+    if retry is not None:
+        from .fleet import RetryPolicy
+        retry = RetryPolicy.parse(retry)
     supervisor = ShardSupervisor(
         args.shards,
         cache_dir=args.cache_dir or None,
@@ -450,12 +480,18 @@ def _cmd_serve_fleet(args) -> int:
         workers=args.workers,
         fallback_backend="greedy",
         trace=args.trace,
+        chaos=chaos,
+        restart=bool(getattr(args, "restart", False)
+                     and args.shard_mode == "process"),
     )
     with supervisor:
         frontend = FleetFrontend(
             supervisor.handles,
             host=args.host,
             port=args.port if args.port is not None else 0,
+            heartbeat_interval_s=getattr(args, "heartbeat_interval", 1.0),
+            failure_threshold=getattr(args, "failure_threshold", 3),
+            retry=retry,
         )
         with frontend:
             shard_list = ", ".join(

@@ -23,15 +23,29 @@ of it — the ROADMAP's "millions of users" item:
   dispatch queue, warm-cache replication to all peers, cross-shard stats and
   trace aggregation;
 * :mod:`~repro.fleet.client` — the blocking client the CLI
-  (``repro fleet-stats``, ``repro warm --port``) and tests drive.
+  (``repro fleet-stats``, ``repro warm --port``) and tests drive;
+* :mod:`~repro.fleet.retry` — the fleet-wide retry policy (exponential
+  backoff, deterministic jitter, deadline-bounded) shared by the
+  frontend's pools, the dispatcher's failover loop and the client;
+* :mod:`~repro.fleet.health` — K-consecutive-failure health marking with
+  ring membership consequences (an unhealthy shard leaves the ring, a
+  recovered one rejoins at its old positions);
+* :mod:`~repro.fleet.chaos` — the deterministic fault-injection harness
+  (``serve --chaos`` / ``REPRO_CHAOS``): seeded frame drop/delay/corrupt
+  plus scripted shard kill/freeze ops.
 
-See docs/serving.md ("Fleet mode") for the topology diagram, the wire
-protocol v2 spec, and the shed/degrade semantics.
+See docs/serving.md ("Fleet mode" and "Fault tolerance") for the topology
+diagram, the wire protocol v2 spec, the shed/degrade semantics and the
+failover/chaos story.
 """
 
 from .admission import AdmissionController, Decision
+from .chaos import ChaosController, ChaosSpec, ChaosSpecError
 from .client import FleetClient
 from .frontend import FleetFrontend
+from .health import HealthMonitor, ShardHealth
+from .retry import (DEFAULT_RETRY, NO_RETRY, RetryPolicy,
+                    RetryPolicyError, run_with_retries)
 from .ring import HashRing
 from .shard import ShardHandle, ShardServer, ShardSupervisor
 from .wire import (
@@ -47,19 +61,29 @@ from .wire import (
 
 __all__ = [
     "AdmissionController",
+    "ChaosController",
+    "ChaosSpec",
+    "ChaosSpecError",
+    "DEFAULT_RETRY",
     "Decision",
     "FleetClient",
     "FleetFrontend",
     "FrameError",
     "FrameTooLarge",
     "HashRing",
+    "HealthMonitor",
+    "NO_RETRY",
     "PROTOCOL_VERSION",
+    "RetryPolicy",
+    "RetryPolicyError",
     "ShardHandle",
+    "ShardHealth",
     "ShardServer",
     "ShardSupervisor",
     "hello_doc",
     "read_frame",
     "recv_frame",
+    "run_with_retries",
     "send_frame",
     "write_frame",
 ]

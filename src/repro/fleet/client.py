@@ -4,6 +4,14 @@ Used by the CLI (``repro fleet-stats``, ``repro warm --port``), by the CI
 fleet-smoke job and by tests; anything that already speaks the v1
 JSON-lines protocol can keep doing that instead — the frontend sniffs the
 first byte of each connection and serves either protocol.
+
+Transient transport failures (connection reset, timeout, a torn frame)
+are retried through the shared :mod:`repro.fleet.retry` policy: the
+client reconnects, replays the hello, and re-sends the request.  Only
+idempotent traffic goes through a fleet — ``plan`` is content-addressed
+and ``warm``/``cache_put`` are upserts — so replaying a request whose
+reply was lost is safe.  ``shutdown`` is the exception and is sent with
+:data:`~repro.fleet.retry.NO_RETRY`.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import socket
 from typing import Dict, List, Optional
 
+from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, run_with_retries
 from .wire import (
     MAX_RESPONSE_FRAME_BYTES,
     hello_doc,
@@ -23,23 +32,62 @@ class FleetClient:
     """One blocking v2 connection with convenience wrappers per op."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.settimeout(timeout)
-        self.hello = self.request(hello_doc(role="client"))
+                 timeout: float = 60.0,
+                 retry: Optional[RetryPolicy] = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        #: transport attempts beyond the first, across the client's life
+        self.retries = 0
+        self._sock: Optional[socket.socket] = None
+        self.hello: Dict = {}
+        self._connect()
         if not self.hello.get("ok"):
+            error = self.hello.get("error")
             self.close()
-            raise ConnectionError(
-                f"handshake refused: {self.hello.get('error')}")
+            raise ConnectionError(f"handshake refused: {error}")
 
     # ------------------------------------------------------------------
-    def request(self, doc: Dict) -> Dict:
-        """Send one frame, block for one reply."""
+    def _connect(self) -> None:
+        """(Re)open the socket and redo the hello handshake."""
+        self.close()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout)
+        self._sock.settimeout(self.timeout)
+        self.hello = self._roundtrip(hello_doc(role="client"))
+
+    def _roundtrip(self, doc: Dict) -> Dict:
         send_frame(self._sock, doc)
         reply = recv_frame(self._sock, max_bytes=MAX_RESPONSE_FRAME_BYTES)
         if reply is None:
             raise ConnectionError("server closed the connection")
         return reply
+
+    def request(self, doc: Dict, *,
+                retry: Optional[RetryPolicy] = None) -> Dict:
+        """Send one frame, block for one reply; reconnect-and-retry on
+        transient transport errors (never past the connect timeout's worth
+        of deadline per attempt)."""
+        policy = retry if retry is not None else self.retry
+
+        def attempt(index: int) -> Dict:
+            if self._sock is None:
+                self._connect()
+                if not self.hello.get("ok"):
+                    raise ConnectionError(
+                        f"handshake refused: {self.hello.get('error')}")
+            try:
+                return self._roundtrip(doc)
+            except BaseException:
+                self.close()  # the stream may be desynchronized
+                raise
+
+        def on_retry(index: int, exc: BaseException) -> None:
+            self.retries += 1
+
+        return run_with_retries(policy, attempt, deadline_s=self.timeout,
+                                on_retry=on_retry)
 
     def ping(self) -> Dict:
         return self.request({"op": "ping"})
@@ -68,13 +116,18 @@ class FleetClient:
         return self.request({"op": "trace"})
 
     def shutdown(self) -> Dict:
-        return self.request({"op": "shutdown"})
+        # not idempotent: a replayed shutdown would hit the *next* server
+        # listening on the port (e.g. a supervisor-restarted shard)
+        return self.request({"op": "shutdown"}, retry=NO_RETRY)
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
     def __enter__(self) -> "FleetClient":
         return self

@@ -30,6 +30,16 @@ Request path for one batch item::
   trace_id=...)``), aggregates per-shard stats under shard-labelled
   Prometheus series, and merges shard span dumps with its own into one
   Chrome trace (``{"op": "trace"}``).
+* **Fault tolerance** — a heartbeat loop pings every shard on a dedicated
+  connection and feeds :class:`~repro.fleet.health.HealthMonitor`: after
+  K consecutive failures a shard leaves the consistent-hash ring (its
+  keys reroute to survivors) and rejoins on the first success.  Shard
+  links retry transient transport errors with the shared
+  :class:`~repro.fleet.retry.RetryPolicy` (exponential backoff + jitter,
+  never past the item's deadline), and the dispatcher fails an item over
+  along the ring's successor order when its owner stays unreachable —
+  plans are deterministic, so a failover replan is bit-identical to the
+  owner's answer.  See docs/serving.md ("Fault tolerance").
 
 The frontend runs its event loop in a dedicated thread so the blocking
 CLI (and tests) can drive it; v1 JSON-lines clients are supported both on
@@ -46,6 +56,7 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
+from ..obs.logging import get_logger
 from ..obs.registry import MetricsRegistry
 from ..obs.tracing import new_trace_id, tracer
 from ..service.server import (
@@ -55,6 +66,14 @@ from ..service.server import (
     request_from_doc,
 )
 from .admission import ADMIT, DEGRADE, AdmissionController, Decision
+from .health import HealthMonitor
+from .retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    TRANSIENT_EXCEPTIONS,
+    RetryPolicy,
+    classify,
+)
 from .ring import HashRing
 from .wire import (
     FrameError,
@@ -67,12 +86,16 @@ from .wire import (
     write_frame,
 )
 
+log = get_logger("repro.fleet.frontend")
+
 #: ops the frontend answers (v2 frames; v1 lines accept the overlap with
 #: the single-process protocol: plan / stats / shutdown, plus plan_batch)
 FRONTEND_OPS = ("hello", "ping", "plan", "plan_batch", "warm", "stats",
                 "fleet_stats", "trace", "shutdown")
 
-#: every counter the frontend increments; enumerated for docs and tests
+#: every fixed-name counter the frontend increments; enumerated for docs
+#: and tests (the per-reason ``retries_<reason>`` / ``failover_<reason>``
+#: counters appear dynamically, suffixed by :func:`repro.fleet.retry.classify`)
 FLEET_COUNTER_NAMES = (
     "items",
     "batches",
@@ -86,7 +109,19 @@ FLEET_COUNTER_NAMES = (
     "warm_items",
     "replicated_puts",
     "v1_lines",
+    "retries_total",
+    "failover_total",
+    "dispatch_timeouts",
+    "heartbeats",
+    "heartbeat_failures",
+    "shard_marked_down",
+    "shard_marked_up",
 )
+
+#: extra headroom past an item's deadline before a dispatched request is
+#: abandoned: the owning shard enforces the deadline itself (fallback
+#: plans), so the frontend only cuts genuinely wedged shards loose
+DISPATCH_GRACE_S = 0.25
 
 #: one batch may carry at most this many specs
 MAX_BATCH_ITEMS = 1024
@@ -119,13 +154,25 @@ class _ShardLink:
 
 
 class _ShardPool:
-    """A small checkout pool of links to one shard, with one reconnect."""
+    """A small checkout pool of links to one shard, retrying per policy.
 
-    def __init__(self, name: str, host: str, port: int, size: int = 2):
+    Transport failures (reset, refused dial, frame desync, stalled read)
+    tear the link down and retry on a *fresh* connection with the shared
+    backoff policy — never past the caller's ``deadline_abs``.  Anything
+    still failing after the policy's budget surfaces as
+    :class:`ShardUnavailable`, which is the dispatcher's cue to fail the
+    item over to the next shard on the ring.
+    """
+
+    def __init__(self, name: str, host: str, port: int, size: int = 2,
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self.host = host
         self.port = port
         self.size = size
+        self.retry = retry
+        self.metrics = metrics
         self._slots: "asyncio.Queue[Optional[_ShardLink]]" = asyncio.Queue()
         for _ in range(size):
             self._slots.put_nowait(None)  # links are dialed lazily
@@ -141,23 +188,48 @@ class _ShardPool:
                 f"shard {self.name}: handshake refused: {hello.get('error')}")
         return link
 
-    async def request(self, doc: Dict) -> Dict:
+    def _count_retry(self, exc: Optional[BaseException]) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("retries_total").inc()
+        if exc is not None:
+            self.metrics.counter(f"retries_{classify(exc)}").inc()
+
+    async def request(self, doc: Dict, *,
+                      deadline_abs: Optional[float] = None,
+                      retry: bool = True) -> Dict:
+        policy = self.retry if retry else NO_RETRY
+        loop = asyncio.get_running_loop()
         slot = await self._slots.get()
         link: Optional[_ShardLink] = slot
+        last_exc: Optional[BaseException] = None
         try:
-            for attempt in (0, 1):
-                if link is None:
-                    link = await self._connect()
+            for attempt in range(policy.max_attempts):
+                if attempt:
+                    delay = policy.delay(attempt)
+                    if deadline_abs is not None and \
+                            loop.time() + delay > deadline_abs:
+                        break  # a retry would overrun the deadline
+                    self._count_retry(last_exc)
+                    await asyncio.sleep(delay)
                 try:
+                    if link is None:
+                        link = await self._connect()
                     return await link.request(doc)
-                except (FrameError, OSError, asyncio.IncompleteReadError):
-                    link.close()
-                    link = None
-                    if attempt:  # the reconnect also failed
-                        raise
-            raise ShardUnavailable(f"shard {self.name} unreachable")
-        except (ConnectionError, OSError, FrameError) as exc:
-            raise ShardUnavailable(f"shard {self.name}: {exc}") from exc
+                except TRANSIENT_EXCEPTIONS as exc:
+                    if link is not None:
+                        link.close()
+                        link = None
+                    last_exc = exc
+            raise ShardUnavailable(
+                f"shard {self.name}: {last_exc}") from last_exc
+        except asyncio.CancelledError:
+            # cancelled mid-conversation: the link may be desynchronized,
+            # so never return it to the pool
+            if link is not None:
+                link.close()
+                link = None
+            raise
         finally:
             self._slots.put_nowait(link)
 
@@ -200,6 +272,10 @@ class FleetFrontend:
         network_builder=None,
         ring: Optional[HashRing] = None,
         name: str = "frontend",
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_interval_s: float = 1.0,
+        heartbeat_timeout_s: float = 1.0,
+        failure_threshold: int = 3,
     ):
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -209,6 +285,21 @@ class FleetFrontend:
         self.metrics = metrics or MetricsRegistry()
         self.admission = admission or AdmissionController()
         self.links_per_shard = links_per_shard
+        self.retry = retry or DEFAULT_RETRY
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.health = HealthMonitor(
+            [addr[0] for addr in self._shard_addrs],
+            ring=self.ring,
+            metrics=self.metrics,
+            failure_threshold=failure_threshold,
+            on_down=lambda shard, reason: log.warning(
+                "shard marked down", extra={
+                    "event": "shard_down", "shard": shard, "reason": reason}),
+            on_up=lambda shard: log.info(
+                "shard recovered, rejoined the ring",
+                extra={"event": "shard_up", "shard": shard}),
+        )
         self._network_builder = network_builder
         self._host = host
         self._requested_port = port
@@ -269,7 +360,8 @@ class FleetFrontend:
         self._queue: "asyncio.PriorityQueue[Tuple[float, int, _WorkItem]]" = (
             asyncio.PriorityQueue())
         self._pools = {
-            name: _ShardPool(name, host, port, self.links_per_shard)
+            name: _ShardPool(name, host, port, self.links_per_shard,
+                             retry=self.retry, metrics=self.metrics)
             for name, host, port in self._shard_addrs
         }
         server = await asyncio.start_server(
@@ -280,6 +372,8 @@ class FleetFrontend:
             asyncio.ensure_future(self._dispatcher())
             for _ in range(max(2, self.links_per_shard * len(self._pools)))
         ]
+        if self.heartbeat_interval_s > 0:
+            dispatchers.append(asyncio.ensure_future(self._heartbeat_loop()))
         self._started.set()
         try:
             await self._stop_event.wait()
@@ -518,7 +612,7 @@ class FleetFrontend:
         return reply
 
     async def _dispatcher(self) -> None:
-        """Drain the EDF queue into the owning shards."""
+        """Drain the EDF queue into the owning shards (with failover)."""
         loop = asyncio.get_running_loop()
         while True:
             _, _, item = await self._queue.get()
@@ -533,20 +627,124 @@ class FleetFrontend:
                     "fingerprint": item.fingerprint,
                 })
                 continue
+            reply = await self._dispatch_with_failover(item, loop)
+            if not item.future.cancelled():
+                item.future.set_result(reply)
+
+    def _failover_order(self, item: _WorkItem) -> List[str]:
+        """Shards to try for one item: ring order, healthy ones first.
+
+        The routed owner leads; the ring's clockwise successors follow, so
+        failover lands on the shard that *would* own the fingerprint if
+        the owner left — the same shard a post-failure ring would route
+        to, which keeps failover traffic cache-friendly.  Known-down
+        shards sink to the back rather than vanish: when every shard is
+        down the item still gets one loud attempt instead of a silent
+        drop.
+        """
+        order = [item.shard] + [s for s in self.ring.successors(
+            item.fingerprint) if s != item.shard]
+        for name in self._pools:
+            if name not in order:  # off-ring (marked down) shards, last
+                order.append(name)
+        healthy = [s for s in order if self.health.is_up(s)]
+        down = [s for s in order if s not in healthy]
+        return (healthy + down) if healthy else order
+
+    async def _dispatch_with_failover(self, item: _WorkItem, loop) -> Dict:
+        """Try the owner, then fail over along the ring until the deadline."""
+        order = self._failover_order(item)
+        if order and order[0] != item.shard:
+            # the routed owner is known-down: reroute before dialing it
+            self.metrics.counter("failover_total").inc()
+            self.metrics.counter("failover_shard_down").inc()
+        last_error: object = "no shards configured"
+        for hop, shard in enumerate(order):
+            timeout = None
+            if item.deadline_abs is not None:
+                remaining = item.deadline_abs - loop.time()
+                if hop and remaining <= 0:
+                    break  # no budget left for another hop
+                timeout = max(remaining, 0.0) + DISPATCH_GRACE_S
+            if hop:
+                self.metrics.counter("failover_total").inc()
+                self.metrics.counter("failover_transport").inc()
             t0 = time.perf_counter()
             try:
-                reply = await self._pools[item.shard].request(item.doc)
-                self.metrics.counter("routed").inc()
+                request = self._pools[shard].request(
+                    item.doc, deadline_abs=item.deadline_abs)
+                reply = await (asyncio.wait_for(request, timeout)
+                               if timeout is not None else request)
+            except asyncio.TimeoutError:
+                # the shard accepted the request but never answered within
+                # the deadline (frozen/stalled): the deadline is spent, so
+                # shed rather than burn another shard on an expired item
+                self.metrics.counter("dispatch_timeouts").inc()
+                self.health.record_failure(shard, "timeout")
+                return {
+                    "ok": False, "error": "shed",
+                    "reason": f"deadline expired during dispatch "
+                              f"(shard {shard} unresponsive)",
+                    "shard": shard, "fingerprint": item.fingerprint,
+                }
             except Exception as exc:
                 self.metrics.counter("route_errors").inc()
-                reply = {"ok": False, "shard": item.shard,
-                         "error": f"shard {item.shard} unavailable: {exc}"}
+                self.health.record_failure(shard, "request")
+                last_error = exc
+                continue
+            self.metrics.counter("routed").inc()
+            self.health.record_success(shard)
             if reply.get("ok"):
                 self.admission.observe(
                     item.fingerprint, time.perf_counter() - t0,
                     cache_hit=bool(reply.get("cache_hit")))
-            if not item.future.cancelled():
-                item.future.set_result(reply)
+            reply.setdefault("shard", shard)
+            if hop:
+                reply.setdefault("failover_from", item.shard)
+            return reply
+        return {
+            "ok": False,
+            "error": f"no healthy shard available: {last_error}",
+            "tried": order,
+            "fingerprint": item.fingerprint,
+        }
+
+    # -- heartbeats ----------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        """Ping every shard each interval; feed the health monitor."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval_s)
+            await asyncio.gather(
+                *[self._heartbeat_one(name, host, port)
+                  for name, host, port in self._shard_addrs],
+                return_exceptions=True)
+
+    async def _heartbeat_one(self, name: str, host: str, port: int) -> None:
+        """One ping on a dedicated connection (never a pooled link, so a
+        pool saturated with long cold plans cannot fake a dead shard)."""
+        self.metrics.counter("heartbeats").inc()
+
+        async def ping() -> bool:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                await write_frame(writer, {"op": "ping"})
+                reply = await read_frame(reader, MAX_RESPONSE_FRAME_BYTES)
+                return bool(reply and reply.get("ok"))
+            finally:
+                try:
+                    writer.close()
+                except RuntimeError:
+                    pass
+
+        try:
+            ok = await asyncio.wait_for(ping(), self.heartbeat_timeout_s)
+        except Exception:
+            ok = False
+        if ok:
+            self.health.record_success(name)
+        else:
+            self.metrics.counter("heartbeat_failures").inc()
+            self.health.record_failure(name, "heartbeat")
 
     async def _serve_batch(self, doc: Dict) -> Dict:
         start_ns = time.perf_counter_ns()
@@ -651,12 +849,13 @@ class FleetFrontend:
         return dict(pairs)
 
     def snapshot(self) -> Dict:
-        """The frontend's own stats (metrics, admission, queue, ring)."""
+        """The frontend's own stats (metrics, admission, queue, ring, health)."""
         return {
             "metrics": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "queue_depth": self._queue.qsize() if self._loop else 0,
             "ring": self.ring.describe(),
+            "health": self.health.snapshot(),
         }
 
     async def _fleet_stats(self) -> Dict:

@@ -13,12 +13,26 @@ properties the fleet needs:
   every process (frontend, shards, offline tools) that builds a ring from
   the same shard names routes every key identically.  No process-local
   ``hash()`` anywhere: ``PYTHONHASHSEED`` cannot desynchronize the fleet.
+
+Membership now changes at runtime — the health monitor removes a shard
+that stops answering and re-adds it on recovery — so every operation is
+guarded by one reentrant lock: a heartbeat transition and a routing
+lookup from the dispatch path can interleave safely.  Because ring points
+are pure hashes of the shard name, a shard that leaves and rejoins lands
+on exactly the positions it held before, and its (disk-) warm cache keeps
+matching its keyspace.
+
+:meth:`successors` is the failover order: the distinct shards in
+clockwise ring order starting at a key's owner.  When the owner dies
+mid-dispatch the frontend retries down that list, which keeps failover
+routing as deterministic as primary routing.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+import threading
 from typing import Dict, Iterable, List, Tuple
 
 #: virtual nodes per shard; 128 keeps the χ² balance bound comfortably
@@ -39,6 +53,7 @@ class HashRing:
         if vnodes <= 0:
             raise ValueError("vnodes must be positive")
         self.vnodes = vnodes
+        self._lock = threading.RLock()
         self._shards: List[str] = []
         #: sorted parallel arrays of (ring position, owning shard)
         self._points: List[int] = []
@@ -53,61 +68,92 @@ class HashRing:
         """Join a shard: insert its virtual nodes into the ring."""
         if not shard:
             raise ValueError("shard name must be non-empty")
-        if shard in self._shards:
-            raise ValueError(f"shard {shard!r} already on the ring")
-        self._shards.append(shard)
-        for vnode in range(self.vnodes):
-            point = _point(f"{shard}#{vnode}")
-            index = bisect.bisect(self._points, point)
-            self._points.insert(index, point)
-            self._owners.insert(index, shard)
+        with self._lock:
+            if shard in self._shards:
+                raise ValueError(f"shard {shard!r} already on the ring")
+            self._shards.append(shard)
+            for vnode in range(self.vnodes):
+                point = _point(f"{shard}#{vnode}")
+                index = bisect.bisect(self._points, point)
+                self._points.insert(index, point)
+                self._owners.insert(index, shard)
 
     def remove(self, shard: str) -> None:
         """Leave a shard: its keys redistribute to the ring's survivors."""
-        if shard not in self._shards:
-            raise ValueError(f"shard {shard!r} not on the ring")
-        self._shards.remove(shard)
-        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
-        self._points = [self._points[i] for i in keep]
-        self._owners = [self._owners[i] for i in keep]
+        with self._lock:
+            if shard not in self._shards:
+                raise ValueError(f"shard {shard!r} not on the ring")
+            self._shards.remove(shard)
+            keep = [i for i, owner in enumerate(self._owners)
+                    if owner != shard]
+            self._points = [self._points[i] for i in keep]
+            self._owners = [self._owners[i] for i in keep]
 
     @property
     def shards(self) -> Tuple[str, ...]:
         """Shard names in join order."""
-        return tuple(self._shards)
+        with self._lock:
+            return tuple(self._shards)
 
     def __len__(self) -> int:
-        return len(self._shards)
+        with self._lock:
+            return len(self._shards)
 
     def __contains__(self, shard: str) -> bool:
-        return shard in self._shards
+        with self._lock:
+            return shard in self._shards
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     def owner(self, key: str) -> str:
         """The shard owning ``key``: first ring point clockwise from it."""
-        if not self._points:
-            raise LookupError("ring has no shards")
-        index = bisect.bisect(self._points, _point(key))
-        if index == len(self._points):  # wrap past the last point
-            index = 0
-        return self._owners[index]
+        with self._lock:
+            if not self._points:
+                raise LookupError("ring has no shards")
+            index = bisect.bisect(self._points, _point(key))
+            if index == len(self._points):  # wrap past the last point
+                index = 0
+            return self._owners[index]
+
+    def successors(self, key: str) -> List[str]:
+        """All shards in clockwise order from ``key``: the failover order.
+
+        ``successors(key)[0]`` is :meth:`owner`; each later entry is the
+        next *distinct* shard around the ring — the shard that would own
+        the key if everything before it in the list left.
+        """
+        with self._lock:
+            if not self._points:
+                return []
+            start = bisect.bisect(self._points, _point(key))
+            order: List[str] = []
+            seen = set()
+            for offset in range(len(self._points)):
+                shard = self._owners[(start + offset) % len(self._points)]
+                if shard not in seen:
+                    seen.add(shard)
+                    order.append(shard)
+                    if len(order) == len(self._shards):
+                        break
+            return order
 
     def distribute(self, keys: Iterable[str]) -> Dict[str, int]:
         """Key count per shard — balance checks and capacity planning."""
-        counts = {shard: 0 for shard in self._shards}
-        for key in keys:
-            counts[self.owner(key)] += 1
-        return counts
+        with self._lock:
+            counts = {shard: 0 for shard in self._shards}
+            for key in keys:
+                counts[self.owner(key)] += 1
+            return counts
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def describe(self) -> Dict:
         """JSON-compatible summary (the ``fleet_stats`` ``ring`` block)."""
-        return {
-            "shards": list(self._shards),
-            "vnodes": self.vnodes,
-            "points": len(self._points),
-        }
+        with self._lock:
+            return {
+                "shards": list(self._shards),
+                "vnodes": self.vnodes,
+                "points": len(self._points),
+            }

@@ -26,18 +26,23 @@ termination only when a process stops responding.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import socket
 import socketserver
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.serialize import plan_from_dict, plan_to_dict
+from ..obs.logging import get_logger
 from ..obs.tracing import tracer
 from ..service.cache import PlanCache
 from ..service.server import request_from_doc, response_to_doc
 from ..service.service import PlanService
+from .chaos import ChaosController, ChaosSpec
+from .retry import RetryPolicy
 from .ring import HashRing
 from .wire import (
     FrameError,
@@ -48,18 +53,33 @@ from .wire import (
     send_frame,
 )
 
+log = get_logger("repro.fleet.shard")
+
 #: ops a shard answers; the frontend speaks exactly this set
 SHARD_OPS = ("hello", "ping", "plan", "cache_put", "stats", "trace",
              "shutdown")
+
+#: fault-injection ops, refused unless the shard runs with a chaos
+#: controller (``serve --chaos`` / ``REPRO_CHAOS``): a production shard
+#: cannot be killed or frozen over the wire
+CHAOS_OPS = ("chaos_kill", "chaos_freeze")
 
 
 class _ShardRequestHandler(socketserver.BaseRequestHandler):
     """One connection: a loop of v2 frames until EOF or shutdown."""
 
+    def setup(self) -> None:  # pragma: no cover - exercised via sockets
+        self.server.shard._track(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:  # pragma: no cover - exercised via sockets
+        self.server.shard._untrack(self.request)  # type: ignore[attr-defined]
+
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
         shard: "ShardServer" = self.server.shard  # type: ignore[attr-defined]
         sock = self.request
         while True:
+            if shard.killed:  # a dead shard accepts nothing, answers less
+                return
             try:
                 doc = recv_frame(sock, max_bytes=MAX_REQUEST_FRAME_BYTES)
             except FrameTooLarge as exc:
@@ -67,17 +87,23 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
                     send_frame(sock, {
                         "ok": False, "error": "request too large",
                         "limit_bytes": exc.limit, "got_bytes": exc.declared,
-                    })
+                    }, chaos=shard.chaos)
                 except OSError:
                     pass
                 return  # stream is desynchronized past a refused frame
             except (FrameError, OSError):
                 return
-            if doc is None:
+            # re-check after the blocking read: killed is set before any
+            # connection is severed, so a request that arrives once the
+            # kill is observable must be dropped, not served — without
+            # this a not-yet-severed link can answer one last request
+            if doc is None or shard.killed:
                 return
             reply, stop = shard.handle_doc(doc)
+            if reply is None:  # a chaos crash answers with silence
+                return
             try:
-                send_frame(sock, reply)
+                send_frame(sock, reply, chaos=shard.chaos)
             except OSError:
                 return
             if stop:
@@ -105,6 +131,8 @@ class ShardServer:
         workers: Optional[int] = None,
         fallback_backend: str = "greedy",
         trace: bool = False,
+        chaos=None,
+        hard_exit: bool = False,
     ):
         self.name = str(name)
         self.service = PlanService(
@@ -114,6 +142,25 @@ class ShardServer:
         )
         if trace:
             tracer.enable()
+        if isinstance(chaos, str):
+            chaos = ChaosSpec.parse(chaos)
+        if isinstance(chaos, ChaosSpec):
+            chaos = ChaosController(chaos)
+        #: this shard's fault injector (None = healthy); scoped to the
+        #: server so one chaotic shard never perturbs its peers
+        self.chaos: Optional[ChaosController] = chaos
+        #: under ``hard_exit`` a ``chaos_kill`` is a real crash
+        #: (``os._exit``): no drain, no reply, no atexit — process mode
+        self._hard_exit = hard_exit
+        self._frozen_until = 0.0
+        #: set by a thread-mode chaos kill: the listening socket may take
+        #: a poll interval to close, so connections that sneak in are
+        #: dropped on sight instead of served by the "dead" shard
+        self.killed = False
+        #: live client sockets; a thread-mode chaos kill severs them all,
+        #: because a crashed process drops its connections too
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
         self._server = _ShardTCPServer((host, port), _ShardRequestHandler)
         self._server.shard = self  # type: ignore[attr-defined]
         self.host, self.port = self._server.server_address[:2]
@@ -123,12 +170,22 @@ class ShardServer:
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
-    def handle_doc(self, doc: Dict) -> Tuple[Dict, bool]:
-        """Answer one frame; returns ``(reply, stop_serving)``."""
+    def handle_doc(self, doc: Dict) -> Tuple[Optional[Dict], bool]:
+        """Answer one frame; returns ``(reply, stop_serving)``.
+
+        A ``None`` reply means "answer with silence and drop the
+        connection" — only the chaos kill path produces it, because a
+        crashing shard does not say goodbye.
+        """
+        frozen_for = self._frozen_until - time.monotonic()
+        if frozen_for > 0:  # chaos freeze: the shard stops answering
+            time.sleep(frozen_for)
         op = doc.get("op", "plan")
         request_id = doc.get("id")
         stop = False
         try:
+            if op in CHAOS_OPS:
+                return self._handle_chaos_op(op, doc, request_id)
             if op == "hello":
                 reply = negotiate(doc, role="shard", server=self.name)
             elif op == "ping":
@@ -138,8 +195,10 @@ class ShardServer:
             elif op == "cache_put":
                 reply = self._handle_cache_put(doc)
             elif op == "stats":
-                reply = {"ok": True, "shard": self.name,
-                         "stats": self.service.snapshot()}
+                stats = self.service.snapshot()
+                if self.chaos is not None:
+                    stats["chaos"] = self.chaos.snapshot()
+                reply = {"ok": True, "shard": self.name, "stats": stats}
             elif op == "trace":
                 spans = [dict(span.as_dict(), process=f"shard-{self.name}")
                          for span in tracer.drain()]
@@ -182,6 +241,57 @@ class ShardServer:
         self.service.cache.put(fingerprint, planned)
         return {"ok": True, "shard": self.name, "stored": True,
                 "fingerprint": fingerprint}
+
+    def _handle_chaos_op(self, op: str, doc: Dict,
+                         request_id) -> Tuple[Optional[Dict], bool]:
+        """Scripted shard faults; refused without an active controller."""
+        if self.chaos is None:
+            reply = {"ok": False, "shard": self.name,
+                     "error": "chaos not enabled on this shard"}
+            if request_id is not None:
+                reply["id"] = request_id
+            return reply, False
+        if op == "chaos_kill":
+            log.warning("chaos kill", extra={
+                "event": "chaos_kill", "shard": self.name,
+                "hard_exit": self._hard_exit})
+            if self._hard_exit:  # a real crash: no drain, no goodbye
+                os._exit(17)
+            # thread mode: stop accepting, sever every live connection
+            # (a dead process drops them all), and answer with silence
+            self.killed = True
+            self.request_stop()
+            self._sever_connections()
+            return None, True
+        seconds = float(doc.get("seconds", 1.0))
+        self._frozen_until = time.monotonic() + seconds
+        log.warning("chaos freeze", extra={
+            "event": "chaos_freeze", "shard": self.name,
+            "seconds": seconds})
+        reply = {"ok": True, "shard": self.name, "frozen_s": seconds}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply, False
+
+    # ------------------------------------------------------------------
+    # connection tracking (for the thread-mode chaos kill)
+    # ------------------------------------------------------------------
+    def _track(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def _sever_connections(self) -> None:
+        with self._connections_lock:
+            victims = list(self._connections)
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -228,6 +338,8 @@ def run_shard(config: Dict, port_conn) -> None:
         workers=config.get("workers"),
         fallback_backend=config.get("fallback_backend", "greedy"),
         trace=config.get("trace", False),
+        chaos=config.get("chaos"),  # a spec string: pickles under spawn
+        hard_exit=True,  # chaos_kill in a real process is a real crash
     )
     port_conn.send(server.port)
     port_conn.close()
@@ -247,6 +359,13 @@ class ShardHandle:
         default=None, repr=False)
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Stop the shard, escalating: shutdown frame → terminate → kill.
+
+        Each step gets a bounded wait before the next, harsher one, so a
+        wedged process can delay teardown by at most ``2 * timeout`` but
+        never hang it.  Escalations are logged: a fleet that needed
+        SIGKILL to die was hiding a bug.
+        """
         if self.mode == "thread" and self.server is not None:
             self.server.stop(timeout)
             return
@@ -254,11 +373,20 @@ class ShardHandle:
             return
         try:
             self._send_shutdown(timeout)
-        except OSError:
+        except (OSError, FrameError):
             pass
         self.process.join(timeout)
-        if self.process.is_alive():  # protocol failed; last resort
+        if self.process.is_alive():
+            log.warning("shard ignored shutdown; terminating", extra={
+                "event": "shard_terminate", "shard": self.name,
+                "pid": self.process.pid, "timeout_s": timeout})
             self.process.terminate()
+            self.process.join(timeout)
+        if self.process.is_alive():
+            log.error("shard ignored SIGTERM; killing", extra={
+                "event": "shard_kill", "shard": self.name,
+                "pid": self.process.pid, "timeout_s": timeout})
+            self.process.kill()
             self.process.join(timeout)
 
     def _send_shutdown(self, timeout: float) -> None:
@@ -278,7 +406,21 @@ class ShardSupervisor:
     ``cache_dir`` (``shard-0/``, ``shard-1/``, ...): the content-addressed
     cache is *sharded*, not shared, which is what makes cache capacity
     scale with the fleet.
+
+    With ``restart=True`` (process mode only) a monitor thread watches for
+    crashed shard processes and respawns each on its **original port** —
+    the frontend's pools reconnect to the same address and the health
+    monitor re-adds the shard to the ring once heartbeats succeed again.
+    Restarts back off exponentially per shard (``restart_backoff``) and
+    give up after ``max_restarts`` consecutive crashes, so a shard that
+    dies on boot cannot hot-loop the machine; a shard that stays up
+    long enough to be useful (:data:`RESTART_RESET_S`) earns its
+    crash-counter back.
     """
+
+    #: a shard alive this long since its last (re)start is considered
+    #: stable: its consecutive-crash counter resets
+    RESTART_RESET_S = 30.0
 
     def __init__(
         self,
@@ -291,11 +433,19 @@ class ShardSupervisor:
         workers: Optional[int] = None,
         fallback_backend: str = "greedy",
         trace: bool = False,
+        chaos: Optional[str] = None,
+        restart: bool = False,
+        max_restarts: int = 5,
+        restart_backoff: Optional[RetryPolicy] = None,
+        monitor_interval_s: float = 0.2,
+        on_restart: Optional[Callable[[str, int], None]] = None,
     ):
         if count <= 0:
             raise ValueError("a fleet needs at least one shard")
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown shard mode {mode!r}")
+        if restart and mode != "process":
+            raise ValueError("restart supervision needs process-mode shards")
         self.count = count
         self.mode = mode
         self.host = host
@@ -304,7 +454,23 @@ class ShardSupervisor:
         self.workers = workers
         self.fallback_backend = fallback_backend
         self.trace = trace
+        #: chaos spec *string* (not a controller): it must pickle through
+        #: spawn; each shard process builds its own seeded controller
+        self.chaos = chaos
+        self.restart = restart
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff or RetryPolicy(
+            max_attempts=max(max_restarts, 1), base_delay_s=0.1,
+            max_delay_s=5.0, seed=0)
+        self.monitor_interval_s = monitor_interval_s
+        self.on_restart = on_restart
         self.handles: List[ShardHandle] = []
+        self.restarts: Dict[str, int] = {}
+        self._consecutive: Dict[str, int] = {}
+        self._started_at: Dict[str, float] = {}
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._handles_lock = threading.Lock()
 
     def _shard_cache_dir(self, name: str) -> Optional[str]:
         if self.cache_dir is None:
@@ -316,18 +482,26 @@ class ShardSupervisor:
             raise RuntimeError("supervisor already started")
         try:
             for index in range(self.count):
-                self.handles.append(self._start_one(str(index)))
+                name = str(index)
+                self.handles.append(self._start_one(name))
+                self._started_at[name] = time.monotonic()
         except BaseException:
             self.stop()
             raise
+        if self.restart:
+            self._monitor_stop.clear()
+            self._monitor_thread = threading.Thread(
+                target=self._monitor, name="shard-supervisor", daemon=True)
+            self._monitor_thread.start()
         return self.handles
 
-    def _start_one(self, name: str) -> ShardHandle:
+    def _start_one(self, name: str, port: int = 0) -> ShardHandle:
         if self.mode == "thread":
             server = ShardServer(
                 name, host=self.host, cache_dir=self._shard_cache_dir(name),
                 capacity=self.capacity, workers=self.workers,
-                fallback_backend=self.fallback_backend, trace=self.trace)
+                fallback_backend=self.fallback_backend, trace=self.trace,
+                chaos=self.chaos)
             server.start_background()
             return ShardHandle(name, server.host, server.port, "thread",
                                server=server)
@@ -338,11 +512,13 @@ class ShardSupervisor:
         config = {
             "name": name,
             "host": self.host,
+            "port": port,
             "cache_dir": self._shard_cache_dir(name),
             "capacity": self.capacity,
             "workers": self.workers,
             "fallback_backend": self.fallback_backend,
             "trace": self.trace,
+            "chaos": self.chaos,
         }
         process = ctx.Process(target=run_shard, args=(config, child_conn),
                               name=f"repro-shard-{name}", daemon=True)
@@ -355,10 +531,77 @@ class ShardSupervisor:
         parent_conn.close()
         return ShardHandle(name, self.host, port, "process", process=process)
 
+    # ------------------------------------------------------------------
+    # crash supervision (process mode)
+    # ------------------------------------------------------------------
+    def _monitor(self) -> None:
+        """Watch for dead shard processes; restart each with backoff."""
+        while not self._monitor_stop.wait(self.monitor_interval_s):
+            with self._handles_lock:
+                handles = list(self.handles)
+            for index, handle in enumerate(handles):
+                if handle.process is None or handle.process.is_alive():
+                    continue
+                self._restart_one(index, handle)
+
+    def _restart_one(self, index: int, handle: ShardHandle) -> None:
+        name = handle.name
+        uptime = time.monotonic() - self._started_at.get(name, 0.0)
+        if uptime >= self.RESTART_RESET_S:
+            self._consecutive[name] = 0
+        # stamp the crash observation so a failed restart attempt on the
+        # next pass cannot re-read the old uptime and re-reset the counter
+        self._started_at[name] = time.monotonic()
+        crashes = self._consecutive.get(name, 0) + 1
+        self._consecutive[name] = crashes
+        exitcode = handle.process.exitcode
+        if crashes > self.max_restarts:
+            log.error("shard crash-looping; giving up", extra={
+                "event": "shard_restart_abandoned", "shard": name,
+                "exitcode": exitcode, "consecutive_crashes": crashes - 1})
+            handle.process.join(0)
+            with self._handles_lock:
+                if index < len(self.handles) and \
+                        self.handles[index] is handle:
+                    self.handles[index] = ShardHandle(
+                        name, handle.host, handle.port, "process")
+            return
+        delay = self.restart_backoff.delay(crashes)
+        log.warning("shard died; restarting", extra={
+            "event": "shard_restart", "shard": name, "exitcode": exitcode,
+            "consecutive_crashes": crashes, "backoff_s": round(delay, 3)})
+        if self._monitor_stop.wait(delay):
+            return  # supervisor shutting down mid-backoff
+        handle.process.join(0)  # reap before respawning on the same port
+        try:
+            replacement = self._start_one(name, port=handle.port)
+        except (RuntimeError, OSError) as exc:
+            log.error("shard restart failed", extra={
+                "event": "shard_restart_failed", "shard": name,
+                "error": str(exc)})
+            return  # next monitor pass retries with a higher backoff
+        self._started_at[name] = time.monotonic()
+        self.restarts[name] = self.restarts.get(name, 0) + 1
+        with self._handles_lock:
+            if index < len(self.handles) and self.handles[index] is handle:
+                self.handles[index] = replacement
+            else:  # stop() raced us: kill the shard we just spawned
+                replacement.stop(timeout=2.0)
+                return
+        if self.on_restart is not None:
+            self.on_restart(name, self.restarts[name])
+
     def stop(self, timeout: float = 10.0) -> None:
-        for handle in self.handles:
+        # the monitor must die first or it would resurrect every shard
+        # this loop stops
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout)
+            self._monitor_thread = None
+        with self._handles_lock:
+            handles, self.handles = self.handles, []
+        for handle in handles:
             handle.stop(timeout)
-        self.handles = []
 
     def ring(self, vnodes: Optional[int] = None) -> HashRing:
         """The routing ring over this supervisor's shard names."""

@@ -32,6 +32,7 @@ import asyncio
 import json
 import socket
 import struct
+import time
 from typing import Any, Dict, Optional
 
 #: the protocol this module implements; carried in every hello
@@ -130,8 +131,32 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, doc: Dict[str, Any]) -> None:
-    sock.sendall(encode_frame(doc))
+def _perturbed(data: bytes, chaos) -> "tuple[Optional[bytes], float]":
+    """Run one outbound frame through the active chaos controller, if any.
+
+    ``chaos`` scopes the faults: an explicit controller (one shard's),
+    ``None`` for the process-wide one (``REPRO_CHAOS`` / ``serve
+    --chaos``), or ``False`` to bypass chaos entirely.
+    """
+    if chaos is False:
+        return data, 0.0
+    if chaos is None:
+        from .chaos import active
+
+        chaos = active()
+    if chaos is None:
+        return data, 0.0
+    return chaos.perturb(data)
+
+
+def send_frame(sock: socket.socket, doc: Dict[str, Any],
+               chaos=None) -> None:
+    data, delay_s = _perturbed(encode_frame(doc), chaos)
+    if delay_s:
+        time.sleep(delay_s)
+    if data is None:  # chaos dropped the frame; the peer sees a stall
+        return
+    sock.sendall(data)
 
 
 def recv_frame(
@@ -166,8 +191,14 @@ def recv_frame(
 # asyncio streams (the frontend and its shard links)
 # ----------------------------------------------------------------------
 
-async def write_frame(writer: asyncio.StreamWriter, doc: Dict[str, Any]) -> None:
-    writer.write(encode_frame(doc))
+async def write_frame(writer: asyncio.StreamWriter, doc: Dict[str, Any],
+                      chaos=None) -> None:
+    data, delay_s = _perturbed(encode_frame(doc), chaos)
+    if delay_s:
+        await asyncio.sleep(delay_s)
+    if data is None:  # chaos dropped the frame; the peer sees a stall
+        return
+    writer.write(data)
     await writer.drain()
 
 

@@ -145,11 +145,44 @@ class LatencyHistogram:
         }
 
 
+class Gauge:
+    """A thread-safe point-in-time value, optionally carrying labels.
+
+    Unlike counters, gauges go both ways — the fleet uses them for shard
+    liveness (``shard_up{shard="0"}`` flips between 1 and 0 as health
+    transitions happen).
+    """
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
 class MetricsRegistry:
-    """Creates-on-first-use registry of counters and histograms."""
+    """Creates-on-first-use registry of counters, gauges and histograms."""
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[tuple, Gauge] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
         self._lock = threading.Lock()
 
@@ -158,6 +191,14 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter(name)
             return self._counters[name]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """A gauge keyed by name *and* label set (``gauge("up", shard="0")``)."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(name, labels)
+            return self._gauges[key]
 
     def histogram(self, name: str, window: int = 4096) -> LatencyHistogram:
         with self._lock:
@@ -171,26 +212,46 @@ class MetricsRegistry:
             counter = self._counters.get(name)
         return counter.value if counter else 0
 
+    def gauge_value(self, name: str, **labels: str) -> float:
+        """Current value of a gauge (0 if it was never touched)."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            gauge = self._gauges.get(key)
+        return gauge.value if gauge else 0
+
     def snapshot(self) -> Dict:
         """JSON-compatible dump of every metric."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+        snap = {
             "counters": {n: c.value for n, c in sorted(counters.items())},
             "histograms": {n: h.summary() for n, h in sorted(histograms.items())},
         }
+        if gauges:  # absent (not empty) when unused: older snapshot shape
+            snap["gauges"] = [
+                {"name": g.name, "labels": g.labels, "value": g.value}
+                for _, g in sorted(gauges.items())
+            ]
+        return snap
 
     def render(self, title: str = "service metrics") -> str:
         """Aligned text snapshot (the ``service-stats`` output)."""
         snap = self.snapshot()
         lines: List[str] = [title]
-        if not snap["counters"] and not snap["histograms"]:
+        if not snap["counters"] and not snap["histograms"] \
+                and not snap.get("gauges"):
             lines.append("  (no metrics recorded)")
             return "\n".join(lines)
         width = max((len(n) for n in snap["counters"]), default=0)
         for name, value in snap["counters"].items():
             lines.append(f"  {name:<{width}}  {value}")
+        for entry in snap.get("gauges", []):
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+            shown = entry["name"] + (f"{{{label_text}}}" if label_text else "")
+            lines.append(f"  {shown}  {entry['value']}")
         for name, s in snap["histograms"].items():
             if not s["count"]:
                 lines.append(f"  {name}  count=0")
@@ -334,7 +395,9 @@ def render_prometheus(
     base = _label_text(labels)
     lines: List[str] = []
     for raw in sorted(counters):
-        name = _metric_name("repro_service", raw) + "_total"
+        name = _metric_name("repro_service", raw)
+        if not name.endswith("_total"):  # fleet names already carry it
+            name += "_total"
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name}{base} {_format_value(counters[raw])}")
 
@@ -353,6 +416,19 @@ def render_prometheus(
             lines.append(f"{name}{quantile_labels} {_format_value(value)}")
         lines.append(f"{name}_sum{base} {_format_value(total)}")
         lines.append(f"{name}_count{base} {count}")
+
+    # labelled gauges (fleet health: shard_up{shard="0"} and friends)
+    seen_gauge_types = set()
+    for entry in metrics.get("gauges") or []:
+        name = _metric_name("repro_fleet", entry.get("name", "gauge"))
+        if name not in seen_gauge_types:
+            lines.append(f"# TYPE {name} gauge")
+            seen_gauge_types.add(name)
+        merged = dict(labels or {})
+        merged.update(entry.get("labels") or {})
+        lines.append(
+            f"{name}{_label_text(merged)} "
+            f"{_format_value(entry.get('value'))}")
 
     for raw in sorted(cache):
         name = _metric_name("repro_cache", raw)

@@ -6,13 +6,24 @@ JSON documents in the :mod:`repro.core.serialize` format, one file per
 fingerprint — which makes the disk tier shareable between ``warm`` runs and
 later ``serve`` processes, and even hand-inspectable with ``jq``.
 
-Disk documents that fail to load (future schema version, unregistered model,
-truncated file) are treated as misses, not errors: the cache must never make
-a serveable request fail.
+Disk documents that fail to load are treated as misses, not errors: the
+cache must never make a serveable request fail.  Two failure classes are
+kept apart:
+
+* **forward-compat misses** — a well-formed document this build cannot
+  use (future schema version, unregistered model).  Counted in
+  ``disk_errors`` and left in place: a newer build may read it fine.
+* **corruption** — unparseable JSON or a checksum mismatch (torn write,
+  bit rot, hand edits).  Every entry is written with an embedded SHA-256
+  ``checksum`` over its canonical JSON; an entry that fails the check is
+  **quarantined** — renamed to ``<fingerprint>.json.corrupt`` rather than
+  deleted, so operators can inspect what broke — and counted in
+  ``corrupt_total`` (exposed as ``repro_cache_corrupt_total``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from collections import OrderedDict
@@ -24,6 +35,19 @@ from ..core.planner import PlannedExecution
 from ..core.serialize import plan_from_dict, plan_to_dict
 from ..graph.network import Network
 from ..ioutil import atomic_write_text
+from ..obs.logging import get_logger
+
+log = get_logger("repro.service.cache")
+
+#: suffix appended to a quarantined disk entry's filename
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def entry_checksum(document: dict) -> str:
+    """SHA-256 over a disk entry's canonical JSON, checksum field excluded."""
+    payload = {k: v for k, v in document.items() if k != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -36,6 +60,7 @@ class CacheStats:
     evictions: int = 0
     puts: int = 0
     disk_errors: int = 0
+    corrupt_total: int = 0
 
     @property
     def hits(self) -> int:
@@ -53,6 +78,7 @@ class CacheStats:
             "evictions": self.evictions,
             "puts": self.puts,
             "disk_errors": self.disk_errors,
+            "corrupt_total": self.corrupt_total,
         }
 
 
@@ -148,14 +174,44 @@ class PlanCache:
         if path is None or not path.exists():
             return None
         try:
-            data = json.loads(path.read_text())
-            return plan_from_dict(data, network_builder=self._network_builder)
-        except (ValueError, KeyError, OSError):
-            # unreadable entry (future schema, unknown model, corruption):
-            # a cache must degrade to a miss, never to a request failure
+            text = path.read_text()
+        except OSError:
             with self._lock:
                 self.stats.disk_errors += 1
             return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, f"unparseable JSON: {exc}")
+            return None
+        if isinstance(data, dict) and "checksum" in data and \
+                data["checksum"] != entry_checksum(data):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        try:
+            return plan_from_dict(data, network_builder=self._network_builder)
+        except (ValueError, KeyError, OSError):
+            # a well-formed entry this build cannot use (future schema,
+            # unknown model): degrade to a miss and leave the file — a
+            # newer build may read it fine
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (never delete: evidence, not trash)."""
+        target = path.with_name(path.name + CORRUPT_SUFFIX)
+        try:
+            path.rename(target)
+        except OSError:
+            target = None  # a concurrent reader may have beaten us to it
+        with self._lock:
+            self.stats.disk_errors += 1
+            self.stats.corrupt_total += 1
+        log.warning("quarantined corrupt cache entry", extra={
+            "event": "cache_quarantine", "path": str(path),
+            "quarantined_to": str(target) if target else None,
+            "reason": reason})
 
     def _store_disk(self, key: str, planned: PlannedExecution) -> None:
         path = self._disk_path(key)
@@ -163,6 +219,7 @@ class PlanCache:
             return
         document = plan_to_dict(planned)
         document["fingerprint"] = key
+        document["checksum"] = entry_checksum(document)
         # unique temp name + os.replace: atomic against concurrent readers
         # AND concurrent writers of the same fingerprint
         atomic_write_text(path, json.dumps(document, indent=2))

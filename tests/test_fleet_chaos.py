@@ -1,0 +1,502 @@
+"""Fault-tolerance tests: retry policy, health marking, chaos episodes.
+
+The deterministic chaos harness (:mod:`repro.fleet.chaos`) makes failure
+injection scripted and replayable, so these tests assert *exact* fleet
+behavior under faults: a killed shard's keys reroute to the survivor and
+every served plan stays bit-identical to a healthy single-process run;
+the shard rejoins the ring on recovery; the retry/failover counters and
+the ``shard_up`` gauge tell the story the episode actually had.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.core.serialize import plan_from_dict
+from repro.fleet import (
+    ChaosController,
+    ChaosSpec,
+    ChaosSpecError,
+    DEFAULT_RETRY,
+    FleetClient,
+    FleetFrontend,
+    HashRing,
+    HealthMonitor,
+    NO_RETRY,
+    RetryPolicy,
+    RetryPolicyError,
+    ShardSupervisor,
+    run_with_retries,
+)
+from repro.fleet.retry import classify, is_transient
+from repro.fleet.shard import ShardServer
+from repro.fleet.wire import FrameError, recv_frame, send_frame
+from repro.obs.registry import MetricsRegistry
+from repro.plan.diff import plan_diff
+from repro.service.server import request_from_doc
+from repro.service.service import PlanService
+
+#: a small array keeps cold planning fast enough for tight test loops
+ARRAY = "tpu-v2:2,tpu-v3:2"
+
+
+def spec(model="lenet", batch=32, **extra):
+    return {"model": model, "array": ARRAY, "batch": batch, **extra}
+
+
+def shard_op(host, port, doc, timeout=5.0):
+    """One raw frame round-trip straight to a shard (None on silence)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        send_frame(sock, doc)
+        try:
+            return recv_frame(sock)
+        except (FrameError, OSError):
+            return None
+
+
+def wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_seeded_delays_are_deterministic(self):
+        a = RetryPolicy(max_attempts=5, base_delay_s=0.1, seed=7)
+        b = RetryPolicy(max_attempts=5, base_delay_s=0.1, seed=7)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.1,
+                             max_delay_s=0.4, jitter=0.0, seed=0)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_budget_stops_the_delay_iterator(self):
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.1,
+                             jitter=0.0, seed=0)
+        assert list(policy.delays(budget_s=0.35)) == [0.1, 0.2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_parse_spec_string(self):
+        policy = RetryPolicy.parse("attempts=3,base=0.02,max=0.1,seed=0")
+        assert policy == RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                                     max_delay_s=0.1, seed=0)
+        # omitted keys keep the dataclass defaults
+        assert RetryPolicy.parse("") == RetryPolicy()
+        assert RetryPolicy.parse("attempts=1").max_attempts == 1
+        assert RetryPolicy.parse("jitter=0, multiplier=3").multiplier == 3.0
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(RetryPolicyError):
+            RetryPolicy.parse("nope=1")
+        with pytest.raises(RetryPolicyError):
+            RetryPolicy.parse("attempts")
+        with pytest.raises(RetryPolicyError):
+            RetryPolicy.parse("base=fast")
+        with pytest.raises(RetryPolicyError):
+            RetryPolicy.parse("attempts=0")  # invalid policy, same error
+
+    def test_classification(self):
+        assert is_transient(ConnectionResetError())
+        assert is_transient(FrameError("torn"))
+        assert not is_transient(ValueError("app error"))
+        assert classify(TimeoutError()) == "timeout"
+        assert classify(ConnectionRefusedError()) == "connect"
+        assert classify(ConnectionResetError()) == "transport"
+
+    def test_run_with_retries_heals_transient_errors(self):
+        attempts = []
+
+        def attempt(index):
+            attempts.append(index)
+            if index < 2:
+                raise ConnectionResetError("flaky")
+            return "served"
+
+        result = run_with_retries(DEFAULT_RETRY, attempt,
+                                  sleep=lambda d: None)
+        assert result == "served" and attempts == [0, 1, 2]
+
+    def test_run_with_retries_raises_nontransient_immediately(self):
+        attempts = []
+
+        def attempt(index):
+            attempts.append(index)
+            raise ValueError("not a transport problem")
+
+        with pytest.raises(ValueError):
+            run_with_retries(DEFAULT_RETRY, attempt, sleep=lambda d: None)
+        assert attempts == [0]
+
+    def test_run_with_retries_respects_the_deadline(self):
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.2,
+                             jitter=0.0, seed=0)
+        attempts = []
+
+        def attempt(index):
+            attempts.append(index)
+            raise ConnectionResetError("always")
+
+        with pytest.raises(ConnectionResetError):
+            run_with_retries(policy, attempt, deadline_s=0.1,
+                             sleep=lambda d: None)
+        assert attempts == [0]  # the first 0.2 s backoff overruns 0.1 s
+
+    def test_no_retry_is_single_attempt(self):
+        attempts = []
+
+        def attempt(index):
+            attempts.append(index)
+            raise ConnectionResetError("down")
+
+        with pytest.raises(ConnectionResetError):
+            run_with_retries(NO_RETRY, attempt, sleep=lambda d: None)
+        assert attempts == [0]
+
+
+# ----------------------------------------------------------------------
+# chaos spec + controller
+# ----------------------------------------------------------------------
+class TestChaosSpec:
+    def test_parse_roundtrip(self):
+        text = "seed=42,drop=0.1,delay=0.2,delay_ms=50.0,corrupt=0.05"
+        parsed = ChaosSpec.parse(text)
+        assert parsed == ChaosSpec(seed=42, drop=0.1, delay=0.2,
+                                   delay_ms=50, corrupt=0.05)
+        assert ChaosSpec.parse(parsed.describe()) == parsed
+
+    def test_parse_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("explode=1")
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("drop=lots")
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("drop=1.5")  # probability out of range
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("seed")  # no '='
+
+    def test_same_seed_replays_the_same_episode(self):
+        frames = [b"\x00\x00\x00\x05hello"] * 64
+        spec_ = ChaosSpec(seed=9, drop=0.3, delay=0.2, delay_ms=5,
+                          corrupt=0.2)
+        runs = []
+        for _ in range(2):
+            controller = ChaosController(spec_)
+            runs.append([controller.perturb(f) for f in frames])
+        assert runs[0] == runs[1]
+        counts = ChaosController(spec_)
+        for f in frames:
+            counts.perturb(f)
+        snap = counts.snapshot()
+        assert snap["frames_seen"] == 64
+        assert snap["frames_dropped"] > 0
+        assert snap["frames_corrupted"] > 0
+
+    def test_corrupt_flips_body_bytes_only(self):
+        controller = ChaosController(ChaosSpec(seed=1, corrupt=1.0))
+        frame = b"\x00\x00\x00\x0bhello world"
+        for _ in range(32):
+            data, _ = controller.perturb(frame)
+            assert data[:4] == frame[:4]  # length prefix stays honest
+            assert data[4:] != frame[4:]
+            assert len(data) == len(frame)
+
+
+# ----------------------------------------------------------------------
+# health monitor
+# ----------------------------------------------------------------------
+class TestHealthMonitor:
+    def _monitor(self, threshold=3):
+        ring = HashRing(["0", "1"])
+        metrics = MetricsRegistry()
+        events = []
+        monitor = HealthMonitor(
+            ["0", "1"], ring=ring, metrics=metrics,
+            failure_threshold=threshold,
+            on_down=lambda shard, reason: events.append(("down", shard)),
+            on_up=lambda shard: events.append(("up", shard)))
+        return monitor, ring, metrics, events
+
+    def test_k_consecutive_failures_remove_the_shard_from_the_ring(self):
+        monitor, ring, metrics, events = self._monitor(threshold=3)
+        monitor.record_failure("0", "heartbeat")
+        monitor.record_failure("0", "heartbeat")
+        assert monitor.is_up("0") and "0" in ring  # below the threshold
+        monitor.record_failure("0", "heartbeat")
+        assert not monitor.is_up("0") and "0" not in ring
+        assert events == [("down", "0")]
+        assert metrics.gauge_value("shard_up", shard="0") == 0
+        assert metrics.gauge_value("shard_up", shard="1") == 1
+        assert metrics.value("shard_marked_down") == 1
+        # every key now routes to the survivor
+        assert all(ring.owner(f"key-{i}") == "1" for i in range(32))
+
+    def test_success_resets_the_failure_streak(self):
+        monitor, ring, _, events = self._monitor(threshold=3)
+        for _ in range(2):
+            monitor.record_failure("0")
+        monitor.record_success("0")
+        for _ in range(2):
+            monitor.record_failure("0")
+        assert monitor.is_up("0") and "0" in ring  # streak never hit 3
+        assert events == []
+
+    def test_recovery_rejoins_the_ring_at_the_old_positions(self):
+        monitor, ring, metrics, events = self._monitor(threshold=1)
+        before = {f"key-{i}": ring.owner(f"key-{i}") for i in range(64)}
+        monitor.record_failure("0", "heartbeat")
+        assert "0" not in ring
+        monitor.record_success("0")
+        assert "0" in ring and monitor.is_up("0")
+        assert events == [("down", "0"), ("up", "0")]
+        assert metrics.gauge_value("shard_up", shard="0") == 1
+        assert metrics.value("shard_marked_up") == 1
+        # deterministic rejoin: the healed ring routes exactly as before
+        after = {f"key-{i}": ring.owner(f"key-{i}") for i in range(64)}
+        assert after == before
+
+    def test_the_last_shard_never_leaves_the_ring(self):
+        monitor, ring, _, _ = self._monitor(threshold=1)
+        monitor.record_failure("0")
+        monitor.record_failure("1")
+        assert not monitor.is_up("1")
+        assert "1" in ring  # down, but still routable: fail loudly, not
+        assert len(ring) == 1  # silently
+
+
+# ----------------------------------------------------------------------
+# chaos ops on a shard
+# ----------------------------------------------------------------------
+class TestShardChaosOps:
+    def test_chaos_ops_refused_without_a_controller(self):
+        server = ShardServer("plain")
+        server.start_background()
+        try:
+            reply = shard_op(server.host, server.port, {"op": "chaos_kill"})
+            assert reply["ok"] is False
+            assert "chaos not enabled" in reply["error"]
+            assert shard_op(server.host, server.port,
+                            {"op": "ping"})["ok"]  # still serving
+        finally:
+            server.stop()
+
+    def test_chaos_freeze_stalls_subsequent_requests(self):
+        server = ShardServer("frosty", chaos="seed=3")
+        server.start_background()
+        try:
+            reply = shard_op(server.host, server.port,
+                             {"op": "chaos_freeze", "seconds": 0.4})
+            assert reply["ok"] and reply["frozen_s"] == 0.4
+            t0 = time.monotonic()
+            assert shard_op(server.host, server.port, {"op": "ping"})["ok"]
+            assert time.monotonic() - t0 >= 0.3  # served only after the thaw
+        finally:
+            server.stop()
+
+    def test_stats_embed_the_chaos_snapshot(self):
+        server = ShardServer("chaotic", chaos="seed=5")
+        server.start_background()
+        try:
+            assert shard_op(server.host, server.port, {"op": "ping"})["ok"]
+            reply = shard_op(server.host, server.port, {"op": "stats"})
+            chaos = reply["stats"]["chaos"]
+            assert chaos["spec"].startswith("seed=5")
+            assert chaos["frames_seen"] >= 1  # the ping reply went through
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# fleet failover episodes (thread mode: fast and deterministic)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def chaotic_fleet(tmp_path):
+    """A 2-shard fleet with chaos ops unlocked and fast health marking."""
+    with ShardSupervisor(2, cache_dir=tmp_path, chaos="seed=1") as sup:
+        frontend = FleetFrontend(
+            sup.handles,
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=0.5,
+            failure_threshold=2,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                              max_delay_s=0.1, seed=0),
+        )
+        with frontend:
+            with FleetClient(port=frontend.port) as client:
+                yield sup, frontend, client
+
+
+class TestFailoverEpisode:
+    def test_killing_a_shard_mid_batch_reroutes_and_stays_bit_identical(
+            self, chaotic_fleet):
+        sup, frontend, client = chaotic_fleet
+        docs = [spec(batch=8 * (i + 1)) for i in range(8)]
+
+        # a healthy warm-up batch: every shard owns some of the keys
+        first = client.plan_batch([dict(d) for d in docs])
+        assert first["succeeded"] == 8
+        owners = {item["fingerprint"]: item["shard"]
+                  for item in first["items"]}
+        assert set(owners.values()) == {"0", "1"}
+
+        # kill shard 0 like a crash: the chaos op answers with silence
+        victim = sup.handles[0]
+        assert shard_op(victim.host, victim.port, {"op": "chaos_kill"},
+                        timeout=2.0) is None
+
+        # the same batch must still complete — every item served by the
+        # survivor, whether via dispatch failover or health rerouting
+        second = client.plan_batch([dict(d, include_plan=True)
+                                    for d in docs])
+        assert second["succeeded"] == 8, second
+        for item in second["items"]:
+            assert item["shard"] == "1"
+
+        # ... and every plan is bit-identical to a healthy single-process
+        # run (determinism survives the failure path)
+        with PlanService(workers=2) as local:
+            for doc, item in zip(docs, second["items"]):
+                response = local.plan(request_from_doc(dict(doc)))
+                assert item["fingerprint"] == response.fingerprint
+                served = plan_from_dict(item["plan"])
+                assert plan_diff(response.planned.plan, served.plan,
+                                 rel_tol=1e-9) == []
+
+        # the metrics tell the episode's story
+        counters = frontend.snapshot()["metrics"]["counters"]
+        assert counters["failover_total"] >= 1
+        assert counters["retries_total"] >= 1
+        assert wait_until(lambda: not frontend.health.is_up("0"))
+        assert frontend.metrics.gauge_value("shard_up", shard="0") == 0
+        assert frontend.metrics.gauge_value("shard_up", shard="1") == 1
+        assert "0" not in frontend.ring and "1" in frontend.ring
+
+    def test_marked_down_shard_is_rerouted_before_dialing(
+            self, chaotic_fleet):
+        sup, frontend, client = chaotic_fleet
+        victim = sup.handles[1]
+        assert shard_op(victim.host, victim.port, {"op": "chaos_kill"},
+                        timeout=2.0) is None
+        assert wait_until(lambda: not frontend.health.is_up("1"))
+
+        # every request now routes straight to the survivor: no failover
+        # hops, no retries against the corpse
+        base = frontend.snapshot()["metrics"]["counters"]
+        batch = client.plan_batch([spec(batch=8 * (i + 1))
+                                   for i in range(8)])
+        assert batch["succeeded"] == 8
+        assert all(item["shard"] == "0" for item in batch["items"])
+        after = frontend.snapshot()["metrics"]["counters"]
+        assert after.get("route_errors", 0) == base.get("route_errors", 0)
+
+    def test_frozen_shard_sheds_on_deadline_then_recovers(self, tmp_path):
+        with ShardSupervisor(2, cache_dir=tmp_path, chaos="seed=2") as sup:
+            frontend = FleetFrontend(
+                sup.handles,
+                heartbeat_interval_s=0.0,  # drive health by hand
+                failure_threshold=1,
+            )
+            with frontend, FleetClient(port=frontend.port) as client:
+                # find a doc owned by shard 0, then freeze shard 0
+                ring = HashRing([h.name for h in sup.handles])
+                doc = next(
+                    d for d in (spec(batch=8 * (i + 1)) for i in range(32))
+                    if ring.owner(client.plan(dict(d))["fingerprint"])
+                    == "0")
+                handle = sup.handles[0]
+                assert shard_op(handle.host, handle.port,
+                                {"op": "chaos_freeze", "seconds": 1.0})["ok"]
+
+                reply = client.plan(dict(doc), deadline_ms=200)
+                # cache hits race the freeze only on the frozen shard's
+                # *next* connection; a shed or a served hit are both
+                # legal, but the deadline must hold either way
+                if not reply["ok"]:
+                    assert reply["error"] == "shed"
+                assert wait_until(
+                    lambda: client.plan(dict(doc))["ok"], timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# process-mode: crash, supervise, restart, rejoin
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestProcessCrashRecovery:
+    def test_killed_shard_restarts_on_its_port_and_rejoins(self, tmp_path):
+        restarts = []
+        sup = ShardSupervisor(
+            2, cache_dir=tmp_path, mode="process", chaos="seed=4",
+            restart=True, monitor_interval_s=0.05,
+            restart_backoff=RetryPolicy(max_attempts=5, base_delay_s=0.05,
+                                        max_delay_s=0.2, seed=0),
+            on_restart=lambda name, count: restarts.append((name, count)),
+        )
+        with sup:
+            frontend = FleetFrontend(
+                sup.handles,
+                heartbeat_interval_s=0.1,
+                heartbeat_timeout_s=0.5,
+                failure_threshold=2,
+                retry=RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                                  max_delay_s=0.1, seed=0),
+            )
+            with frontend, FleetClient(port=frontend.port) as client:
+                docs = [spec(batch=8 * (i + 1)) for i in range(6)]
+                warmup = client.plan_batch([dict(d) for d in docs])
+                assert warmup["succeeded"] == 6
+
+                victim = sup.handles[0]
+                old_pid = victim.process.pid
+                assert shard_op(victim.host, victim.port,
+                                {"op": "chaos_kill"}, timeout=5.0) is None
+
+                # mid-outage requests still complete (failover to "1")
+                outage = client.plan_batch([dict(d) for d in docs])
+                assert outage["succeeded"] == 6
+
+                # the supervisor restarts the shard on the SAME port ...
+                assert wait_until(lambda: restarts, timeout=15.0), \
+                    "supervisor never restarted the killed shard"
+                replacement = sup.handles[0]
+                assert replacement.port == victim.port
+                assert replacement.process.pid != old_pid
+                assert wait_until(replacement.process.is_alive, timeout=5.0)
+
+                # ... and heartbeats put it back on the ring
+                assert wait_until(
+                    lambda: frontend.health.is_up("0"), timeout=15.0)
+                assert "0" in frontend.ring
+                assert frontend.metrics.gauge_value(
+                    "shard_up", shard="0") == 1
+
+                # the reborn shard serves its old keyspace from its warm
+                # disk tier: a key it owns comes back as a disk hit
+                healed = client.plan_batch(
+                    [dict(d) for d in docs])
+                assert healed["succeeded"] == 6
+                shard0_items = [i for i in healed["items"]
+                                if i["shard"] == "0"]
+                assert shard0_items, healed
+                assert all(i["cache_hit"] for i in shard0_items)
+
+                counters = frontend.snapshot()["metrics"]["counters"]
+                assert counters["failover_total"] >= 1
+                assert counters["shard_marked_down"] >= 1
+                assert counters["shard_marked_up"] >= 1

@@ -1,5 +1,6 @@
 """Wire protocol v2: framing, negotiation, size caps, v1 sniffing."""
 
+import asyncio
 import socket
 import threading
 
@@ -14,6 +15,7 @@ from repro.fleet.wire import (
     hello_doc,
     looks_like_v1,
     negotiate,
+    read_frame,
     recv_frame,
     send_frame,
 )
@@ -124,6 +126,105 @@ class TestV1Sniff:
         frame = encode_frame({"op": "plan", "model": "alexnet"})
         assert frame[0:1] == b"\x00"
         assert not looks_like_v1(frame[0:1])
+
+
+class TestAsyncCodec:
+    """The asyncio twin must fail the same way on the same byte streams."""
+
+    @staticmethod
+    def _read(*chunks, eof=True, **kwargs):
+        async def run():
+            reader = asyncio.StreamReader()
+            for chunk in chunks:
+                reader.feed_data(chunk)
+            if eof:
+                reader.feed_eof()
+            return await read_frame(reader, **kwargs)
+
+        return asyncio.run(run())
+
+    def test_roundtrip(self):
+        doc = {"op": "plan", "model": "alexnet", "nested": {"x": [1, 2]}}
+        assert self._read(encode_frame(doc)) == doc
+
+    def test_clean_eof_returns_none(self):
+        assert self._read() is None
+
+    def test_truncated_header_is_an_error(self):
+        with pytest.raises(FrameError, match="mid-frame"):
+            self._read(b"\x00\x00")
+
+    def test_disconnect_mid_body_is_an_error(self):
+        frame = encode_frame({"op": "plan", "model": "alexnet"})
+        with pytest.raises(FrameError, match="mid-frame"):
+            self._read(frame[: len(frame) - 3])
+
+    def test_oversized_frame_rejected_before_body_read(self):
+        big = encode_frame({"pad": "x" * 5000})
+        # only the header is fed: the cap must trip without the body
+        with pytest.raises(FrameTooLarge) as info:
+            self._read(big[:4], eof=False, max_bytes=1024)
+        assert info.value.limit == 1024 and info.value.declared > 5000
+
+    def test_prefix_bytes_count_toward_the_header(self):
+        frame = encode_frame({"op": "ping"})
+        assert self._read(frame[1:], prefix=frame[:1]) == {"op": "ping"}
+
+    def test_prefix_then_eof_mid_header_is_an_error(self):
+        with pytest.raises(FrameError, match="mid-frame"):
+            self._read(prefix=b"\x00")
+
+
+class TestGarbageBeforeHello:
+    """A connection that opens with garbage must get a clean refusal."""
+
+    @pytest.fixture
+    def shard(self):
+        from repro.fleet.shard import ShardServer
+
+        server = ShardServer("g")
+        server.start_background()
+        yield server
+        server.stop()
+
+    def _open(self, shard):
+        sock = socket.create_connection((shard.host, shard.port),
+                                        timeout=5.0)
+        sock.settimeout(5.0)
+        return sock
+
+    def test_huge_bogus_length_prefix_refused(self, shard):
+        # 0xFF... as a length prefix declares a ~4 GiB frame
+        with self._open(shard) as sock:
+            sock.sendall(b"\xff\xff\xff\xff" + b"junk")
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert reply["error"] == "request too large"
+            assert recv_frame(sock) is None  # then the stream closes
+
+    def test_http_request_line_refused(self, shard):
+        # 'G' (0x47) as the first length byte also declares >1 GiB:
+        # a stray HTTP client cannot wedge a shard
+        with self._open(shard) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            reply = recv_frame(sock)
+            assert reply["ok"] is False
+            assert reply["error"] == "request too large"
+
+    def test_valid_length_prefix_with_garbage_body_drops_cleanly(self, shard):
+        with self._open(shard) as sock:
+            sock.sendall(b"\x00\x00\x00\x09not json!")
+            # unparseable body: the shard drops the connection rather
+            # than guess at resynchronization
+            assert recv_frame(sock) is None
+
+    def test_server_survives_garbage_and_keeps_serving(self, shard):
+        with self._open(shard) as sock:
+            sock.sendall(b"\xde\xad\xbe\xef")
+            recv_frame(sock)
+        with self._open(shard) as sock:
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["ok"]
 
 
 def test_request_reply_pingpong_across_threads():

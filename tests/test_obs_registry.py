@@ -116,6 +116,40 @@ class TestCountersAndRegistry:
         text = registry.render()
         assert "requests" in text and "count=1" in text
 
+    def test_gauges_are_labeled_and_settable(self):
+        registry = MetricsRegistry()
+        up0 = registry.gauge("shard_up", shard="0")
+        assert registry.gauge("shard_up", shard="0") is up0
+        assert registry.gauge("shard_up", shard="1") is not up0
+        up0.set(1)
+        registry.gauge("shard_up", shard="1").set(0)
+        assert registry.gauge_value("shard_up", shard="0") == 1
+        assert registry.gauge_value("shard_up", shard="1") == 0
+        up0.dec()
+        assert registry.gauge_value("shard_up", shard="0") == 0
+        up0.inc(2)
+        assert registry.gauge_value("shard_up", shard="0") == 2
+
+    def test_gauges_appear_in_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.gauge("shard_up", shard="0").set(1)
+        snap = registry.snapshot()
+        assert {"name": "shard_up", "labels": {"shard": "0"},
+                "value": 1} in snap["gauges"]
+        assert "shard_up" in registry.render()
+        # back-compat: a gauge-free registry keeps the old snapshot shape
+        assert "gauges" not in MetricsRegistry().snapshot()
+
+    def test_gauges_render_as_prometheus_gauge_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("shard_up", shard="0").set(1)
+        registry.gauge("shard_up", shard="1").set(0)
+        text = registry.render_prometheus()
+        assert_valid_exposition(text)
+        assert "# TYPE repro_fleet_shard_up gauge" in text
+        assert 'repro_fleet_shard_up{shard="0"} 1' in text
+        assert 'repro_fleet_shard_up{shard="1"} 0' in text
+
     def test_perf_counters_merge_and_reset(self):
         perf = PerfCounters()
         perf.inc("step_calls", 2)

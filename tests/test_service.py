@@ -96,17 +96,75 @@ class TestDiskTier:
         assert svc.cache.stats.disk_errors == 1
 
     def test_future_schema_disk_entry_is_a_miss(self, tmp_path, request_alexnet):
+        from repro.service.cache import entry_checksum
+
         with PlanService(cache=PlanCache(disk_dir=tmp_path)) as first:
             first.plan(request_alexnet)
         key = request_alexnet.fingerprint()
         path = tmp_path / f"{key}.json"
         doc = json.loads(path.read_text())
         doc["format_version"] = 99
+        doc["checksum"] = entry_checksum(doc)  # a valid future-build write
         path.write_text(json.dumps(doc))
         with PlanService(cache=PlanCache(disk_dir=tmp_path)) as second:
             response = second.plan(request_alexnet)
         assert response.source == "planned"
         assert second.cache.stats.disk_errors == 1
+        # forward-compat, not corruption: the entry stays where it is for
+        # a newer build to read
+        assert second.cache.stats.corrupt_total == 0
+        assert path.exists()
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path,
+                                                      request_alexnet):
+        key = request_alexnet.fingerprint()
+        path = tmp_path / f"{key}.json"
+        path.write_text("{not json")
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as svc:
+            response = svc.plan(request_alexnet)
+        assert response.source == "planned"
+        assert svc.cache.stats.corrupt_total == 1
+        # the broken bytes are evidence: renamed aside, never deleted
+        quarantined = tmp_path / f"{key}.json.corrupt"
+        assert quarantined.exists()
+        assert quarantined.read_text() == "{not json"
+        # the quarantined entry never poisons the next lookup: the planned
+        # response re-persisted a good entry under the original name
+        assert json.loads(path.read_text())["fingerprint"] == key
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as again:
+            assert again.plan(request_alexnet).source == "disk"
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path,
+                                              request_alexnet):
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as first:
+            first.plan(request_alexnet)
+        key = request_alexnet.fingerprint()
+        path = tmp_path / f"{key}.json"
+        doc = json.loads(path.read_text())
+        assert "checksum" in doc
+        # flip one recorded value without refreshing the checksum: the
+        # kind of silent mutation a torn write or bit rot produces
+        doc["fingerprint"] = "tampered"
+        path.write_text(json.dumps(doc))
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as second:
+            response = second.plan(request_alexnet)
+        assert response.source == "planned"
+        assert second.cache.stats.corrupt_total == 1
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+
+    def test_legacy_entry_without_checksum_still_loads(self, tmp_path,
+                                                       request_alexnet):
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as first:
+            first.plan(request_alexnet)
+        key = request_alexnet.fingerprint()
+        path = tmp_path / f"{key}.json"
+        doc = json.loads(path.read_text())
+        del doc["checksum"]  # an entry written before checksums existed
+        path.write_text(json.dumps(doc))
+        with PlanService(cache=PlanCache(disk_dir=tmp_path)) as second:
+            response = second.plan(request_alexnet)
+        assert response.source == "disk" and response.cache_hit
+        assert second.cache.stats.corrupt_total == 0
 
 
 class TestLRUEviction:
