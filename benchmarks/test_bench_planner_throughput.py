@@ -12,7 +12,10 @@ than just reported:
   recorded seed-planner timings;
 * fresh timings may not regress more than ``REGRESSION_FACTOR``× against the
   committed ``BENCH_planner.json`` (the CI gate; the committed file is read
-  *before* it is rewritten with this run's numbers).
+  *before* it is rewritten with this run's numbers);
+* the ``dp-vectorized`` backend emits a bit-identical plan to ``dp`` and
+  clears ``VECTORIZED_SPEEDUP_FLOOR``× over it on resnet18 (the deepest
+  network here, where the batched recurrence has the most to amortize).
 """
 
 import json
@@ -32,7 +35,7 @@ ARTIFACT = "BENCH_planner.json"
 
 NETWORKS = ("alexnet", "vgg16", "resnet18")
 BATCH = 512
-REPEATS = 5
+REPEATS = 7
 
 #: end-to-end planning time of the pre-overhaul planner (bisection ratio
 #: solver, no step memoization, no workload/tree caching) on this benchmark's
@@ -67,6 +70,14 @@ LEGACY_REFERENCE_MS = {
 #: machine that committed the baseline and the CI runner)
 REGRESSION_FACTOR = 3.0
 
+#: CI gate: the vectorized backend must beat the scalar DP by at least this
+#: factor on resnet18.  Both backends run in the same process on the same
+#: machine, so no calibration is needed; resnet18 only, because on shallow
+#: chains (alexnet) fixed per-plan overhead dominates both and the ratio
+#: mostly measures noise.
+VECTORIZED_SPEEDUP_FLOOR = 3.0
+VECTORIZED_GATE_NETWORK = "resnet18"
+
 
 def _plan(net, scheme):
     """One cold end-to-end plan: fresh array, fresh planner, fresh scheme."""
@@ -74,14 +85,24 @@ def _plan(net, scheme):
     return Planner(array, scheme).plan(net, BATCH)
 
 
-def _median_ms(net, scheme_factory):
-    times = []
+def _interleaved_ms(net, scheme_factories):
+    """Time several schemes interleaved; returns (median_ms, min_ms) per scheme.
+
+    Each repeat runs every scheme once, back to back, so a machine-noise
+    burst (shared CI runner, single-core box) lands on all schemes instead
+    of biasing whichever one happened to own that block of wall-clock.
+    The speedup gates compare the *minima*: scheduler noise is strictly
+    additive, so min-of-N estimates true cost stably where a ratio of
+    block medians flaps; the medians are reported in the artifact.
+    """
+    times = [[] for _ in scheme_factories]
     for _ in range(REPEATS):
-        scheme = scheme_factory()
-        t0 = time.perf_counter()
-        _plan(net, scheme)
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times) * 1e3
+        for slot, factory in enumerate(scheme_factories):
+            scheme = factory()
+            t0 = time.perf_counter()
+            _plan(net, scheme)
+            times[slot].append(time.perf_counter() - t0)
+    return [(statistics.median(ts) * 1e3, min(ts) * 1e3) for ts in times]
 
 
 def _assert_same_plan(name, optimized, legacy):
@@ -101,6 +122,20 @@ def _assert_same_plan(name, optimized, legacy):
             assert rel <= 1e-9, (name, opt.cost, leg.cost)
 
 
+def _assert_identical_plan(name, a, b):
+    """Bit-identical plans: same ordered typed entries, same float costs.
+
+    Stricter than :func:`_assert_same_plan` — the vectorized backend is a
+    different execution strategy for the *same* arithmetic, so it owes
+    equality, not tolerance."""
+    a_levels = collect_level_plans(a.plan)
+    b_levels = collect_level_plans(b.plan)
+    assert len(a_levels) == len(b_levels), name
+    for la, lb in zip(a_levels, b_levels):
+        assert la.entries == lb.entries, name
+        assert la.cost == lb.cost, name
+
+
 def test_planner_throughput_and_regression_gate(results_dir):
     artifact_path = pathlib.Path(results_dir) / ARTIFACT
     committed = None
@@ -114,29 +149,49 @@ def test_planner_throughput_and_regression_gate(results_dir):
         # identity first (also warms imports and caches for the timings)
         optimized = _plan(net, AccParScheme())
         legacy = _plan(net, AccParScheme(closed_form=False, memoize=False))
+        vectorized = _plan(net, AccParScheme(backend="dp-vectorized"))
         _assert_same_plan(name, optimized, legacy)
+        _assert_identical_plan(name, optimized, vectorized)
 
-        optimized_ms = _median_ms(net, AccParScheme)
-        legacy_ms = _median_ms(
-            net, lambda: AccParScheme(closed_form=False, memoize=False)
-        )
+        (
+            (optimized_ms, optimized_min),
+            (legacy_ms, legacy_min),
+            (dp_vectorized_ms, dp_vectorized_min),
+        ) = _interleaved_ms(net, (
+            AccParScheme,
+            lambda: AccParScheme(closed_form=False, memoize=False),
+            lambda: AccParScheme(backend="dp-vectorized"),
+        ))
         # calibrate the seed baseline to this machine: the legacy mode runs
         # the seed's solver configuration in-process, so its slowdown vs the
-        # reference recording is pure machine speed
-        machine_factor = legacy_ms / LEGACY_REFERENCE_MS[name]
+        # reference recording is pure machine speed.  The gate uses the
+        # minima end to end, so the factor does too.
+        machine_factor = legacy_min / LEGACY_REFERENCE_MS[name]
         seed_ms = SEED_BASELINE_MS[name] * machine_factor
         networks[name] = {
             "seed_baseline_ms": SEED_BASELINE_MS[name],
             "machine_factor": round(machine_factor, 3),
             "optimized_ms": round(optimized_ms, 2),
             "legacy_mode_ms": round(legacy_ms, 2),
-            "speedup_vs_seed": round(seed_ms / optimized_ms, 2),
-            "speedup_vs_legacy_mode": round(legacy_ms / optimized_ms, 2),
+            "dp_vectorized_ms": round(dp_vectorized_ms, 2),
+            "speedup_vs_seed": round(seed_ms / optimized_min, 2),
+            "speedup_vs_legacy_mode": round(legacy_min / optimized_min, 2),
+            "speedup_dp_vectorized_vs_dp": round(
+                optimized_min / dp_vectorized_min, 2
+            ),
         }
 
-        assert seed_ms / optimized_ms >= SPEEDUP_FLOOR, (
-            f"{name}: optimized planner at {optimized_ms:.1f}ms is only "
-            f"{seed_ms / optimized_ms:.1f}x over the machine-calibrated seed "
+        if name == VECTORIZED_GATE_NETWORK:
+            assert optimized_min / dp_vectorized_min >= VECTORIZED_SPEEDUP_FLOOR, (
+                f"{name}: dp-vectorized at {dp_vectorized_min:.1f}ms is only "
+                f"{optimized_min / dp_vectorized_min:.1f}x over the scalar dp "
+                f"backend ({optimized_min:.1f}ms); the vectorized recurrence "
+                f"requires >= {VECTORIZED_SPEEDUP_FLOOR}x here"
+            )
+
+        assert seed_ms / optimized_min >= SPEEDUP_FLOOR, (
+            f"{name}: optimized planner at {optimized_min:.1f}ms is only "
+            f"{seed_ms / optimized_min:.1f}x over the machine-calibrated seed "
             f"baseline ({seed_ms:.1f}ms = {SEED_BASELINE_MS[name]:.1f}ms x "
             f"{machine_factor:.2f}); the overhaul requires >= {SPEEDUP_FLOOR}x"
         )
@@ -152,14 +207,21 @@ def test_planner_throughput_and_regression_gate(results_dir):
     payload = {
         "description": (
             "End-to-end hierarchical planning time (median of "
-            f"{REPEATS} cold runs), heterogeneous 128+128 TPU-v2/v3 array, "
+            f"{REPEATS} interleaved cold runs; speedup ratios compare the "
+            "per-scheme minima, which are stable under shared-runner noise), "
+            "heterogeneous 128+128 TPU-v2/v3 array, "
             f"batch {BATCH}.  seed_baseline_ms is the pre-overhaul planner "
             "recorded at the seed commit; legacy_mode_ms is the same solver "
             "configuration (bisection, uncached) running in-process today; "
             "machine_factor (legacy_mode_ms / the legacy timing recorded "
             "alongside the seed numbers) rescales the seed baseline to this "
-            "machine before the speedup floor is checked."
+            "machine before the speedup floor is checked.  dp_vectorized_ms "
+            "is the dp-vectorized backend (batched numpy Eq. 9) on the same "
+            "workload; it must emit a bit-identical plan and beat dp by "
+            f"{VECTORIZED_SPEEDUP_FLOOR}x on {VECTORIZED_GATE_NETWORK}."
         ),
+        "vectorized_speedup_floor": VECTORIZED_SPEEDUP_FLOOR,
+        "vectorized_gate_network": VECTORIZED_GATE_NETWORK,
         "batch": BATCH,
         "repeats": REPEATS,
         "regression_factor": REGRESSION_FACTOR,

@@ -24,19 +24,21 @@ aggregated accelerator group.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Tuple
+from typing import NamedTuple, Optional, Sequence, Tuple
 
 from ..hardware.accelerator import AcceleratorGroup
 from .counters import StepStats
 from .ratio import (
     PATH_BISECTION,
     PATH_LINEAR,
+    PATH_MINIMAX,
     PATH_QUADRATIC,
     PairCostPoly,
     solve_balanced_ratio,
     solve_balanced_ratio_poly,
+    solve_balanced_ratio_poly_batch,
 )
-from .types import PartitionType, ShardedWorkload
+from .types import ALL_TYPES, PartitionType, ShardedWorkload
 
 #: transitions with zero inter-layer cost: the boundary tensors already agree
 ZERO_TRANSITIONS = frozenset(
@@ -85,6 +87,32 @@ _TRANSITION_FAMILY = {
     **{key: FAMILY_F for key in F_TRANSITIONS},
     **{key: FAMILY_E for key in E_TRANSITIONS},
 }
+
+#: family → row on the packed cost tensors' family axis.  The four Table 5
+#: families collapse to *three* distinct cost columns: the F-move and E-move
+#: transitions produce identical per-party coefficients (party i fetches
+#: β·A(F_{l+1}), party j fetches α·A(E_{l+1}), and A(F) = A(E) for the
+#: boundary tensor), which :meth:`PairCostModel._poly_parts` already
+#: exploits by sharing one branch for both.
+PACKED_FAMILY_INDEX = {FAMILY_ZERO: 0, FAMILY_CROSS: 1, FAMILY_F: 2, FAMILY_E: 2}
+
+#: number of rows on the packed family axis
+PACKED_FAMILY_COUNT = 3
+
+#: representative (packed family row, type column, predecessor type) per
+#: *reachable* cell of the packed grid, for the scalar packing route.  The
+#: cross family cannot reach Type-III (no Table 5 transition maps there),
+#: so that cell stays at the unreachable sentinel.
+_PACK_REPRESENTATIVES = (
+    (0, 0, None),
+    (0, 1, None),
+    (0, 2, None),
+    (1, 0, PartitionType.TYPE_III),
+    (1, 1, PartitionType.TYPE_I),
+    (2, 0, PartitionType.TYPE_II),
+    (2, 1, PartitionType.TYPE_II),
+    (2, 2, PartitionType.TYPE_I),
+)
 
 
 def transition_family(
@@ -212,9 +240,124 @@ class PairCostModel:
         else:
             self._nominal_alpha = 0.5
 
+        # built once: the vectorized backend keys three module-level caches
+        # on this per alignment matrix / packed tensor, so it is hot
+        self._pack_key = (
+            self.c_i,
+            self.c_j,
+            self.b_i,
+            self.b_j,
+            self.dtype_bytes,
+            self.ratio_mode,
+            self.closed_form,
+        )
+
     def nominal_alpha(self) -> float:
         """Default share for boundary-only transfers (no computation to balance)."""
         return self._nominal_alpha
+
+    def pack_key(self) -> Tuple:
+        """Everything the packed step tensors depend on besides the workloads.
+
+        Two models with equal ``pack_key()`` produce bit-identical packed
+        tensors for the same workload sequence, which is what lets the
+        vectorized backend share one module-level tensor cache across the
+        fresh per-level :class:`PairCostModel` instances the planner builds.
+        """
+        return self._pack_key
+
+    # ------------------------------------------------------------------
+    # dense step-cost packing (the vectorized backend's phase 1)
+    # ------------------------------------------------------------------
+    def pack_step_tensors(self, workloads: Sequence[ShardedWorkload]) -> Tuple:
+        """Every Eq. 9 step costing of a level as two dense tensors.
+
+        Returns ``(cost, alpha)``, each of shape
+        ``(n_layers, PACKED_FAMILY_COUNT, |T|)``: Eq. 9's step cost and its
+        Eq. 10 ratio for layer ``l`` entered through packed Table 5 family
+        ``f`` under partition type ``t`` (type columns in ``ALL_TYPES``
+        order).  Values are bit-identical to :meth:`step` on the same
+        combination — the balanced closed-form route batches the polynomial
+        build and the Eq. 10 solve through
+        :func:`~repro.core.ratio.solve_balanced_ratio_poly_batch` with the
+        scalar arithmetic's exact operation order; every other mode routes
+        through the memoized :meth:`step` itself.  The one unreachable grid
+        cell (cross family → Type-III) holds ``inf``.
+        """
+        if self.ratio_mode == "balanced" and self.closed_form:
+            return self._pack_closed_form(workloads)
+        import numpy as np
+
+        n = len(workloads)
+        cost = np.full((n, PACKED_FAMILY_COUNT, len(ALL_TYPES)), np.inf)
+        alpha = np.full(cost.shape, self.nominal_alpha())
+        for row, sw in enumerate(workloads):
+            for fam_idx, t_idx, prev in _PACK_REPRESENTATIVES:
+                decision = self.step(sw, prev, ALL_TYPES[t_idx])
+                cost[row, fam_idx, t_idx] = decision.cost
+                alpha[row, fam_idx, t_idx] = decision.alpha
+        return cost, alpha
+
+    def _pack_closed_form(self, workloads: Sequence[ShardedWorkload]) -> Tuple:
+        """Balanced-mode packing: batched :meth:`_poly_parts` + batched Eq. 10.
+
+        Mirrors :meth:`_step_closed_form` coefficient-for-coefficient, just
+        over arrays: the base polynomial per (layer, type), the α·β cross
+        term on the cross row, the boundary-move shift on the move row.
+        """
+        import numpy as np
+
+        n = len(workloads)
+        total = np.empty(n)
+        a_in = np.empty(n)
+        psum = np.empty((n, len(ALL_TYPES)))
+        for row, sw in enumerate(workloads):
+            total[row] = sw.flops_total()
+            a_in[row] = sw.a_input_fm()
+            for col, t in enumerate(ALL_TYPES):
+                psum[row, col] = sw.a_psum(t)
+
+        dtype_bytes = float(self.dtype_bytes)
+        intra = psum * dtype_bytes
+        shape = (n, len(ALL_TYPES))
+        base_ci = psum / self.c_i + intra / self.b_i
+        base_li = np.broadcast_to((total / self.c_i)[:, None], shape)
+        base_cj = (total[:, None] + psum) / self.c_j + intra / self.b_j
+        base_lj = np.broadcast_to((-total / self.c_j)[:, None], shape)
+        zero = np.zeros(shape)
+
+        cross = 2.0 * a_in * dtype_bytes
+        cross_qi = np.broadcast_to((cross / self.b_i)[:, None], shape)
+        cross_qj = np.broadcast_to((cross / self.b_j)[:, None], shape)
+
+        move = a_in * dtype_bytes
+        move_bi = (move / self.b_i)[:, None]
+        move_ci = base_ci + move_bi
+        move_li = base_li - move_bi
+        move_lj = base_lj + (move / self.b_j)[:, None]
+
+        # family axis rows: 0 = zero, 1 = cross, 2 = move (PACKED_FAMILY_INDEX)
+        const_i = np.stack([base_ci, base_ci, move_ci], axis=1)
+        lin_i = np.stack([base_li, base_li, move_li], axis=1)
+        quad_i = np.stack([zero, cross_qi, zero], axis=1)
+        const_j = np.stack([base_cj, base_cj, base_cj], axis=1)
+        lin_j = np.stack([base_lj, base_lj, move_lj], axis=1)
+        quad_j = np.stack([zero, cross_qj, zero], axis=1)
+
+        alpha, counts = solve_balanced_ratio_poly_batch(
+            const_i, lin_i, quad_i, const_j, lin_j, quad_j
+        )
+        stats = self.stats
+        stats.ratio_solves += alpha.size
+        stats.ratio_closed_linear += counts[PATH_LINEAR]
+        stats.ratio_closed_quadratic += counts[PATH_QUADRATIC]
+        stats.ratio_bisection_fallback += counts[PATH_BISECTION]
+        stats.ratio_minimax += counts[PATH_MINIMAX]
+
+        ab = alpha * (1.0 - alpha)
+        cost_i = const_i + lin_i * alpha + quad_i * ab
+        cost_j = const_j + lin_j * alpha + quad_j * ab
+        return np.where(cost_i >= cost_j, cost_i, cost_j), alpha
 
     # ------------------------------------------------------------------
     # component costs

@@ -33,7 +33,19 @@ Counter names (all monotonic; the canonical list is
 ``hierarchy_memo_hits`` / ``hierarchy_memo_misses``
     Pairing-tree nodes answered from the symmetric-subtree memo vs. planned.
 ``multipath_path_dp_runs``
-    Per-entry-state path DPs run inside fork/join regions.
+    Per-entry-state path DPs run inside fork/join regions (the vectorized
+    backend counts the entry states each batched path run covers, so the
+    number stays comparable across backends).
+``vec_searches``
+    Level searches served by the vectorized (``dp-vectorized``) kernel.
+``vec_pack_cache_hits`` / ``vec_pack_cache_misses``
+    Packed step-cost tensors answered from the module-wide cache vs built.
+``vec_pack_ns`` / ``vec_recurrence_ns``
+    Nanoseconds the vectorized kernel spent building cost tensors (phase 1)
+    vs running the batched recurrence + backtracking (phase 2).
+``vec_multipath_batches``
+    Batched fork/join path runs (one per path per macro-stage evaluation,
+    replacing ``|entry states|`` scalar DPs each).
 """
 
 from __future__ import annotations
@@ -59,6 +71,12 @@ class StepStats:
         "ratio_bisection_fallback",
         "ratio_minimax",
         "multipath_path_dp_runs",
+        "vec_searches",
+        "vec_pack_cache_hits",
+        "vec_pack_cache_misses",
+        "vec_pack_ns",
+        "vec_recurrence_ns",
+        "vec_multipath_batches",
     )
 
     def __init__(self) -> None:

@@ -24,7 +24,17 @@ from ..obs.tracing import tracer
 from ..plan.ir import LayerAssignment, PlanEntry, SearchResult
 from .cost_model import PairCostModel, transition_family
 from .stages import ShardedLayerStage, ShardedParallelStage, ShardedStage
+from .tiebreak import COST_REL_TOL, improves
 from .types import ALL_TYPES, PartitionType, ShardedWorkload
+
+__all__ = [
+    "COST_REL_TOL",
+    "improves",
+    "TransitionInfo",
+    "layer_stage_transitions",
+    "dp_over_stages",
+    "search_stages",
+]
 
 #: optional per-layer restriction of the searchable types (used by the fixed
 #: baselines: data parallelism pins Type-I everywhere, OWT pins by layer kind)
@@ -32,24 +42,6 @@ SpaceFn = Callable[[ShardedWorkload], Sequence[PartitionType]]
 
 #: DP states: a partition type, or None for the free entry boundary
 State = Optional[PartitionType]
-
-#: relative slack for comparing candidate costs: two candidates closer than
-#: this are a *tie* and the first-seen one wins.  Mathematically tied
-#: branches (symmetric fork paths, equal-cost exit states) otherwise get
-#: broken by last-ulp float noise, which depends on the arithmetic route
-#: (closure evaluation vs polynomial coefficients) rather than the model —
-#: the slack makes every solver variant of the same cost model emit the
-#: same plan.  Genuine cost differences in the model are many orders of
-#: magnitude above 1e-9 relative.
-COST_REL_TOL = 1e-9
-
-
-def improves(candidate: float, incumbent: Optional[float]) -> bool:
-    """True when ``candidate`` beats ``incumbent`` beyond float-noise slack."""
-    if incumbent is None:
-        return True
-    slack = COST_REL_TOL * max(abs(candidate), abs(incumbent))
-    return candidate < incumbent - slack
 
 
 class TransitionInfo(NamedTuple):
@@ -156,10 +148,9 @@ def _advance_frontier(
         base_cost, base_node = frontier[tt]
         total = base_cost + info.cost
         incumbent = new_frontier.get(t)
-        # the improves() slack, inlined: this is the hottest comparison
-        if incumbent is None or total < incumbent[0] - COST_REL_TOL * (
-            total if total >= incumbent[0] else incumbent[0]
-        ):
+        # one shared tie-break rule (core.tiebreak) across every search
+        # variant, so the scalar, greedy and vectorized kernels can't drift
+        if incumbent is None or improves(total, incumbent[0]):
             new_frontier[t] = (total, _BackNode(info.entries, base_node))
     return new_frontier
 

@@ -1,0 +1,435 @@
+"""Vectorized layer-wise search: Eq. 9 as a batched min-plus recurrence.
+
+The scalar DP (:mod:`repro.core.dp_search`) spends its time in pure-Python
+loops — one :meth:`~repro.core.cost_model.PairCostModel.step` call chain and
+one frontier comparison per (state, type) pair per stage.  This module runs
+the same recurrence on dense numpy tensors instead, in two phases:
+
+**Phase 1 — packing.**  Every step costing a level can ever need is
+precomputed as two tensors of shape ``(n_layers, 3 families, |T| types)``
+(:meth:`PairCostModel.pack_step_tensors`): Eq. 9's step cost and its Eq. 10
+ratio per (layer, packed Table 5 family, type).  In balanced mode the
+polynomial coefficients and the closed-form solve are themselves batched
+(:func:`~repro.core.ratio.solve_balanced_ratio_poly_batch`), so packing a
+level costs a handful of array ops rather than thousands of Python calls.
+Packed tensors are cached module-wide keyed by
+``(model.pack_key(), workload keys)`` — repeated plans of the same network
+(the service's bread and butter) skip phase 1 entirely.
+
+**Phase 2 — recurrence.**  The DP frontier is a cost matrix ``F`` of shape
+``(entry_rows, |states|)``.  Per layer stage the update is one broadcast::
+
+    cand = F[:, :, None] + C[None, :, :]        # C gathered from the pack
+    F, choice = masked_first_within_slack(cand) # argmin over the in-state axis
+
+with the argmin matrix recorded for O(N) backtracking into the typed IR
+(:class:`~repro.plan.ir.LayerAssignment` / ``JoinAlignment`` / ``PathExit``).
+A fork/join region runs each path *once* as a batch over all entry states
+(identity-initialized frontier) instead of one scalar DP per entry state,
+folds the exit re-alignments in as one broadcast add, and accumulates the
+per-path minima into the macro cost matrix in path order — the same
+floating-point addition sequence as the scalar code, which is what keeps
+the two backends bit-identical (asserted across the model zoo and a seeded
+randomized property suite).
+
+Tie-breaking reuses the shared :mod:`repro.core.tiebreak` rule: the masked
+argmin picks the lowest state index within ``COST_REL_TOL`` slack of the
+minimum, exactly the scalar scan's first-seen-wins winner.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.tracing import tracer
+from ..plan.ir import JoinAlignment, LayerAssignment, PathExit, PlanEntry, SearchResult
+from .cost_model import PACKED_FAMILY_INDEX, PairCostModel, transition_family
+from .dp_search import SpaceFn
+from .multipath import alignment_cost
+from .stages import (
+    ShardedLayerStage,
+    ShardedParallelStage,
+    ShardedStage,
+    first_workload,
+    iter_layer_stages,
+    last_workload,
+)
+from .tiebreak import UNREACHABLE, improves, masked_first_within_slack
+from .types import ALL_TYPES, PartitionType
+
+State = Optional[PartitionType]
+
+#: DP state codes: row/column order of every index table.  ``None`` (the
+#: free entry boundary) first, then the types in ``ALL_TYPES`` order —
+#: matching the scalar DP's frontier insertion order.
+_STATE_ORDER: Tuple[State, ...] = (None,) + ALL_TYPES
+_STATE_CODE: Dict[State, int] = {s: i for i, s in enumerate(_STATE_ORDER)}
+_TYPE_CODE: Dict[PartitionType, int] = {t: i for i, t in enumerate(ALL_TYPES)}
+
+#: packed family row per (state code, type code), derived from the same
+#: transition_family the scalar DP consults
+_FAM_TABLE = np.array(
+    [
+        [PACKED_FAMILY_INDEX[transition_family(s, t)] for t in ALL_TYPES]
+        for s in _STATE_ORDER
+    ],
+    dtype=np.intp,
+)
+
+#: (in-state tuple, out-state tuple) → (family submatrix, type-code vector);
+#: a handful of distinct combinations exist per process, so the index
+#: arrays for the gather are built once each
+_GATHER_MEMO: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+
+#: packed-tensor cache: (model pack key, per-layer workload keys) →
+#: :class:`_Pack`.  Bounded LRU; honored only for memoizing models, like
+#: the model's own step cache.
+_PACK_CACHE: "OrderedDict[Tuple, _Pack]" = OrderedDict()
+_PACK_CACHE_MAX = 128
+
+#: identity frontiers for batched path DPs, keyed by row count; read-only
+_IDENTITY_CACHE: Dict[int, np.ndarray] = {}
+
+#: broadcast "row r chose predecessor r" argmin matrices, keyed by shape;
+#: the backtracking answer for any step taken from an identity frontier
+_SELF_CHOICE_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+#: alignment-matrix cache: (model pack key, elements, from states, to
+#: states) → matrix of Table 5 re-alignment costs, shared across the
+#: repeated fork/join joins of one level and across levels with equal pairs
+_ALIGN_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+_ALIGN_CACHE_MAX = 1024
+
+
+def clear_pack_caches() -> None:
+    """Drop the module-wide packed-tensor and alignment caches (tests)."""
+    _PACK_CACHE.clear()
+    _ALIGN_CACHE.clear()
+
+
+def _identity(rows: int) -> np.ndarray:
+    """The cached identity frontier: 0 on the diagonal, UNREACHABLE off it."""
+    identity = _IDENTITY_CACHE.get(rows)
+    if identity is None:
+        identity = np.full((rows, rows), UNREACHABLE)
+        np.fill_diagonal(identity, 0.0)
+        _IDENTITY_CACHE[rows] = identity
+    return identity
+
+
+def _self_choice(rows: int, cols: int) -> np.ndarray:
+    """Argmin matrix with ``choice[r, j] == r`` (identity-frontier steps)."""
+    choice = _SELF_CHOICE_CACHE.get((rows, cols))
+    if choice is None:
+        choice = np.broadcast_to(np.arange(rows)[:, None], (rows, cols))
+        _SELF_CHOICE_CACHE[(rows, cols)] = choice
+    return choice
+
+
+def _gather_indices(
+    in_states: Tuple[State, ...], out_states: Tuple[PartitionType, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    key = (in_states, out_states)
+    cached = _GATHER_MEMO.get(key)
+    if cached is None:
+        rows = np.array([_STATE_CODE[s] for s in in_states], dtype=np.intp)
+        t_codes = np.array([_TYPE_CODE[t] for t in out_states], dtype=np.intp)
+        cached = (_FAM_TABLE[rows[:, None], t_codes[None, :]], t_codes)
+        _GATHER_MEMO[key] = cached
+    return cached
+
+
+class _Pack:
+    """One level's packed step tensors plus derived per-stage gathers.
+
+    ``gathers`` caches the (in-state × out-state) step-cost submatrix each
+    layer stage needs — the fancy-index gather from the packed tensor is
+    the same for every search over the same pack, so repeated plans skip
+    it along with the pack itself.
+    """
+
+    __slots__ = ("cost", "alpha", "gathers")
+
+    def __init__(self, cost: np.ndarray, alpha: np.ndarray):
+        self.cost = cost
+        self.alpha = alpha
+        self.gathers: Dict[Tuple, np.ndarray] = {}
+
+    def step_costs(
+        self,
+        row: int,
+        in_states: Tuple[State, ...],
+        out_states: Tuple[PartitionType, ...],
+    ) -> np.ndarray:
+        key = (row, in_states, out_states)
+        gathered = self.gathers.get(key)
+        if gathered is None:
+            fam, t_codes = _gather_indices(in_states, out_states)
+            gathered = self.cost[row][fam, t_codes[None, :]]
+            self.gathers[key] = gathered
+        return gathered
+
+
+class _LayerDecision:
+    """One layer stage's argmin matrix plus what backtracking needs."""
+
+    __slots__ = ("name", "alpha", "fam", "t_codes", "out_states", "choice")
+
+    def __init__(self, name, alpha, fam, t_codes, out_states, choice):
+        self.name = name
+        self.alpha = alpha          # the layer's packed (family, type) α grid
+        self.fam = fam              # (S_in, S_out) packed family rows
+        self.t_codes = t_codes      # (S_out,) type columns
+        self.out_states = out_states
+        self.choice = choice        # (R, S_out) winning in-state index
+
+    def entries(self, row: int, i: int, j: int) -> Tuple[PlanEntry, ...]:
+        alpha = float(self.alpha[self.fam[i, j], self.t_codes[j]])
+        return (LayerAssignment(self.name, self.out_states[j], alpha),)
+
+
+class _ParallelDecision:
+    """One fork/join macro-stage's argmin matrices for lazy backtracking."""
+
+    __slots__ = ("name", "in_states", "out_states", "paths", "nominal", "choice")
+
+    def __init__(self, name, in_states, out_states, paths, nominal, choice):
+        self.name = name
+        self.in_states = in_states
+        self.out_states = out_states
+        # per path: None for an identity skip, else
+        # (path decisions, path exit states, exit-choice matrix)
+        self.paths = paths
+        self.nominal = nominal
+        self.choice = choice
+
+    def entries(self, row: int, i: int, j: int) -> Tuple[PlanEntry, ...]:
+        out: List[PlanEntry] = []
+        for path_index, info in enumerate(self.paths):
+            if info is None:
+                # identity skip: the tensor exits still in the entry state;
+                # nothing to record at the free network entry
+                chosen: State = self.in_states[i]
+            else:
+                decisions, path_out, exit_choice = info
+                exit_idx = int(exit_choice[i, j])
+                out.extend(_backtrack(decisions, i, exit_idx))
+                chosen = path_out[exit_idx]
+            if chosen is not None:
+                out.append(PathExit(self.name, path_index, chosen, self.nominal))
+        out.append(JoinAlignment(self.name, self.out_states[j], self.nominal))
+        return tuple(out)
+
+
+def _backtrack(decisions, row: int, exit_idx: int) -> Tuple[PlanEntry, ...]:
+    """Walk the recorded argmin matrices once, last stage to first."""
+    groups = []
+    j = exit_idx
+    for decision in reversed(decisions):
+        i = int(decision.choice[row, j])
+        groups.append(decision.entries(row, i, j))
+        j = i
+    out: List[PlanEntry] = []
+    for group in reversed(groups):
+        out.extend(group)
+    return tuple(out)
+
+
+def _packed_tensors(
+    stages: Sequence[ShardedStage], model: PairCostModel
+) -> Tuple["_Pack", Dict[int, int]]:
+    """Phase 1: the level's dense step tensors, with the module-wide cache."""
+    layers = list(iter_layer_stages(stages))
+    index = {id(stage): row for row, stage in enumerate(layers)}
+    key = None
+    if model.memoize:
+        key = (model.pack_key(), tuple(st.workload.key() for st in layers))
+        cached = _PACK_CACHE.get(key)
+        if cached is not None:
+            _PACK_CACHE.move_to_end(key)
+            model.stats.vec_pack_cache_hits += 1
+            return cached, index
+        model.stats.vec_pack_cache_misses += 1
+    pack = _Pack(*model.pack_step_tensors([st.workload for st in layers]))
+    if key is not None:
+        _PACK_CACHE[key] = pack
+        while len(_PACK_CACHE) > _PACK_CACHE_MAX:
+            _PACK_CACHE.popitem(last=False)
+    return pack, index
+
+
+def _align_matrix(
+    model: PairCostModel,
+    elements: float,
+    from_states: Tuple[State, ...],
+    to_states: Tuple[PartitionType, ...],
+) -> np.ndarray:
+    """Table 5 re-alignment costs as a (from, to) matrix, cached."""
+    key = None
+    if model.memoize:
+        key = (model.pack_key(), elements, from_states, to_states)
+        cached = _ALIGN_CACHE.get(key)
+        if cached is not None:
+            _ALIGN_CACHE.move_to_end(key)
+            return cached
+    matrix = np.array(
+        [
+            [alignment_cost(model, elements, frm, to) for to in to_states]
+            for frm in from_states
+        ]
+    )
+    if key is not None:
+        _ALIGN_CACHE[key] = matrix
+        while len(_ALIGN_CACHE) > _ALIGN_CACHE_MAX:
+            _ALIGN_CACHE.popitem(last=False)
+    return matrix
+
+
+def _layer_step(stage, pack, index, space, space_fn, states, frontier):
+    # ``space`` is pre-tupled once per search; only a per-layer restriction
+    # needs normalizing here
+    layer_space = tuple(space_fn(stage.workload)) if space_fn is not None else space
+    row = index[id(stage)]
+    step_costs = pack.step_costs(row, states, layer_space)
+    if frontier is _IDENTITY_CACHE.get(len(states)):
+        # first stage of a chain: row r of the identity frontier holds 0 at
+        # state r and UNREACHABLE elsewhere, so the argmin is r itself and
+        # the surviving cost is 0.0 + step — the step-cost gather verbatim
+        new_frontier = step_costs
+        choice = _self_choice(len(states), len(layer_space))
+    else:
+        cand = frontier[:, :, None] + step_costs[None, :, :]
+        new_frontier, choice = masked_first_within_slack(cand)
+    fam, t_codes = _gather_indices(states, layer_space)
+    decision = _LayerDecision(stage.name, pack.alpha[row], fam, t_codes,
+                              layer_space, choice)
+    return layer_space, new_frontier, decision
+
+
+def _parallel_step(stage, model, pack, index, space, space_fn,
+                   states, frontier):
+    out_states = space
+    fork_elements = None
+    for path in stage.paths:
+        if path:
+            fork_elements = first_workload(path).a_input_fm()
+            break
+    if fork_elements is None:
+        raise ValueError(f"parallel stage {stage.name!r} has no weighted layers")
+
+    stats = model.stats
+    rows = len(states)
+    # all entry states at once: one batched DP per path instead of one
+    # scalar DP per (path, entry state)
+    identity = _identity(rows)
+
+    macro = np.zeros((rows, len(out_states)))
+    paths: List[Optional[Tuple]] = []
+    for path in stage.paths:
+        if path:
+            stats.vec_multipath_batches += 1
+            stats.multipath_path_dp_runs += rows
+            path_out, path_frontier, path_decisions = _run_chain(
+                path, model, pack, index, space, space_fn, states, identity,
+            )
+            out_elements = last_workload(path).a_output_fm()
+            align = _align_matrix(model, out_elements, path_out, out_states)
+            aligned = path_frontier[:, :, None] + align[None, :, :]
+            best, exit_choice = masked_first_within_slack(aligned)
+            macro += best
+            paths.append((path_decisions, path_out, exit_choice))
+        else:
+            # identity skip: re-align the fork tensor itself, still in the
+            # entry state, to each join state
+            macro += _align_matrix(model, fork_elements, states, out_states)
+            paths.append(None)
+
+    if frontier is identity:
+        # same identity-entry shortcut as _layer_step: 0.0 + macro is macro
+        new_frontier = macro
+        choice = _self_choice(rows, len(out_states))
+    else:
+        cand = frontier[:, :, None] + macro[None, :, :]
+        new_frontier, choice = masked_first_within_slack(cand)
+    decision = _ParallelDecision(stage.name, states, out_states, paths,
+                                 model.nominal_alpha(), choice)
+    return out_states, new_frontier, decision
+
+
+def _run_chain(stages, model, pack, index, space, space_fn,
+               states, frontier):
+    """Phase 2 over one stage chain; frontier rows are entry states."""
+    decisions = []
+    for stage in stages:
+        if isinstance(stage, ShardedLayerStage):
+            states, frontier, decision = _layer_step(
+                stage, pack, index, space, space_fn, states, frontier
+            )
+        elif isinstance(stage, ShardedParallelStage):
+            states, frontier, decision = _parallel_step(
+                stage, model, pack, index, space, space_fn,
+                states, frontier,
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown stage kind {type(stage).__name__}")
+        decisions.append(decision)
+    return states, frontier, decisions
+
+
+def search_stages_vectorized(
+    stages: Sequence[ShardedStage],
+    model: PairCostModel,
+    space: Sequence[PartitionType] = ALL_TYPES,
+    space_fn: Optional[SpaceFn] = None,
+) -> SearchResult:
+    """Drop-in vectorized twin of :func:`~repro.core.dp_search.search_stages`.
+
+    Same arguments, same :class:`~repro.plan.ir.SearchResult`, bit-identical
+    entries, cost and exit state; see the module docstring for how.
+    """
+    space = tuple(space)
+    if not space:
+        raise ValueError("partition-type space must be non-empty")
+    stages = list(stages)
+    if not stages:
+        return SearchResult(entries=(), cost=0.0, exit_state=None)
+
+    stats = model.stats
+    stats.vec_searches += 1
+    with tracer.span("dpv.search", category="dp", stages=len(stages),
+                     space=len(space)) as span:
+        t_start = time.perf_counter_ns()
+        pack, index = _packed_tensors(stages, model)
+        t_packed = time.perf_counter_ns()
+        stats.vec_pack_ns += t_packed - t_start
+
+        # the 1×1 identity frontier is exactly [[0.0]] — the scalar search's
+        # {None: 0} entry — and lets the first stage take the identity
+        # shortcut like any path chain
+        entry_states: Tuple[State, ...] = (None,)
+        frontier = _identity(1)
+        out_states, frontier, decisions = _run_chain(
+            stages, model, pack, index, space, space_fn,
+            entry_states, frontier,
+        )
+
+        # final exit: first-seen-wins over the frontier order, exactly the
+        # scalar search's exits.items() scan
+        final = frontier[0]
+        best = 0
+        for j in range(1, len(out_states)):
+            if improves(float(final[j]), float(final[best])):
+                best = j
+        entries = _backtrack(decisions, 0, best)
+        best_cost = float(final[best])
+        stats.vec_recurrence_ns += time.perf_counter_ns() - t_packed
+        span.set("cost", best_cost)
+    return SearchResult(
+        entries=entries,
+        cost=best_cost,
+        exit_state=out_states[best],
+    )

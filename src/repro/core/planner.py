@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from ..graph.network import Network
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
-from ..plan.backends import get_backend
+from ..plan.backends import canonical_backend_name, get_backend
 from ..plan.ir import HierarchicalPlan, LevelPlan
 from .cost_model import PairCostModel
 from .counters import planner_counters
@@ -76,6 +76,11 @@ class AccParScheme:
                               memoize=self.memoize)
         result = get_backend(self.backend).search(stages, model, self.space)
         planner_counters.merge(model.stats.as_dict())
+        # per-backend served-plan series (repro_planner_level_plans_<b>_total
+        # in Prometheus): which search algorithm actually produced the plans.
+        # Aliases canonicalize so "dpv" and "dp-vectorized" feed one series.
+        backend = canonical_backend_name(self.backend)
+        planner_counters.inc("level_plans_" + backend.replace("-", "_"))
         return result.to_level_plan(self.name)
 
 

@@ -157,6 +157,126 @@ def _solve_balanced_ratio_poly(
     return solve_balanced_ratio(poly.costs, lo, hi), PATH_BISECTION
 
 
+def solve_balanced_ratio_poly_batch(
+    const_i,
+    lin_i,
+    quad_i,
+    const_j,
+    lin_j,
+    quad_j,
+    lo: float = RATIO_LO,
+    hi: float = RATIO_HI,
+):
+    """Closed-form Eq. 10 over arrays of coefficients; ``(α array, path counts)``.
+
+    The elementwise twin of :func:`_solve_balanced_ratio_poly`, used by the
+    vectorized search backend to solve every (layer, family, type) balance
+    problem of a level in one shot.  Every branch replicates the scalar
+    solver's arithmetic *in the same operation order* — numpy's float64
+    elementwise ops are the same IEEE doubles — so each element's α is
+    bit-identical to the scalar solve on its coefficients:
+
+    * endpoint residuals exactly zero → that endpoint (linear path);
+    * residual sign unchanged across the bracket → endpoint minimax, unless
+      a root of the quadratic residual sits strictly inside the bracket (a
+      rare interior double root), which defers to the scalar solver's
+      golden-section fallback;
+    * affine residual → ``-ΔA/ΔB`` when admissible;
+    * quadratic residual → the two-branch citardauq roots, first admissible
+      candidate wins (same candidate order as :func:`_quadratic_root_in`);
+    * anything left (degenerate floats, inadmissible roots) → the scalar
+      solver per element, which applies its checked bisection fallback.
+
+    ``counts`` maps the :data:`PATH_LINEAR` /... constants to how many
+    elements each solver path answered, for the caller's counters.
+    """
+    import numpy as np
+
+    if not lo < hi:
+        raise ValueError(f"invalid bracket [{lo}, {hi}]")
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        ab = lo * (1.0 - lo)
+        ci_lo = const_i + lin_i * lo + quad_i * ab
+        cj_lo = const_j + lin_j * lo + quad_j * ab
+        ab = hi * (1.0 - hi)
+        ci_hi = const_i + lin_i * hi + quad_i * ab
+        cj_hi = const_j + lin_j * hi + quad_j * ab
+        g_lo = ci_lo - cj_lo
+        g_hi = ci_hi - cj_hi
+
+        alpha = np.empty_like(g_lo)
+        alpha.fill(np.nan)
+        counts = {PATH_LINEAR: 0, PATH_QUADRATIC: 0,
+                  PATH_BISECTION: 0, PATH_MINIMAX: 0}
+
+        at_lo = g_lo == 0.0
+        at_hi = ~at_lo & (g_hi == 0.0)
+        alpha[at_lo] = lo
+        alpha[at_hi] = hi
+        open_mask = ~(at_lo | at_hi)
+
+        d_a = const_i - const_j
+        d_b = lin_i - lin_j
+        d_c = quad_i - quad_j
+
+        # citardauq machinery, shared by the minimax guard and the root
+        # branch (mirrors _quadratic_root_in / _minimize_pair_max_poly)
+        a = d_c
+        b = -(d_b + d_c)
+        c = -d_a
+        disc = b * b - 4.0 * a * c
+        sqrt_d = np.sqrt(np.where(disc >= 0.0, disc, np.nan))
+        q = np.where(b != 0.0, -0.5 * (b + np.copysign(sqrt_d, b)),
+                     -0.5 * sqrt_d)
+        r1 = np.where(a != 0.0, q / a, np.inf)
+        r2 = np.where(q != 0.0, c / q, np.inf)
+
+        # same residual sign at both endpoints: endpoint minimax, except the
+        # interior-double-root case which needs the golden-section fallback
+        same_sign = open_mask & (g_lo * g_hi > 0.0)
+        interior = ((lo < r1) & (r1 < hi)) | ((lo < r2) & (r2 < hi))
+        golden = same_sign & (d_c != 0.0) & (disc > 0.0) & interior
+        endpoint = same_sign & ~golden
+        v_lo = np.maximum(ci_lo, cj_lo)
+        v_hi = np.maximum(ci_hi, cj_hi)
+        alpha[endpoint] = np.where(v_lo <= v_hi, lo, hi)[endpoint]
+        counts[PATH_MINIMAX] += int(np.count_nonzero(endpoint))
+
+        # a sign change brackets exactly one root
+        changes = open_mask & ~same_sign
+        affine = changes & (d_c == 0.0)
+        aff_root = -d_a / d_b
+        aff_ok = affine & np.isfinite(aff_root) & (lo <= aff_root) & (aff_root <= hi)
+        alpha[aff_ok] = aff_root[aff_ok]
+        counts[PATH_LINEAR] += int(
+            np.count_nonzero(at_lo) + np.count_nonzero(at_hi)
+            + np.count_nonzero(aff_ok)
+        )
+
+        quad = changes & (d_c != 0.0) & (disc >= 0.0)
+        pick1 = quad & np.isfinite(r1) & (lo <= r1) & (r1 <= hi)
+        pick2 = quad & ~pick1 & np.isfinite(r2) & (lo <= r2) & (r2 <= hi)
+        alpha[pick1] = r1[pick1]
+        alpha[pick2] = r2[pick2]
+        counts[PATH_QUADRATIC] += int(
+            np.count_nonzero(pick1) + np.count_nonzero(pick2)
+        )
+
+    # everything still NaN defers to the scalar solver: the golden-section
+    # minimax fallback and the checked-bisection degenerate cases
+    for idx in np.flatnonzero(np.isnan(alpha)):
+        poly = PairCostPoly(
+            float(const_i.flat[idx]), float(lin_i.flat[idx]),
+            float(quad_i.flat[idx]), float(const_j.flat[idx]),
+            float(lin_j.flat[idx]), float(quad_j.flat[idx]),
+        )
+        a_scalar, path = _solve_balanced_ratio_poly(poly, lo, hi)
+        alpha.flat[idx] = a_scalar
+        counts[path] += 1
+    return alpha, counts
+
+
 def _quadratic_root_in(
     d_a: float, d_b: float, d_c: float, lo: float, hi: float
 ) -> Optional[float]:

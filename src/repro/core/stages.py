@@ -72,6 +72,22 @@ def iter_sharded_workloads(stages: Sequence[ShardedStage]) -> Iterable[ShardedWo
                 yield from iter_sharded_workloads(path)
 
 
+def iter_layer_stages(stages: Sequence[ShardedStage]) -> Iterable[ShardedLayerStage]:
+    """All weighted layer stages in topological order.
+
+    The stage-object twin of :func:`iter_sharded_workloads`, for callers
+    that need to map each stage back to its position — the vectorized
+    backend indexes its packed cost tensors by this order, which also makes
+    the order part of the packed-tensor cache key via the workload keys.
+    """
+    for stage in stages:
+        if isinstance(stage, ShardedLayerStage):
+            yield stage
+        else:
+            for path in stage.paths:
+                yield from iter_layer_stages(path)
+
+
 def first_workload(stages: Sequence[ShardedStage]) -> ShardedWorkload:
     """The first weighted workload in a stage list (for fork-tensor sizing)."""
     for workload in iter_sharded_workloads(stages):
@@ -100,9 +116,7 @@ def shard_stages(
     """
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-
-    def fraction_of(lp: LayerPartition) -> float:
-        return lp.ratio if side == "left" else 1.0 - lp.ratio
+    left = side == "left"
 
     out: List[ShardedStage] = []
     for stage in stages:
@@ -110,8 +124,9 @@ def shard_stages(
             lp = assignments.get(stage.name)
             if lp is None:
                 raise KeyError(f"no assignment for layer {stage.name!r}")
+            fraction = lp.ratio if left else 1.0 - lp.ratio
             out.append(
-                ShardedLayerStage(stage.workload.shard(lp.ptype, fraction_of(lp)))
+                ShardedLayerStage(stage.workload.shard(lp.ptype, fraction))
             )
         else:
             out.append(

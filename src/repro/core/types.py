@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from functools import cached_property
 from typing import Dict, Tuple
 
 from ..graph.layers import LayerWorkload
@@ -113,15 +112,26 @@ class ShardedWorkload:
     dout_frac: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in ("batch_frac", "din_frac", "dout_frac"):
-            value = getattr(self, name)
-            if not 0.0 < value <= 1.0:
-                raise ValueError(f"{name} must be in (0, 1], got {value}")
-        # Derived quantities are computed eagerly: the planner hot path reads
-        # each of them O(|T|²) times per layer per level, and plain instance
-        # attributes skip the descriptor machinery a cached_property would
-        # pay on every access.  (A frozen dataclass still has a __dict__;
-        # object.__setattr__ bypasses the frozen guard.)
+        # unrolled validation: this constructor runs once per (layer, level,
+        # side) in the hierarchical planner, and a getattr loop costs more
+        # than the three comparisons it guards
+        if not 0.0 < self.batch_frac <= 1.0:
+            raise ValueError(f"batch_frac must be in (0, 1], got {self.batch_frac}")
+        if not 0.0 < self.din_frac <= 1.0:
+            raise ValueError(f"din_frac must be in (0, 1], got {self.din_frac}")
+        if not 0.0 < self.dout_frac <= 1.0:
+            raise ValueError(f"dout_frac must be in (0, 1], got {self.dout_frac}")
+
+    def _derive(self) -> None:
+        # Derived quantities are computed lazily in one batch on first
+        # access and then read as plain instance attributes.  Lazy, because
+        # the hierarchical planner constructs a workload per (layer, level,
+        # side) just to *key* its memo tables — with warm subtree and
+        # packed-tensor caches most of those are never costed at all.
+        # Batched, because the planner hot path reads each of them
+        # O(|T|²) times per layer per level, and plain attributes skip the
+        # descriptor machinery a cached_property would pay on every access.
+        # (A frozen dataclass still has a writable __dict__.)
         base = self.base
         batch = base.batch * self.batch_frac
         d_in = base.d_in * self.din_frac
@@ -132,14 +142,15 @@ class ShardedWorkload:
         f_fwd = a_out * _reduction_flops(d_in * base.kernel_spatial)
         f_bwd = a_in * _reduction_flops(d_out * base.kernel_spatial)
         f_grad = a_w * _reduction_flops(batch * base.out_spatial)
-        store = object.__setattr__
-        store(self, "_a_input_fm", a_in)
-        store(self, "_a_output_fm", a_out)
-        store(self, "_a_weight", a_w)
-        store(self, "_flops_forward", f_fwd)
-        store(self, "_flops_backward", f_bwd)
-        store(self, "_flops_gradient", f_grad)
-        store(self, "_flops_total", f_fwd + f_bwd + f_grad)
+        self.__dict__.update(
+            _a_input_fm=a_in,
+            _a_output_fm=a_out,
+            _a_weight=a_w,
+            _flops_forward=f_fwd,
+            _flops_backward=f_bwd,
+            _flops_gradient=f_grad,
+            _flops_total=f_fwd + f_bwd + f_grad,
+        )
 
     # -- effective dimensions ------------------------------------------
     @property
@@ -159,19 +170,32 @@ class ShardedWorkload:
         return self.base.d_out * self.dout_frac
 
     # -- effective tensor sizes (the paper's A(.)) ----------------------
-    # Precomputed in __post_init__; the public methods keep their call
-    # syntax so call sites are unchanged.
+    # Computed in one batch by _derive on first access; the public methods
+    # keep their call syntax so call sites are unchanged.  The try/except
+    # is free on the (overwhelmingly common) warm path.
     def a_input_fm(self) -> float:
         """A(F_l) = A(E_l)."""
-        return self._a_input_fm
+        try:
+            return self._a_input_fm
+        except AttributeError:
+            self._derive()
+            return self._a_input_fm
 
     def a_output_fm(self) -> float:
         """A(F_{l+1}) = A(E_{l+1})."""
-        return self._a_output_fm
+        try:
+            return self._a_output_fm
+        except AttributeError:
+            self._derive()
+            return self._a_output_fm
 
     def a_weight(self) -> float:
         """A(W_l) = A(ΔW_l)."""
-        return self._a_weight
+        try:
+            return self._a_weight
+        except AttributeError:
+            self._derive()
+            return self._a_weight
 
     def a_psum(self, ptype: PartitionType) -> float:
         """Size of the partial-sum tensor exchanged intra-layer (Table 4)."""
@@ -190,21 +214,37 @@ class ShardedWorkload:
         return self.a_input_fm()       # F_l
 
     # -- FLOP counts (Table 6, CONV-extended per Section 4.3) ----------
-    # Precomputed in __post_init__ alongside the tensor sizes.
+    # Computed by _derive alongside the tensor sizes.
     def flops_forward(self) -> float:
         """A(F_{l+1}) * (2 * D_i * K_h * K_w - 1)."""
-        return self._flops_forward
+        try:
+            return self._flops_forward
+        except AttributeError:
+            self._derive()
+            return self._flops_forward
 
     def flops_backward(self) -> float:
         """A(E_l) * (2 * D_o * K_h * K_w - 1)."""
-        return self._flops_backward
+        try:
+            return self._flops_backward
+        except AttributeError:
+            self._derive()
+            return self._flops_backward
 
     def flops_gradient(self) -> float:
         """A(W_l) * (2 * B * H_o * W_o - 1)."""
-        return self._flops_gradient
+        try:
+            return self._flops_gradient
+        except AttributeError:
+            self._derive()
+            return self._flops_gradient
 
     def flops_total(self) -> float:
-        return self._flops_total
+        try:
+            return self._flops_total
+        except AttributeError:
+            self._derive()
+            return self._flops_total
 
     def flops_phase(self, phase: Phase) -> float:
         if phase is Phase.FORWARD:
@@ -233,21 +273,27 @@ class ShardedWorkload:
             self.base, self.batch_frac, self.din_frac, self.dout_frac * fraction
         )
 
-    @cached_property
-    def _key(self) -> Tuple:
-        return (
-            self.base.name,
-            self.base.batch,
-            self.base.d_in,
-            self.base.d_out,
-            self.base.in_hw,
-            self.base.out_hw,
-            self.base.kernel_hw,
-            round(self.batch_frac, 12),
-            round(self.din_frac, 12),
-            round(self.dout_frac, 12),
-        )
-
     def key(self) -> Tuple:
         """Hashable identity for memoization across symmetric subtrees."""
-        return self._key
+        # hand-rolled cache instead of functools.cached_property: the
+        # hierarchy memo hashes every workload once per level, and the
+        # descriptor protocol costs several times the dict probe below
+        # (a frozen dataclass still has a writable __dict__)
+        try:
+            return self._key
+        except AttributeError:
+            base = self.base
+            key = (
+                base.name,
+                base.batch,
+                base.d_in,
+                base.d_out,
+                base.in_hw,
+                base.out_hw,
+                base.kernel_hw,
+                round(self.batch_frac, 12),
+                round(self.din_frac, 12),
+                round(self.dout_frac, 12),
+            )
+            self.__dict__["_key"] = key
+            return key

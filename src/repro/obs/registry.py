@@ -66,6 +66,12 @@ PLANNER_COUNTER_NAMES = (
     "hierarchy_memo_hits",
     "hierarchy_memo_misses",
     "multipath_path_dp_runs",
+    "vec_searches",
+    "vec_pack_cache_hits",
+    "vec_pack_cache_misses",
+    "vec_pack_ns",
+    "vec_recurrence_ns",
+    "vec_multipath_batches",
 )
 
 

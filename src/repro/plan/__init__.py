@@ -38,10 +38,12 @@ from .ir import (
 from .backends import (
     BruteForceSearchBackend,
     DpSearchBackend,
+    DpVectorizedSearchBackend,
     FixedTypeSearchBackend,
     GreedySearchBackend,
     SearchBackend,
     available_backends,
+    canonical_backend_name,
     get_backend,
     register_backend,
 )
@@ -51,6 +53,7 @@ from .diff import PlanDifference, plan_diff
 __all__ = [
     "BruteForceSearchBackend",
     "DpSearchBackend",
+    "DpVectorizedSearchBackend",
     "FixedTypeSearchBackend",
     "GreedySearchBackend",
     "HierarchicalPlan",
@@ -64,6 +67,7 @@ __all__ = [
     "SearchBackend",
     "SearchResult",
     "available_backends",
+    "canonical_backend_name",
     "get_backend",
     "plan_diff",
     "register_backend",

@@ -56,6 +56,25 @@ class DpSearchBackend:
         return search_stages(list(stages), model, space, space_fn=space_fn)
 
 
+class DpVectorizedSearchBackend:
+    """The Eq. 9 DP as batched numpy min-plus over packed cost tensors.
+
+    Bit-identical plans to ``dp`` (asserted by the plan-equivalence CI job
+    and the randomized property suite) at a fraction of the latency: step
+    costs are precomputed as dense (layer, family, type) tensors — cached
+    across searches — and the recurrence plus fork/join macro-stages run
+    as broadcast array ops.  See ``docs/performance.md``.
+    """
+
+    name = "dp-vectorized"
+
+    def search(self, stages, model, space=ALL_TYPES, space_fn=None) -> SearchResult:
+        from ..core.dp_vectorized import search_stages_vectorized
+
+        return search_stages_vectorized(list(stages), model, space,
+                                        space_fn=space_fn)
+
+
 class GreedySearchBackend:
     """Myopic per-layer choice, O(N·|T|); fork/join regions are linearized."""
 
@@ -133,17 +152,24 @@ def register_backend(
         _ALIASES[alias.lower()] = key
 
 
-def get_backend(name: str) -> SearchBackend:
-    """Instantiate a backend by (case-insensitive) name or alias."""
+def canonical_backend_name(name: str) -> str:
+    """Resolve a (case-insensitive) name or alias to its canonical name.
+
+    Raises ``KeyError`` for unknown names, same as :func:`get_backend`.
+    """
     key = name.lower()
     key = _ALIASES.get(key, key)
-    factory = _REGISTRY.get(key)
-    if factory is None:
+    if key not in _REGISTRY:
         raise KeyError(
             f"unknown search backend {name!r}; "
             f"available: {', '.join(available_backends())}"
         )
-    return factory()
+    return key
+
+
+def get_backend(name: str) -> SearchBackend:
+    """Instantiate a backend by (case-insensitive) name or alias."""
+    return _REGISTRY[canonical_backend_name(name)]()
 
 
 def available_backends() -> List[str]:
@@ -152,6 +178,8 @@ def available_backends() -> List[str]:
 
 
 register_backend("dp", DpSearchBackend, aliases=("accpar", "exact"))
+register_backend("dp-vectorized", DpVectorizedSearchBackend,
+                 aliases=("dp_vectorized", "dpv", "vectorized"))
 register_backend("greedy", GreedySearchBackend)
 register_backend("brute-force", BruteForceSearchBackend,
                  aliases=("brute_force", "bruteforce"))
