@@ -135,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, default=None)
     p.add_argument("--trace", default=None,
                    help="write the simulated critical-path Chrome trace here")
+    p.add_argument("--telemetry-dir", default=None,
+                   help="record per-op timing events to this durable "
+                        "telemetry store (see 'repro telemetry export "
+                        "--calibration')")
     add_backend_option(p)
 
     p = sub.add_parser(
@@ -216,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "seed=0' (omitted keys keep the defaults; "
                         "attempts=1 disables retries so transport errors "
                         "fail over immediately)")
+    p.add_argument("--telemetry-dir", default=None,
+                   help="durable request telemetry: append JSONL event "
+                        "segments under this directory (fleet mode uses "
+                        "frontend/ and shard-<name>/ subdirectories); "
+                        "equivalent to setting REPRO_TELEMETRY_DIR")
+    p.add_argument("--slo", default=None, metavar="SPEC",
+                   help="SLO targets for the burn-rate gauges, e.g. "
+                        "'latency_ms=250,objective=0.99,window_fast_s=300,"
+                        "window_slow_s=3600' (omitted keys keep the "
+                        "defaults)")
 
     p = sub.add_parser("warm", help="pre-populate the plan cache")
     p.add_argument("--models", required=True,
@@ -253,6 +267,46 @@ def build_parser() -> argparse.ArgumentParser:
                    default="text",
                    help="text summary, raw JSON snapshot, or Prometheus "
                         "text exposition")
+
+    p = sub.add_parser(
+        "telemetry",
+        help="inspect a durable telemetry store (tail / summary / export)",
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    for name, help_text in (
+        ("tail", "print the newest events as JSON lines"),
+        ("summary", "aggregate the store: outcomes, latency, SLO inputs"),
+        ("export", "dump all events (or --calibration per-op timings)"),
+    ):
+        tp = tsub.add_parser(name, help=help_text)
+        tp.add_argument("--dir", default=None,
+                        help="telemetry store directory (default: "
+                             "$REPRO_TELEMETRY_DIR)")
+        if name == "tail":
+            tp.add_argument("-n", "--lines", type=int, default=20,
+                            help="how many trailing events to print")
+            tp.add_argument("--type", default=None, dest="event_type",
+                            help="only events of this type (request, "
+                                 "op_timing, search, chaos)")
+        if name == "export":
+            tp.add_argument("--calibration", action="store_true",
+                            help="aggregate op_timing events into the "
+                                 "per-hardware calibration format")
+            tp.add_argument("--out", default=None,
+                            help="write JSON here instead of stdout")
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet dashboard: per-shard QPS, latency, health, SLO burn",
+    )
+    p.add_argument("--port", type=int, required=True,
+                   help="fleet frontend port")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after this many frames (default: run until "
+                        "interrupted)")
 
     p = sub.add_parser("report", help="write a full markdown report")
     p.add_argument("--model", required=True)
@@ -310,6 +364,11 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    telemetry = None
+    if getattr(args, "telemetry_dir", None):
+        from .obs import telemetry as telemetry_store
+
+        telemetry = telemetry_store.install(args.telemetry_dir)
     if args.plan:
         planned = load_plan(args.plan)
     elif args.model:
@@ -321,6 +380,9 @@ def _cmd_simulate(args) -> int:
         print("simulate needs --plan or --model", file=sys.stderr)
         return 2
     report = evaluate(planned)
+    if telemetry is not None:
+        print(f"telemetry: {telemetry.events_written} event(s) -> "
+              f"{args.telemetry_dir}", file=sys.stderr)
     print(f"{planned.network_name} / {planned.scheme} / batch {planned.batch}")
     print(render_level_summary(report))
     print(f"\nthroughput: {report.throughput:.1f} samples/s")
@@ -425,12 +487,13 @@ def _cmd_validate(args) -> int:
     return 1
 
 
-def _build_service(cache_dir, capacity: int, workers=None):
+def _build_service(cache_dir, capacity: int, workers=None,
+                   slo=None, telemetry=None):
     from .service import PlanCache, PlanService
 
     disk_dir = cache_dir if cache_dir else None
     return PlanService(cache=PlanCache(capacity=capacity, disk_dir=disk_dir),
-                       workers=workers)
+                       workers=workers, slo=slo, telemetry=telemetry)
 
 
 def _cmd_serve(args) -> int:
@@ -440,9 +503,19 @@ def _cmd_serve(args) -> int:
     # stdout carries the JSON-lines protocol; structured logs (e.g. the
     # slow-request warning, with trace id) go to stderr as JSON too
     configure_json_logging(stream=sys.stderr)
+    slo = getattr(args, "slo", None)
+    if slo is not None:  # fail fast on a bad spec, before any spawn
+        from .obs.slo import SLOConfig
+        SLOConfig.parse(slo)
     if args.shards:
         return _cmd_serve_fleet(args)
-    service = _build_service(args.cache_dir, args.capacity, args.workers)
+    telemetry = None
+    if getattr(args, "telemetry_dir", None):
+        from .obs import telemetry as telemetry_store
+
+        telemetry = telemetry_store.install(args.telemetry_dir)
+    service = _build_service(args.cache_dir, args.capacity, args.workers,
+                             slo=slo, telemetry=telemetry)
     try:
         served = serve_loop(service, sys.stdin, sys.stdout)
     finally:
@@ -472,6 +545,16 @@ def _cmd_serve_fleet(args) -> int:
     if retry is not None:
         from .fleet import RetryPolicy
         retry = RetryPolicy.parse(retry)
+    slo = getattr(args, "slo", None)
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    frontend_telemetry = None
+    if telemetry_dir:
+        from pathlib import Path
+
+        from .obs import telemetry as telemetry_store
+
+        frontend_telemetry = telemetry_store.TelemetryWriter(
+            Path(telemetry_dir) / "frontend")
     supervisor = ShardSupervisor(
         args.shards,
         cache_dir=args.cache_dir or None,
@@ -483,6 +566,8 @@ def _cmd_serve_fleet(args) -> int:
         chaos=chaos,
         restart=bool(getattr(args, "restart", False)
                      and args.shard_mode == "process"),
+        telemetry_dir=telemetry_dir,
+        slo=slo,
     )
     with supervisor:
         frontend = FleetFrontend(
@@ -492,6 +577,8 @@ def _cmd_serve_fleet(args) -> int:
             heartbeat_interval_s=getattr(args, "heartbeat_interval", 1.0),
             failure_threshold=getattr(args, "failure_threshold", 3),
             retry=retry,
+            slo=slo,
+            telemetry=frontend_telemetry,
         )
         with frontend:
             shard_list = ", ".join(
@@ -508,6 +595,8 @@ def _cmd_serve_fleet(args) -> int:
                     print(f"served {served} request(s)", file=sys.stderr)
             except KeyboardInterrupt:
                 pass
+    if frontend_telemetry is not None:
+        frontend_telemetry.close()
     return 0
 
 
@@ -600,6 +689,17 @@ def _cmd_fleet_stats(args) -> int:
     print(f"  admission: est_hit={admission.get('est_hit_ms')}ms "
           f"est_cold={admission.get('est_cold_ms')}ms "
           f"decisions={admission.get('decisions')}")
+    slo = frontend.get("slo")
+    if slo:
+        from .obs.slo import render_slo_lines
+
+        print(render_slo_lines(slo, title="  slo (frontend)"))
+    telemetry = frontend.get("telemetry")
+    if telemetry:
+        print(f"  telemetry: events={telemetry.get('events_written')} "
+              f"dropped={telemetry.get('events_dropped')} "
+              f"segment={telemetry.get('segment_seq')} "
+              f"dir={telemetry.get('directory')}")
     for name in sorted(shards):
         snapshot = shards[name] or {}
         shard_counters = (snapshot.get("metrics") or {}).get("counters") or {}
@@ -629,6 +729,67 @@ def _cmd_service_stats(args) -> int:
     else:
         sys.stdout.write(render_prometheus(snapshot))
     return 0
+
+
+def _resolve_telemetry_dir(args) -> Optional[str]:
+    import os
+
+    from .obs.telemetry import TELEMETRY_ENV
+
+    directory = getattr(args, "dir", None) or os.environ.get(TELEMETRY_ENV)
+    if not directory:
+        print("telemetry needs --dir or REPRO_TELEMETRY_DIR", file=sys.stderr)
+    return directory
+
+
+def _cmd_telemetry(args) -> int:
+    import json
+
+    from .obs import telemetry as telemetry_store
+
+    directory = _resolve_telemetry_dir(args)
+    if not directory:
+        return 2
+
+    if args.telemetry_command == "tail":
+        types = (args.event_type,) if args.event_type else None
+        events = telemetry_store.read_events(directory, types=types)
+        for event in events[-max(0, args.lines):]:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+
+    if args.telemetry_command == "summary":
+        summary = telemetry_store.summarize(directory)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    # export
+    if args.calibration:
+        document = telemetry_store.calibration_export(directory)
+    else:
+        report = telemetry_store.ReadReport()
+        document = {
+            "directory": str(directory),
+            "events": list(telemetry_store.iter_events(directory,
+                                                       report=report)),
+            "corrupt_lines": report.corrupt_lines,
+        }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(args.out, text + "\n")
+        print(f"export written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    return run_top(args.host, args.port, interval_s=args.interval,
+                   iterations=args.iterations)
 
 
 def _cmd_report(args) -> int:
@@ -698,6 +859,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "warm": lambda: _cmd_warm(args),
         "fleet-stats": lambda: _cmd_fleet_stats(args),
         "service-stats": lambda: _cmd_service_stats(args),
+        "telemetry": lambda: _cmd_telemetry(args),
+        "top": lambda: _cmd_top(args),
     }
     try:
         return handlers[args.command]()

@@ -219,13 +219,27 @@ class Planner:
         self.split_policy = split_policy
 
     def plan(self, network: Network, batch: int) -> PlannedExecution:
+        # telemetry gate first: the disabled path must stay one attribute
+        # read with zero allocations (the planner-throughput bench gates
+        # this), so even the counter pre-snapshot is behind the guard
+        from ..obs import telemetry as telemetry_store
+
+        t = telemetry_store.active()
+        if t is not None and not t.enabled:
+            t = None
+        if t is not None:
+            from time import perf_counter
+
+            counters_before = planner_counters.snapshot()
+            started = perf_counter()
+
         levels = self.levels
         if levels is None:
             levels = max_hierarchy_levels(self.array)
         tree = bisection_tree(self.array, levels, self.split_policy)
         stages = to_sharded_stages(network.stages(batch))
         plan = plan_tree(tree, stages, self.scheme, self.dtype_bytes)
-        return PlannedExecution(
+        planned = PlannedExecution(
             network_name=network.name,
             batch=batch,
             scheme=self.scheme.name,
@@ -234,6 +248,26 @@ class Planner:
             plan=plan,
             dtype_bytes=self.dtype_bytes,
         )
+
+        if t is not None:
+            counters_after = planner_counters.snapshot()
+            delta = {
+                name: value - counters_before.get(name, 0)
+                for name, value in counters_after.items()
+                if value - counters_before.get(name, 0)
+            }
+            t.record({
+                "type": "search",
+                "model": network.name,
+                "batch": batch,
+                "scheme": self.scheme.name,
+                "backend": canonical_backend_name(
+                    getattr(self.scheme, "backend", "dp")),
+                "levels": levels,
+                "elapsed_ms": round((perf_counter() - started) * 1e3, 3),
+                "counters": delta,
+            })
+        return planned
 
 
 class AccParPlanner(Planner):

@@ -120,14 +120,24 @@ class ChaosController:
         self.frames_corrupted = 0
 
     # ------------------------------------------------------------------
-    def perturb(self, data: bytes) -> Tuple[Optional[bytes], float]:
-        """Apply wire faults to one encoded frame.
+    def perturb_tagged(
+        self, data: bytes
+    ) -> Tuple[Optional[bytes], float, Tuple[str, ...]]:
+        """Apply wire faults to one encoded frame, naming what was done.
 
-        Returns ``(frame_bytes_or_None, delay_s)``: ``None`` means the
-        frame is dropped; the caller sleeps ``delay_s`` (sync or async)
-        before writing whatever survives.
+        Returns ``(frame_bytes_or_None, delay_s, tags)``: ``None`` means
+        the frame is dropped; the caller sleeps ``delay_s`` (sync or
+        async) before writing whatever survives; ``tags`` lists the
+        injected faults (``"drop"`` / ``"delay"`` / ``"corrupt"``, empty
+        when the frame passed untouched) so telemetry can mark the
+        request as chaos-injected for SLO burn attribution.
+
+        The RNG draw order (one draw per fault class per frame, fixed) is
+        identical to the untagged :meth:`perturb`, so episodes stay
+        bit-reproducible regardless of which entry point the codec uses.
         """
         spec = self.spec
+        tags: Tuple[str, ...] = ()
         with self._lock:
             self.frames_seen += 1
             drop_roll = self._rng.random() if spec.drop else 1.0
@@ -137,17 +147,28 @@ class ChaosController:
                        if spec.corrupt else 0)
             if drop_roll < spec.drop:
                 self.frames_dropped += 1
-                return None, 0.0
+                return None, 0.0, ("drop",)
             delay_s = 0.0
             if delay_roll < spec.delay:
                 self.frames_delayed += 1
                 delay_s = spec.delay_ms / 1e3
+                tags += ("delay",)
             if corrupt_roll < spec.corrupt and len(data) > 4:
                 self.frames_corrupted += 1
                 index = 4 + flip_at  # body only: keep the length honest
                 data = data[:index] + bytes([data[index] ^ 0xFF]) \
                     + data[index + 1:]
-            return data, delay_s
+                tags += ("corrupt",)
+            return data, delay_s, tags
+
+    def perturb(self, data: bytes) -> Tuple[Optional[bytes], float]:
+        """Apply wire faults to one encoded frame (untagged form).
+
+        Returns ``(frame_bytes_or_None, delay_s)``; see
+        :meth:`perturb_tagged` for the fault semantics.
+        """
+        data, delay_s, _ = self.perturb_tagged(data)
+        return data, delay_s
 
     def snapshot(self) -> Dict:
         with self._lock:

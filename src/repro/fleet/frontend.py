@@ -57,7 +57,9 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from ..obs.logging import get_logger
+from ..obs import telemetry as telemetry_store
 from ..obs.registry import MetricsRegistry
+from ..obs.slo import SLOTracker
 from ..obs.tracing import new_trace_id, tracer
 from ..service.server import (
     KNOWN_OPS,
@@ -276,6 +278,8 @@ class FleetFrontend:
         heartbeat_interval_s: float = 1.0,
         heartbeat_timeout_s: float = 1.0,
         failure_threshold: int = 3,
+        slo=None,
+        telemetry=None,
     ):
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -284,6 +288,11 @@ class FleetFrontend:
         self.ring = ring or HashRing([addr[0] for addr in self._shard_addrs])
         self.metrics = metrics or MetricsRegistry()
         self.admission = admission or AdmissionController()
+        #: frontend-level SLO accounting (spec string, config, tracker, None)
+        self.slo = slo if isinstance(slo, SLOTracker) else SLOTracker(slo)
+        #: durable telemetry: explicit writer or the process-wide install
+        self.telemetry = telemetry if telemetry is not None \
+            else telemetry_store.active()
         self.links_per_shard = links_per_shard
         self.retry = retry or DEFAULT_RETRY
         self.heartbeat_interval_s = heartbeat_interval_s
@@ -553,6 +562,61 @@ class FleetFrontend:
             doc["fingerprint"] = fingerprint
         return doc
 
+    def _account_item(
+        self,
+        doc: Dict,
+        reply: Dict,
+        start_ns: int,
+        *,
+        fingerprint: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        action: Optional[str] = None,
+    ) -> Dict:
+        """SLO + durable-telemetry accounting for one served item.
+
+        Every ``_serve_item`` exit (shed, error, dispatched) funnels
+        through here so the request record and the SLO classification
+        agree about what happened.
+        """
+        latency_s = (time.perf_counter_ns() - start_ns) / 1e9
+        deadline_ms = doc.get("deadline_ms")
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        ok = bool(reply.get("ok"))
+        deadline_met = (ok and latency_s <= deadline_s) \
+            if deadline_s is not None else None
+        self.slo.observe(latency_s, ok=ok, deadline_met=deadline_met)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            if not ok:
+                outcome = "shed" if reply.get("error") == "shed" else "error"
+            elif reply.get("degraded"):
+                outcome = "degraded"
+            else:
+                outcome = "ok"
+            event = {
+                "type": "request",
+                "component": "frontend",
+                "fingerprint": fingerprint or reply.get("fingerprint"),
+                "model": doc.get("model"),
+                "scheme": doc.get("scheme"),
+                "backend": doc.get("backend"),
+                "shard": reply.get("shard"),
+                "source": reply.get("source"),
+                "outcome": outcome,
+                "latency_ms": round(latency_s * 1e3, 3),
+                "trace_id": trace_id or reply.get("trace_id"),
+                "action": action,
+            }
+            if deadline_s is not None:
+                event["deadline_ms"] = round(deadline_s * 1e3, 3)
+                event["deadline_met"] = deadline_met
+            if not ok:
+                event["reason"] = reply.get("reason") or reply.get("error")
+            if reply.get("failover_from"):
+                event["failover_from"] = reply["failover_from"]
+            t.record(event)
+        return reply
+
     async def _serve_item(self, doc: Dict) -> Dict:
         """One plan item: admission → routing → dispatch → response."""
         start_ns = time.perf_counter_ns()
@@ -565,14 +629,18 @@ class FleetFrontend:
         quick = self.admission.quick_shed(deadline_s)
         if quick is not None:
             self.metrics.counter("shed_deadline").inc()
-            return self._shed_doc(quick, start_ns)
+            return self._account_item(
+                doc, self._shed_doc(quick, start_ns), start_ns,
+                action="quick_shed")
 
         loop = asyncio.get_running_loop()
         try:
             fingerprint = await loop.run_in_executor(
                 None, self._parse_item, doc)
         except Exception as exc:
-            return {"ok": False, "error": str(exc)}
+            return self._account_item(
+                doc, {"ok": False, "error": str(exc)}, start_ns,
+                action="invalid")
 
         decision = self.admission.decide(
             fingerprint, deadline_s, self._queue.qsize())
@@ -580,7 +648,9 @@ class FleetFrontend:
             self.metrics.counter(
                 "shed_queue_full" if "queue" in decision.reason
                 else "shed_deadline").inc()
-            return self._shed_doc(decision, start_ns, fingerprint)
+            return self._account_item(
+                doc, self._shed_doc(decision, start_ns, fingerprint),
+                start_ns, fingerprint=fingerprint, action=decision.action)
         self.metrics.counter("admitted").inc()
 
         trace_id = doc.get("trace_id") or new_trace_id()
@@ -609,7 +679,9 @@ class FleetFrontend:
             trace_id=trace_id, shard=owner,
             model=doc.get("model"), action=decision.action,
         )
-        return reply
+        return self._account_item(
+            doc, reply, start_ns, fingerprint=fingerprint,
+            trace_id=trace_id, action=decision.action)
 
     async def _dispatcher(self) -> None:
         """Drain the EDF queue into the owning shards (with failover)."""
@@ -850,13 +922,18 @@ class FleetFrontend:
 
     def snapshot(self) -> Dict:
         """The frontend's own stats (metrics, admission, queue, ring, health)."""
-        return {
+        snap = {
             "metrics": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "queue_depth": self._queue.qsize() if self._loop else 0,
             "ring": self.ring.describe(),
             "health": self.health.snapshot(),
+            "slo": self.slo.snapshot(),
+            "tracer": tracer.health(),
         }
+        if self.telemetry is not None:
+            snap["telemetry"] = self.telemetry.snapshot()
+        return snap
 
     async def _fleet_stats(self) -> Dict:
         return {

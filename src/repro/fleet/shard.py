@@ -36,7 +36,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.serialize import plan_from_dict, plan_to_dict
-from ..obs.logging import get_logger
+from ..obs import telemetry as telemetry_store
+from ..obs.logging import get_logger, set_log_context
 from ..obs.tracing import tracer
 from ..service.cache import PlanCache
 from ..service.server import request_from_doc, response_to_doc
@@ -103,7 +104,8 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
             if reply is None:  # a chaos crash answers with silence
                 return
             try:
-                send_frame(sock, reply, chaos=shard.chaos)
+                send_frame(sock, reply, chaos=shard.chaos,
+                           telemetry=shard.service.telemetry)
             except OSError:
                 return
             if stop:
@@ -133,12 +135,24 @@ class ShardServer:
         trace: bool = False,
         chaos=None,
         hard_exit: bool = False,
+        telemetry_dir=None,
+        slo=None,
     ):
         self.name = str(name)
+        # in thread mode several shards share one process, so each shard
+        # gets its own writer (per-shard directory) instead of the
+        # process-wide install; in process mode run_shard installs the
+        # writer process-wide before building the server
+        telemetry = None
+        if telemetry_dir is not None:
+            telemetry = telemetry_store.TelemetryWriter(telemetry_dir)
         self.service = PlanService(
             cache=PlanCache(capacity=capacity, disk_dir=cache_dir),
             workers=workers,
             fallback_backend=fallback_backend,
+            slo=slo,
+            telemetry=telemetry,
+            telemetry_labels={"shard": str(name)},
         )
         if trace:
             tracer.enable()
@@ -329,6 +343,13 @@ def run_shard(config: Dict, port_conn) -> None:
     ``config`` is a plain dict of primitives so the function works under
     every multiprocessing start method (spawn pickles it).
     """
+    # every JSON log line this process emits carries its shard name, so
+    # logs join the {shard="n"} metric series without per-call-site extras
+    set_log_context(shard=str(config["name"]))
+    if config.get("telemetry_dir"):
+        # process-wide: the service, planner and sim producers in this
+        # process all share one writer appending to the shard's directory
+        telemetry_store.install(config["telemetry_dir"])
     server = ShardServer(
         config["name"],
         host=config.get("host", "127.0.0.1"),
@@ -340,6 +361,7 @@ def run_shard(config: Dict, port_conn) -> None:
         trace=config.get("trace", False),
         chaos=config.get("chaos"),  # a spec string: pickles under spawn
         hard_exit=True,  # chaos_kill in a real process is a real crash
+        slo=config.get("slo"),  # a spec string: pickles under spawn
     )
     port_conn.send(server.port)
     port_conn.close()
@@ -434,6 +456,8 @@ class ShardSupervisor:
         fallback_backend: str = "greedy",
         trace: bool = False,
         chaos: Optional[str] = None,
+        telemetry_dir=None,
+        slo: Optional[str] = None,
         restart: bool = False,
         max_restarts: int = 5,
         restart_backoff: Optional[RetryPolicy] = None,
@@ -457,6 +481,11 @@ class ShardSupervisor:
         #: chaos spec *string* (not a controller): it must pickle through
         #: spawn; each shard process builds its own seeded controller
         self.chaos = chaos
+        #: telemetry root: each shard writes to <telemetry_dir>/shard-<n>
+        #: (its own segment sequence — crash damage stays per shard)
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
+        #: SLO spec *string*, same pickling rationale as ``chaos``
+        self.slo = slo
         self.restart = restart
         self.max_restarts = max_restarts
         self.restart_backoff = restart_backoff or RetryPolicy(
@@ -476,6 +505,11 @@ class ShardSupervisor:
         if self.cache_dir is None:
             return None
         return str(self.cache_dir / f"shard-{name}")
+
+    def _shard_telemetry_dir(self, name: str) -> Optional[str]:
+        if self.telemetry_dir is None:
+            return None
+        return str(self.telemetry_dir / f"shard-{name}")
 
     def start(self) -> List[ShardHandle]:
         if self.handles:
@@ -501,7 +535,9 @@ class ShardSupervisor:
                 name, host=self.host, cache_dir=self._shard_cache_dir(name),
                 capacity=self.capacity, workers=self.workers,
                 fallback_backend=self.fallback_backend, trace=self.trace,
-                chaos=self.chaos)
+                chaos=self.chaos,
+                telemetry_dir=self._shard_telemetry_dir(name),
+                slo=self.slo)
             server.start_background()
             return ShardHandle(name, server.host, server.port, "thread",
                                server=server)
@@ -519,6 +555,8 @@ class ShardSupervisor:
             "fallback_backend": self.fallback_backend,
             "trace": self.trace,
             "chaos": self.chaos,
+            "telemetry_dir": self._shard_telemetry_dir(name),
+            "slo": self.slo,
         }
         process = ctx.Process(target=run_shard, args=(config, child_conn),
                               name=f"repro-shard-{name}", daemon=True)

@@ -131,27 +131,59 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def _perturbed(data: bytes, chaos) -> "tuple[Optional[bytes], float]":
+def _perturbed(
+    data: bytes, chaos
+) -> "tuple[Optional[bytes], float, tuple[str, ...]]":
     """Run one outbound frame through the active chaos controller, if any.
 
     ``chaos`` scopes the faults: an explicit controller (one shard's),
     ``None`` for the process-wide one (``REPRO_CHAOS`` / ``serve
-    --chaos``), or ``False`` to bypass chaos entirely.
+    --chaos``), or ``False`` to bypass chaos entirely.  The returned
+    ``tags`` name the injected faults so callers can attribute the
+    latency they are about to cause.
     """
     if chaos is False:
-        return data, 0.0
+        return data, 0.0, ()
     if chaos is None:
         from .chaos import active
 
         chaos = active()
     if chaos is None:
-        return data, 0.0
-    return chaos.perturb(data)
+        return data, 0.0, ()
+    return chaos.perturb_tagged(data)
+
+
+def _record_chaos(doc: Dict[str, Any], tags: "tuple[str, ...]",
+                  telemetry=None) -> None:
+    """Durably note an injected fault so SLO burn can be attributed.
+
+    The event carries the outbound doc's trace id (requests and replies
+    both echo it), which is how :func:`repro.obs.telemetry.summarize`
+    separates chaos-injected latency from organic latency.  ``telemetry``
+    is an explicit writer (a thread-mode shard's own store); ``None``
+    falls back to the process-wide install.
+    """
+    if not tags:
+        return
+    t = telemetry
+    if t is None:
+        from ..obs import telemetry as telemetry_store
+
+        t = telemetry_store.active()
+    if t is None or not t.enabled:
+        return
+    t.record({
+        "type": "chaos",
+        "faults": list(tags),
+        "trace_id": doc.get("trace_id"),
+        "op": doc.get("op"),
+    })
 
 
 def send_frame(sock: socket.socket, doc: Dict[str, Any],
-               chaos=None) -> None:
-    data, delay_s = _perturbed(encode_frame(doc), chaos)
+               chaos=None, telemetry=None) -> None:
+    data, delay_s, tags = _perturbed(encode_frame(doc), chaos)
+    _record_chaos(doc, tags, telemetry)
     if delay_s:
         time.sleep(delay_s)
     if data is None:  # chaos dropped the frame; the peer sees a stall
@@ -192,8 +224,9 @@ def recv_frame(
 # ----------------------------------------------------------------------
 
 async def write_frame(writer: asyncio.StreamWriter, doc: Dict[str, Any],
-                      chaos=None) -> None:
-    data, delay_s = _perturbed(encode_frame(doc), chaos)
+                      chaos=None, telemetry=None) -> None:
+    data, delay_s, tags = _perturbed(encode_frame(doc), chaos)
+    _record_chaos(doc, tags, telemetry)
     if delay_s:
         await asyncio.sleep(delay_s)
     if data is None:  # chaos dropped the frame; the peer sees a stall

@@ -16,7 +16,15 @@ Three telemetry concerns, one dependency-free layer:
 * :mod:`repro.obs.export` — Chrome Trace Event JSON and a self-time /
   cumulative-time profile table over collected spans.
 * :mod:`repro.obs.logging` — structured JSON log lines carrying the active
-  trace id.
+  trace id plus a process-wide context (shard name in shard processes).
+* :mod:`repro.obs.telemetry` — the durable half: an append-only JSONL
+  event store (segment rotation, bounded retention, corrupt-line
+  quarantine) recording request lifecycles, per-op sim timings and
+  planner search records, with a process-wide
+  :func:`~repro.obs.telemetry.active` writer gate.
+* :mod:`repro.obs.slo` — latency/deadline SLO accounting: good/bad
+  classification against an :class:`~repro.obs.slo.SLOConfig`, error
+  budget and fast/slow burn-rate windows.
 
 Typical profiling session::
 
@@ -39,7 +47,14 @@ from .export import (
     save_trace_document,
     spans_to_events,
 )
-from .logging import JsonLogFormatter, configure_json_logging, get_logger
+from .logging import (
+    JsonLogFormatter,
+    clear_log_context,
+    configure_json_logging,
+    get_logger,
+    log_context,
+    set_log_context,
+)
 from .registry import (
     Counter,
     LatencyHistogram,
@@ -48,6 +63,8 @@ from .registry import (
     planner_counters,
     render_prometheus,
 )
+from .slo import SLOConfig, SLOSpecError, SLOTracker
+from .telemetry import TelemetryWriter
 from .tracing import Span, Tracer, new_trace_id, tracer
 
 __all__ = [
@@ -57,8 +74,15 @@ __all__ = [
     "MetricsRegistry",
     "PerfCounters",
     "REQUIRED_EVENT_KEYS",
+    "SLOConfig",
+    "SLOSpecError",
+    "SLOTracker",
     "Span",
+    "TelemetryWriter",
     "Tracer",
+    "clear_log_context",
+    "log_context",
+    "set_log_context",
     "chrome_trace_document",
     "chrome_trace_from_dicts",
     "configure_json_logging",

@@ -17,7 +17,8 @@ from __future__ import annotations
 import json
 import logging
 import os
-from typing import Optional, TextIO
+import threading
+from typing import Any, Dict, Optional, TextIO
 
 from .tracing import tracer
 
@@ -33,6 +34,38 @@ DEFAULT_SLOW_REQUEST_S = 1.0
 _RECORD_FIELDS = frozenset(logging.LogRecord(
     "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
                                              "taskName"}
+
+# process-wide fields stamped onto every JSON log line (e.g. the shard
+# name inside a shard process, so its log lines join the {shard="n"}
+# metric series); explicit `extra={...}` keys on a record win
+_log_context: Dict[str, Any] = {}
+_log_context_lock = threading.Lock()
+
+
+def set_log_context(**fields: Any) -> None:
+    """Merge fields into the process-wide log context (None deletes).
+
+    ``run_shard`` calls ``set_log_context(shard=name)`` so every JSON log
+    line a shard process emits carries its shard name without each call
+    site having to thread it through ``extra``.
+    """
+    with _log_context_lock:
+        for key, value in fields.items():
+            if value is None:
+                _log_context.pop(key, None)
+            else:
+                _log_context[key] = value
+
+
+def clear_log_context() -> None:
+    with _log_context_lock:
+        _log_context.clear()
+
+
+def log_context() -> Dict[str, Any]:
+    """Copy of the current process-wide log context."""
+    with _log_context_lock:
+        return dict(_log_context)
 
 
 class JsonLogFormatter(logging.Formatter):
@@ -61,6 +94,9 @@ class JsonLogFormatter(logging.Formatter):
             except (TypeError, ValueError):
                 value = repr(value)
             document[key] = value
+        with _log_context_lock:
+            for key, value in _log_context.items():
+                document.setdefault(key, value)
         if record.exc_info:
             document["exception"] = self.formatException(record.exc_info)
         return json.dumps(document, sort_keys=True)

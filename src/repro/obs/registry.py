@@ -15,9 +15,17 @@ scraper — or ``curl`` — can consume the numbers:
 
 * service counters   → ``repro_service_<name>_total`` (counter)
 * latency histograms → ``repro_service_<name>_seconds`` (summary:
-  ``{quantile=...}`` samples plus ``_sum``/``_count``)
+  ``{quantile=...}`` samples plus ``_sum``/``_count``) **and**
+  ``repro_service_<name>_hist_seconds`` (real histogram: cumulative
+  log-spaced ``_bucket{le=...}`` plus ``_sum``/``_count``)
 * cache gauges       → ``repro_cache_<name>`` (gauge)
 * planner counters   → ``repro_planner_<name>_total`` (counter)
+* SLO tracker        → ``repro_slo_*`` (attainment/budget/burn gauges +
+  good/bad counters, from the snapshot's ``"slo"`` section)
+* tracer health      → ``repro_tracer_*`` (spans_started/dropped,
+  buffer high-water; the 200k ``max_spans`` cap made visible)
+* telemetry writer   → ``repro_telemetry_*`` (events written/dropped,
+  segment rotation)
 
 The canonical series names are enumerated in :data:`SERVICE_COUNTER_NAMES`
 and :data:`PLANNER_COUNTER_NAMES`; the renderer always emits them (zero
@@ -29,8 +37,9 @@ from __future__ import annotations
 
 import re
 import threading
+from bisect import bisect_left
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
 #: every counter the plan service increments (see repro.service.service)
 SERVICE_COUNTER_NAMES = (
@@ -95,21 +104,44 @@ class Counter:
             return self._value
 
 
+#: log-spaced (powers-of-two) bucket upper bounds for streaming
+#: histograms, 0.1ms … ~105s — wide enough for both cache hits and cold
+#: exact plans.  Geometric spacing keeps relative error constant per
+#: bucket, the right shape for latency.
+DEFAULT_LATENCY_BUCKETS = tuple(1e-4 * 2 ** i for i in range(21))
+
+
 class LatencyHistogram:
     """Reservoir of recent latency observations with exact-rank percentiles.
 
     Keeps the most recent ``window`` samples (deque eviction), which biases
     percentiles toward current behavior — the right bias for a serving
     dashboard.  ``count``/``total`` cover every observation ever made.
+
+    Alongside the reservoir, every observation lands in a log-spaced
+    streaming bucket (:data:`DEFAULT_LATENCY_BUCKETS` by default) covering
+    **all** observations, which :func:`render_prometheus` exposes as a real
+    Prometheus histogram (``_bucket{le=...}``/``_sum``/``_count``) next to
+    the reservoir summary — the summary answers "what is latency now",
+    the histogram supports PromQL ``histogram_quantile`` over any range.
     """
 
-    def __init__(self, name: str, window: int = 4096):
+    def __init__(self, name: str, window: int = 4096,
+                 buckets: Optional[Sequence[float]] = None):
         if window <= 0:
             raise ValueError("window must be positive")
+        bounds = tuple(DEFAULT_LATENCY_BUCKETS if buckets is None else buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if bounds and bounds[0] <= 0:
+            raise ValueError("bucket bounds must be positive")
         self.name = name
         self._samples: Deque[float] = deque(maxlen=window)
         self._count = 0
         self._total = 0.0
+        self._bounds = bounds
+        # one slot per bound plus the overflow (+Inf) slot
+        self._bucket_counts = [0] * (len(bounds) + 1)
         self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
@@ -119,6 +151,7 @@ class LatencyHistogram:
             self._samples.append(seconds)
             self._count += 1
             self._total += seconds
+            self._bucket_counts[bisect_left(self._bounds, seconds)] += 1
 
     @property
     def count(self) -> int:
@@ -141,6 +174,14 @@ class LatencyHistogram:
         rank = max(1, round(p / 100 * len(ordered)))
         return ordered[min(rank, len(ordered)) - 1]
 
+    def buckets(self) -> Dict[str, List[float]]:
+        """Per-bucket (non-cumulative) counts with their upper bounds."""
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "counts": list(self._bucket_counts),
+            }
+
     def summary(self) -> Dict[str, Optional[float]]:
         return {
             "count": self.count,
@@ -148,6 +189,8 @@ class LatencyHistogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "total": self.total,
+            "buckets": self.buckets(),
         }
 
 
@@ -348,6 +391,17 @@ def _histogram_metric_name(raw: str) -> str:
     return f"repro_service_{base}"
 
 
+def _bucket_metric_name(raw: str) -> str:
+    """``request_latency_s`` → ``repro_service_request_latency_hist_seconds``.
+
+    A Prometheus metric name cannot be both a summary and a histogram, so
+    the real-histogram series (``_bucket{le=...}``) live under a distinct
+    ``_hist_seconds`` name next to the reservoir summary.
+    """
+    name = _histogram_metric_name(raw)
+    return name[: -len("_seconds")] + "_hist_seconds"
+
+
 def _escape_label_value(value: str) -> str:
     return (str(value).replace("\\", r"\\").replace('"', r"\"")
             .replace("\n", r"\n"))
@@ -394,7 +448,11 @@ def render_prometheus(
         for name in SERVICE_HISTOGRAM_NAMES:
             histograms.setdefault(
                 name, {"count": 0, "mean": None, "p50": None,
-                       "p95": None, "p99": None})
+                       "p95": None, "p99": None, "total": 0.0,
+                       "buckets": {
+                           "bounds": list(DEFAULT_LATENCY_BUCKETS),
+                           "counts": [0] * (len(DEFAULT_LATENCY_BUCKETS) + 1),
+                       }})
         for name in PLANNER_COUNTER_NAMES:
             planner.setdefault(name, 0)
 
@@ -412,7 +470,9 @@ def render_prometheus(
         name = _histogram_metric_name(raw)
         count = int(s.get("count") or 0)
         mean = s.get("mean")
-        total = (mean or 0.0) * count
+        total = s.get("total")
+        if total is None:  # pre-bucket snapshots carry only the mean
+            total = (mean or 0.0) * count
         lines.append(f"# TYPE {name} summary")
         for quantile, key in _QUANTILES:
             value = s.get(key)
@@ -422,6 +482,27 @@ def render_prometheus(
             lines.append(f"{name}{quantile_labels} {_format_value(value)}")
         lines.append(f"{name}_sum{base} {_format_value(total)}")
         lines.append(f"{name}_count{base} {count}")
+
+        # the real histogram series: cumulative log-spaced buckets under a
+        # distinct _hist_seconds name (a metric cannot be summary AND
+        # histogram); `le` is cumulative and ends at +Inf == _count
+        buckets = s.get("buckets") or {}
+        bounds = buckets.get("bounds") or []
+        per_bucket = buckets.get("counts") or []
+        if bounds and len(per_bucket) == len(bounds) + 1:
+            hist_name = _bucket_metric_name(raw)
+            lines.append(f"# TYPE {hist_name} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(bounds, per_bucket):
+                cumulative += int(bucket_count)
+                le_labels = _label_text(
+                    labels, f'le="{_format_value(bound)}"')
+                lines.append(f"{hist_name}_bucket{le_labels} {cumulative}")
+            cumulative += int(per_bucket[-1])
+            inf_labels = _label_text(labels, 'le="+Inf"')
+            lines.append(f"{hist_name}_bucket{inf_labels} {cumulative}")
+            lines.append(f"{hist_name}_sum{base} {_format_value(total)}")
+            lines.append(f"{hist_name}_count{base} {cumulative}")
 
     # labelled gauges (fleet health: shard_up{shard="0"} and friends)
     seen_gauge_types = set()
@@ -445,5 +526,63 @@ def render_prometheus(
         name = _metric_name("repro_planner", raw) + "_total"
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name}{base} {_format_value(planner[raw])}")
+
+    # SLO section: attainment/budget gauges + good/bad counters
+    slo = dict(snapshot.get("slo", {}) or {})
+    if slo:
+        for raw in ("good", "bad", "injected_bad", "deadline",
+                    "deadline_met"):
+            name = f"repro_slo_{raw}_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{base} "
+                f"{_format_value(slo.get(raw + '_total', 0))}")
+        gauges = [
+            ("repro_slo_latency_target_seconds",
+             (slo.get("latency_target_ms") or 0.0) / 1e3),
+            ("repro_slo_objective", slo.get("objective")),
+            ("repro_slo_attainment", slo.get("attainment")),
+            ("repro_slo_deadline_attainment",
+             slo.get("deadline_attainment")),
+            ("repro_slo_error_budget_remaining",
+             slo.get("error_budget_remaining")),
+        ]
+        for name, value in gauges:
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{base} {_format_value(value)}")
+        lines.append("# TYPE repro_slo_burn_rate gauge")
+        for window in ("fast", "slow"):
+            window_labels = _label_text(labels, f'window="{window}"')
+            lines.append(
+                f"repro_slo_burn_rate{window_labels} "
+                f"{_format_value(slo.get(f'burn_rate_{window}', 0.0))}")
+
+    # tracer buffer health: silent span truncation must be visible
+    tracer = dict(snapshot.get("tracer", {}) or {})
+    if tracer:
+        for raw in ("spans_started", "spans_dropped"):
+            name = f"repro_tracer_{raw}_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{base} {_format_value(tracer.get(raw, 0))}")
+        for raw in ("enabled", "buffer_len", "buffer_high_water",
+                    "max_spans"):
+            name = f"repro_tracer_{raw}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{base} {_format_value(tracer.get(raw, 0))}")
+
+    # durable telemetry writer health
+    telemetry = dict(snapshot.get("telemetry", {}) or {})
+    if telemetry:
+        for raw in ("events_written", "events_dropped", "bytes_written",
+                    "segments_rotated", "segments_deleted"):
+            name = f"repro_telemetry_{raw}_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{base} {_format_value(telemetry.get(raw, 0))}")
+        for raw in ("enabled", "segment_seq"):
+            name = f"repro_telemetry_{raw}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(
+                f"{name}{base} {_format_value(telemetry.get(raw, 0))}")
 
     return "\n".join(lines) + "\n"

@@ -1,0 +1,176 @@
+"""``repro top``: a live text dashboard over a running fleet frontend.
+
+Polls the frontend's ``stats`` op on an interval and renders one screen
+per poll: fleet-wide SLO state (attainment, error-budget burn on the fast
+and slow windows), the frontend's queue and admission picture, and one
+row per shard with health, request rate (computed as a delta between
+polls), latency percentiles, and cache hit rate.  The renderer is a pure
+function of two stats snapshots, so tests drive it without a fleet or a
+terminal; the polling loop takes an ``iterations`` bound for the same
+reason.
+
+This is observability plumbing, not UI polish: plain ANSI clear-screen,
+fixed-width columns, degrades to a scrolling log when redirected.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+#: ANSI "clear screen, home cursor"; suppressed when stdout is not a tty
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    """A latency in seconds as a fixed-width millisecond cell."""
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value * 1e3:.1f}"
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}"
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value * 100:.1f}%"
+
+
+def _shard_row(name: str, snap: Optional[Dict[str, Any]],
+               health: Dict[str, Any], qps: Optional[float]) -> List[str]:
+    """One table row; a None snapshot means the stats probe failed."""
+    hdoc = health.get(name) or {}
+    up = "up" if hdoc.get("up", True) else "DOWN"
+    if not snap:
+        return [name, up, "-", "-", "-", "-", "-", "-", "-"]
+    counters = (snap.get("metrics") or {}).get("counters") or {}
+    hist = ((snap.get("metrics") or {}).get("histograms") or {}) \
+        .get("request_latency_s") or {}
+    requests = counters.get("requests", 0)
+    hits = counters.get("hits_memory", 0) + counters.get("hits_disk", 0)
+    hit_rate = hits / requests if requests else None
+    slo = snap.get("slo") or {}
+    return [
+        name,
+        up,
+        str(requests),
+        _fmt_rate(qps),
+        _fmt_ms(hist.get("p50")),
+        _fmt_ms(hist.get("p95")),
+        _fmt_ms(hist.get("p99")),
+        _fmt_pct(hit_rate) if hit_rate is not None else "-",
+    ] + ([f"{slo['burn_rate_fast']:.2f}"] if "burn_rate_fast" in slo else ["-"])
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return lines
+
+
+def render_dashboard(stats: Dict[str, Any],
+                     previous: Optional[Dict[str, Any]] = None,
+                     interval_s: float = 2.0) -> str:
+    """One dashboard frame from a ``stats`` op reply.
+
+    ``previous`` is the prior poll's reply (or None on the first frame);
+    per-shard QPS is the request-counter delta divided by ``interval_s``.
+    """
+    frontend = stats.get("frontend") or {}
+    shards = stats.get("shards") or {}
+    prev_shards = (previous or {}).get("shards") or {}
+    slo = frontend.get("slo") or {}
+    counters = (frontend.get("metrics") or {}).get("counters") or {}
+    health = (frontend.get("health") or {}).get("shards") or {}
+    tracer = frontend.get("tracer") or {}
+
+    lines = [
+        f"repro top — {len(shards)} shard(s), "
+        f"queue depth {frontend.get('queue_depth', 0)}",
+        "",
+        "fleet slo",
+        f"  attainment          {_fmt_pct(slo.get('attainment'))}"
+        f"   (objective {_fmt_pct(slo.get('objective'))},"
+        f" target {slo.get('latency_target_ms', '-')} ms)",
+        f"  deadline attainment {_fmt_pct(slo.get('deadline_attainment'))}",
+        f"  error budget left   {_fmt_pct(slo.get('error_budget_remaining'))}",
+        f"  burn rate           fast {slo.get('burn_rate_fast', 0.0):.2f}x"
+        f" / slow {slo.get('burn_rate_slow', 0.0):.2f}x",
+        "",
+        "frontend",
+        f"  requests={counters.get('requests', 0)}"
+        f" shed={counters.get('shed_queue', 0) + counters.get('shed_deadline', 0)}"
+        f" failovers={counters.get('failovers', 0)}"
+        f" retries={counters.get('retries', 0)}",
+        f"  tracer spans={tracer.get('spans_started', 0)}"
+        f" dropped={tracer.get('spans_dropped', 0)}"
+        f" buffer={tracer.get('buffer_len', 0)}"
+        f"/{tracer.get('max_spans', 0)}",
+        "",
+    ]
+    telemetry = frontend.get("telemetry")
+    if telemetry:
+        lines.insert(-1,
+                     f"  telemetry events={telemetry.get('events_written', 0)}"
+                     f" dropped={telemetry.get('events_dropped', 0)}"
+                     f" segment={telemetry.get('segment_seq', 0)}")
+
+    rows = []
+    for name in sorted(shards):
+        snap = shards[name]
+        qps = None
+        prev = prev_shards.get(name)
+        if snap and prev and interval_s > 0:
+            now_requests = ((snap.get("metrics") or {}).get("counters")
+                            or {}).get("requests", 0)
+            then_requests = ((prev.get("metrics") or {}).get("counters")
+                             or {}).get("requests", 0)
+            qps = max(0.0, (now_requests - then_requests) / interval_s)
+        rows.append(_shard_row(name, snap, health, qps))
+    lines += _table(
+        ["shard", "state", "req", "qps", "p50ms", "p95ms", "p99ms",
+         "hit", "burn"],
+        rows,
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(host: str, port: int, interval_s: float = 2.0,
+            iterations: Optional[int] = None, out=None) -> int:
+    """Poll a fleet frontend and redraw the dashboard until interrupted.
+
+    ``iterations`` bounds the loop (None = forever) so tests and the CI
+    smoke job can take a fixed number of frames and exit.
+    """
+    from ..fleet import FleetClient
+
+    stream = out if out is not None else sys.stdout
+    clear = _CLEAR if getattr(stream, "isatty", lambda: False)() else ""
+    previous: Optional[Dict[str, Any]] = None
+    frame = 0
+    try:
+        while iterations is None or frame < iterations:
+            with FleetClient(host, port) as client:
+                stats = client.stats()
+            stream.write(clear + render_dashboard(
+                stats, previous, interval_s=interval_s))
+            stream.flush()
+            previous = stats
+            frame += 1
+            if iterations is not None and frame >= iterations:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -156,6 +156,9 @@ class Tracer:
         self.spans_started = 0
         #: finished spans discarded because the buffer was full
         self.spans_dropped = 0
+        #: most spans ever held at once — how close the buffer has come
+        #: to the ``max_spans`` cap (silent truncation made visible)
+        self.buffer_high_water = 0
         self._finished: List[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -175,6 +178,7 @@ class Tracer:
         with self._lock:
             self._finished.clear()
             self.spans_dropped = 0
+            self.buffer_high_water = 0
 
     # ------------------------------------------------------------------
     # trace-id propagation (thread-local; workers set it per job)
@@ -239,6 +243,27 @@ class Tracer:
                 self.spans_dropped += 1
                 return
             self._finished.append(span)
+            if len(self._finished) > self.buffer_high_water:
+                self.buffer_high_water = len(self._finished)
+
+    def health(self) -> Dict[str, Any]:
+        """Buffer-health snapshot (the ``"tracer"`` stats section).
+
+        Production question this answers: are traces being silently
+        truncated by the ``max_spans`` cap?  ``spans_dropped > 0`` or a
+        high-water mark near ``max_spans`` says yes.
+        """
+        with self._lock:
+            buffer_len = len(self._finished)
+            high_water = self.buffer_high_water
+        return {
+            "enabled": self.enabled,
+            "spans_started": self.spans_started,
+            "spans_dropped": self.spans_dropped,
+            "buffer_len": buffer_len,
+            "buffer_high_water": high_water,
+            "max_spans": self.max_spans,
+        }
 
     # ------------------------------------------------------------------
     # retrieval

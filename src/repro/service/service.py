@@ -35,8 +35,10 @@ from ..core.planner import AccParScheme, GreedyScheme, PlannedExecution, Planner
 from ..core.types import PartitionType
 from ..graph.network import Network
 from ..plan.backends import get_backend
+from ..obs import telemetry as telemetry_store
 from ..obs.logging import get_logger, slow_request_threshold_s
 from ..obs.registry import render_prometheus
+from ..obs.slo import SLOTracker, render_slo_lines
 from ..obs.tracing import new_trace_id, tracer
 from .cache import PlanCache
 from .fingerprint import PlanRequest
@@ -117,9 +119,23 @@ class PlanService:
         network_builder: Optional[Callable[[str], Network]] = None,
         slow_request_s: Optional[float] = None,
         fallback_backend: str = "greedy",
+        slo=None,
+        telemetry=None,
+        telemetry_labels: Optional[dict] = None,
     ):
         self.cache = cache if cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: SLO accounting — ``slo`` may be an SLOTracker, an SLOConfig, a
+        #: spec string ("latency_ms=250,objective=0.99") or None (defaults)
+        self.slo = slo if isinstance(slo, SLOTracker) else SLOTracker(slo)
+        #: durable telemetry — an explicit writer, or whatever is installed
+        #: process-wide (``serve --telemetry-dir`` / REPRO_TELEMETRY_DIR);
+        #: every producer path guards on ``enabled`` before building events
+        self.telemetry = telemetry if telemetry is not None \
+            else telemetry_store.active()
+        #: constant fields merged into every request event (the fleet shard
+        #: passes ``{"shard": name}`` so events join the metric series)
+        self.telemetry_labels = dict(telemetry_labels or {})
         #: search backend for the deadline-degraded path; validated eagerly
         #: so a typo surfaces at construction, not on the first slow request
         get_backend(fallback_backend)
@@ -177,13 +193,17 @@ class PlanService:
         self.metrics.counter("requests").inc()
         with tracer.span("service.fingerprint", category="service"):
             key = request.fingerprint(self._network_builder)
+        after_fingerprint = time.perf_counter()
 
         with tracer.span("service.cache_lookup", category="service"):
             planned, tier = self.cache.get_with_tier(key)
+        after_lookup = time.perf_counter()
+        phases = (after_fingerprint - start, after_lookup - after_fingerprint)
         if planned is not None:
             self.metrics.counter(f"hits_{tier}").inc()
             return self._respond(planned, key, tier, start, trace_id,
-                                 degraded=False, coalesced=False)
+                                 degraded=False, coalesced=False,
+                                 deadline_s=deadline_s, phases=phases)
 
         self.metrics.counter("misses").inc()
         future, leader = self._flight.begin(key)
@@ -201,14 +221,17 @@ class PlanService:
             with tracer.span("service.degraded_fallback", category="service"):
                 planned = self._plan_degraded(request)
             return self._respond(planned, key, "degraded", start, trace_id,
-                                 degraded=True, coalesced=not leader)
+                                 degraded=True, coalesced=not leader,
+                                 deadline_s=deadline_s, phases=phases)
         except Exception:
             self.metrics.counter("errors").inc()
+            self._observe_failure(request, key, start, trace_id, deadline_s)
             raise
 
         source = "planned" if leader else "coalesced"
         return self._respond(planned, key, source, start, trace_id,
-                             degraded=False, coalesced=not leader)
+                             degraded=False, coalesced=not leader,
+                             deadline_s=deadline_s, phases=phases)
 
     def warm(self, requests: Iterable[PlanRequest]) -> List[PlanResponse]:
         """Pre-populate the cache; returns one response per request."""
@@ -282,6 +305,38 @@ class PlanService:
         return planner.plan(request.build_network(self._network_builder),
                             request.batch)
 
+    def _observe_failure(
+        self,
+        request: PlanRequest,
+        key: str,
+        start: float,
+        trace_id: str,
+        deadline_s: Optional[float],
+    ) -> None:
+        """SLO + telemetry accounting for the raising (error) path."""
+        latency = time.perf_counter() - start
+        deadline_met = False if deadline_s is not None else None
+        self.slo.observe(latency, ok=False, deadline_met=deadline_met)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            event = {
+                "type": "request",
+                "component": "service",
+                "fingerprint": key,
+                "model": request.model,
+                "scheme": request.scheme,
+                "source": "error",
+                "outcome": "error",
+                "latency_ms": round(latency * 1e3, 3),
+                "trace_id": trace_id,
+            }
+            if deadline_s is not None:
+                event["deadline_ms"] = round(deadline_s * 1e3, 3)
+                event["deadline_met"] = False
+            if self.telemetry_labels:
+                event.update(self.telemetry_labels)
+            t.record(event)
+
     def _respond(
         self,
         planned: PlannedExecution,
@@ -291,9 +346,44 @@ class PlanService:
         trace_id: str,
         degraded: bool,
         coalesced: bool,
+        deadline_s: Optional[float] = None,
+        phases: Optional[tuple] = None,
     ) -> PlanResponse:
         latency = time.perf_counter() - start
         self.metrics.histogram("request_latency_s").observe(latency)
+        deadline_met = (latency <= deadline_s) if deadline_s is not None \
+            else None
+        self.slo.observe(latency, ok=True, deadline_met=deadline_met)
+        t = self.telemetry
+        if t is not None and t.enabled:
+            event = {
+                "type": "request",
+                "component": "service",
+                "fingerprint": key,
+                "model": planned.network_name,
+                "scheme": planned.scheme,
+                "source": source,
+                "outcome": "degraded" if degraded else "ok",
+                "degraded": degraded,
+                "coalesced": coalesced,
+                "latency_ms": round(latency * 1e3, 3),
+                "trace_id": trace_id,
+            }
+            if deadline_s is not None:
+                event["deadline_ms"] = round(deadline_s * 1e3, 3)
+                event["deadline_met"] = deadline_met
+            if phases is not None:
+                # span-derived breakdown without needing the tracer on:
+                # fingerprint / cache lookup / everything after (plan wait)
+                event["breakdown_ms"] = {
+                    "fingerprint": round(phases[0] * 1e3, 3),
+                    "cache_lookup": round(phases[1] * 1e3, 3),
+                    "plan_wait": round(
+                        (latency - phases[0] - phases[1]) * 1e3, 3),
+                }
+            if self.telemetry_labels:
+                event.update(self.telemetry_labels)
+            t.record(event)
         if latency >= self.slow_request_s:
             self.metrics.counter("slow_requests").inc()
             log.warning(
@@ -357,11 +447,16 @@ class PlanService:
         cache_stats = self.cache.stats.as_dict()
         cache_stats["memory_entries"] = len(self.cache)
         cache_stats["disk_entries"] = len(self.cache.disk_keys())
-        return {
+        snap = {
             "metrics": self.metrics.snapshot(),
             "cache": cache_stats,
             "planner": planner_counters.snapshot(),
+            "slo": self.slo.snapshot(),
+            "tracer": tracer.health(),
         }
+        if self.telemetry is not None:
+            snap["telemetry"] = self.telemetry.snapshot()
+        return snap
 
     def render_stats(self) -> str:
         snap = self.snapshot()
@@ -379,6 +474,25 @@ class PlanService:
             width = max(len(k) for k in planner)
             for name, value in planner.items():
                 lines.append(f"  {name:<{width}}  {value}")
+        lines.append(render_slo_lines(snap["slo"]))
+        health = snap["tracer"]
+        lines.append("tracer")
+        lines.append(
+            f"  spans_started={health['spans_started']}"
+            f" spans_dropped={health['spans_dropped']}"
+            f" buffer={health['buffer_len']}"
+            f" high_water={health['buffer_high_water']}"
+            f"/{health['max_spans']}"
+        )
+        telemetry = snap.get("telemetry")
+        if telemetry:
+            lines.append("telemetry")
+            lines.append(
+                f"  dir={telemetry['directory']}"
+                f" events_written={telemetry['events_written']}"
+                f" events_dropped={telemetry['events_dropped']}"
+                f" segment={telemetry['segment_seq']}"
+            )
         return "\n".join(lines)
 
     def render_prometheus(self) -> str:

@@ -44,8 +44,11 @@ from .trace import (
     TraceEvent,
     granule_of,
     layer_events,
+    layer_phase_events,
     optimizer_update_events,
+    total_amount,
 )
+from ..obs import telemetry as telemetry_store
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,44 @@ class SimReport:
     @property
     def fits_memory(self) -> bool:
         return self.memory_worst is None or self.memory_worst.fits
+
+
+def _group_hardware_name(group) -> str:
+    """A stable spec label for one leaf group (``tpu-v2``, ``a+b`` if mixed)."""
+    return "+".join(sorted({m.name for m in group.members}))
+
+
+def _record_leaf_timings(telemetry, planned: PlannedExecution, node: GroupNode,
+                         stages: List[ShardedStage], engine: TimingEngine) -> None:
+    """One durable ``op_timing`` event per (layer, phase) of a leaf group.
+
+    These are the measured per-op timings ``repro telemetry export
+    --calibration`` aggregates into per-hardware curves.  Only called when
+    a telemetry writer is active and enabled, and memoized leaves record
+    once per distinct (group, stages) pair — duplicates carry no new
+    calibration signal.
+    """
+    hardware = _group_hardware_name(node.group)
+    for sw in iter_sharded_workloads(stages):
+        for phase in Phase:
+            events = layer_phase_events(sw, phase)
+            seconds = engine.elapsed(events, node.group)
+            moved = (total_amount(events, EventKind.LOAD)
+                     + total_amount(events, EventKind.STORE))
+            telemetry.record({
+                "type": "op_timing",
+                "hardware": hardware,
+                "devices": node.group.size,
+                "op": sw.name,
+                "kind": "conv" if sw.base.is_conv else "fc",
+                "phase": phase.name.lower(),
+                "elements": moved,
+                "flops": sw.flops_phase(phase),
+                "time_s": seconds,
+                "model": planned.network_name,
+                "scheme": planned.scheme,
+                "batch": planned.batch,
+            })
 
 
 @dataclass
@@ -175,6 +216,9 @@ def evaluate(planned: PlannedExecution,
         config = EngineConfig(dtype_bytes=planned.dtype_bytes)
     engine = TimingEngine(config)
     memo: Dict[Tuple, _NodeResult] = {}
+    telemetry = telemetry_store.active()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
 
     def visit(node: GroupNode, plan: HierarchicalPlan,
               stages: List[ShardedStage]) -> _NodeResult:
@@ -195,6 +239,8 @@ def evaluate(planned: PlannedExecution,
                                  memory_worst=mem,
                                  energy=events_energy(events, config.dtype_bytes,
                                                       config.energy))
+            if telemetry is not None:
+                _record_leaf_timings(telemetry, planned, node, stages, engine)
             memo[key] = result
             return result
 

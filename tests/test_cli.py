@@ -369,3 +369,140 @@ class TestPlanDiffCommand:
         # the command still reports the decision-level verdict
         code = main(["plan-diff", str(a), str(b), "--rel-tol", "0.5"])
         assert code in (0, 1)
+
+
+class TestTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def _no_process_writer(self):
+        from repro.obs import telemetry as telemetry_store
+
+        telemetry_store.uninstall()
+        yield
+        telemetry_store.uninstall()
+
+    def _store(self, tmp_path):
+        store = tmp_path / "telemetry"
+        code = main(["simulate", "--model", "lenet", "--array",
+                     "tpu-v2:2,tpu-v3:2", "--batch", "32",
+                     "--telemetry-dir", str(store)])
+        assert code == 0
+        return store
+
+    def test_simulate_writes_telemetry(self, capsys, tmp_path):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        from repro.obs.telemetry import segment_paths
+
+        assert segment_paths(store)
+
+    def test_summary(self, capsys, tmp_path):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summary", "--dir", str(store)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["events"] > 0
+        assert document["by_type"]["op_timing"] > 0
+        assert document["by_type"]["search"] == 1
+
+    def test_tail_with_type_filter(self, capsys, tmp_path):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "tail", "--dir", str(store),
+                     "-n", "3", "--type", "op_timing"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert json.loads(line)["type"] == "op_timing"
+
+    def test_export_calibration(self, capsys, tmp_path):
+        store = self._store(tmp_path)
+        out_file = tmp_path / "calibration.json"
+        capsys.readouterr()
+        assert main(["telemetry", "export", "--calibration",
+                     "--dir", str(store), "--out", str(out_file)]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["schema"].startswith("repro.telemetry.calibration")
+        # at least one per-op series per accelerator spec in the array
+        for spec in ("tpu-v2", "tpu-v3"):
+            assert document["hardware"].get(spec), spec
+
+    def test_export_raw_events(self, capsys, tmp_path):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "export", "--dir", str(store)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["corrupt_lines"] == 0
+        assert len(document["events"]) > 0
+
+    def test_missing_dir_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+        assert main(["telemetry", "summary"]) == 2
+
+    def test_env_var_is_the_default_dir(self, capsys, tmp_path, monkeypatch):
+        store = self._store(tmp_path)
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(store))
+        capsys.readouterr()
+        assert main(["telemetry", "summary"]) == 0
+        assert json.loads(capsys.readouterr().out)["events"] > 0
+
+
+class TestTopDashboard:
+    def _stats(self, requests=10):
+        return {
+            "frontend": {
+                "metrics": {"counters": {"requests": requests,
+                                         "failovers": 1}},
+                "queue_depth": 0,
+                "slo": {"attainment": 0.95, "objective": 0.9,
+                        "latency_target_ms": 100.0,
+                        "deadline_attainment": 1.0,
+                        "error_budget_remaining": 0.5,
+                        "burn_rate_fast": 0.5, "burn_rate_slow": 0.1},
+                "health": {"shards": {"0": {"up": True}, "1": {"up": False}}},
+                "tracer": {"spans_started": 5, "spans_dropped": 0,
+                           "buffer_len": 2, "max_spans": 200000},
+            },
+            "shards": {
+                "0": {"metrics": {
+                    "counters": {"requests": requests, "hits_memory": 4},
+                    "histograms": {"request_latency_s": {
+                        "p50": 0.010, "p95": 0.050, "p99": 0.100}}},
+                    "slo": {"burn_rate_fast": 0.25}},
+                "1": None,
+            },
+        }
+
+    def test_render_dashboard_contents(self):
+        from repro.obs.top import render_dashboard
+
+        text = render_dashboard(self._stats())
+        assert "fleet slo" in text
+        assert "attainment          95.0%" in text
+        assert "burn rate           fast 0.50x / slow 0.10x" in text
+        assert "DOWN" in text  # shard 1 is down
+        assert "10.0" in text  # shard 0 p50 in ms
+
+    def test_render_dashboard_qps_delta(self):
+        from repro.obs.top import render_dashboard
+
+        text = render_dashboard(self._stats(requests=30),
+                                previous=self._stats(requests=10),
+                                interval_s=2.0)
+        assert "10.0" in text  # (30-10)/2 QPS
+
+    def test_run_top_against_live_fleet(self, capsys):
+        import io
+
+        from repro.fleet import FleetFrontend, ShardSupervisor
+        from repro.obs.top import run_top
+
+        supervisor = ShardSupervisor(2, cache_dir=None, mode="thread")
+        with supervisor:
+            frontend = FleetFrontend(supervisor.handles, port=0)
+            with frontend:
+                buffer = io.StringIO()
+                code = run_top(frontend.host, frontend.port,
+                               interval_s=0.01, iterations=2, out=buffer)
+        assert code == 0
+        assert "repro top" in buffer.getvalue()
+        assert "2 shard(s)" in buffer.getvalue()

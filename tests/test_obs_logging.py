@@ -11,8 +11,11 @@ from repro.obs.logging import (
     DEFAULT_SLOW_REQUEST_S,
     SLOW_REQUEST_ENV,
     JsonLogFormatter,
+    clear_log_context,
     configure_json_logging,
     get_logger,
+    log_context,
+    set_log_context,
     slow_request_threshold_s,
 )
 from repro.obs.tracing import tracer
@@ -93,6 +96,41 @@ class TestJsonLogFormatter:
             isinstance(h.formatter, JsonLogFormatter) for h in logger.handlers
         ) == 1
         assert again in logger.handlers
+
+
+class TestLogContext:
+    """Process-wide context fields (e.g. a fleet shard's name) on every line."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_context(self):
+        clear_log_context()
+        yield
+        clear_log_context()
+
+    def test_context_field_appears_on_every_line(self, json_log):
+        logger, buffer = json_log
+        set_log_context(shard="3")
+        logger.info("one")
+        logger.warning("two")
+        for document in emitted(buffer):
+            assert document["shard"] == "3"
+
+    def test_explicit_extra_wins_over_context(self, json_log):
+        logger, buffer = json_log
+        set_log_context(shard="3")
+        logger.info("override", extra={"shard": "9"})
+        (document,) = emitted(buffer)
+        assert document["shard"] == "9"
+
+    def test_none_removes_and_clear_empties(self, json_log):
+        logger, buffer = json_log
+        set_log_context(shard="3", region="east")
+        set_log_context(region=None)
+        assert log_context() == {"shard": "3"}
+        clear_log_context()
+        logger.info("bare")
+        (document,) = emitted(buffer)
+        assert "shard" not in document
 
 
 class TestSlowRequestThreshold:

@@ -39,9 +39,14 @@ class TestLatencyHistogramEdges:
         assert hist.count == 0
         assert hist.total == 0.0
         assert hist.percentile(50) is None
-        assert hist.summary() == {
-            "count": 0, "mean": None, "p50": None, "p95": None, "p99": None,
-        }
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert summary["p50"] is None
+        assert summary["p95"] is None
+        assert summary["p99"] is None
+        assert summary["total"] == 0.0
+        assert sum(summary["buckets"]["counts"]) == 0
 
     def test_single_sample_is_every_percentile(self):
         hist = LatencyHistogram("one")
@@ -78,6 +83,38 @@ class TestLatencyHistogramEdges:
         assert hist.percentile(50) == 50.0
         assert hist.percentile(95) == 95.0
         assert hist.percentile(99) == 99.0
+
+    def test_reservoir_wraparound_summary_stays_consistent(self):
+        """After far more observations than the window, lifetime stats
+        (count/total/mean/buckets) must still cover every sample while
+        percentiles reflect only the reservoir."""
+        window = 16
+        hist = LatencyHistogram("wrapped", window=window)
+        n = window * 10
+        for value in range(1, n + 1):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == n
+        assert summary["total"] == n * (n + 1) / 2
+        assert summary["mean"] == pytest.approx((n + 1) / 2)
+        # log-spaced buckets are lifetime too: every sample landed somewhere
+        assert sum(summary["buckets"]["counts"]) == n
+        # the reservoir holds exactly the last `window` samples
+        assert hist.percentile(1) == float(n - window + 1)
+        assert hist.percentile(100) == float(n)
+        assert summary["p50"] == hist.percentile(50)
+
+    def test_wraparound_bucket_counts_monotone_cumulative(self):
+        hist = LatencyHistogram("wrapcum", window=8)
+        for value in [0.0002, 0.003, 0.04, 0.5, 6.0] * 20:
+            hist.observe(value)
+        counts = hist.buckets()["counts"]
+        assert sum(counts) == 100
+        cumulative = 0
+        for count in counts:
+            assert count >= 0
+            cumulative += count
+        assert cumulative == hist.count
 
     def test_invalid_arguments(self):
         hist = LatencyHistogram("strict")
@@ -239,3 +276,41 @@ class TestPrometheusRendering:
 
     def test_histogram_names_are_canonical(self):
         assert SERVICE_HISTOGRAM_NAMES == ("request_latency_s", "exact_plan_s")
+
+
+class TestLabelValueEscaping:
+    """Prometheus label values must escape backslash, quote and newline."""
+
+    def _series_line(self, text, name):
+        for line in text.splitlines():
+            if line.startswith(name) and not line.startswith("# "):
+                return line
+        raise AssertionError(f"{name} not rendered:\n{text}")
+
+    _SNAPSHOT = {"metrics": {"counters": {"requests": 1}}}
+
+    def test_quote_in_label_value(self):
+        text = render_prometheus(self._SNAPSHOT, include_defaults=False,
+                                 labels={"shard": 'say "hi"'})
+        line = self._series_line(text, "repro_service_requests_total")
+        assert r'shard="say \"hi\""' in line
+
+    def test_backslash_in_label_value(self):
+        text = render_prometheus(self._SNAPSHOT, include_defaults=False,
+                                 labels={"shard": "a\\b"})
+        line = self._series_line(text, "repro_service_requests_total")
+        assert r'shard="a\\b"' in line
+
+    def test_newline_in_label_value(self):
+        text = render_prometheus(self._SNAPSHOT, include_defaults=False,
+                                 labels={"shard": "a\nb"})
+        line = self._series_line(text, "repro_service_requests_total")
+        assert r'shard="a\nb"' in line
+        # the exposition stays one sample per line
+        assert "\na" not in line
+
+    def test_gauge_labels_escaped_too(self):
+        registry = MetricsRegistry()
+        registry.gauge("shard_up", shard='s"0"').set(1)
+        text = registry.render_prometheus()
+        assert r'repro_fleet_shard_up{shard="s\"0\""} 1' in text

@@ -1,0 +1,336 @@
+"""Durable telemetry store: writer, rotation, quarantine, producers."""
+
+import json
+import os
+
+import pytest
+
+from repro.hardware.presets import heterogeneous_array
+from repro.models.registry import build_model
+from repro.core.planner import AccParPlanner
+from repro.obs import telemetry as telemetry_store
+from repro.obs.telemetry import (
+    CALIBRATION_SCHEMA,
+    ReadReport,
+    TELEMETRY_ENV,
+    TelemetryError,
+    TelemetryWriter,
+    calibration_export,
+    iter_events,
+    read_events,
+    scrub,
+    segment_paths,
+    summarize,
+)
+from repro.sim.executor import evaluate
+
+
+@pytest.fixture(autouse=True)
+def _no_process_writer():
+    """Each test starts and ends without a process-wide writer."""
+    telemetry_store.uninstall()
+    yield
+    telemetry_store.uninstall()
+
+
+class TestWriter:
+    def test_round_trip(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request", "outcome": "ok"})
+            writer.record({"type": "search", "elapsed_ms": 12.5})
+        events = read_events(tmp_path)
+        assert [e["type"] for e in events] == ["request", "search"]
+        # every event is stamped
+        assert all("ts" in e for e in events)
+
+    def test_type_filter(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request"})
+            writer.record({"type": "chaos"})
+        assert [e["type"] for e in read_events(tmp_path, types=("chaos",))] \
+            == ["chaos"]
+
+    def test_rotation_by_size(self, tmp_path):
+        with TelemetryWriter(tmp_path, max_segment_bytes=120) as writer:
+            for index in range(10):
+                writer.record({"type": "request", "i": index})
+        assert len(segment_paths(tmp_path)) > 1
+        assert writer.segments_rotated > 1
+        # nothing lost across the rotation boundary
+        assert [e["i"] for e in read_events(tmp_path)] == list(range(10))
+
+    def test_retention_deletes_oldest(self, tmp_path):
+        with TelemetryWriter(tmp_path, max_segment_bytes=80,
+                             max_segments=2) as writer:
+            for index in range(20):
+                writer.record({"type": "request", "i": index})
+        segments = segment_paths(tmp_path)
+        assert len(segments) <= 2
+        assert writer.segments_deleted > 0
+        # survivors are the newest events
+        survivors = [e["i"] for e in read_events(tmp_path)]
+        assert survivors == sorted(survivors)
+        assert survivors[-1] == 19
+
+    def test_restart_opens_new_segment(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request", "run": 1})
+            first = writer.segment_path
+        # simulate a crash mid-line: torn tail on the first segment
+        with open(first, "ab") as handle:
+            handle.write(b'{"type": "requ')
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request", "run": 2})
+            second = writer.segment_path
+        assert first != second
+        report = ReadReport()
+        events = list(iter_events(tmp_path, report=report))
+        assert [e["run"] for e in events] == [1, 2]
+        assert report.corrupt_lines == 1
+
+    def test_disabled_writer_is_a_no_op(self, tmp_path):
+        writer = TelemetryWriter(tmp_path, enabled=False)
+        writer.record({"type": "request"})
+        assert writer.events_written == 0
+        assert segment_paths(tmp_path) == []
+
+    def test_bad_configuration(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            TelemetryWriter(tmp_path, max_segment_bytes=0)
+        with pytest.raises(TelemetryError):
+            TelemetryWriter(tmp_path, max_segments=0)
+
+    def test_snapshot_counters(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request"})
+            snap = writer.snapshot()
+        assert snap["events_written"] == 1
+        assert snap["events_dropped"] == 0
+        assert snap["bytes_written"] > 0
+        assert snap["segment_seq"] == 1
+        assert snap["enabled"] is True
+
+
+class TestQuarantine:
+    def _store_with_corruption(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "request", "i": 0})
+            writer.record({"type": "request", "i": 1})
+            path = writer.segment_path
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{not json at all")
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_iter_skips_and_counts(self, tmp_path):
+        self._store_with_corruption(tmp_path)
+        report = ReadReport()
+        events = list(iter_events(tmp_path, report=report))
+        assert [e["i"] for e in events] == [0, 1]
+        assert report.corrupt_lines == 1
+
+    def test_scrub_quarantines_never_deletes(self, tmp_path):
+        path = self._store_with_corruption(tmp_path)
+        report = scrub(tmp_path)
+        assert report.corrupt_lines == 1
+        sidecar = path.with_name(path.name + ".corrupt")
+        assert sidecar.exists()
+        assert "not json" in sidecar.read_text()
+        # the segment itself is clean now
+        clean = ReadReport()
+        list(iter_events(tmp_path, report=clean))
+        assert clean.corrupt_lines == 0
+        assert clean.events == 2
+
+
+class TestProcessWideInstall:
+    def test_install_and_active(self, tmp_path):
+        writer = telemetry_store.install(tmp_path)
+        assert telemetry_store.active() is writer
+        telemetry_store.uninstall()
+        assert telemetry_store.active() is None
+
+    def test_env_var_installs_lazily(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path))
+        telemetry_store.uninstall()
+        writer = telemetry_store.active()
+        assert writer is not None
+        assert str(writer.directory) == str(tmp_path)
+        telemetry_store.uninstall()
+
+    def test_no_env_means_no_writer(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        assert telemetry_store.active() is None
+
+
+class TestProducers:
+    def _plan(self):
+        planner = AccParPlanner(heterogeneous_array())
+        return planner.plan(build_model("lenet"), batch=32)
+
+    def test_planner_records_search_event(self, tmp_path):
+        telemetry_store.install(tmp_path)
+        self._plan()
+        events = read_events(tmp_path, types=("search",))
+        assert len(events) == 1
+        event = events[0]
+        assert event["model"] == "lenet"
+        assert event["scheme"] == "accpar"
+        assert event["backend"] == "dp"
+        assert event["elapsed_ms"] >= 0
+        # the counter delta carries real search work
+        assert sum(event["counters"].values()) > 0
+
+    def test_sim_records_op_timings_per_spec(self, tmp_path):
+        telemetry_store.install(tmp_path)
+        evaluate(self._plan())
+        events = read_events(tmp_path, types=("op_timing",))
+        assert events, "sim run must produce op_timing events"
+        hardware = {e["hardware"] for e in events}
+        # the hetero array has both specs at its leaves
+        assert {"tpu-v2", "tpu-v3"} <= hardware
+        for event in events:
+            assert event["phase"] in ("forward", "backward", "gradient")
+            assert event["kind"] in ("conv", "fc")
+            assert event["time_s"] >= 0
+            assert event["flops"] >= 0
+
+    def test_calibration_export_schema(self, tmp_path):
+        telemetry_store.install(tmp_path)
+        evaluate(self._plan())
+        document = calibration_export(tmp_path)
+        assert document["schema"] == CALIBRATION_SCHEMA
+        assert {"tpu-v2", "tpu-v3"} <= set(document["hardware"])
+        for spec, series in document["hardware"].items():
+            assert series, spec
+            for key, stats in series.items():
+                kind, _, phase = key.partition("/")
+                assert kind in ("conv", "fc")
+                assert phase in ("forward", "backward", "gradient")
+                assert stats["count"] == len(stats["samples"]) or \
+                    stats["count"] > len(stats["samples"])
+                assert stats["count"] >= 1
+                assert stats["min_s"] <= stats["max_s"]
+                for sample in stats["samples"]:
+                    assert sample["seconds"] >= 0
+
+    def test_disabled_hot_path_builds_nothing(self, tmp_path, monkeypatch):
+        """With telemetry disabled no event dict is ever built: producers
+        must gate before allocation, so a poisoned record() never fires."""
+        writer = TelemetryWriter(tmp_path, enabled=False)
+        telemetry_store.install(writer)
+
+        calls = {"record": 0}
+
+        def poisoned(self, event):  # pragma: no cover - must not run
+            calls["record"] += 1
+            raise AssertionError("record() called on the disabled path")
+
+        monkeypatch.setattr(TelemetryWriter, "record", poisoned)
+        planned = self._plan()
+        evaluate(planned)
+        assert calls["record"] == 0
+        assert writer.events_written == 0
+        assert segment_paths(tmp_path) == []
+
+    def test_service_records_request_events(self, tmp_path):
+        from repro.service import PlanCache, PlanRequest, PlanService
+
+        writer = TelemetryWriter(tmp_path)
+        service = PlanService(cache=PlanCache(capacity=4), telemetry=writer,
+                              telemetry_labels={"shard": "t0"})
+        try:
+            request = PlanRequest(model="lenet",
+                                  array=heterogeneous_array(), batch=32)
+            service.plan(request)
+            service.plan(request)  # cache hit
+        finally:
+            service.close()
+        writer.close()
+        events = read_events(tmp_path, types=("request",))
+        assert len(events) == 2
+        for event in events:
+            assert event["component"] == "service"
+            assert event["model"] == "lenet"
+            assert event["outcome"] == "ok"
+            assert event["latency_ms"] >= 0
+            assert event["shard"] == "t0"
+        sources = [e["source"] for e in events]
+        assert "memory" in sources[1]
+
+
+class TestSummarize:
+    def test_chaos_attribution_by_trace_id(self, tmp_path):
+        with TelemetryWriter(tmp_path) as writer:
+            writer.record({"type": "chaos", "faults": ["delay"],
+                           "trace_id": "t-1"})
+            writer.record({"type": "request", "outcome": "ok",
+                           "latency_ms": 50.0, "trace_id": "t-1",
+                           "shard": "0"})
+            writer.record({"type": "request", "outcome": "ok",
+                           "latency_ms": 5.0, "trace_id": "t-2",
+                           "shard": "1", "deadline_ms": 100.0,
+                           "deadline_met": True})
+            writer.record({"type": "request", "outcome": "error",
+                           "latency_ms": 1.0, "trace_id": "t-3",
+                           "failover_from": "0"})
+        summary = summarize(tmp_path)
+        assert summary["events"] == 4
+        assert summary["by_type"] == {"chaos": 1, "request": 3}
+        assert summary["chaos_faults"] == {"delay": 1}
+        requests = summary["requests"]
+        assert requests["outcomes"] == {"error": 1, "ok": 2}
+        assert requests["by_shard"] == {"0": 1, "1": 1}
+        assert requests["failovers"] == 1
+        assert requests["deadline_total"] == 1
+        assert requests["deadline_attainment"] == 1.0
+        # the chaos-touched request is split out of the organic percentiles
+        assert requests["chaos_injected"]["count"] == 1
+        assert requests["chaos_injected"]["p50_ms"] == 50.0
+        assert requests["organic"]["count"] == 2
+        assert requests["organic"]["p50_ms"] in (1.0, 5.0)
+
+    def test_empty_store(self, tmp_path):
+        summary = summarize(tmp_path)
+        assert summary["events"] == 0
+        assert summary["requests"]["organic"]["count"] == 0
+
+
+class TestFleetDurability:
+    def test_thread_fleet_writes_durable_segments(self, tmp_path):
+        from repro.fleet import FleetClient, FleetFrontend, ShardSupervisor
+
+        store = tmp_path / "telemetry"
+        supervisor = ShardSupervisor(
+            2, cache_dir=None, mode="thread",
+            chaos="seed=42,delay=1.0,delay_ms=1",
+            telemetry_dir=str(store),
+            slo="latency_ms=100,objective=0.9")
+        with supervisor:
+            frontend = FleetFrontend(
+                supervisor.handles, port=0,
+                slo="latency_ms=100,objective=0.9",
+                telemetry=TelemetryWriter(store / "frontend"))
+            with frontend:
+                with FleetClient(frontend.host, frontend.port) as client:
+                    reply = client.plan(
+                        {"model": "lenet", "array": "tpu-v3:2", "batch": 32},
+                        deadline_ms=30000)
+                    assert reply.get("ok")
+                    stats = client.stats()
+            frontend.telemetry.close()
+        slo = stats["frontend"]["slo"]
+        assert slo["good_total"] + slo["bad_total"] == 1
+        # frontend and the serving shard both wrote durable stores
+        frontend_summary = summarize(store / "frontend")
+        assert frontend_summary["requests"]["outcomes"].get("ok") == 1
+        shard_dirs = [p for p in store.iterdir() if p.name.startswith("shard-")]
+        assert len(shard_dirs) == 2
+        total_events = sum(summarize(p)["events"] for p in shard_dirs)
+        assert total_events >= 1
+        # the chaos controller delayed every frame; the fault is on disk
+        faults = {}
+        for p in shard_dirs:
+            for name, count in summarize(p)["chaos_faults"].items():
+                faults[name] = faults.get(name, 0) + count
+        assert faults.get("delay", 0) >= 1

@@ -115,6 +115,38 @@ class TestTracerBasics:
         int(a, 16)  # valid hex
 
 
+class TestTracerHealth:
+    def test_health_reports_buffer_state(self):
+        t = Tracer(enabled=True, max_spans=4)
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        health = t.health()
+        assert health["enabled"] is True
+        assert health["spans_started"] == 2
+        assert health["spans_dropped"] == 0
+        assert health["buffer_len"] == 2
+        assert health["buffer_high_water"] == 2
+        assert health["max_spans"] == 4
+
+    def test_high_water_survives_drain_and_counts_drops(self):
+        t = Tracer(enabled=True, max_spans=2)
+        for name in ("a", "b", "c"):
+            with t.span(name):
+                pass
+        health = t.health()
+        assert health["spans_dropped"] == 1
+        assert health["buffer_high_water"] == 2
+        t.drain()
+        after = t.health()
+        assert after["buffer_len"] == 0
+        # high-water is a lifetime mark, not a gauge of the live buffer
+        assert after["buffer_high_water"] == 2
+        t.clear()
+        assert t.health()["buffer_high_water"] == 0
+
+
 class TestDisabledFastPath:
     def test_disabled_span_is_the_shared_singleton(self):
         t = Tracer(enabled=False)
