@@ -1,0 +1,30 @@
+"""Calibration-loop bench: fit a profile from simulated telemetry, replan.
+
+Runs the full measure -> fit -> replan loop of
+:mod:`repro.experiments.calibration_gap` against a synthetic ground-truth
+array and persists the per-model gap table as
+``results/calibration_gap.txt``.
+"""
+
+import pytest
+
+from repro.experiments.calibration_gap import calibration_gap
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="calibration")
+def test_calibration_gap(benchmark, results_dir):
+    report = benchmark.pedantic(
+        calibration_gap, rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    save_artifact(results_dir, "calibration_gap.txt", report.rendered())
+
+    # the fitted profile must cover both accelerator generations ...
+    assert report.profile.spec_names() == ("tpu-v2", "tpu-v3")
+    # ... and actually change planning decisions somewhere in the zoo
+    assert report.total_decisions_changed >= 1
+    # every row timed both plans on the ground-truth array
+    for row in report.rows:
+        assert row.analytic_time_s > 0 and row.calibrated_time_s > 0

@@ -4,31 +4,35 @@ from typing import List, Optional
 
 from ..core.hierarchy import PartitionScheme
 from ..core.planner import AccParScheme
+from ..hardware.profile import HardwareProfile
 from .data_parallel import DataParallelScheme, FixedTypeScheme
 from .hypar import HyParScheme
 from .owt import OwtScheme
 
 
-def get_scheme(name: str, backend: Optional[str] = None) -> PartitionScheme:
+def get_scheme(name: str, backend: Optional[str] = None,
+               profile: Optional[HardwareProfile] = None) -> PartitionScheme:
     """Build a scheme by its paper name: dp / owt / hypar / accpar.
 
     ``backend`` overrides the scheme's search backend (a name from
     :func:`repro.plan.available_backends`); ``None`` keeps each scheme's
-    default (the exact DP).
+    default (the exact DP).  ``profile`` prices the scheme's cost models
+    with calibrated effective rates instead of peak analytic ones.
     """
     key = name.lower()
     if key == "dp":
-        return DataParallelScheme() if backend is None else DataParallelScheme(backend)
-    if key == "owt":
-        return OwtScheme() if backend is None else OwtScheme(backend)
-    if key == "hypar":
-        return HyParScheme() if backend is None else HyParScheme(backend)
-    if key == "accpar":
-        scheme = AccParScheme()
-        if backend is not None:
-            scheme.backend = backend
-        return scheme
-    raise KeyError(f"unknown scheme {name!r}; expected dp/owt/hypar/accpar")
+        scheme: PartitionScheme = DataParallelScheme(profile=profile)
+    elif key == "owt":
+        scheme = OwtScheme(profile=profile)
+    elif key == "hypar":
+        scheme = HyParScheme(profile=profile)
+    elif key == "accpar":
+        scheme = AccParScheme(profile=profile)
+    else:
+        raise KeyError(f"unknown scheme {name!r}; expected dp/owt/hypar/accpar")
+    if backend is not None:
+        scheme.backend = backend
+    return scheme
 
 
 #: the order every figure of the paper uses

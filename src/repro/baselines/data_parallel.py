@@ -8,13 +8,14 @@ exchange (Table 4, Type-I) — the classic all-reduce.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.cost_model import PairCostModel
 from ..core.counters import planner_counters
 from ..core.stages import ShardedStage
 from ..core.types import ALL_TYPES, PartitionType, ShardedWorkload
 from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.profile import HardwareProfile
 from ..plan.backends import get_backend
 from ..plan.ir import LevelPlan
 
@@ -27,6 +28,8 @@ class FixedTypeScheme:
     mean heterogeneous pairs are gated by the slower party — the idle time
     Section 6.2 attributes to OWT/HyPar/DP.  The pinning is expressed as a
     per-layer ``space_fn``, so it composes with any registered backend.
+    The types are static but the *costs* still respect a calibrated
+    ``profile``, so baseline-vs-AccPar comparisons stay apples-to-apples.
     """
 
     def __init__(
@@ -34,10 +37,12 @@ class FixedTypeScheme:
         name: str,
         type_fn: Callable[[ShardedWorkload], PartitionType],
         backend: str = "dp",
+        profile: Optional[HardwareProfile] = None,
     ):
         self.name = name
         self._type_fn = type_fn
         self.backend = backend
+        self.profile = profile
 
     def level_plan(
         self,
@@ -46,7 +51,8 @@ class FixedTypeScheme:
         party_j: AcceleratorGroup,
         dtype_bytes: int,
     ) -> LevelPlan:
-        model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="equal")
+        model = PairCostModel(party_i, party_j, dtype_bytes, ratio_mode="equal",
+                              profile=self.profile)
         result = get_backend(self.backend).search(
             list(stages),
             model,
@@ -60,5 +66,7 @@ class FixedTypeScheme:
 class DataParallelScheme(FixedTypeScheme):
     """All layers Type-I (batch partitioning), ratio 1/2."""
 
-    def __init__(self, backend: str = "dp") -> None:
-        super().__init__("dp", lambda w: PartitionType.TYPE_I, backend=backend)
+    def __init__(self, backend: str = "dp",
+                 profile: Optional[HardwareProfile] = None) -> None:
+        super().__init__("dp", lambda w: PartitionType.TYPE_I, backend=backend,
+                         profile=profile)

@@ -9,16 +9,21 @@ Type-II respectively; ratios are equal.  The paper stresses that OWT is a
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.types import PartitionType
+from ..hardware.profile import HardwareProfile
 from .data_parallel import FixedTypeScheme
 
 
 class OwtScheme(FixedTypeScheme):
     """CONV → Type-I (data parallel); FC → Type-II (model parallel)."""
 
-    def __init__(self, backend: str = "dp") -> None:
+    def __init__(self, backend: str = "dp",
+                 profile: Optional[HardwareProfile] = None) -> None:
         super().__init__(
             "owt",
             lambda w: PartitionType.TYPE_I if w.base.is_conv else PartitionType.TYPE_II,
             backend=backend,
+            profile=profile,
         )

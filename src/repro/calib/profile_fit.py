@@ -1,0 +1,276 @@
+"""Fit a :class:`~repro.hardware.profile.CalibratedProfile` from telemetry.
+
+Ingests the ``repro.telemetry.calibration/v1`` export (``repro telemetry
+export --calibration``) whose per-hardware series carry raw
+``(elements, flops, seconds)`` samples, and regresses — NumPy least
+squares only, no scipy:
+
+* **compute**, per op kind (``conv``/``fc``) and per board::
+
+      seconds ≈ (flops/devices) · x₀ + (bytes_moved/devices) · x₁
+
+  so the effective per-board rate is ``c_eff = 1/x₀`` (the memory column
+  soaks up the HBM-bound share of each phase; a flops-only fallback covers
+  degenerate sample sets);
+
+* **network**, per hardware, an alpha-beta (latency + inverse bandwidth)
+  law from the ``net/comm`` series::
+
+      seconds ≈ bytes · x₀ + transfers · x₁
+
+  where ``x₁`` is the per-transfer latency, followed by a log₂-binned
+  bandwidth-efficiency curve: each sample's latency-corrected effective
+  bandwidth over the group's peak, binned by transfer size.
+
+Hardware keys that are not known spec names (e.g. the ``"a+b"`` label of a
+mixed leaf group) are skipped and noted in the profile's ``meta``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.accelerator import AcceleratorSpec
+from ..hardware.presets import BFLOAT16_BYTES, KNOWN_SPECS
+from ..hardware.profile import (
+    CalibratedProfile,
+    ProfileError,
+    SpecProfile,
+)
+from ..obs.telemetry import CALIBRATION_SCHEMA
+from .fit import CalibrationResult, Probe, calibrate
+
+#: op kinds the compute fit distinguishes (matching the exporter's labels)
+COMPUTE_KINDS = ("conv", "fc")
+
+#: minimum samples before a per-kind rate is trusted over the default fit
+MIN_KIND_SAMPLES = 2
+
+#: efficiency floor: a fitted curve never claims less than 0.1% of peak
+MIN_EFFICIENCY = 1e-3
+
+
+def _compute_samples(series_map: Mapping[str, Any],
+                     kinds: Sequence[str]) -> List[Tuple[float, float, float]]:
+    """``(flops/board, elements/board, seconds)`` rows for the given kinds."""
+    rows: List[Tuple[float, float, float]] = []
+    for key, series in series_map.items():
+        kind = key.split("/", 1)[0]
+        if kind not in kinds:
+            continue
+        for sample in series.get("samples", ()):
+            flops = sample.get("flops")
+            elements = sample.get("elements")
+            seconds = sample.get("seconds")
+            devices = sample.get("devices", 1) or 1
+            if not all(isinstance(v, (int, float))
+                       for v in (flops, elements, seconds)):
+                continue
+            if seconds <= 0 or flops <= 0:
+                continue
+            rows.append((float(flops) / devices, float(elements) / devices,
+                         float(seconds)))
+    return rows
+
+
+def _fit_rate(rows: Sequence[Tuple[float, float, float]],
+              dtype_bytes: int,
+              peak: Optional[float] = None) -> Optional[float]:
+    """Per-board effective FLOP/s from compute samples; None if unfittable.
+
+    A two-column fit on memory-bound samples can collapse the flops
+    coefficient to ~0, implying an unphysical rate far above ``peak``
+    (the spec's per-board datasheet FLOP/s); such fits fall back to the
+    flops-only estimator, which folds the memory time into the rate and
+    is therefore always a lower bound — clamped to ``peak`` regardless.
+    """
+    if len(rows) < MIN_KIND_SAMPLES:
+        return None
+    a = np.array([[r[0], r[1] * dtype_bytes] for r in rows], dtype=float)
+    t = np.array([r[2] for r in rows], dtype=float)
+    col_norms = np.linalg.norm(a, axis=0)
+    if col_norms[0] == 0:
+        return None
+    if col_norms[1] > 0:
+        scaled = a / col_norms
+        x_scaled, _, rank, _ = np.linalg.lstsq(scaled, t, rcond=None)
+        if rank == 2:
+            x = x_scaled / col_norms
+            if x[0] > 0:
+                rate = float(1.0 / x[0])
+                if peak is None or rate <= peak:
+                    return rate
+    # flops-only fallback: least squares through the origin
+    f = a[:, 0]
+    denom = float(f @ f)
+    if denom == 0:
+        return None
+    x0 = float(f @ t) / denom
+    if x0 <= 0:
+        return None
+    rate = 1.0 / x0
+    return min(rate, peak) if peak is not None else rate
+
+
+def _net_samples(series_map: Mapping[str, Any],
+                 dtype_bytes: int) -> List[Tuple[float, float, float, float]]:
+    """``(bytes, transfers, seconds, devices)`` rows from ``net/comm``."""
+    rows: List[Tuple[float, float, float, float]] = []
+    for key, series in series_map.items():
+        if key.split("/", 1)[0] != "net":
+            continue
+        for sample in series.get("samples", ()):
+            elements = sample.get("elements")
+            seconds = sample.get("seconds")
+            transfers = sample.get("transfers", 1) or 1
+            devices = sample.get("devices", 1) or 1
+            if not all(isinstance(v, (int, float)) for v in (elements, seconds)):
+                continue
+            if seconds <= 0 or elements <= 0:
+                continue
+            rows.append((float(elements) * dtype_bytes, float(transfers),
+                         float(seconds), float(devices)))
+    return rows
+
+
+def _fit_network(
+    rows: Sequence[Tuple[float, float, float, float]],
+    spec: AcceleratorSpec,
+) -> Tuple[Tuple[Tuple[float, float], ...], float]:
+    """Bandwidth-efficiency curve points and per-transfer latency.
+
+    Rows are *group-level* observations of ``t = S/(n·peak·eff(S)) + k·lat``
+    (``S`` group bytes, ``n`` boards, ``k`` transfers).  The latency falls
+    out of a two-column least squares on ``(S/n, k)`` — normalizing the
+    bytes column per board makes mixed group sizes share one slope — and
+    the efficiency curve is each sample's latency-corrected bandwidth over
+    its group's summed peak, log₂-binned by the group transfer size (which
+    is also the size the cost model evaluates the curve at).
+    """
+    if len(rows) < 2:
+        return (), 0.0
+    a = np.array([[r[0] / r[3], r[1]] for r in rows], dtype=float)
+    t = np.array([r[2] for r in rows], dtype=float)
+    col_norms = np.linalg.norm(a, axis=0)
+    latency = 0.0
+    if col_norms[0] > 0 and col_norms[1] > 0:
+        scaled = a / col_norms
+        x_scaled, _, rank, _ = np.linalg.lstsq(scaled, t, rcond=None)
+        if rank == 2:
+            x = x_scaled / col_norms
+            if x[0] > 0:
+                latency = max(0.0, float(x[1]))
+
+    bins: Dict[int, List[Tuple[float, float]]] = {}
+    for nbytes, transfers, seconds, devices in rows:
+        corrected = seconds - transfers * latency
+        if corrected <= 0:
+            continue
+        eff = (nbytes / corrected) / (devices * spec.network_bandwidth)
+        bins.setdefault(int(math.log2(nbytes)), []).append((nbytes, eff))
+    if not bins:
+        return (), latency
+    points: List[Tuple[float, float]] = []
+    for _bin, samples in sorted(bins.items()):
+        size = float(np.exp(np.mean([math.log(s) for s, _ in samples])))
+        eff = float(np.mean([e for _, e in samples]))
+        points.append((size, min(1.0, max(MIN_EFFICIENCY, eff))))
+    # collapse a flat curve (all efficiencies within 1%) to a single point
+    effs = [e for _, e in points]
+    if max(effs) - min(effs) < 0.01:
+        points = [points[-1]]
+    return tuple(points), latency
+
+
+def profile_from_export(
+    doc: Mapping[str, Any],
+    name: str = "calibrated",
+    dtype_bytes: int = BFLOAT16_BYTES,
+    specs: Optional[Mapping[str, AcceleratorSpec]] = None,
+) -> CalibratedProfile:
+    """Fit one :class:`SpecProfile` per known hardware key of an export."""
+    schema = doc.get("schema") if isinstance(doc, Mapping) else None
+    if schema != CALIBRATION_SCHEMA:
+        raise ProfileError(
+            f"unsupported calibration schema {schema!r}; "
+            f"expected {CALIBRATION_SCHEMA!r}"
+        )
+    registry = KNOWN_SPECS if specs is None else specs
+    hardware = doc.get("hardware", {})
+    if not isinstance(hardware, Mapping) or not hardware:
+        raise ProfileError("calibration export has no hardware series")
+
+    fitted: List[SpecProfile] = []
+    notes: List[Tuple[str, str]] = []
+    for hw_name, series_map in sorted(hardware.items()):
+        spec = registry.get(hw_name)
+        if spec is None:
+            notes.append((f"skipped:{hw_name}",
+                          "not a known spec name (mixed group or unknown hardware)"))
+            continue
+        all_rows = _compute_samples(series_map, COMPUTE_KINDS)
+        default_rate = _fit_rate(all_rows, dtype_bytes, peak=spec.flops)
+        if default_rate is None:
+            notes.append((f"skipped:{hw_name}",
+                          "not enough compute samples for a rate fit"))
+            continue
+        rates: List[Tuple[str, float]] = [("default", default_rate)]
+        for kind in COMPUTE_KINDS:
+            kind_rate = _fit_rate(_compute_samples(series_map, (kind,)),
+                                  dtype_bytes, peak=spec.flops)
+            if kind_rate is not None:
+                rates.append((kind, kind_rate))
+        curve, latency = _fit_network(_net_samples(series_map, dtype_bytes),
+                                      spec)
+        fitted.append(SpecProfile(
+            spec=hw_name,
+            compute_rates=tuple(rates),
+            bandwidth_efficiency=curve,
+            transfer_latency_s=latency,
+        ))
+        notes.append((f"samples:{hw_name}", str(len(all_rows))))
+
+    if not fitted:
+        skipped = ", ".join(k.split(":", 1)[1] for k, _ in notes
+                            if k.startswith("skipped:")) or "none"
+        raise ProfileError(
+            f"no known hardware could be calibrated from this export "
+            f"(hardware keys: {', '.join(sorted(hardware))})"
+        )
+    notes.append(("source", str(doc.get("source", "export"))))
+    notes.append(("fit", "repro.calib.profile_fit/lstsq"))
+    return CalibratedProfile(name=name, specs=tuple(fitted),
+                             meta=tuple(notes))
+
+
+def profile_from_probes(
+    spec: AcceleratorSpec,
+    probes: Sequence[Probe],
+    name: Optional[str] = None,
+) -> CalibratedProfile:
+    """Bridge the legacy :class:`Probe` path into a profile.
+
+    Runs the historical two-parameter fit (:func:`repro.calib.calibrate`)
+    and expresses its result as a single-spec profile: one default compute
+    rate and a flat bandwidth-efficiency point (fitted effective bandwidth
+    over the spec's peak, clamped to (0, 1]).
+    """
+    result: CalibrationResult = calibrate(probes)
+    eff = result.effective_network_bandwidth / spec.network_bandwidth
+    eff = min(1.0, max(MIN_EFFICIENCY, eff))
+    return CalibratedProfile(
+        name=name or f"{spec.name}-probes",
+        specs=(SpecProfile(
+            spec=spec.name,
+            compute_rates=(("default", result.effective_flops),),
+            bandwidth_efficiency=((1.0, eff),),
+        ),),
+        meta=(
+            ("fit", "repro.calib.fit/two-parameter"),
+            ("n_probes", str(result.n_probes)),
+            ("residual_rms", repr(result.residual_rms)),
+        ),
+    )

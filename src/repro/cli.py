@@ -19,6 +19,10 @@ Examples::
     python -m repro service-stats --format prometheus
     python -m repro profile alexnet --out trace.json
     python -m repro simulate --model alexnet --trace sim_trace.json
+    python -m repro simulate --model alexnet --telemetry-dir tele/
+    python -m repro telemetry export --calibration --dir tele/ --out cal.json
+    python -m repro calibrate cal.json --out profile.json
+    python -m repro plan --model vgg19 --profile profile.json
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from .experiments.harness import sweep
 from .experiments.reporting import format_speedup_table
 from .hardware.accelerator import AcceleratorGroup, AcceleratorSpec, make_group
 from .hardware.cluster import describe_tree
+from .hardware.profile import ProfileError
 from .hardware.presets import TPU_V2, TPU_V3, heterogeneous_array, homogeneous_array
 from .models.registry import available_models, build_model
 from .plan import available_backends, plan_diff
@@ -99,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="search backend (default: the scheme's own, the exact DP)",
         )
 
+    def add_profile_option(p) -> None:
+        p.add_argument(
+            "--profile", default=None, metavar="PATH",
+            help="hardware profile JSON ('repro calibrate' output); costs "
+                 "use its calibrated effective rates instead of peak "
+                 "datasheet numbers ('analytic' = the peak default)",
+        )
+
     sub.add_parser("models", help="list the model zoo")
 
     p = sub.add_parser("describe", help="print a model's layers and shapes")
@@ -115,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breakdown", action="store_true",
                    help="print the root-level cost breakdown")
     add_backend_option(p)
+    add_profile_option(p)
 
     p = sub.add_parser(
         "plan-diff",
@@ -140,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "telemetry store (see 'repro telemetry export "
                         "--calibration')")
     add_backend_option(p)
+    add_profile_option(p)
 
     p = sub.add_parser(
         "profile",
@@ -230,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "'latency_ms=250,objective=0.99,window_fast_s=300,"
                         "window_slow_s=3600' (omitted keys keep the "
                         "defaults)")
+    add_profile_option(p)
 
     p = sub.add_parser("warm", help="pre-populate the plan cache")
     p.add_argument("--models", required=True,
@@ -247,6 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1",
                    help="fleet frontend host (with --port)")
     add_backend_option(p)
+    add_profile_option(p)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit a repro.hardware.profile/v1 JSON from a telemetry "
+             "calibration export",
+    )
+    p.add_argument("export",
+                   help="calibration export JSON, from 'repro telemetry "
+                        "export --calibration --out <file>'")
+    p.add_argument("--out", required=True,
+                   help="write the fitted profile JSON here")
+    p.add_argument("--name", default="calibrated",
+                   help="profile name embedded in the document")
+    p.add_argument("--dtype-bytes", type=int, default=2,
+                   help="bytes per element assumed when converting recorded "
+                        "element counts to bytes (default: bfloat16)")
 
     p = sub.add_parser(
         "fleet-stats",
@@ -337,14 +370,35 @@ def _cmd_describe(args) -> int:
     return 0
 
 
+def _load_profile_arg(args):
+    """Resolve ``--profile`` into a profile object, or None when unset.
+
+    The analytic profile normalizes to None — it *is* the default — so
+    downstream code has a single spelling for "peak rates".
+    """
+    value = getattr(args, "profile", None)
+    if not value:
+        return None
+    from .hardware.profile import resolve_profile
+
+    profile = resolve_profile(value)
+    return None if getattr(profile, "is_analytic", False) else profile
+
+
 def _cmd_plan(args) -> int:
     network = build_model(args.model)
-    planner = Planner(args.array, get_scheme(args.scheme, backend=args.backend),
+    profile = _load_profile_arg(args)
+    planner = Planner(args.array,
+                      get_scheme(args.scheme, backend=args.backend,
+                                 profile=profile),
                       levels=args.levels)
     planned = planner.plan(network, args.batch)
     issues = verify_planned(planned)
 
     print(f"planned {args.model} with {args.scheme} over {args.array}")
+    if profile is not None:
+        print(f"profile: {profile.name} "
+              f"(calibrated: {', '.join(profile.spec_names())})")
     print(describe_tree(planned.tree, max_depth=1))
     print(f"hierarchy levels: {planned.hierarchy_levels()}")
     for name, lp in planned.root_level_plan.layer_assignments().items():
@@ -369,17 +423,19 @@ def _cmd_simulate(args) -> int:
         from .obs import telemetry as telemetry_store
 
         telemetry = telemetry_store.install(args.telemetry_dir)
+    profile = _load_profile_arg(args)
     if args.plan:
         planned = load_plan(args.plan)
     elif args.model:
         planner = Planner(args.array,
-                          get_scheme(args.scheme, backend=args.backend),
+                          get_scheme(args.scheme, backend=args.backend,
+                                     profile=profile),
                           levels=args.levels)
         planned = planner.plan(build_model(args.model), args.batch)
     else:
         print("simulate needs --plan or --model", file=sys.stderr)
         return 2
-    report = evaluate(planned)
+    report = evaluate(planned, profile=profile)
     if telemetry is not None:
         print(f"telemetry: {telemetry.events_written} event(s) -> "
               f"{args.telemetry_dir}", file=sys.stderr)
@@ -488,12 +544,13 @@ def _cmd_validate(args) -> int:
 
 
 def _build_service(cache_dir, capacity: int, workers=None,
-                   slo=None, telemetry=None):
+                   slo=None, telemetry=None, default_profile=None):
     from .service import PlanCache, PlanService
 
     disk_dir = cache_dir if cache_dir else None
     return PlanService(cache=PlanCache(capacity=capacity, disk_dir=disk_dir),
-                       workers=workers, slo=slo, telemetry=telemetry)
+                       workers=workers, slo=slo, telemetry=telemetry,
+                       default_profile=default_profile)
 
 
 def _cmd_serve(args) -> int:
@@ -507,6 +564,9 @@ def _cmd_serve(args) -> int:
     if slo is not None:  # fail fast on a bad spec, before any spawn
         from .obs.slo import SLOConfig
         SLOConfig.parse(slo)
+    # resolve the profile up front so a broken file fails fast in both the
+    # single-process and fleet paths (fleet shards re-load it from the path)
+    default_profile = _load_profile_arg(args)
     if args.shards:
         return _cmd_serve_fleet(args)
     telemetry = None
@@ -515,7 +575,8 @@ def _cmd_serve(args) -> int:
 
         telemetry = telemetry_store.install(args.telemetry_dir)
     service = _build_service(args.cache_dir, args.capacity, args.workers,
-                             slo=slo, telemetry=telemetry)
+                             slo=slo, telemetry=telemetry,
+                             default_profile=default_profile)
     try:
         served = serve_loop(service, sys.stdin, sys.stdout)
     finally:
@@ -568,6 +629,7 @@ def _cmd_serve_fleet(args) -> int:
                      and args.shard_mode == "process"),
         telemetry_dir=telemetry_dir,
         slo=slo,
+        profile_path=getattr(args, "profile", None),
     )
     with supervisor:
         frontend = FleetFrontend(
@@ -612,12 +674,13 @@ def _cmd_warm(args) -> int:
         return _cmd_warm_fleet(args, models)
     if isinstance(args.array, str):
         args.array = parse_array(args.array)
+    profile = _load_profile_arg(args)
     service = _build_service(args.cache_dir, args.capacity)
     try:
         requests = [
             PlanRequest(model=m, array=args.array, batch=args.batch,
                         scheme=args.scheme, levels=args.levels,
-                        backend=args.backend)
+                        backend=args.backend, profile=profile)
             for m in models
         ]
         responses = warm_cache(service, requests)
@@ -635,10 +698,17 @@ def _cmd_warm_fleet(args, models: List[str]) -> int:
     """Warm a running fleet: plan on each owner, replicate to every shard."""
     from .fleet import FleetClient
 
+    profile = _load_profile_arg(args)
+    profile_doc = None
+    if profile is not None:
+        from .hardware.profile import profile_to_doc
+
+        profile_doc = profile_to_doc(profile)
     items = [
         {"model": m, "array": args.array, "batch": args.batch,
          "scheme": args.scheme, "levels": args.levels,
-         "backend": args.backend}
+         "backend": args.backend,
+         **({"profile": profile_doc} if profile_doc is not None else {})}
         for m in models
     ]
     with FleetClient(args.host, args.port) as client:
@@ -651,6 +721,41 @@ def _cmd_warm_fleet(args, models: List[str]) -> int:
         else:
             print(f"FAILED: {item.get('error')}")
     return 0 if reply.get("ok") else 1
+
+
+def _cmd_calibrate(args) -> int:
+    """Fit a hardware profile from a telemetry calibration export."""
+    import json
+    from pathlib import Path
+
+    from .calib import profile_from_export
+    from .hardware.profile import ProfileError, save_profile
+
+    try:
+        doc = json.loads(Path(args.export).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read calibration export {args.export}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        profile = profile_from_export(doc, name=args.name,
+                                      dtype_bytes=args.dtype_bytes)
+    except ProfileError as exc:
+        print(f"calibration failed: {exc}", file=sys.stderr)
+        return 1
+    save_profile(profile, args.out)
+    print(f"profile {profile.name!r} written to {args.out}")
+    for sp in profile.specs:
+        rates = ", ".join(f"{kind}={rate / 1e12:.2f}T"
+                          for kind, rate in sp.compute_rates)
+        curve = (f"{len(sp.bandwidth_efficiency)}-point bw curve"
+                 if sp.bandwidth_efficiency else "flat bw curve")
+        print(f"  {sp.spec}: FLOP/s {rates}; {curve}; "
+              f"latency {sp.transfer_latency_s * 1e6:.1f}us/transfer")
+    meta = dict(profile.meta)
+    for key in sorted(k for k in meta if k.startswith("skipped:")):
+        print(f"  skipped {key.split(':', 1)[1]}: {meta[key]}")
+    return 0
 
 
 def _cmd_fleet_stats(args) -> int:
@@ -857,6 +962,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": lambda: _cmd_report(args),
         "serve": lambda: _cmd_serve(args),
         "warm": lambda: _cmd_warm(args),
+        "calibrate": lambda: _cmd_calibrate(args),
         "fleet-stats": lambda: _cmd_fleet_stats(args),
         "service-stats": lambda: _cmd_service_stats(args),
         "telemetry": lambda: _cmd_telemetry(args),
@@ -866,6 +972,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return handlers[args.command]()
     except BrokenPipeError:  # e.g. `repro models | head`
         return 0
+    except ProfileError as exc:
+        # a profile that doesn't cover the array (or a malformed file) is a
+        # usage error, not a crash: say what's wrong and which specs the
+        # profile does cover
+        print(f"profile error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import NamedTuple, Optional, Sequence, Tuple
 
 from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.profile import ANALYTIC, HardwareProfile
 from .counters import StepStats
 from .ratio import (
     PATH_BISECTION,
@@ -216,6 +217,7 @@ class PairCostModel:
         ratio_mode: str = "balanced",
         closed_form: bool = True,
         memoize: bool = True,
+        profile: Optional[HardwareProfile] = None,
     ):
         if ratio_mode not in ("balanced", "proportional", "equal", "comm-volume"):
             raise ValueError(f"unknown ratio_mode {ratio_mode!r}")
@@ -223,8 +225,12 @@ class PairCostModel:
             raise ValueError("dtype_bytes must be positive")
         self.party_i = party_i
         self.party_j = party_j
-        self.c_i = party_i.flops
-        self.c_j = party_j.flops
+        self.profile = ANALYTIC if profile is None else profile
+        # the analytic flag picks the historical arithmetic verbatim on the
+        # hot paths (and keeps them bit-identical to the pre-profile code)
+        self._analytic = bool(getattr(self.profile, "is_analytic", False))
+        self.c_i = self.profile.compute_rate(party_i)
+        self.c_j = self.profile.compute_rate(party_j)
         self.b_i = party_i.network_bandwidth
         self.b_j = party_j.network_bandwidth
         self.dtype_bytes = dtype_bytes
@@ -234,6 +240,19 @@ class PairCostModel:
         self.stats = StepStats()
         self._step_cache: dict = {}
         self._boundary_cache: dict = {}
+        if self._analytic:
+            self._lat_i = 0.0
+            self._lat_j = 0.0
+        else:
+            self._lat_i = self.profile.transfer_latency_s(party_i)
+            self._lat_j = self.profile.transfer_latency_s(party_j)
+        # per-kind effective compute rates and per-size effective bandwidths
+        # are profile lookups; one dict per party keeps them O(1) on the
+        # step hot path
+        self._rate_cache_i: dict = {"default": self.c_i}
+        self._rate_cache_j: dict = {"default": self.c_j}
+        self._bw_cache_i: dict = {}
+        self._bw_cache_j: dict = {}
 
         if ratio_mode in ("balanced", "proportional"):
             self._nominal_alpha = self.c_i / (self.c_i + self.c_j)
@@ -250,6 +269,7 @@ class PairCostModel:
             self.dtype_bytes,
             self.ratio_mode,
             self.closed_form,
+            None if self._analytic else self.profile.fingerprint(),
         )
 
     def nominal_alpha(self) -> float:
@@ -265,6 +285,48 @@ class PairCostModel:
         fresh per-level :class:`PairCostModel` instances the planner builds.
         """
         return self._pack_key
+
+    # ------------------------------------------------------------------
+    # profile lookups (memoized per model instance)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _kind(sw: ShardedWorkload) -> str:
+        """The calibration op kind of a workload (profile rate selector)."""
+        return "conv" if sw.base.is_conv else "fc"
+
+    def _rate_i(self, kind: str) -> float:
+        rate = self._rate_cache_i.get(kind)
+        if rate is None:
+            rate = self.profile.compute_rate(self.party_i, kind)
+            self._rate_cache_i[kind] = rate
+        return rate
+
+    def _rate_j(self, kind: str) -> float:
+        rate = self._rate_cache_j.get(kind)
+        if rate is None:
+            rate = self.profile.compute_rate(self.party_j, kind)
+            self._rate_cache_j[kind] = rate
+        return rate
+
+    def _bw_i(self, nbytes: float) -> float:
+        """Effective bandwidth of party i for one transfer of ``nbytes``.
+
+        Evaluated at the α-independent *base* tensor size of the transfer so
+        each party's step cost stays polynomial in α (the Eq. 10 closed
+        forms require it); the latency constant is accounted separately.
+        """
+        bw = self._bw_cache_i.get(nbytes)
+        if bw is None:
+            bw = self.profile.network_bandwidth(self.party_i, nbytes)
+            self._bw_cache_i[nbytes] = bw
+        return bw
+
+    def _bw_j(self, nbytes: float) -> float:
+        bw = self._bw_cache_j.get(nbytes)
+        if bw is None:
+            bw = self.profile.network_bandwidth(self.party_j, nbytes)
+            self._bw_cache_j[nbytes] = bw
+        return bw
 
     # ------------------------------------------------------------------
     # dense step-cost packing (the vectorized backend's phase 1)
@@ -304,7 +366,12 @@ class PairCostModel:
         Mirrors :meth:`_step_closed_form` coefficient-for-coefficient, just
         over arrays: the base polynomial per (layer, type), the α·β cross
         term on the cross row, the boundary-move shift on the move row.
+        Calibrated profiles route through
+        :meth:`_pack_closed_form_profiled`, which mirrors the profiled
+        scalar arithmetic the same way.
         """
+        if not self._analytic:
+            return self._pack_closed_form_profiled(workloads)
         import numpy as np
 
         n = len(workloads)
@@ -359,22 +426,141 @@ class PairCostModel:
         cost_j = const_j + lin_j * alpha + quad_j * ab
         return np.where(cost_i >= cost_j, cost_i, cost_j), alpha
 
+    def _pack_closed_form_profiled(self, workloads: Sequence[ShardedWorkload]) -> Tuple:
+        """Calibrated-profile packing, bit-identical to the profiled scalar step.
+
+        Mirrors the profiled branch of :meth:`_poly_parts` elementwise with
+        the exact scalar operation order: per-kind compute rates, per-size
+        effective bandwidths (looked up through the same memoized
+        ``_bw_i``/``_bw_j`` scalars the step path uses), and latency
+        constants masked to nonzero transfers (adding ``+0.0`` elsewhere,
+        which is bitwise identity on the non-negative costs).
+        """
+        import numpy as np
+
+        n = len(workloads)
+        n_types = len(ALL_TYPES)
+        total = np.empty(n)
+        a_in = np.empty(n)
+        rate_i = np.empty(n)
+        rate_j = np.empty(n)
+        psum = np.empty((n, n_types))
+        for row, sw in enumerate(workloads):
+            total[row] = sw.flops_total()
+            a_in[row] = sw.a_input_fm()
+            kind = self._kind(sw)
+            rate_i[row] = self._rate_i(kind)
+            rate_j[row] = self._rate_j(kind)
+            for col, t in enumerate(ALL_TYPES):
+                psum[row, col] = sw.a_psum(t)
+
+        dtype_bytes = float(self.dtype_bytes)
+        intra = psum * dtype_bytes
+        shape = (n, n_types)
+        # effective bandwidth per intra transfer (1.0 where the transfer is
+        # empty: 0/1 keeps the term at exactly 0.0, matching the scalar's
+        # skipped addition)
+        bw_intra_i = np.ones(shape)
+        bw_intra_j = np.ones(shape)
+        for row in range(n):
+            for col in range(n_types):
+                nbytes = intra[row, col]
+                if nbytes > 0:
+                    bw_intra_i[row, col] = self._bw_i(nbytes)
+                    bw_intra_j[row, col] = self._bw_j(nbytes)
+
+        base_ci = psum / rate_i[:, None] + intra / bw_intra_i
+        base_li = np.broadcast_to((total / rate_i)[:, None], shape)
+        base_cj = (total[:, None] + psum) / rate_j[:, None] + intra / bw_intra_j
+        base_lj = np.broadcast_to((-total / rate_j)[:, None], shape)
+        zero = np.zeros(shape)
+
+        # intra-transfer latency lands on every family's constant term
+        base_ci = base_ci + np.where(psum > 0, self._lat_i, 0.0)
+        base_cj = base_cj + np.where(psum > 0, self._lat_j, 0.0)
+
+        # inter-transfer terms at the α-independent base sizes, rows where
+        # the boundary tensor is nonzero
+        cross_qi = np.zeros(n)
+        cross_qj = np.zeros(n)
+        move_bi = np.zeros(n)
+        move_bj = np.zeros(n)
+        for row in range(n):
+            if a_in[row] > 0:
+                cross = 2.0 * a_in[row] * dtype_bytes
+                cross_qi[row] = cross / self._bw_i(cross)
+                cross_qj[row] = cross / self._bw_j(cross)
+                move = a_in[row] * dtype_bytes
+                move_bi[row] = move / self._bw_i(move)
+                move_bj[row] = move / self._bw_j(move)
+        lat_edge_i = np.where(a_in > 0, self._lat_i, 0.0)[:, None]
+        lat_edge_j = np.where(a_in > 0, self._lat_j, 0.0)[:, None]
+
+        cross_ci = base_ci + lat_edge_i
+        cross_cj = base_cj + lat_edge_j
+        move_ci = base_ci + move_bi[:, None] + lat_edge_i
+        move_li = base_li - move_bi[:, None]
+        move_lj = base_lj + move_bj[:, None]
+        move_cj = base_cj + lat_edge_j
+
+        # family axis rows: 0 = zero, 1 = cross, 2 = move (PACKED_FAMILY_INDEX)
+        const_i = np.stack([base_ci, cross_ci, move_ci], axis=1)
+        lin_i = np.stack([base_li, base_li, move_li], axis=1)
+        quad_i = np.stack(
+            [zero, np.broadcast_to(cross_qi[:, None], shape), zero], axis=1)
+        const_j = np.stack([base_cj, cross_cj, move_cj], axis=1)
+        lin_j = np.stack([base_lj, base_lj, move_lj], axis=1)
+        quad_j = np.stack(
+            [zero, np.broadcast_to(cross_qj[:, None], shape), zero], axis=1)
+
+        alpha, counts = solve_balanced_ratio_poly_batch(
+            const_i, lin_i, quad_i, const_j, lin_j, quad_j
+        )
+        stats = self.stats
+        stats.ratio_solves += alpha.size
+        stats.ratio_closed_linear += counts[PATH_LINEAR]
+        stats.ratio_closed_quadratic += counts[PATH_QUADRATIC]
+        stats.ratio_bisection_fallback += counts[PATH_BISECTION]
+        stats.ratio_minimax += counts[PATH_MINIMAX]
+
+        ab = alpha * (1.0 - alpha)
+        cost_i = const_i + lin_i * alpha + quad_i * ab
+        cost_j = const_j + lin_j * alpha + quad_j * ab
+        return np.where(cost_i >= cost_j, cost_i, cost_j), alpha
+
     # ------------------------------------------------------------------
     # component costs
     # ------------------------------------------------------------------
     def compute_costs(self, sw: ShardedWorkload, ptype: PartitionType,
                       alpha: float) -> Tuple[float, float]:
-        """Eq. 8 per party: α-share of the three mat-muls plus psum adds."""
+        """Eq. 8 per party: α-share of the three mat-muls plus psum adds.
+
+        Under a calibrated profile the divisor is the party's *effective*
+        rate for this workload's op kind; the analytic profile answers the
+        peak rate for every kind, so the arithmetic is unchanged there.
+        """
         total = sw.flops_total()
         psum_adds = sw.a_psum(ptype)  # each party adds the full partial-sum tensor
-        cost_i = (alpha * total + psum_adds) / self.c_i
-        cost_j = ((1.0 - alpha) * total + psum_adds) / self.c_j
+        kind = self._kind(sw)
+        cost_i = (alpha * total + psum_adds) / self._rate_i(kind)
+        cost_j = ((1.0 - alpha) * total + psum_adds) / self._rate_j(kind)
         return cost_i, cost_j
 
     def intra_costs(self, sw: ShardedWorkload, ptype: PartitionType) -> Tuple[float, float]:
-        """Table 4 per party; independent of α by construction."""
+        """Table 4 per party; independent of α by construction.
+
+        Calibrated profiles derate the bandwidth at the transfer's size and
+        charge the per-transfer latency constant when the exchange happens.
+        """
         amount = sw.a_psum(ptype) * self.dtype_bytes
-        return amount / self.b_i, amount / self.b_j
+        if self._analytic:
+            return amount / self.b_i, amount / self.b_j
+        if amount <= 0:
+            return 0.0, 0.0
+        return (
+            amount / self._bw_i(amount) + self._lat_i,
+            amount / self._bw_j(amount) + self._lat_j,
+        )
 
     def inter_costs(
         self,
@@ -383,15 +569,34 @@ class PairCostModel:
         cur_type: PartitionType,
         alpha: float,
     ) -> Tuple[float, float]:
-        """Table 5 per party; zero for the first layer (no predecessor)."""
+        """Table 5 per party; zero for the first layer (no predecessor).
+
+        Calibrated profiles evaluate the bandwidth-efficiency curve at the
+        transition's α-independent base tensor size (the full boundary
+        tensor for moves, both boundary tensors for cross re-alignments) so
+        this stays consistent with :meth:`step_poly` at every α, and add
+        the latency constant per nonzero transfer.
+        """
         if prev_type is None:
             return 0.0, 0.0
         amount_i, amount_j = inter_layer_elements(
             boundary_fm_elements, prev_type, cur_type, alpha
         )
+        if self._analytic:
+            return (
+                amount_i * self.dtype_bytes / self.b_i,
+                amount_j * self.dtype_bytes / self.b_j,
+            )
+        family = transition_family(prev_type, cur_type)
+        if family == FAMILY_ZERO or boundary_fm_elements <= 0:
+            return 0.0, 0.0
+        if family == FAMILY_CROSS:
+            base = 2.0 * boundary_fm_elements * self.dtype_bytes
+        else:
+            base = boundary_fm_elements * self.dtype_bytes
         return (
-            amount_i * self.dtype_bytes / self.b_i,
-            amount_j * self.dtype_bytes / self.b_j,
+            amount_i * self.dtype_bytes / self._bw_i(base) + self._lat_i,
+            amount_j * self.dtype_bytes / self._bw_j(base) + self._lat_j,
         )
 
     def step_pair_costs(
@@ -423,28 +628,72 @@ class PairCostModel:
         The closed-form step needs the same two workload quantities again to
         split the balanced cost into compute and communication shares;
         returning them avoids a second pair of lookups on the hot path.
+
+        Under a calibrated profile the compute density is per op kind, each
+        transfer's bandwidth is the efficiency-derated one at the transfer's
+        α-independent base size, and every nonzero transfer adds the
+        per-transfer latency constant to both parties' *constant* terms —
+        affine in α, so the Eq. 10 closed forms (and their bisection
+        fallback, which evaluates this same polynomial) apply unchanged.
         """
         total = sw.flops_total()
         psum = sw.a_psum(cur_type)
         intra = psum * self.dtype_bytes
-        const_i = psum / self.c_i + intra / self.b_i
-        lin_i = total / self.c_i
+        if self._analytic:
+            const_i = psum / self.c_i + intra / self.b_i
+            lin_i = total / self.c_i
+            quad_i = 0.0
+            const_j = (total + psum) / self.c_j + intra / self.b_j
+            lin_j = -total / self.c_j
+            quad_j = 0.0
+            if prev_type is not None:
+                if family is None:
+                    family = transition_family(prev_type, cur_type)
+                if family == FAMILY_CROSS:
+                    cross = 2.0 * sw.a_input_fm() * self.dtype_bytes
+                    quad_i = cross / self.b_i
+                    quad_j = cross / self.b_j
+                elif family in (FAMILY_F, FAMILY_E):
+                    move = sw.a_input_fm() * self.dtype_bytes
+                    const_i += move / self.b_i
+                    lin_i -= move / self.b_i
+                    lin_j += move / self.b_j
+            return (
+                PairCostPoly(const_i, lin_i, quad_i, const_j, lin_j, quad_j),
+                total,
+                psum,
+            )
+        kind = self._kind(sw)
+        c_i = self._rate_i(kind)
+        c_j = self._rate_j(kind)
+        const_i = psum / c_i + (intra / self._bw_i(intra) if intra > 0 else 0.0)
+        lin_i = total / c_i
         quad_i = 0.0
-        const_j = (total + psum) / self.c_j + intra / self.b_j
-        lin_j = -total / self.c_j
+        const_j = (total + psum) / c_j + (
+            intra / self._bw_j(intra) if intra > 0 else 0.0)
+        lin_j = -total / c_j
         quad_j = 0.0
+        if psum > 0:
+            const_i += self._lat_i
+            const_j += self._lat_j
         if prev_type is not None:
             if family is None:
                 family = transition_family(prev_type, cur_type)
-            if family == FAMILY_CROSS:
-                cross = 2.0 * sw.a_input_fm() * self.dtype_bytes
-                quad_i = cross / self.b_i
-                quad_j = cross / self.b_j
-            elif family in (FAMILY_F, FAMILY_E):
-                move = sw.a_input_fm() * self.dtype_bytes
-                const_i += move / self.b_i
-                lin_i -= move / self.b_i
-                lin_j += move / self.b_j
+            a_in = sw.a_input_fm()
+            if family == FAMILY_CROSS and a_in > 0:
+                cross = 2.0 * a_in * self.dtype_bytes
+                quad_i = cross / self._bw_i(cross)
+                quad_j = cross / self._bw_j(cross)
+                const_i += self._lat_i
+                const_j += self._lat_j
+            elif family in (FAMILY_F, FAMILY_E) and a_in > 0:
+                move = a_in * self.dtype_bytes
+                move_i = move / self._bw_i(move)
+                const_i += move_i
+                lin_i -= move_i
+                lin_j += move / self._bw_j(move)
+                const_i += self._lat_i
+                const_j += self._lat_j
         return (
             PairCostPoly(const_i, lin_i, quad_i, const_j, lin_j, quad_j),
             total,
@@ -591,9 +840,11 @@ class PairCostModel:
             self.stats.ratio_minimax += 1
         ci, cj = poly.costs(alpha)
         # compute shares, same arithmetic as compute_costs() with the
-        # already-fetched workload quantities
-        cp_i = (alpha * total + psum) / self.c_i
-        cp_j = ((1.0 - alpha) * total + psum) / self.c_j
+        # already-fetched workload quantities (per-kind rates equal the
+        # peak ones under the analytic profile)
+        kind = self._kind(sw)
+        cp_i = (alpha * total + psum) / self._rate_i(kind)
+        cp_j = ((1.0 - alpha) * total + psum) / self._rate_j(kind)
         return StepDecision(
             ptype=cur_type,
             alpha=alpha,

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from ..graph.network import Network
 from ..hardware.accelerator import AcceleratorGroup
 from ..hardware.cluster import GroupNode, bisection_tree, max_hierarchy_levels
+from ..hardware.profile import HardwareProfile
 from ..plan.backends import canonical_backend_name, get_backend
 from ..plan.ir import HierarchicalPlan, LevelPlan
 from .cost_model import PairCostModel
@@ -53,6 +54,7 @@ class AccParScheme:
         closed_form: bool = True,
         memoize: bool = True,
         backend: str = "dp",
+        profile: Optional[HardwareProfile] = None,
     ):
         self.space = tuple(space)
         self.ratio_mode = ratio_mode
@@ -63,6 +65,9 @@ class AccParScheme:
         self.closed_form = closed_form
         self.memoize = memoize
         self.backend = backend
+        # None = peak analytic rates; a CalibratedProfile re-prices every
+        # PairCostModel this scheme builds with measured effective rates
+        self.profile = profile
 
     def level_plan(
         self,
@@ -73,7 +78,8 @@ class AccParScheme:
     ) -> LevelPlan:
         model = PairCostModel(party_i, party_j, dtype_bytes, self.ratio_mode,
                               closed_form=self.closed_form,
-                              memoize=self.memoize)
+                              memoize=self.memoize,
+                              profile=self.profile)
         result = get_backend(self.backend).search(stages, model, self.space)
         planner_counters.merge(model.stats.as_dict())
         # per-backend served-plan series (repro_planner_level_plans_<b>_total
@@ -101,9 +107,10 @@ class GreedyScheme(AccParScheme):
         ratio_mode: str = "balanced",
         name: str = "greedy",
         backend: str = "greedy",
+        profile: Optional[HardwareProfile] = None,
     ):
         super().__init__(space=space, ratio_mode=ratio_mode, name=name,
-                         backend=backend)
+                         backend=backend, profile=profile)
 
 
 @dataclass
@@ -233,10 +240,18 @@ class Planner:
             counters_before = planner_counters.snapshot()
             started = perf_counter()
 
+        # calibrated profiles re-order the pairing tree by effective rates
+        # and must cover every spec in the array; fail fast and clearly
+        # before any costing happens
+        profile = getattr(self.scheme, "profile", None)
+        if profile is not None:
+            profile.validate_array(self.array)
+
         levels = self.levels
         if levels is None:
             levels = max_hierarchy_levels(self.array)
-        tree = bisection_tree(self.array, levels, self.split_policy)
+        tree = bisection_tree(self.array, levels, self.split_policy,
+                              profile=profile)
         stages = to_sharded_stages(network.stages(batch))
         plan = plan_tree(tree, stages, self.scheme, self.dtype_bytes)
         planned = PlannedExecution(

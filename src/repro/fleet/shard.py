@@ -137,6 +137,7 @@ class ShardServer:
         hard_exit: bool = False,
         telemetry_dir=None,
         slo=None,
+        profile_path=None,
     ):
         self.name = str(name)
         # in thread mode several shards share one process, so each shard
@@ -146,6 +147,14 @@ class ShardServer:
         telemetry = None
         if telemetry_dir is not None:
             telemetry = telemetry_store.TelemetryWriter(telemetry_dir)
+        # profile travels as a *path* (a primitive: pickles through spawn,
+        # same pattern as the chaos/slo spec strings); every shard loads
+        # the same calibrated rates and prices its plans with them
+        default_profile = None
+        if profile_path:
+            from ..hardware.profile import load_profile
+
+            default_profile = load_profile(profile_path)
         self.service = PlanService(
             cache=PlanCache(capacity=capacity, disk_dir=cache_dir),
             workers=workers,
@@ -153,6 +162,7 @@ class ShardServer:
             slo=slo,
             telemetry=telemetry,
             telemetry_labels={"shard": str(name)},
+            default_profile=default_profile,
         )
         if trace:
             tracer.enable()
@@ -362,6 +372,7 @@ def run_shard(config: Dict, port_conn) -> None:
         chaos=config.get("chaos"),  # a spec string: pickles under spawn
         hard_exit=True,  # chaos_kill in a real process is a real crash
         slo=config.get("slo"),  # a spec string: pickles under spawn
+        profile_path=config.get("profile_path"),
     )
     port_conn.send(server.port)
     port_conn.close()
@@ -458,6 +469,7 @@ class ShardSupervisor:
         chaos: Optional[str] = None,
         telemetry_dir=None,
         slo: Optional[str] = None,
+        profile_path=None,
         restart: bool = False,
         max_restarts: int = 5,
         restart_backoff: Optional[RetryPolicy] = None,
@@ -486,6 +498,9 @@ class ShardSupervisor:
         self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
         #: SLO spec *string*, same pickling rationale as ``chaos``
         self.slo = slo
+        #: calibrated-profile JSON *path*, same pickling rationale; every
+        #: shard loads it as its service's default profile
+        self.profile_path = str(profile_path) if profile_path else None
         self.restart = restart
         self.max_restarts = max_restarts
         self.restart_backoff = restart_backoff or RetryPolicy(
@@ -537,7 +552,8 @@ class ShardSupervisor:
                 fallback_backend=self.fallback_backend, trace=self.trace,
                 chaos=self.chaos,
                 telemetry_dir=self._shard_telemetry_dir(name),
-                slo=self.slo)
+                slo=self.slo,
+                profile_path=self.profile_path)
             server.start_background()
             return ShardHandle(name, server.host, server.port, "thread",
                                server=server)
@@ -557,6 +573,7 @@ class ShardSupervisor:
             "chaos": self.chaos,
             "telemetry_dir": self._shard_telemetry_dir(name),
             "slo": self.slo,
+            "profile_path": self.profile_path,
         }
         process = ctx.Process(target=run_shard, args=(config, child_conn),
                               name=f"repro-shard-{name}", daemon=True)

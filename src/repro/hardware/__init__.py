@@ -1,4 +1,4 @@
-"""Hardware model: accelerator specs, groups, presets and the pairing tree."""
+"""Hardware model: accelerator specs, groups, presets, profiles and the pairing tree."""
 
 from .accelerator import AcceleratorGroup, AcceleratorSpec, make_group, merge_groups
 from .cluster import GroupNode, bisection_tree, describe_tree, max_hierarchy_levels
@@ -10,20 +10,48 @@ from .presets import (
     heterogeneous_array,
     homogeneous_array,
 )
+from .profile import (
+    ANALYTIC,
+    PROFILE_SCHEMA,
+    AnalyticProfile,
+    CalibratedProfile,
+    HardwareProfile,
+    ProfileError,
+    ProfileMismatchError,
+    SpecProfile,
+    load_profile,
+    profile_from_doc,
+    profile_to_doc,
+    resolve_profile,
+    save_profile,
+)
 
 __all__ = [
+    "ANALYTIC",
     "AcceleratorGroup",
     "AcceleratorSpec",
+    "AnalyticProfile",
     "BFLOAT16_BYTES",
+    "CalibratedProfile",
     "GroupNode",
+    "HardwareProfile",
     "PAPER_BATCH",
+    "PROFILE_SCHEMA",
+    "ProfileError",
+    "ProfileMismatchError",
+    "SpecProfile",
     "TPU_V2",
     "TPU_V3",
     "bisection_tree",
     "describe_tree",
     "heterogeneous_array",
     "homogeneous_array",
+    "load_profile",
     "make_group",
     "max_hierarchy_levels",
     "merge_groups",
+    "profile_from_doc",
+    "profile_to_doc",
+    "resolve_profile",
+    "save_profile",
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .accelerator import AcceleratorGroup, AcceleratorSpec
+from .profile import HardwareProfile
 
 
 @dataclass
@@ -112,8 +113,22 @@ _TREE_CACHE: Dict[Tuple, GroupNode] = {}
 _DEPTH_CACHE: Dict[Tuple[AcceleratorSpec, ...], int] = {}
 
 
+def _member_order_key(profile: Optional[HardwareProfile]):
+    """Sort key: descending *effective* compute density, name-stable.
+
+    With no profile (or the analytic one) the key is the historical
+    ``(-peak flops, name)``; a calibrated profile sorts by its per-spec
+    effective default rate instead, so the pairing tree's fast/slow
+    boundary reflects measured throughput.
+    """
+    if profile is None or getattr(profile, "is_analytic", False):
+        return lambda m: (-m.flops, m.name)
+    return lambda m: (-profile.spec_compute_rate(m), m.name)
+
+
 def bisection_tree(array: AcceleratorGroup, levels: int,
-                   policy: str = "type-separated") -> GroupNode:
+                   policy: str = "type-separated",
+                   profile: Optional[HardwareProfile] = None) -> GroupNode:
     """Build the pairing tree for ``levels`` hierarchy levels.
 
     A branch stops splitting early once it reaches a single accelerator, so
@@ -123,7 +138,8 @@ def bisection_tree(array: AcceleratorGroup, levels: int,
     ``policy`` selects how heterogeneous groups are halved:
     ``"type-separated"`` (default — the paper's implicit choice: v2 and v3
     part ways at the first split) or ``"interleaved"`` (the
-    heterogeneity-unaware ablation).
+    heterogeneity-unaware ablation).  ``profile`` (when calibrated) orders
+    members by measured rather than peak compute density before splitting.
     """
     if levels < 0:
         raise ValueError("levels must be non-negative")
@@ -133,7 +149,7 @@ def bisection_tree(array: AcceleratorGroup, levels: int,
         )
     split = SPLIT_POLICIES[policy]
 
-    ordered = tuple(sorted(array.members, key=lambda m: (-m.flops, m.name)))
+    ordered = tuple(sorted(array.members, key=_member_order_key(profile)))
     cache_key = (ordered, levels, policy)
     cached = _TREE_CACHE.get(cache_key)
     if cached is not None:

@@ -34,6 +34,13 @@ TPU_V3 = AcceleratorSpec(
     network_bandwidth=16e9 / 8,  # 16 Gb/s -> 2 GB/s
 )
 
+#: spec registry by name: how CLI array strings and calibration exports
+#: (whose per-hardware keys are spec names) resolve to concrete specs
+KNOWN_SPECS = {
+    TPU_V2.name: TPU_V2,
+    TPU_V3.name: TPU_V3,
+}
+
 #: bfloat16, "Google's 16-bit floating point data format for training"
 BFLOAT16_BYTES = 2
 

@@ -462,14 +462,22 @@ def calibration_export(directory) -> Dict[str, Any]:
         series["max_s"] = (seconds if series["max_s"] is None
                            else max(series["max_s"], seconds))
         if len(series["samples"]) < CALIBRATION_MAX_SAMPLES:
-            series["samples"].append({
+            sample = {
                 "elements": event.get("elements"),
                 "flops": event.get("flops"),
                 "seconds": seconds,
                 "op": event.get("op"),
                 "model": event.get("model"),
                 "batch": event.get("batch"),
-            })
+            }
+            # board count and transfer count ride along when present: the
+            # profile fitter (repro.calib) normalizes rates per board and
+            # recovers the per-transfer latency from the transfer count
+            if event.get("devices") is not None:
+                sample["devices"] = event.get("devices")
+            if event.get("transfers") is not None:
+                sample["transfers"] = event.get("transfers")
+            series["samples"].append(sample)
     for spec_series in hardware.values():
         for series in spec_series.values():
             count = series["count"]

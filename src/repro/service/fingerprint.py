@@ -21,12 +21,15 @@ from typing import Callable, Optional, Tuple
 from ..digest import stable_digest
 from ..graph.network import Network
 from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.profile import CalibratedProfile
 from ..models.registry import build_model
 
 #: bump when the fingerprint payload layout (or plan semantics) changes;
 #: folded into every key so old disk-cache entries simply stop matching
-#: (v2: per-request search backend + typed plan-entry serialization)
-REQUEST_SCHEMA_VERSION = 2
+#: (v2: per-request search backend + typed plan-entry serialization;
+#: v3: hardware profile in the payload — calibrated and analytic plans
+#: must never share a cache entry)
+REQUEST_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,9 @@ class PlanRequest:
     explicitly — by design, since a scheme's defaults may evolve.  The same
     convention covers ``backend``: ``None`` keeps the scheme's default search
     backend, a name from :func:`repro.plan.available_backends` overrides it.
+    ``profile`` re-prices the cost model with calibrated effective rates;
+    ``None`` is the peak analytic model, and the profile's content digest
+    is part of the fingerprint.
     """
 
     model: str
@@ -50,6 +56,7 @@ class PlanRequest:
     space: Optional[Tuple[str, ...]] = None      # PartitionType values, e.g. ("I", "II")
     ratio_mode: Optional[str] = None             # "balanced" | "equal" | "proportional"
     backend: Optional[str] = None                # search backend name, e.g. "greedy"
+    profile: Optional[CalibratedProfile] = None  # calibrated rates; None = analytic
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
@@ -58,6 +65,10 @@ class PlanRequest:
             raise ValueError("dtype_bytes must be positive")
         if self.space is not None:
             object.__setattr__(self, "space", tuple(self.space))
+        if self.profile is not None and getattr(self.profile, "is_analytic", False):
+            # the analytic profile IS the default; canonicalize so both
+            # spellings share one fingerprint (and one cache entry)
+            object.__setattr__(self, "profile", None)
 
     def build_network(
         self, network_builder: Optional[Callable[[str], Network]] = None
@@ -88,5 +99,7 @@ class PlanRequest:
                 "space": list(self.space) if self.space is not None else None,
                 "ratio_mode": self.ratio_mode,
                 "backend": self.backend.lower() if self.backend else None,
+                "profile": (self.profile.fingerprint()
+                            if self.profile is not None else None),
             }
         )

@@ -71,6 +71,23 @@ def request_from_doc(doc: Dict) -> PlanRequest:
     if isinstance(array, str):
         array = parse_array(array)
     space = doc.get("space")
+    # an inline profile rides along as its v1 JSON document ("analytic" /
+    # null keep the peak-rate default); resolved here so a malformed one is
+    # rejected at the protocol boundary, not inside a worker thread
+    profile = doc.get("profile")
+    if profile is not None and profile != "analytic":
+        from ..hardware.profile import profile_from_doc
+
+        if not isinstance(profile, dict):
+            raise ValueError(
+                "'profile' must be a repro.hardware.profile/v1 object, "
+                "\"analytic\" or null"
+            )
+        profile = profile_from_doc(profile)
+        if getattr(profile, "is_analytic", False):
+            profile = None
+    else:
+        profile = None
     return PlanRequest(
         model=doc["model"],
         array=array,
@@ -81,6 +98,7 @@ def request_from_doc(doc: Dict) -> PlanRequest:
         space=tuple(space) if space is not None else None,
         ratio_mode=doc.get("ratio_mode"),
         backend=doc.get("backend"),
+        profile=profile,
     )
 
 

@@ -20,6 +20,7 @@ plan twice.  All counters land in a :class:`~repro.service.metrics.MetricsRegist
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -100,12 +101,14 @@ def build_scheme(
             kwargs["ratio_mode"] = request.ratio_mode
         if backend is not None:
             kwargs["backend"] = backend
+        if request.profile is not None:
+            kwargs["profile"] = request.profile
         return cls(**kwargs)
     if space is not None or request.ratio_mode is not None:
         raise ValueError(
             f"scheme {request.scheme!r} does not accept space/ratio_mode knobs"
         )
-    return get_scheme(name, backend=backend)
+    return get_scheme(name, backend=backend, profile=request.profile)
 
 
 class PlanService:
@@ -122,8 +125,18 @@ class PlanService:
         slo=None,
         telemetry=None,
         telemetry_labels: Optional[dict] = None,
+        default_profile=None,
     ):
         self.cache = cache if cache is not None else PlanCache()
+        #: hardware profile substituted into requests that do not pin one
+        #: (``serve --profile``).  Applied *before* fingerprinting, so the
+        #: cache keys — and the fleet's shard routing — always reflect the
+        #: rates that actually priced the plan.
+        self.default_profile = (
+            None if default_profile is None
+            or getattr(default_profile, "is_analytic", False)
+            else default_profile
+        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: SLO accounting — ``slo`` may be an SLOTracker, an SLOConfig, a
         #: spec string ("latency_ms=250,objective=0.99") or None (defaults)
@@ -190,6 +203,10 @@ class PlanService:
         self, request: PlanRequest, deadline_s: Optional[float], trace_id: str
     ) -> PlanResponse:
         start = time.perf_counter()
+        if self.default_profile is not None and request.profile is None:
+            # substitute before fingerprinting: a profiled service must key
+            # (and cache) its plans under the profile that priced them
+            request = dataclasses.replace(request, profile=self.default_profile)
         self.metrics.counter("requests").inc()
         with tracer.span("service.fingerprint", category="service"):
             key = request.fingerprint(self._network_builder)

@@ -11,9 +11,10 @@ paper's separate "computation and data accessing" accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..hardware.accelerator import AcceleratorGroup
+from ..hardware.profile import ANALYTIC, HardwareProfile
 from ..training.optimizers import SGD, OptimizerSpec
 from .energy import DEFAULT_ENERGY, EnergySpec
 from .trace import EventKind, TraceEvent
@@ -60,10 +61,19 @@ class TimeBreakdown:
 
 
 class TimingEngine:
-    """Cost aggregated trace events on a given accelerator group."""
+    """Cost aggregated trace events on a given accelerator group.
 
-    def __init__(self, config: EngineConfig = EngineConfig()):
+    Rates come from the ``profile``: the default :data:`ANALYTIC` answers
+    the group's peak numbers (historical behavior, bit-identical — its
+    latency constant is exactly ``0.0``); a calibrated profile derates
+    compute, memory and size-dependent network bandwidth and adds its
+    fitted per-transfer latency on top of ``link_latency_s``.
+    """
+
+    def __init__(self, config: EngineConfig = EngineConfig(),
+                 profile: Optional[HardwareProfile] = None):
         self.config = config
+        self.profile = ANALYTIC if profile is None else profile
 
     def breakdown(self, events: Iterable[TraceEvent],
                   group: AcceleratorGroup) -> TimeBreakdown:
@@ -82,12 +92,16 @@ class TimingEngine:
                 net_transfers += 1
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown event kind {event.kind!r}")
+        profile = self.profile
+        net_bytes = net_elements * self.config.dtype_bytes
         return TimeBreakdown(
-            compute=flops / group.flops,
-            memory=mem_elements * self.config.dtype_bytes / group.memory_bandwidth,
+            compute=flops / profile.compute_rate(group),
+            memory=(mem_elements * self.config.dtype_bytes
+                    / profile.memory_bandwidth(group)),
             network=(
-                net_elements * self.config.dtype_bytes / group.network_bandwidth
-                + net_transfers * self.config.link_latency_s
+                net_bytes / profile.network_bandwidth(group, net_bytes)
+                + net_transfers * (self.config.link_latency_s
+                                   + profile.transfer_latency_s(group))
             ),
         )
 

@@ -128,6 +128,43 @@ def _record_leaf_timings(telemetry, planned: PlannedExecution, node: GroupNode,
             })
 
 
+def _record_level_timings(telemetry, planned: PlannedExecution, node: GroupNode,
+                          ev_i: Sequence[TraceEvent], ev_j: Sequence[TraceEvent],
+                          engine: TimingEngine) -> None:
+    """One durable ``op_timing`` event per party of an internal level.
+
+    ``kind="net"`` / ``phase="comm"`` series carry the network share of the
+    level's exchange time plus the transfer count, which is what the
+    network side of the calibration fit (bandwidth-efficiency curve and
+    per-transfer latency) regresses on.
+    """
+    for party, events in ((node.left, ev_i), (node.right, ev_j)):
+        net_elements = 0.0
+        transfers = 0
+        for event in events:
+            if event.kind is EventKind.NET_READ:
+                net_elements += event.quantized_amount()
+                transfers += 1
+        if transfers == 0:
+            continue
+        breakdown = engine.breakdown(events, party.group)
+        telemetry.record({
+            "type": "op_timing",
+            "hardware": _group_hardware_name(party.group),
+            "devices": party.group.size,
+            "op": f"level-{node.level + 1}",
+            "kind": "net",
+            "phase": "comm",
+            "elements": net_elements,
+            "flops": 0.0,
+            "transfers": transfers,
+            "time_s": breakdown.network,
+            "model": planned.network_name,
+            "scheme": planned.scheme,
+            "batch": planned.batch,
+        })
+
+
 @dataclass
 class _NodeResult:
     time: float
@@ -210,11 +247,21 @@ def _level_net_events(
 
 
 def evaluate(planned: PlannedExecution,
-             config: Optional[EngineConfig] = None) -> SimReport:
-    """Simulate one training iteration of a planned execution."""
+             config: Optional[EngineConfig] = None,
+             profile=None) -> SimReport:
+    """Simulate one training iteration of a planned execution.
+
+    ``profile`` selects the hardware rates the timing engine applies: the
+    default (``None``) keeps the peak analytic ones; a
+    :class:`~repro.hardware.profile.CalibratedProfile` scores the plan
+    under measured effective rates instead (it must cover every spec in
+    the planned array).
+    """
     if config is None:
         config = EngineConfig(dtype_bytes=planned.dtype_bytes)
-    engine = TimingEngine(config)
+    if profile is not None:
+        profile.validate_array(planned.tree.group)
+    engine = TimingEngine(config, profile=profile)
     memo: Dict[Tuple, _NodeResult] = {}
     telemetry = telemetry_store.active()
     if telemetry is not None and not telemetry.enabled:
@@ -252,6 +299,8 @@ def evaluate(planned: PlannedExecution,
         time_i = engine.elapsed(ev_i, node.left.group)
         time_j = engine.elapsed(ev_j, node.right.group)
         comm_time = max(time_i, time_j)
+        if telemetry is not None:
+            _record_level_timings(telemetry, planned, node, ev_i, ev_j, engine)
 
         bytes_i = sum(e.quantized_amount() for e in ev_i
                       if e.kind is EventKind.NET_READ) * config.dtype_bytes

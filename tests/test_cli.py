@@ -227,6 +227,79 @@ class TestServiceCommands:
         assert main(["warm", "--models", " , ", "--array", "tpu-v3:2"]) == 2
 
 
+class TestCalibrateCommand:
+    """The full CLI loop: simulate -> export -> calibrate -> replan."""
+
+    def _export(self, tmp_path, capsys):
+        telemetry_dir = str(tmp_path / "telemetry")
+        export_path = str(tmp_path / "cal.json")
+        assert main(["simulate", "--model", "alexnet",
+                     "--array", "tpu-v2:2,tpu-v3:2", "--batch", "64",
+                     "--telemetry-dir", telemetry_dir]) == 0
+        assert main(["telemetry", "export", "--calibration",
+                     "--dir", telemetry_dir, "--out", export_path]) == 0
+        capsys.readouterr()
+        return export_path
+
+    def test_calibrate_writes_profile(self, capsys, tmp_path):
+        export_path = self._export(tmp_path, capsys)
+        profile_path = str(tmp_path / "profile.json")
+        assert main(["calibrate", export_path, "--out", profile_path]) == 0
+        out = capsys.readouterr().out
+        assert "written to" in out and "tpu-v2" in out and "tpu-v3" in out
+
+        from repro.hardware.profile import load_profile
+        profile = load_profile(profile_path)
+        assert profile.spec_names() == ("tpu-v2", "tpu-v3")
+
+    def test_replan_with_fitted_profile(self, capsys, tmp_path):
+        export_path = self._export(tmp_path, capsys)
+        profile_path = str(tmp_path / "profile.json")
+        main(["calibrate", export_path, "--out", profile_path])
+        capsys.readouterr()
+        assert main(["plan", "--model", "alexnet",
+                     "--array", "tpu-v2:2,tpu-v3:2",
+                     "--profile", profile_path]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "calibrated: tpu-v2, tpu-v3" in out
+
+    def test_missing_export_file(self, capsys, tmp_path):
+        assert main(["calibrate", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "p.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_export_schema(self, capsys, tmp_path):
+        export_path = tmp_path / "bad.json"
+        export_path.write_text(json.dumps({"schema": "nope"}))
+        assert main(["calibrate", str(export_path),
+                     "--out", str(tmp_path / "p.json")]) == 1
+        assert "calibration failed" in capsys.readouterr().err
+
+    def test_profile_array_mismatch_is_clear_usage_error(self, capsys,
+                                                         tmp_path):
+        from repro.hardware.profile import (
+            CalibratedProfile, SpecProfile, save_profile,
+        )
+
+        profile_path = str(tmp_path / "v3only.json")
+        save_profile(CalibratedProfile(name="v3only", specs=(
+            SpecProfile(spec="tpu-v3", compute_rates=(("default", 2e14),)),
+        )), profile_path)
+        code = main(["plan", "--model", "lenet",
+                     "--array", "tpu-v2:2,tpu-v3:2",
+                     "--profile", profile_path])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "profile error" in err
+        assert "tpu-v2" in err and "covered: tpu-v3" in err
+
+    def test_analytic_profile_name_is_default(self, capsys):
+        assert main(["plan", "--model", "lenet", "--array", "tpu-v3:2",
+                     "--profile", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" not in out  # analytic IS the default; not echoed
+
+
 class TestProfileCommand:
     def test_profile_prints_table_and_writes_trace(self, capsys, tmp_path):
         from repro.obs.export import REQUIRED_EVENT_KEYS

@@ -35,6 +35,7 @@ from repro.core.tiebreak import (
 from repro.core.types import ALL_TYPES, HYPAR_TYPES, PartitionType, ShardedWorkload
 from repro.graph.layers import LayerWorkload
 from repro.hardware import TPU_V2, TPU_V3, make_group
+from repro.hardware.profile import CalibratedProfile, SpecProfile
 
 I, II, III = PartitionType.TYPE_I, PartitionType.TYPE_II, PartitionType.TYPE_III
 
@@ -120,6 +121,46 @@ def random_model(rng):
     )
 
 
+def random_profile(rng):
+    """A random calibrated profile covering both spec generations."""
+    def spec_profile(spec):
+        rates = [("default", spec.flops * rng.uniform(0.3, 0.9))]
+        if rng.random() < 0.8:
+            rates.append(("conv", spec.flops * rng.uniform(0.3, 0.9)))
+        if rng.random() < 0.8:
+            rates.append(("fc", spec.flops * rng.uniform(0.2, 0.8)))
+        curve = ()
+        if rng.random() < 0.8:
+            sizes = sorted({rng.choice((1e3, 1e4, 1e5, 1e6, 1e7))
+                            for _ in range(rng.choice((1, 2, 3)))})
+            curve = tuple((s, rng.uniform(0.2, 1.0)) for s in sizes)
+        return SpecProfile(
+            spec=spec.name,
+            compute_rates=tuple(rates),
+            bandwidth_efficiency=curve,
+            transfer_latency_s=rng.choice((0.0, 5e-6, 2e-5)),
+        )
+
+    return CalibratedProfile(
+        name=f"rand-{rng.randint(0, 1 << 30)}",
+        specs=(spec_profile(TPU_V2), spec_profile(TPU_V3)),
+    )
+
+
+def random_calibrated_model(rng):
+    lhs = make_group(rng.choice((TPU_V2, TPU_V3)), rng.choice((1, 2, 4)))
+    rhs = make_group(rng.choice((TPU_V2, TPU_V3)), rng.choice((1, 2, 8)))
+    mode = rng.choice(("balanced", "proportional", "equal"))
+    return PairCostModel(
+        lhs, rhs,
+        dtype_bytes=rng.choice((1, 2, 4)),
+        ratio_mode=mode,
+        closed_form=rng.random() < 0.5,
+        memoize=rng.random() < 0.5,
+        profile=random_profile(rng),
+    )
+
+
 def assert_same_search(stages, model_a, model_b, space=ALL_TYPES, space_fn=None):
     scalar = search_stages(stages, model_a, space, space_fn=space_fn)
     vector = search_stages_vectorized(stages, model_b, space, space_fn=space_fn)
@@ -196,6 +237,51 @@ class TestRandomizedEquivalence:
             gen = _StageGen(random.Random(8800 + seed))
             total += len(list(iter_sharded_workloads(gen.chain(6, 0))))
         assert total >= 200
+
+
+class TestCalibratedProfileEquivalence:
+    """The bit-identity contract extends to calibrated profiles: the same
+    per-kind rates, bandwidth curves and latency constants flow through
+    the packed path in the same scalar lookups (memoized per size), so
+    plans must stay bitwise equal, not just close."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_series_parallel_with_profile(self, seed):
+        rng = random.Random(5500 + seed)
+        gen = _StageGen(rng)
+        stages = gen.chain(6, 0)
+        model_a = random_calibrated_model(random.Random(41 * seed))
+        model_b = random_calibrated_model(random.Random(41 * seed))
+        assert model_a.pack_key() == model_b.pack_key()
+        assert_same_search(stages, model_a, model_b)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_space_fn_and_profile(self, seed):
+        rng = random.Random(7700 + seed)
+        gen = _StageGen(rng)
+        stages = gen.chain(5, 0)
+        restrict = {
+            w.name: rng.choice(_RESTRICTIONS)
+            for w in iter_sharded_workloads(stages)
+        }
+        fn = lambda w: restrict[w.name]
+        model_a = random_calibrated_model(random.Random(43 * seed))
+        model_b = random_calibrated_model(random.Random(43 * seed))
+        assert_same_search(stages, model_a, model_b, space_fn=fn)
+
+    def test_profile_changes_pack_key(self):
+        """Analytic and calibrated models must never share a pack cache row."""
+        rng = random.Random(99)
+        lhs, rhs = make_group(TPU_V3, 2), make_group(TPU_V2, 2)
+        analytic = PairCostModel(lhs, rhs)
+        calibrated = PairCostModel(lhs, rhs, profile=random_profile(rng))
+        assert analytic.pack_key() != calibrated.pack_key()
+
+    def test_distinct_profiles_distinct_pack_keys(self):
+        lhs, rhs = make_group(TPU_V3, 2), make_group(TPU_V2, 2)
+        a = PairCostModel(lhs, rhs, profile=random_profile(random.Random(1)))
+        b = PairCostModel(lhs, rhs, profile=random_profile(random.Random(2)))
+        assert a.pack_key() != b.pack_key()
 
 
 def two_party_model(**kwargs):

@@ -136,3 +136,43 @@ class TestPlanRequestFingerprint:
     def test_rejects_bad_batch(self):
         with pytest.raises(ValueError):
             PlanRequest(model="alexnet", array=self.array, batch=0)
+
+
+class TestProfileFingerprintSeparation:
+    """Calibrated and analytic plans must never share a cache entry."""
+
+    def setup_method(self):
+        self.array = heterogeneous_array(2, 2)
+
+    def request(self, **overrides):
+        kwargs = dict(model="alexnet", array=self.array, batch=64)
+        kwargs.update(overrides)
+        return PlanRequest(**kwargs)
+
+    def calibrated(self, rate=90e12):
+        from repro.hardware.profile import CalibratedProfile, SpecProfile
+
+        return CalibratedProfile(name="t", specs=(
+            SpecProfile(spec="tpu-v2", compute_rates=(("default", rate),)),
+            SpecProfile(spec="tpu-v3", compute_rates=(("default", 2 * rate),)),
+        ))
+
+    def test_calibrated_differs_from_analytic(self):
+        assert (self.request(profile=self.calibrated()).fingerprint()
+                != self.request().fingerprint())
+
+    def test_distinct_profiles_distinct_keys(self):
+        a = self.request(profile=self.calibrated(90e12)).fingerprint()
+        b = self.request(profile=self.calibrated(80e12)).fingerprint()
+        assert a != b
+
+    def test_equal_profiles_share_key(self):
+        assert (self.request(profile=self.calibrated()).fingerprint()
+                == self.request(profile=self.calibrated()).fingerprint())
+
+    def test_explicit_analytic_canonicalizes_to_none(self):
+        from repro.hardware.profile import ANALYTIC
+
+        explicit = self.request(profile=ANALYTIC)
+        assert explicit.profile is None
+        assert explicit.fingerprint() == self.request().fingerprint()

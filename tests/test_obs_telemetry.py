@@ -189,11 +189,21 @@ class TestProducers:
         hardware = {e["hardware"] for e in events}
         # the hetero array has both specs at its leaves
         assert {"tpu-v2", "tpu-v3"} <= hardware
-        for event in events:
+        compute = [e for e in events if e["kind"] != "net"]
+        network = [e for e in events if e["kind"] == "net"]
+        assert compute, "sim run must time compute ops"
+        for event in compute:
             assert event["phase"] in ("forward", "backward", "gradient")
             assert event["kind"] in ("conv", "fc")
             assert event["time_s"] >= 0
             assert event["flops"] >= 0
+        # per-level exchanges land as net/comm series with a transfer count
+        assert network, "sim run must time level exchanges"
+        for event in network:
+            assert event["phase"] == "comm"
+            assert event["transfers"] >= 1
+            assert event["flops"] == 0.0
+            assert event["time_s"] >= 0
 
     def test_calibration_export_schema(self, tmp_path):
         telemetry_store.install(tmp_path)
@@ -205,8 +215,11 @@ class TestProducers:
             assert series, spec
             for key, stats in series.items():
                 kind, _, phase = key.partition("/")
-                assert kind in ("conv", "fc")
-                assert phase in ("forward", "backward", "gradient")
+                assert kind in ("conv", "fc", "net")
+                if kind == "net":
+                    assert phase == "comm"
+                else:
+                    assert phase in ("forward", "backward", "gradient")
                 assert stats["count"] == len(stats["samples"]) or \
                     stats["count"] > len(stats["samples"])
                 assert stats["count"] >= 1

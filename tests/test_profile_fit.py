@@ -1,0 +1,153 @@
+"""Tests for the telemetry-export profile fitter (:mod:`repro.calib`).
+
+The contract: :func:`profile_from_export` ingests a
+``repro.telemetry.calibration/v1`` document and recovers the effective
+rates that generated it — exactly on noise-free synthetic samples, and
+physically-plausible (never above peak) on degenerate ones.  The legacy
+:class:`Probe` bridge gets the same treatment.
+"""
+
+import pytest
+
+from repro.calib import profile_from_export, profile_from_probes
+from repro.calib.fit import Probe
+from repro.hardware import TPU_V2, TPU_V3
+from repro.hardware.profile import ProfileError
+from repro.obs.telemetry import CALIBRATION_SCHEMA
+
+
+def make_export(hardware):
+    return {"schema": CALIBRATION_SCHEMA, "source": "synthetic",
+            "hardware": hardware}
+
+
+def compute_series(samples):
+    return {"count": len(samples), "total_s": sum(s["seconds"] for s in samples),
+            "samples": samples}
+
+
+def synthetic_compute(rate, mem_bw, dtype_bytes, flops_list, elements_list,
+                      devices=1):
+    """Noise-free samples of ``t = flops/rate + bytes/mem_bw`` per board."""
+    samples = []
+    for flops, elements in zip(flops_list, elements_list):
+        seconds = (flops / devices) / rate + \
+            (elements / devices) * dtype_bytes / mem_bw
+        samples.append({"flops": flops, "elements": elements,
+                        "seconds": seconds, "devices": devices})
+    return samples
+
+
+class TestProfileFromExport:
+    def test_recovers_synthetic_rates_per_kind(self):
+        conv_rate, fc_rate, mem_bw = 100e12, 40e12, 600e9
+        hardware = {"tpu-v2": {
+            "conv/forward": compute_series(synthetic_compute(
+                conv_rate, mem_bw, 2,
+                [1e12, 5e12, 2e13, 8e12], [1e6, 9e6, 4e7, 2e6])),
+            "fc/forward": compute_series(synthetic_compute(
+                fc_rate, mem_bw, 2,
+                [1e11, 8e11, 3e12, 5e10], [2e6, 1e7, 6e7, 4e5])),
+        }}
+        profile = profile_from_export(make_export(hardware))
+        sp = profile.specs[0]
+        assert sp.spec == "tpu-v2"
+        assert sp.compute_rate("conv") == pytest.approx(conv_rate, rel=1e-6)
+        assert sp.compute_rate("fc") == pytest.approx(fc_rate, rel=1e-6)
+
+    def test_rate_never_exceeds_peak(self):
+        """Memory-bound samples collapse the flops column; the fit must
+        fall back rather than report an unphysical rate."""
+        # seconds dominated by the memory term: flops are tiny
+        samples = synthetic_compute(1e30, 600e9, 2,
+                                    [1e6, 2e6, 3e6, 4e6],
+                                    [1e8, 3e8, 6e8, 9e8])
+        hardware = {"tpu-v2": {"fc/forward": compute_series(samples)}}
+        profile = profile_from_export(make_export(hardware))
+        assert profile.specs[0].compute_rate("fc") <= TPU_V2.flops
+
+    def test_network_latency_and_efficiency_recovered(self):
+        peak = TPU_V3.network_bandwidth
+        eff, latency, devices = 0.6, 1e-5, 4
+        net_samples = []
+        for nbytes, transfers in ((1e6, 2), (4e6, 3), (1.6e7, 1), (6.4e7, 4)):
+            seconds = (nbytes / devices) / (peak * eff) + transfers * latency
+            net_samples.append({"elements": nbytes / 2, "flops": 0.0,
+                                "seconds": seconds, "devices": devices,
+                                "transfers": transfers})
+        hardware = {"tpu-v3": {
+            "conv/forward": compute_series(synthetic_compute(
+                200e12, 900e9, 2, [1e12, 6e12, 2e13], [1e6, 8e6, 3e7])),
+            "net/comm": compute_series(net_samples),
+        }}
+        profile = profile_from_export(make_export(hardware))
+        sp = profile.specs[0]
+        assert sp.transfer_latency_s == pytest.approx(latency, rel=1e-3)
+        for nbytes, _ in ((1e6, 2), (6.4e7, 4)):
+            assert sp.efficiency(nbytes) == pytest.approx(eff, rel=0.05)
+
+    def test_unknown_hardware_skipped_with_note(self):
+        hardware = {
+            "tpu-v2": {"conv/forward": compute_series(synthetic_compute(
+                100e12, 600e9, 2, [1e12, 5e12, 2e13], [1e6, 9e6, 4e7]))},
+            "tpu-v2+tpu-v3": {"conv/forward": compute_series(
+                synthetic_compute(100e12, 600e9, 2, [1e12, 2e12], [1e6, 2e6]))},
+        }
+        profile = profile_from_export(make_export(hardware))
+        assert profile.spec_names() == ("tpu-v2",)
+        assert "skipped:tpu-v2+tpu-v3" in dict(profile.meta)
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ProfileError, match="schema"):
+            profile_from_export({"schema": "nope", "hardware": {}})
+
+    def test_rejects_empty_hardware(self):
+        with pytest.raises(ProfileError, match="no hardware"):
+            profile_from_export(make_export({}))
+
+    def test_all_unknown_hardware_raises(self):
+        hardware = {"gpu-z": {"conv/forward": compute_series(
+            synthetic_compute(1e12, 1e9, 2, [1e12, 2e12], [1e6, 2e6]))}}
+        with pytest.raises(ProfileError, match="no known hardware"):
+            profile_from_export(make_export(hardware))
+
+    def test_too_few_samples_skips_spec(self):
+        hardware = {
+            "tpu-v2": {"conv/forward": compute_series(synthetic_compute(
+                100e12, 600e9, 2, [1e12], [1e6]))},  # 1 sample: unfittable
+            "tpu-v3": {"conv/forward": compute_series(synthetic_compute(
+                200e12, 900e9, 2, [1e12, 5e12, 2e13], [1e6, 9e6, 4e7]))},
+        }
+        profile = profile_from_export(make_export(hardware))
+        assert profile.spec_names() == ("tpu-v3",)
+        assert "skipped:tpu-v2" in dict(profile.meta)
+
+
+class TestProfileFromProbes:
+    def test_bridges_legacy_fit(self):
+        c_true, b_true = 100e12, 2e9
+        probes = [
+            Probe(flops=f, network_bytes=n,
+                  measured_seconds=f / c_true + n / b_true)
+            for f, n in [(1e12, 1e6), (5e12, 1e9), (1e10, 5e9), (8e13, 1e8)]
+        ]
+        profile = profile_from_probes(TPU_V2, probes)
+        sp = profile.specs[0]
+        assert sp.spec == TPU_V2.name
+        assert sp.compute_rate() == pytest.approx(c_true, rel=1e-6)
+        # the fitted bandwidth expresses as an efficiency over peak
+        expected_eff = min(1.0, b_true / TPU_V2.network_bandwidth)
+        assert sp.efficiency(1e6) == pytest.approx(expected_eff, rel=1e-6)
+
+    def test_profile_is_usable_in_cost_model(self):
+        from repro.core.cost_model import PairCostModel
+        from repro.hardware import make_group
+
+        probes = [
+            Probe(flops=f, network_bytes=n, measured_seconds=f / 9e13 + n / 1e9)
+            for f, n in [(1e12, 1e6), (5e12, 1e9), (1e10, 5e9)]
+        ]
+        profile = profile_from_probes(TPU_V2, probes)
+        model = PairCostModel(make_group(TPU_V2, 2), make_group(TPU_V2, 2),
+                              profile=profile)
+        assert model.c_i > 0

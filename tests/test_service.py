@@ -315,6 +315,76 @@ class TestSchemeResolution:
         assert response.planned.scheme == "greedy"
 
 
+def calibrated_profile(rate=90e12):
+    from repro.hardware.profile import CalibratedProfile, SpecProfile
+
+    return CalibratedProfile(name="svc-test", specs=(
+        SpecProfile(spec="tpu-v2", compute_rates=(("default", rate),)),
+        SpecProfile(spec="tpu-v3", compute_rates=(("default", 2 * rate),)),
+    ))
+
+
+class TestDefaultProfile:
+    """A service-wide default profile re-prices requests that don't pin one."""
+
+    def test_default_profile_changes_fingerprint(self, array):
+        plain_request = PlanRequest(model="lenet", array=array, batch=32)
+        with PlanService(default_profile=calibrated_profile()) as svc:
+            profiled = svc.plan(plain_request)
+        with PlanService() as svc:
+            analytic = svc.plan(plain_request)
+        assert profiled.fingerprint != analytic.fingerprint
+
+    def test_explicit_profile_wins_over_default(self, array):
+        request = PlanRequest(model="lenet", array=array, batch=32,
+                              profile=calibrated_profile(80e12))
+        with PlanService(default_profile=calibrated_profile(90e12)) as svc:
+            pinned = svc.plan(request)
+        with PlanService() as svc:
+            direct = svc.plan(request)
+        assert pinned.fingerprint == direct.fingerprint
+
+    def test_analytic_default_normalizes_to_none(self):
+        from repro.hardware.profile import ANALYTIC
+
+        with PlanService(default_profile=ANALYTIC) as svc:
+            assert svc.default_profile is None
+
+    def test_inline_profile_document_over_the_wire(self, array):
+        from repro.hardware.profile import profile_to_doc
+
+        doc = json.dumps({
+            "model": "lenet", "array": "tpu-v2:2,tpu-v3:2", "batch": 32,
+            "profile": profile_to_doc(calibrated_profile()),
+        })
+        plain = json.dumps({"model": "lenet", "array": "tpu-v2:2,tpu-v3:2",
+                            "batch": 32})
+        with PlanService() as svc:
+            profiled = handle_line(svc, doc)
+            analytic = handle_line(svc, plain)
+        assert profiled["ok"] and analytic["ok"]
+        assert profiled["fingerprint"] != analytic["fingerprint"]
+
+    def test_malformed_wire_profile_is_a_request_error(self):
+        doc = json.dumps({"model": "lenet", "array": "tpu-v3:2",
+                          "profile": "some-file.json"})
+        with PlanService() as svc:
+            result = handle_line(svc, doc)
+        assert not result["ok"]
+        assert "profile" in result["error"]
+
+    def test_mismatched_profile_is_a_request_error(self, array):
+        from repro.hardware.profile import CalibratedProfile, SpecProfile
+
+        v3only = CalibratedProfile(name="v3", specs=(
+            SpecProfile(spec="tpu-v3", compute_rates=(("default", 2e14),)),
+        ))
+        with PlanService() as svc:
+            with pytest.raises(ValueError, match="no calibration"):
+                svc.plan(PlanRequest(model="lenet", array=array, batch=32,
+                                     profile=v3only))
+
+
 class TestErrors:
     def test_unknown_model_raises_before_flight(self, service, array):
         with pytest.raises(KeyError):
